@@ -1,0 +1,89 @@
+"""Ablation bench: how good is the greedy DLS mapping?
+
+The paper's online algorithm maps greedily by dynamic level; this
+bench bounds the cost of that greediness by comparing, on the Table-1
+graphs: the load-balanced mapping (ref-1's starting point), the DLS
+mapping, and a simulated-annealing mapping given 200 full schedule
+evaluations.  Shape target: DLS lands within a few percent of the
+annealed mapping while the load-balanced one trails far behind —
+i.e. the online algorithm's mapping stage is not the weak link.
+"""
+
+from repro.analysis import format_table
+from repro.ctg import generate_ctg, paper_table1_configs
+from repro.platform import PlatformConfig, generate_platform
+from repro.scheduling import (
+    AnnealingConfig,
+    anneal_mapping,
+    dls_schedule,
+    schedule_online,
+    set_deadline_from_makespan,
+    stretch_schedule,
+)
+from repro.scheduling.baselines import load_balanced_mapping
+
+PE_COUNTS = (3, 3, 4, 4, 4)
+
+
+def run_mapping_ablation():
+    rows = []
+    for config, pes in zip(paper_table1_configs(), PE_COUNTS):
+        ctg = generate_ctg(config)
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=pes, seed=config.seed))
+        set_deadline_from_makespan(ctg, platform, 1.3)
+        probabilities = ctg.default_probabilities
+
+        online = schedule_online(ctg, platform)
+        dls_energy = online.schedule.expected_energy(probabilities)
+
+        balanced = dls_schedule(
+            ctg, platform, probabilities,
+            fixed_mapping=load_balanced_mapping(ctg, platform),
+        )
+        stretch_schedule(balanced, probabilities)
+        balanced_energy = balanced.expected_energy(probabilities)
+
+        annealed = anneal_mapping(
+            ctg, platform, config=AnnealingConfig(iterations=200, seed=config.seed)
+        )
+        rows.append(
+            (
+                f"{config.nodes}/{pes}/{config.branch_nodes}",
+                balanced_energy,
+                dls_energy,
+                annealed.energy,
+            )
+        )
+    return rows
+
+
+def test_ablation_mapping_quality(benchmark, archive):
+    rows = benchmark.pedantic(run_mapping_ablation, rounds=1, iterations=1)
+
+    table = format_table(
+        ["a/b/c", "load-balanced", "DLS (online)", "annealed (200 evals)",
+         "DLS gap (%)"],
+        [
+            [
+                triplet,
+                round(balanced, 1),
+                round(dls, 1),
+                round(annealed, 1),
+                round(100 * (dls / annealed - 1), 1),
+            ]
+            for triplet, balanced, dls, annealed in rows
+        ],
+        title="Ablation — mapping quality (expected energy, lower is better)",
+    )
+    archive("ablation_mapping", table)
+
+    gaps = []
+    for _triplet, balanced, dls, annealed in rows:
+        assert annealed <= dls + 1e-9  # annealing starts from DLS
+        gaps.append(dls / annealed - 1)
+    # greedy DLS stays within 25% of the annealed mapping on average
+    assert sum(gaps) / len(gaps) < 0.25
+    # and the naive mapping is worse than DLS on average
+    mean_balanced = sum(r[1] for r in rows) / len(rows)
+    mean_dls = sum(r[2] for r in rows) / len(rows)
+    assert mean_balanced > mean_dls

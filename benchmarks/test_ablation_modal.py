@@ -1,0 +1,90 @@
+"""Ablation bench: modal (per-scenario) DVFS vs the paper's single speed.
+
+The paper's heuristic assigns one speed per task — a compromise over
+all minterms.  The modal extension (repro.scheduling.modal) keeps the
+same mapping/ordering but stretches each scenario separately and picks,
+at runtime, the fastest speed among the scenarios still compatible
+with the resolved ancestor branches.
+
+Shape targets: hard deadlines hold in every scenario (the feasibility
+argument of the module docstring), and the expected energy improves on
+graphs whose scenarios differ — quantified here on the MPEG decoder and
+the Table-1 random graphs.
+"""
+
+from repro.analysis import format_table
+from repro.ctg import enumerate_scenarios, generate_ctg, paper_table1_configs
+from repro.platform import PlatformConfig, generate_platform
+from repro.scheduling import (
+    build_modal_table,
+    modal_instance_energy,
+    schedule_online,
+    set_deadline_from_makespan,
+)
+from repro.sim import execute_instance
+from repro.workloads import mpeg_ctg, mpeg_platform
+
+PE_COUNTS = (3, 3, 4, 4, 4)
+
+
+def _decisions_of(scenario, ctg):
+    vector = {}
+    for branch in ctg.branch_nodes():
+        chosen = scenario.product.label_for(branch)
+        vector[branch] = chosen if chosen is not None else ctg.outcomes_of(branch)[0]
+    return vector
+
+
+def _compare(ctg, platform):
+    schedule = schedule_online(ctg, platform).schedule
+    table = build_modal_table(schedule)
+    probabilities = ctg.default_probabilities
+    modal = single = 0.0
+    misses = 0
+    for scenario in enumerate_scenarios(ctg):
+        decisions = _decisions_of(scenario, ctg)
+        modal_e, _finish, met = modal_instance_energy(schedule, table, decisions)
+        if not met:
+            misses += 1
+        weight = scenario.probability(probabilities)
+        modal += weight * modal_e
+        single += weight * execute_instance(schedule, decisions).energy
+    return single, modal, misses
+
+
+def run_modal_ablation():
+    rows = []
+    mpeg = mpeg_ctg()
+    mpeg_plat = mpeg_platform()
+    set_deadline_from_makespan(mpeg, mpeg_plat, 1.6)
+    single, modal, misses = _compare(mpeg, mpeg_plat)
+    rows.append(("MPEG 40/3/9", single, modal, misses))
+    for config, pes in zip(paper_table1_configs(), PE_COUNTS):
+        ctg = generate_ctg(config)
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=pes, seed=config.seed))
+        set_deadline_from_makespan(ctg, platform, 1.3)
+        single, modal, misses = _compare(ctg, platform)
+        rows.append((f"{config.nodes}/{pes}/{config.branch_nodes}", single, modal, misses))
+    return rows
+
+
+def test_ablation_modal_dvfs(benchmark, archive):
+    rows = benchmark.pedantic(run_modal_ablation, rounds=1, iterations=1)
+
+    table = format_table(
+        ["graph", "single-speed E", "modal E", "gain (%)", "misses"],
+        [
+            [name, round(single, 1), round(modal, 1),
+             round(100 * (1 - modal / single), 1), misses]
+            for name, single, modal, misses in rows
+        ],
+        title="Ablation — modal (per-scenario) DVFS vs single speed "
+              "(expected energy, same mapping)",
+    )
+    archive("ablation_modal", table)
+
+    # hard deadlines in every scenario of every graph
+    assert all(misses == 0 for _n, _s, _m, misses in rows)
+    # expected energy improves on average
+    gains = [1 - modal / single for _n, single, modal, _mi in rows]
+    assert sum(gains) / len(gains) > 0.0

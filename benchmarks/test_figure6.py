@@ -1,0 +1,35 @@
+"""Bench: paper Figure 6 — online with *ideal* profiling vs adaptive
+(T=0.5) on the ten random CTGs.
+
+Shape targets (paper): even with a perfectly accurate long-run
+profile, the adaptive algorithm wins overall (≈10%, 16% on Category 1
+vs 5% on Category 2) because the static schedule cannot follow the
+local fluctuation of the branch statistics.  This is the subtlest
+margin in the paper; the reproduction target is that adaptive is at
+worst on par with the ideal static profile and the Category-1 graphs
+benefit at least as much as Category-2.
+"""
+
+from repro.experiments import run_figure6
+
+
+def test_figure6(benchmark, archive):
+    result = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
+    archive(
+        "figure6",
+        result.format(
+            "Figure 6 — energy with ideal profiling (online) vs adaptive T=0.5",
+            "(paper: adaptive ~10% better overall; 16% Cat1 / 5% Cat2)",
+        ),
+    )
+
+    threshold = result.thresholds[0]
+    overall = result.mean_savings(threshold)
+    cat1 = result.mean_savings(threshold, category=1)
+    cat2 = result.mean_savings(threshold, category=2)
+    benchmark.extra_info["overall"] = round(overall, 1)
+    benchmark.extra_info["cat1"] = round(cat1, 1)
+    benchmark.extra_info["cat2"] = round(cat2, 1)
+
+    # adaptive must not lose to the ideal static profile on average
+    assert overall > -3.0

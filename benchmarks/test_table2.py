@@ -1,0 +1,30 @@
+"""Bench: paper Table 2 — re-scheduling call counts per MPEG movie.
+
+Shape targets (paper): average ≈9 calls at T=0.5 (range 5–32, Shuttle
+the outlier) and ≈162 at T=0.1 (range 104–276) per 1000 macroblocks —
+i.e. two orders of magnitude apart, with the QCIF Shuttle clip among
+the highest counts at the loose threshold.
+"""
+
+from test_figure5 import mpeg_result
+
+
+def test_table2(benchmark, archive):
+    result = benchmark.pedantic(mpeg_result, rounds=1, iterations=1)
+
+    lines = ["Table 2 — Algorithm call count for MPEG movies"]
+    for threshold in result.thresholds:
+        counts = {row.movie: row.calls[threshold] for row in result.rows}
+        lines.append(f"T={threshold}: {counts}")
+    archive("table2", "\n".join(lines))
+
+    mean_loose = result.mean_calls(0.5)
+    mean_tight = result.mean_calls(0.1)
+    benchmark.extra_info["mean_calls_T0.5"] = round(mean_loose, 1)
+    benchmark.extra_info["mean_calls_T0.1"] = round(mean_tight, 1)
+
+    assert 2 <= mean_loose <= 40
+    assert 80 <= mean_tight <= 300
+    assert mean_tight > 10 * mean_loose
+    shuttle = next(r for r in result.rows if r.movie == "Shuttle")
+    assert shuttle.calls[0.5] >= mean_loose  # the paper's outlier clip

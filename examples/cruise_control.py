@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Vehicle cruise controller over changing roads (paper §IV, Table 3).
+
+The 32-task, 2-branch cruise-controller CTG runs on a 5-PE MPSoC with
+the deadline at twice the optimum schedule length.  A training road
+trace profiles the non-adaptive schedule; the control loop then drives
+over three fresh roads while the adaptive framework tracks the road
+regime (uphill / downhill / straight / bumpy).
+
+The point of the experiment (and of this example) is a *negative*
+result the paper is candid about: with only three minterms of nearly
+equal energy, adaptation buys just a few percent.
+
+Run:  python examples/cruise_control.py
+"""
+
+from repro.adaptive import AdaptiveConfig
+from repro.analysis import format_table
+from repro.ctg import enumerate_scenarios
+from repro.scheduling import schedule_online, set_deadline_from_makespan
+from repro.sim import empirical_distribution, energy_savings, run_adaptive, run_non_adaptive
+from repro.workloads import cruise_ctg, cruise_platform, road_trace
+
+
+def main() -> None:
+    ctg = cruise_ctg()
+    platform = cruise_platform()
+    deadline = set_deadline_from_makespan(ctg, platform, factor=2.0)
+    print(
+        f"cruise controller: {len(ctg)} tasks on {len(platform)} PEs, "
+        f"deadline {deadline:.1f} (2x optimum)"
+    )
+    scenarios = enumerate_scenarios(ctg)
+    print("minterms and their workloads:")
+    for scenario in scenarios:
+        load = sum(platform.average_wcet(t) for t in scenario.active)
+        print(f"  {str(scenario.product):6} -> {len(scenario.active):2} tasks, load {load:.0f}")
+
+    # The initial schedule for balanced probabilities.
+    result = schedule_online(ctg, platform)
+    print(f"\nonline schedule: makespan {result.schedule.makespan():.1f}, "
+          f"expected energy {result.schedule.expected_energy(ctg.default_probabilities):.1f}")
+    per_pe = {pe: len(result.schedule.tasks_on(pe)) for pe in platform.pe_names}
+    print(f"tasks per PE: {per_pe}")
+
+    # Table 3: three road sequences.
+    train = road_trace(ctg, 1000, seed=31)
+    profile = empirical_distribution(ctg, train)
+    rows = []
+    for index, (seed, threshold) in enumerate([(32, 0.1), (33, 0.1), (34, 0.5)], start=1):
+        road = road_trace(ctg, 1000, seed=seed)
+        online = run_non_adaptive(ctg, platform, road, profile)
+        adaptive = run_adaptive(
+            ctg, platform, road, profile,
+            AdaptiveConfig(window_size=20, threshold=threshold),
+        )
+        rows.append(
+            [
+                index,
+                threshold,
+                round(online.total_energy),
+                round(adaptive.total_energy),
+                f"{100 * energy_savings(online, adaptive):.1f}%",
+                adaptive.reschedule_calls,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["sequence", "T", "non-adaptive", "adaptive", "savings", "calls"],
+            rows,
+            title="Table 3 — cruise controller energy over three road traces",
+        )
+    )
+    print(
+        "\nAs the paper observes, the gain is small: the three minterms "
+        "are nearly equal in energy and the loose deadline leaves the "
+        "static schedule little to get wrong."
+    )
+
+
+if __name__ == "__main__":
+    main()

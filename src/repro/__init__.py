@@ -1,0 +1,31 @@
+"""repro — reproduction of "Adaptive Scheduling and Voltage Scaling for
+Multiprocessor Real-time Applications with Non-deterministic Workload"
+(Malani, Mukre, Qiu, Wu — DATE 2008).
+
+Subpackages
+-----------
+``repro.ctg``
+    Conditional task graph substrate: condition algebra, graph
+    structure, minterm/scenario analysis, path enumeration, TGFF-like
+    random graph generation.
+``repro.platform``
+    MPSoC model: heterogeneous PEs, WCET/energy tables, point-to-point
+    links, the continuous DVFS energy model.
+``repro.scheduling``
+    The paper's core: modified Dynamic Level Scheduling, the online
+    slack-distribution stretching heuristic, the NLP stretching
+    baseline and the two reference algorithms.
+``repro.adaptive``
+    Sliding-window branch-probability profiling and the threshold
+    re-scheduling controller.
+``repro.sim``
+    Per-instance CTG execution (energy/timing under a concrete branch
+    decision vector) and trace-driven policy runners.
+``repro.workloads``
+    MPEG macroblock decoder and vehicle cruise controller CTGs plus
+    branch-decision trace generators.
+``repro.analysis``
+    Reporting helpers (normalisation, savings, table formatting).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,14 @@
+"""Adaptive framework: sliding-window profiling + threshold re-scheduling."""
+
+from .controller import AdaptiveConfig, AdaptiveController
+from .predictors import ExponentialBranchEstimator, ExponentialProfiler
+from .window import BranchWindow, WindowProfiler
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveController",
+    "ExponentialBranchEstimator",
+    "ExponentialProfiler",
+    "BranchWindow",
+    "WindowProfiler",
+]

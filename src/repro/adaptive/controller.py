@@ -1,0 +1,137 @@
+"""Threshold-triggered adaptive re-scheduling (paper §III.B).
+
+The controller owns the current schedule and a
+:class:`~repro.adaptive.window.WindowProfiler`.  After every executed
+CTG instance it shifts the observed branch decisions into the windows;
+when the windowed distribution drifts further than ``threshold`` from
+the distribution the running schedule was built with, the online
+scheduling + DVFS algorithm is re-invoked with the windowed
+probabilities, the in-use distribution snaps to the new estimate, and
+the call counter increments (the paper's Table 2 / Tables 4–5 "# of
+calls" column; the snap behaviour is Figure 4's "filtered Prob"
+staircase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from ..ctg.graph import ConditionalTaskGraph
+from ..ctg.minterms import CtgAnalysis
+from ..platform.mpsoc import Platform
+from ..scheduling.online import OnlineResult, schedule_online
+from .window import WindowProfiler
+
+
+@dataclass
+class AdaptiveConfig:
+    """Knobs of the adaptive framework.
+
+    Attributes
+    ----------
+    window_size:
+        Sliding-window length L (paper: 20).
+    threshold:
+        Probability-drift threshold T triggering re-scheduling
+        (paper: 0.5 and 0.1).
+    cooldown:
+        Minimum number of instances between re-scheduling calls (an
+        extension: the paper bounds the overhead only through the
+        threshold; a cooldown bounds it *directly* regardless of how
+        wildly the statistics swing).  0 disables rate limiting.
+    """
+
+    window_size: int = 20
+    threshold: float = 0.1
+    cooldown: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window_size < 1:
+            raise ValueError("window size must be positive")
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+
+
+class AdaptiveController:
+    """Runtime manager pairing the profiler with the online algorithm.
+
+    Parameters
+    ----------
+    ctg, platform:
+        The application and its target MPSoC (the graph's deadline is
+        used for every re-scheduling).
+    initial_probabilities:
+        The profiled distribution the first schedule is built with
+        (also seeds the windows, as the paper does: "the initial branch
+        probabilities of algorithm are taken same as the profiled
+        probabilities of online algorithm").
+    config:
+        Window length and threshold.
+    profiler:
+        Optional estimator instance replacing the default sliding
+        window — anything with ``observe`` / ``distributions`` /
+        ``max_deviation`` (e.g.
+        :class:`~repro.adaptive.predictors.ExponentialProfiler`).
+    """
+
+    def __init__(
+        self,
+        ctg: ConditionalTaskGraph,
+        platform: Platform,
+        initial_probabilities: Mapping[str, Mapping[str, float]],
+        config: AdaptiveConfig = AdaptiveConfig(),
+        profiler=None,
+    ) -> None:
+        self.ctg = ctg
+        self.platform = platform
+        self.config = config
+        self.in_use: Dict[str, Dict[str, float]] = {
+            branch: dict(dist) for branch, dist in initial_probabilities.items()
+        }
+        branch_labels = {b: ctg.outcomes_of(b) for b in ctg.branch_nodes()}
+        self.profiler = profiler if profiler is not None else WindowProfiler(
+            branch_labels, config.window_size, initial=self.in_use
+        )
+        self.calls = 0
+        self.call_log: List[int] = []
+        self._instance = 0
+        # Structural analysis is probability-independent: derive once,
+        # reuse for every re-scheduling call.
+        self._analysis = CtgAnalysis.of(ctg)
+        self.current: OnlineResult = schedule_online(
+            ctg, platform, self.in_use, analysis=self._analysis
+        )
+
+    @property
+    def schedule(self):
+        """The schedule instances currently execute under."""
+        return self.current.schedule
+
+    def observe(self, decisions: Mapping[str, str]) -> bool:
+        """Feed one instance's executed branch decisions to the profiler.
+
+        Returns ``True`` when the drift crossed the threshold and the
+        online algorithm was re-invoked (subsequent instances run under
+        the new schedule).
+        """
+        self._instance += 1
+        self.profiler.observe(decisions)
+        if (
+            self.config.cooldown
+            and self.call_log
+            and self._instance - self.call_log[-1] < self.config.cooldown
+        ):
+            return False
+        deviation = self.profiler.max_deviation(self.in_use)
+        if deviation <= self.config.threshold:
+            return False
+        self.in_use = self.profiler.distributions()
+        self.current = schedule_online(
+            self.ctg, self.platform, self.in_use, analysis=self._analysis
+        )
+        self.calls += 1
+        self.call_log.append(self._instance)
+        return True

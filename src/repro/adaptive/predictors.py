@@ -1,0 +1,124 @@
+"""Alternative branch-probability estimators.
+
+The paper uses a sliding window (§III.B) but notes the distribution
+"can be predicted based on history" in general.  This module adds an
+**exponentially-weighted** estimator with the same interface as
+:class:`~repro.adaptive.window.WindowProfiler`, so the adaptive
+controller can swap estimators (and the predictor ablation bench can
+compare them):
+
+* a window of length L weights the last L samples equally and forgets
+  everything older — fast to react, noisy;
+* exponential smoothing with factor γ weights sample age t by γ^t —
+  smoother, reacts with time constant ≈ 1/(1−γ).
+
+A window of length L and smoothing with γ = 1 − 2/(L+1) have matched
+effective memory, which is how the ablation pairs them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+
+class ExponentialBranchEstimator:
+    """Exponentially-weighted outcome frequencies of one branch."""
+
+    def __init__(self, branch: str, labels: Sequence[str], smoothing: float) -> None:
+        if not 0.0 < smoothing < 1.0:
+            raise ValueError("smoothing factor must be in (0, 1)")
+        if len(labels) < 2:
+            raise ValueError(f"branch {branch!r} needs at least 2 outcomes")
+        self.branch = branch
+        self.labels = list(labels)
+        self.smoothing = smoothing
+        self._weights: Dict[str, float] = {label: 0.0 for label in self.labels}
+        self._total = 0.0
+
+    def seed(self, distribution: Mapping[str, float]) -> None:
+        """Initialise the estimate to a known distribution (unit mass)."""
+        self._weights = {
+            label: float(distribution.get(label, 0.0)) for label in self.labels
+        }
+        self._total = sum(self._weights.values())
+
+    def push(self, label: str) -> None:
+        """Fold in one observed decision."""
+        if label not in self._weights:
+            raise ValueError(f"unknown outcome {label!r} of branch {self.branch!r}")
+        for key in self._weights:
+            self._weights[key] *= self.smoothing
+        self._weights[label] += 1.0 - self.smoothing
+        self._total = self._total * self.smoothing + (1.0 - self.smoothing)
+
+    def distribution(self) -> Dict[str, float]:
+        """Current estimate (zeros before any observation or seed)."""
+        if self._total <= 0.0:
+            return {label: 0.0 for label in self.labels}
+        return {label: w / self._total for label, w in self._weights.items()}
+
+    def __len__(self) -> int:
+        # effective sample count, for interface parity with BranchWindow
+        return 1 if self._total > 0 else 0
+
+
+class ExponentialProfiler:
+    """Drop-in alternative to :class:`WindowProfiler`.
+
+    Parameters
+    ----------
+    branch_labels:
+        ``branch → outcome labels``.
+    smoothing:
+        Common γ of all branches; ``None`` derives it from
+        ``equivalent_window`` (γ = 1 − 2/(L+1)).
+    equivalent_window:
+        Window length whose effective memory to match (default 20, the
+        paper's energy-experiment window).
+    initial:
+        Optional seed distributions.
+    """
+
+    def __init__(
+        self,
+        branch_labels: Mapping[str, Sequence[str]],
+        smoothing: Optional[float] = None,
+        equivalent_window: int = 20,
+        initial: Optional[Mapping[str, Mapping[str, float]]] = None,
+    ) -> None:
+        if smoothing is None:
+            smoothing = 1.0 - 2.0 / (equivalent_window + 1)
+        self.smoothing = smoothing
+        self.estimators: Dict[str, ExponentialBranchEstimator] = {
+            branch: ExponentialBranchEstimator(branch, labels, smoothing)
+            for branch, labels in branch_labels.items()
+        }
+        if initial is not None:
+            for branch, estimator in self.estimators.items():
+                if branch in initial:
+                    estimator.seed(initial[branch])
+
+    def observe(self, decisions: Mapping[str, str]) -> None:
+        """Fold in one instance's executed branch decisions."""
+        for branch, label in decisions.items():
+            if branch in self.estimators:
+                self.estimators[branch].push(label)
+
+    def distributions(self) -> Dict[str, Dict[str, float]]:
+        """Current estimate of every branch."""
+        return {
+            branch: estimator.distribution()
+            for branch, estimator in self.estimators.items()
+        }
+
+    def max_deviation(self, reference: Mapping[str, Mapping[str, float]]) -> float:
+        """Largest |estimate − reference| over branches and outcomes."""
+        worst = 0.0
+        for branch, estimator in self.estimators.items():
+            if not len(estimator):
+                continue
+            current = estimator.distribution()
+            base = reference.get(branch, {})
+            for label in estimator.labels:
+                worst = max(worst, abs(current[label] - base.get(label, 0.0)))
+        return worst

@@ -1,0 +1,149 @@
+"""Sliding-window branch-probability profiling (paper §III.B).
+
+For each branch fork task a fixed-length buffer stores the most recent
+L branch decisions; after every executed instance the decision of each
+*executed* branch is shifted in and the windowed probabilities are
+recomputed.  The windowed estimate is the "prob" series of the paper's
+Figure 4; the adaptive controller compares it against the distribution
+the current schedule was built with (the "filtered Prob" staircase).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Dict, List, Mapping, Optional, Sequence
+
+
+class BranchWindow:
+    """Ring buffer of the last L decisions of one branch fork.
+
+    Parameters
+    ----------
+    branch:
+        The branch fork task this window profiles.
+    labels:
+        All outcome labels of the branch.
+    size:
+        Window length L (the paper uses 20 for the energy experiments
+        and 50 for the Figure-4 illustration).
+    """
+
+    def __init__(self, branch: str, labels: Sequence[str], size: int) -> None:
+        if size < 1:
+            raise ValueError("window size must be at least 1")
+        if len(labels) < 2:
+            raise ValueError(f"branch {branch!r} needs at least 2 outcomes")
+        self.branch = branch
+        self.labels = list(labels)
+        self.size = size
+        self._buffer: Deque[str] = deque(maxlen=size)
+
+    def push(self, label: str) -> None:
+        """Shift one observed decision into the window."""
+        if label not in self.labels:
+            raise ValueError(f"unknown outcome {label!r} of branch {self.branch!r}")
+        self._buffer.append(label)
+
+    def seed(self, distribution: Mapping[str, float]) -> None:
+        """Pre-fill the window to approximate ``distribution``.
+
+        Gives the profiler a well-defined startup state matching the
+        initial (profiled) probabilities: the buffer is filled with a
+        deterministic proportional pattern, so the first real decisions
+        shift history out gradually instead of swinging the estimate.
+        """
+        self._buffer.clear()
+        counts = {label: distribution.get(label, 0.0) * self.size for label in self.labels}
+        filled: List[str] = []
+        acc = {label: 0.0 for label in self.labels}
+        for _ in range(self.size):
+            for label in self.labels:
+                acc[label] += counts[label] / self.size
+            label = max(self.labels, key=lambda l: acc[l])
+            acc[label] -= 1.0
+            filled.append(label)
+        for label in filled:
+            self._buffer.append(label)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def full(self) -> bool:
+        """Whether the window holds L samples."""
+        return len(self._buffer) == self.size
+
+    def probability(self, label: str) -> float:
+        """Windowed probability of one outcome (0 if window empty)."""
+        if not self._buffer:
+            return 0.0
+        return sum(1 for item in self._buffer if item == label) / len(self._buffer)
+
+    def distribution(self) -> Dict[str, float]:
+        """Windowed probability of every outcome."""
+        if not self._buffer:
+            return {label: 0.0 for label in self.labels}
+        counts = Counter(self._buffer)
+        n = len(self._buffer)
+        return {label: counts.get(label, 0) / n for label in self.labels}
+
+
+class WindowProfiler:
+    """One :class:`BranchWindow` per branch fork of a CTG.
+
+    Parameters
+    ----------
+    branch_labels:
+        ``branch → outcome labels`` (from
+        :meth:`ConditionalTaskGraph.outcomes_of`).
+    size:
+        Common window length L.
+    initial:
+        Optional initial distributions used to seed every window.
+    """
+
+    def __init__(
+        self,
+        branch_labels: Mapping[str, Sequence[str]],
+        size: int,
+        initial: Optional[Mapping[str, Mapping[str, float]]] = None,
+    ) -> None:
+        self.windows: Dict[str, BranchWindow] = {
+            branch: BranchWindow(branch, labels, size)
+            for branch, labels in branch_labels.items()
+        }
+        if initial is not None:
+            for branch, window in self.windows.items():
+                if branch in initial:
+                    window.seed(initial[branch])
+
+    def observe(self, decisions: Mapping[str, str]) -> None:
+        """Shift in the decisions of the branches that executed.
+
+        ``decisions`` maps branch → chosen label for the branch forks
+        that actually ran this instance; branches deactivated by an
+        outer branch simply keep their history (nothing was observed).
+        """
+        for branch, label in decisions.items():
+            if branch in self.windows:
+                self.windows[branch].push(label)
+
+    def distributions(self) -> Dict[str, Dict[str, float]]:
+        """Current windowed distribution of every branch."""
+        return {branch: window.distribution() for branch, window in self.windows.items()}
+
+    def max_deviation(self, reference: Mapping[str, Mapping[str, float]]) -> float:
+        """Largest |windowed − reference| over all branches and outcomes.
+
+        This is the quantity the adaptive controller compares against
+        the threshold.
+        """
+        worst = 0.0
+        for branch, window in self.windows.items():
+            if not len(window):
+                continue
+            current = window.distribution()
+            base = reference.get(branch, {})
+            for label in window.labels:
+                worst = max(worst, abs(current[label] - base.get(label, 0.0)))
+        return worst

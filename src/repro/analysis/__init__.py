@@ -1,0 +1,27 @@
+"""Reporting helpers: normalisation, savings, table/series rendering."""
+
+from .metrics import (
+    geometric_mean,
+    normalise,
+    percent_savings,
+    sliding_window_series,
+    threshold_filter_series,
+)
+from .stats import SampleSummary, summarize_samples
+from .tables import format_series, format_table
+from .trace_stats import BranchFluctuation, branch_fluctuations, mean_fluctuation
+
+__all__ = [
+    "geometric_mean",
+    "normalise",
+    "percent_savings",
+    "sliding_window_series",
+    "threshold_filter_series",
+    "SampleSummary",
+    "summarize_samples",
+    "format_series",
+    "format_table",
+    "BranchFluctuation",
+    "branch_fluctuations",
+    "mean_fluctuation",
+]

@@ -1,0 +1,77 @@
+"""Energy normalisation and comparison metrics used by the benches."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def normalise(values: Mapping[str, float], reference: str, scale: float = 100.0) -> Dict[str, float]:
+    """Normalise a named value set against one entry (paper Table 1).
+
+    ``reference`` gets value ``scale`` (the paper normalises the online
+    algorithm to 100); everything else is proportional.
+    """
+    base = values[reference]
+    if base <= 0:
+        raise ValueError(f"reference {reference!r} must be positive")
+    return {name: scale * value / base for name, value in values.items()}
+
+
+def percent_savings(baseline: float, improved: float) -> float:
+    """Relative saving of ``improved`` over ``baseline`` in percent."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (1.0 - improved / baseline)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (for speedup aggregation)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of nothing")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean needs positive values")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def sliding_window_series(
+    selections: Sequence[int], window: int
+) -> List[float]:
+    """Windowed probability series of a 0/1 selection sequence.
+
+    This is the "prob" data series of the paper's Figure 4: for each
+    position, the fraction of 1s among the last ``window`` selections
+    (growing prefix before the window fills).
+    """
+    if window < 1:
+        raise ValueError("window must be positive")
+    series: List[float] = []
+    running = 0
+    for i, bit in enumerate(selections):
+        running += bit
+        if i >= window:
+            running -= selections[i - window]
+        length = min(i + 1, window)
+        series.append(running / length)
+    return series
+
+
+def threshold_filter_series(
+    probabilities: Sequence[float], threshold: float, initial: float
+) -> List[float]:
+    """The "filtered Prob" staircase of the paper's Figure 4.
+
+    Starting from ``initial``, the output holds its value until the
+    input series drifts more than ``threshold`` away, then snaps to the
+    input (each snap is one re-scheduling call).
+    """
+    current = initial
+    series: List[float] = []
+    for value in probabilities:
+        if abs(value - current) > threshold:
+            current = value
+        series.append(current)
+    return series

@@ -1,0 +1,47 @@
+"""Plain-text table rendering for the benchmark reports.
+
+The benches print the same rows/series the paper's tables and figures
+report; this module renders them uniformly so EXPERIMENTS.md can quote
+the output verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        # shortest faithful rendering (0.05 must not collapse to 0.1)
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_series(name: str, values: Sequence[float], per_line: int = 10) -> str:
+    """Render a numeric series (for figure reproduction) compactly."""
+    lines = [f"{name}:"]
+    for start in range(0, len(values), per_line):
+        chunk = values[start : start + per_line]
+        lines.append("  " + " ".join(f"{v:6.3f}" for v in chunk))
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Conditional task graph substrate.
+
+Public surface: condition algebra, the CTG structure, scenario/minterm
+analysis, path enumeration and the TGFF-like random generator.
+"""
+
+from .analytics import (
+    WorkloadStatistics,
+    branch_entropy,
+    criticality,
+    parallelism_profile,
+    summarize,
+    workload_statistics,
+)
+from .conditions import (
+    TRUE,
+    ConditionProduct,
+    Outcome,
+    minimal_products,
+    product_probability,
+)
+from .examples import diamond_ctg, figure1_ctg, two_sided_branch_ctg
+from .generator import (
+    GeneratorConfig,
+    generate_ctg,
+    paper_table1_configs,
+    paper_table4_configs,
+)
+from .graph import CTGError, ConditionalTaskGraph, EdgeData, NodeKind
+from .minterms import (
+    CtgAnalysis,
+    Scenario,
+    activation_probability,
+    activation_sets,
+    enumerate_scenarios,
+    exclusion_table,
+    gamma,
+    mutually_exclusive,
+    resolve_activation,
+)
+from .paths import (
+    CTGPath,
+    enumerate_paths,
+    path_delay,
+    paths_of_minterm,
+    paths_through,
+)
+
+__all__ = [
+    "WorkloadStatistics",
+    "branch_entropy",
+    "criticality",
+    "parallelism_profile",
+    "summarize",
+    "workload_statistics",
+    "TRUE",
+    "ConditionProduct",
+    "Outcome",
+    "minimal_products",
+    "product_probability",
+    "diamond_ctg",
+    "figure1_ctg",
+    "two_sided_branch_ctg",
+    "GeneratorConfig",
+    "generate_ctg",
+    "paper_table1_configs",
+    "paper_table4_configs",
+    "CTGError",
+    "ConditionalTaskGraph",
+    "EdgeData",
+    "NodeKind",
+    "CtgAnalysis",
+    "Scenario",
+    "activation_probability",
+    "activation_sets",
+    "enumerate_scenarios",
+    "exclusion_table",
+    "gamma",
+    "mutually_exclusive",
+    "resolve_activation",
+    "CTGPath",
+    "enumerate_paths",
+    "path_delay",
+    "paths_of_minterm",
+    "paths_through",
+]

@@ -1,0 +1,197 @@
+"""Structural and statistical analytics for conditional task graphs.
+
+Characterising a CTG is the first step of every scheduling study: how
+much of the workload is conditional, how wide the graph is, how much
+the scenarios differ, how unpredictable the branches are.  This module
+computes those quantities (they also back the generator's category
+tests and the experiment reports):
+
+* :func:`workload_statistics` — per-scenario workload distribution
+  (min/max/expected, conditional share);
+* :func:`branch_entropy` — Shannon entropy of each branch and of the
+  scenario distribution (how much there is to predict);
+* :func:`parallelism_profile` — width of the graph over its
+  topological levels;
+* :func:`criticality` — per-task probability-weighted criticality
+  (share of scenario-critical paths through each task);
+* :func:`summarize` — a one-call text report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..platform.mpsoc import Platform
+from .graph import ConditionalTaskGraph
+from .minterms import BranchProbabilities, Scenario, enumerate_scenarios
+
+
+@dataclass(frozen=True)
+class WorkloadStatistics:
+    """Scenario workload spread of a CTG on a platform.
+
+    Workload = total average WCET of the activated tasks.
+    """
+
+    expected: float
+    minimum: float
+    maximum: float
+    total: float
+    conditional_share: float
+
+    @property
+    def spread(self) -> float:
+        """max/min workload ratio — how non-deterministic the CTG is."""
+        return self.maximum / self.minimum if self.minimum > 0 else float("inf")
+
+
+def workload_statistics(
+    ctg: ConditionalTaskGraph,
+    platform: Platform,
+    probabilities: Optional[BranchProbabilities] = None,
+    scenarios: Optional[Sequence[Scenario]] = None,
+) -> WorkloadStatistics:
+    """Per-scenario workload distribution (see class docstring)."""
+    if probabilities is None:
+        probabilities = ctg.default_probabilities
+    if scenarios is None:
+        scenarios = enumerate_scenarios(ctg)
+    loads = []
+    expected = 0.0
+    for scenario in scenarios:
+        load = sum(platform.average_wcet(task) for task in scenario.active)
+        loads.append(load)
+        expected += scenario.probability(probabilities) * load
+    total = sum(platform.average_wcet(task) for task in ctg.tasks())
+    always_active = set(scenarios[0].active)
+    for scenario in scenarios[1:]:
+        always_active &= scenario.active
+    unconditional = sum(platform.average_wcet(task) for task in always_active)
+    return WorkloadStatistics(
+        expected=expected,
+        minimum=min(loads),
+        maximum=max(loads),
+        total=total,
+        conditional_share=1.0 - unconditional / total if total > 0 else 0.0,
+    )
+
+
+def branch_entropy(
+    ctg: ConditionalTaskGraph,
+    probabilities: Optional[BranchProbabilities] = None,
+) -> Dict[str, float]:
+    """Shannon entropy (bits) of each branch plus the joint scenario
+    entropy under key ``"*scenarios*"``."""
+    if probabilities is None:
+        probabilities = ctg.default_probabilities
+    entropies: Dict[str, float] = {}
+    for branch in ctg.branch_nodes():
+        distribution = probabilities.get(branch, {})
+        entropies[branch] = _entropy(distribution.values())
+    scenarios = enumerate_scenarios(ctg)
+    entropies["*scenarios*"] = _entropy(
+        scenario.probability(probabilities) for scenario in scenarios
+    )
+    return entropies
+
+
+def _entropy(values) -> float:
+    total = 0.0
+    for p in values:
+        if p > 0:
+            total -= p * math.log2(p)
+    return total
+
+
+def parallelism_profile(ctg: ConditionalTaskGraph) -> List[int]:
+    """Number of tasks per topological level (the graph's width curve).
+
+    A task's level is the longest real-edge hop count from a source.
+    """
+    level: Dict[str, int] = {}
+    for task in ctg.topological_order():
+        preds = ctg.predecessors(task, include_pseudo=False)
+        level[task] = 1 + max((level[p] for p in preds), default=-1)
+    width = [0] * (max(level.values()) + 1)
+    for l in level.values():
+        width[l] += 1
+    return width
+
+
+def criticality(
+    ctg: ConditionalTaskGraph,
+    platform: Platform,
+    probabilities: Optional[BranchProbabilities] = None,
+) -> Dict[str, float]:
+    """Probability that a task lies on its scenario's critical path.
+
+    For each scenario, the critical (longest average-WCET) chain of the
+    activated subgraph is computed; a task's criticality is the total
+    probability of the scenarios whose critical chain contains it.
+    High-criticality tasks are the ones DVFS cannot stretch for free.
+    """
+    if probabilities is None:
+        probabilities = ctg.default_probabilities
+    result: Dict[str, float] = {task: 0.0 for task in ctg.tasks()}
+    for scenario in enumerate_scenarios(ctg):
+        p = scenario.probability(probabilities)
+        if p <= 0:
+            continue
+        # longest path over the activated subgraph (real edges only)
+        best: Dict[str, Tuple[float, Optional[str]]] = {}
+        for task in ctg.topological_order():
+            if task not in scenario.active:
+                continue
+            incoming = [
+                src
+                for src, _dst, data in ctg.in_edges(task, include_pseudo=False)
+                if src in scenario.active
+                and (
+                    data.condition is None
+                    or scenario.product.label_for(data.condition.branch)
+                    == data.condition.label
+                )
+            ]
+            length = platform.average_wcet(task)
+            predecessor = None
+            if incoming:
+                predecessor = max(incoming, key=lambda s: best[s][0])
+                length += best[predecessor][0]
+            best[task] = (length, predecessor)
+        tail = max(best, key=lambda t: best[t][0])
+        while tail is not None:
+            result[tail] += p
+            tail = best[tail][1]
+    return result
+
+
+def summarize(
+    ctg: ConditionalTaskGraph,
+    platform: Platform,
+    probabilities: Optional[BranchProbabilities] = None,
+) -> str:
+    """One-call text characterisation of a CTG/platform pair."""
+    if probabilities is None:
+        probabilities = ctg.default_probabilities
+    stats = workload_statistics(ctg, platform, probabilities)
+    entropies = branch_entropy(ctg, probabilities)
+    widths = parallelism_profile(ctg)
+    scenarios = enumerate_scenarios(ctg)
+    lines = [
+        f"CTG {ctg.name!r}: {len(ctg)} tasks, {len(ctg.branch_nodes())} branch "
+        f"forks, {len(scenarios)} scenarios, deadline {ctg.deadline:g}",
+        f"workload: expected {stats.expected:.1f}, range "
+        f"[{stats.minimum:.1f}, {stats.maximum:.1f}] (spread {stats.spread:.2f}x), "
+        f"conditional share {100 * stats.conditional_share:.0f}%",
+        f"parallelism: depth {len(widths)}, max width {max(widths)}, "
+        f"profile {widths}",
+        "branch entropy (bits): "
+        + ", ".join(
+            f"{branch}={entropies[branch]:.2f}"
+            for branch in ctg.branch_nodes()
+        )
+        + f"; scenarios={entropies['*scenarios*']:.2f}",
+    ]
+    return "\n".join(lines)

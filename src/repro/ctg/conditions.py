@@ -1,0 +1,220 @@
+"""Condition algebra for conditional task graphs.
+
+A *branch fork node* resolves to exactly one of a small set of mutually
+exclusive, collectively exhaustive **outcomes** (the paper's condition
+symbols ``a1``, ``a2``, ``b1`` ...).  Every conditional edge of a CTG is
+guarded by one outcome of one branch node.
+
+The building block of the paper's "minterm" machinery is the **condition
+product**: a conjunction of outcomes of *distinct* branch nodes, e.g.
+``a2 AND b1`` (written ``a2b1`` in the paper).  The empty product is the
+always-true condition ``1``.
+
+This module implements that algebra:
+
+* :class:`Outcome` — one outcome symbol of one branch node;
+* :class:`ConditionProduct` — an immutable conjunction of outcomes;
+* conjunction, consistency, implication and restriction operations.
+
+Everything is hashable so products can key dictionaries and populate sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Outcome:
+    """One outcome symbol of one branch fork node.
+
+    Parameters
+    ----------
+    branch:
+        Identifier of the branch fork node (a task name, e.g. ``"t3"``).
+    label:
+        The outcome symbol, e.g. ``"a1"``.  Labels are unique within a
+        branch but need not be globally unique.
+    """
+
+    branch: str
+    label: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+    def conflicts_with(self, other: "Outcome") -> bool:
+        """Two outcomes conflict when they pick different labels of the
+        same branch node."""
+        return self.branch == other.branch and self.label != other.label
+
+
+class ConditionProduct:
+    """An immutable conjunction of :class:`Outcome` symbols.
+
+    A product assigns at most one outcome per branch node; attempting to
+    build one with conflicting outcomes raises :class:`ValueError` (use
+    :meth:`conjoin` when contradiction should yield ``None`` instead).
+
+    The empty product is the paper's condition ``1`` (always true) and is
+    available as :data:`TRUE`.
+    """
+
+    __slots__ = ("_assignment", "_hash")
+
+    def __init__(self, outcomes: Iterable[Outcome] = ()) -> None:
+        assignment: Dict[str, str] = {}
+        for outcome in outcomes:
+            existing = assignment.get(outcome.branch)
+            if existing is not None and existing != outcome.label:
+                raise ValueError(
+                    f"contradictory outcomes for branch {outcome.branch!r}: "
+                    f"{existing!r} vs {outcome.label!r}"
+                )
+            assignment[outcome.branch] = outcome.label
+        self._assignment: Tuple[Tuple[str, str], ...] = tuple(
+            sorted(assignment.items())
+        )
+        self._hash = hash(self._assignment)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def assignment(self) -> Mapping[str, str]:
+        """Branch-node → outcome-label mapping of this product."""
+        return dict(self._assignment)
+
+    @property
+    def branches(self) -> Tuple[str, ...]:
+        """The branch nodes this product constrains, sorted."""
+        return tuple(branch for branch, _ in self._assignment)
+
+    def outcomes(self) -> Iterator[Outcome]:
+        """Iterate the outcomes of this product in branch order."""
+        for branch, label in self._assignment:
+            yield Outcome(branch, label)
+
+    def is_true(self) -> bool:
+        """Whether this is the empty product (the paper's ``1``)."""
+        return not self._assignment
+
+    def label_for(self, branch: str) -> Optional[str]:
+        """The outcome label this product assigns to ``branch``, if any."""
+        for b, label in self._assignment:
+            if b == branch:
+                return label
+        return None
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConditionProduct):
+            return NotImplemented
+        return self._assignment == other._assignment
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_true():
+            return "ConditionProduct(1)"
+        body = "".join(label for _, label in self._assignment)
+        return f"ConditionProduct({body})"
+
+    def __str__(self) -> str:
+        if self.is_true():
+            return "1"
+        return "".join(label for _, label in self._assignment)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def conjoin(self, other: "ConditionProduct") -> Optional["ConditionProduct"]:
+        """Conjunction of two products.
+
+        Returns ``None`` when the two products are contradictory (they
+        assign different outcomes to some branch node).
+        """
+        merged = dict(self._assignment)
+        for branch, label in other._assignment:
+            existing = merged.get(branch)
+            if existing is not None and existing != label:
+                return None
+            merged[branch] = label
+        return ConditionProduct(Outcome(b, label) for b, label in merged.items())
+
+    def conjoin_outcome(self, outcome: Outcome) -> Optional["ConditionProduct"]:
+        """Conjoin with a single outcome (``None`` on contradiction)."""
+        return self.conjoin(ConditionProduct((outcome,)))
+
+    def is_consistent_with(self, other: "ConditionProduct") -> bool:
+        """Whether the conjunction of the two products is satisfiable."""
+        return self.conjoin(other) is not None
+
+    def implies(self, other: "ConditionProduct") -> bool:
+        """Logical implication: ``self ⇒ other``.
+
+        A product implies another iff every outcome of ``other`` also
+        appears in ``self`` (a more specific product implies a more
+        general one; everything implies ``1``).
+        """
+        mine = dict(self._assignment)
+        return all(mine.get(b) == label for b, label in other._assignment)
+
+    def restrict(self, branches: Iterable[str]) -> "ConditionProduct":
+        """Project the product onto a subset of branch nodes."""
+        keep = set(branches)
+        return ConditionProduct(
+            Outcome(b, label) for b, label in self._assignment if b in keep
+        )
+
+
+#: The always-true condition, the paper's minterm ``1``.
+TRUE = ConditionProduct()
+
+
+def product_probability(
+    product: ConditionProduct,
+    branch_probabilities: Mapping[str, Mapping[str, float]],
+) -> float:
+    """Probability of a condition product under independent branches.
+
+    Parameters
+    ----------
+    product:
+        The condition product whose probability is wanted.
+    branch_probabilities:
+        ``branch node → {outcome label → probability}``.  Each inner
+        distribution must cover the product's outcome labels.
+
+    Returns
+    -------
+    float
+        ``∏ prob(outcome)`` over the product's outcomes; ``1.0`` for the
+        always-true product.
+    """
+    probability = 1.0
+    for outcome in product.outcomes():
+        try:
+            probability *= branch_probabilities[outcome.branch][outcome.label]
+        except KeyError as exc:
+            raise KeyError(
+                f"no probability recorded for outcome {outcome.label!r} of "
+                f"branch {outcome.branch!r}"
+            ) from exc
+    return probability
+
+
+def minimal_products(products: Iterable[ConditionProduct]) -> Tuple[ConditionProduct, ...]:
+    """Deduplicate a DNF term list, keeping the paper's structural form.
+
+    The paper's Γ(τ) keeps structurally distinct activation contexts
+    (Example 1 lists Γ(τ₈) = {1, a₁} even though ``1`` absorbs ``a₁``),
+    so this performs only *deduplication*, not absorption.  Terms are
+    returned sorted by (length, text) for determinism.
+    """
+    unique = set(products)
+    return tuple(sorted(unique, key=lambda p: (len(p), str(p))))

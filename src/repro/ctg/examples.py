@@ -1,0 +1,81 @@
+"""Hand-built example graphs, including the paper's Figure 1 CTG."""
+
+from __future__ import annotations
+
+from .graph import ConditionalTaskGraph, NodeKind
+
+
+def figure1_ctg() -> ConditionalTaskGraph:
+    """The 8-task example CTG of the paper's Figure 1 / Example 1.
+
+    Structure: τ₁ feeds τ₂ and τ₃ unconditionally.  τ₃ is a branch fork
+    with outcomes a₁ (activating τ₄) and a₂ (activating τ₅).  τ₅ is a
+    branch fork with outcomes b₁ (→ τ₆) and b₂ (→ τ₇).  τ₈ is an
+    **or-node** receiving τ₂ unconditionally and τ₄ (whose activation
+    context is a₁).  Minterms: M = {1, a₁, a₂b₁, a₂b₂}; Γ(τ₈) = {1, a₁}.
+
+    The paper prints the execution profile beside the figure but the
+    scan is unreadable; the communication volumes and default branch
+    probabilities used here are representative values documented in
+    DESIGN.md (prob(a₁)=0.4, prob(b₁)=0.5, as the running text uses
+    prob(b₁)=0.5 in its prob(p,τ) example).
+    """
+    ctg = ConditionalTaskGraph(name="figure1", deadline=0.0)
+    for i in range(1, 8):
+        ctg.add_task(f"t{i}", NodeKind.AND)
+    ctg.add_task("t8", NodeKind.OR)
+
+    ctg.add_edge("t1", "t2", comm_kbytes=4.0)
+    ctg.add_edge("t1", "t3", comm_kbytes=2.0)
+    ctg.add_conditional_edge("t3", "t4", "a1", comm_kbytes=3.0)
+    ctg.add_conditional_edge("t3", "t5", "a2", comm_kbytes=3.0)
+    ctg.add_conditional_edge("t5", "t6", "b1", comm_kbytes=2.0)
+    ctg.add_conditional_edge("t5", "t7", "b2", comm_kbytes=2.0)
+    ctg.add_edge("t2", "t8", comm_kbytes=1.0)
+    ctg.add_edge("t4", "t8", comm_kbytes=1.0)
+
+    ctg.default_probabilities = {
+        "t3": {"a1": 0.4, "a2": 0.6},
+        "t5": {"b1": 0.5, "b2": 0.5},
+    }
+    ctg.validate()
+    return ctg
+
+
+def diamond_ctg() -> ConditionalTaskGraph:
+    """A minimal unconditional diamond (source → two parallel → join).
+
+    Useful as the smallest scheduling smoke test: no branches, one
+    scenario, one minterm (1).
+    """
+    ctg = ConditionalTaskGraph(name="diamond", deadline=0.0)
+    for name in ("src", "left", "right", "join"):
+        ctg.add_task(name, NodeKind.AND)
+    ctg.add_edge("src", "left", comm_kbytes=1.0)
+    ctg.add_edge("src", "right", comm_kbytes=1.0)
+    ctg.add_edge("left", "join", comm_kbytes=1.0)
+    ctg.add_edge("right", "join", comm_kbytes=1.0)
+    ctg.validate()
+    return ctg
+
+
+def two_sided_branch_ctg() -> ConditionalTaskGraph:
+    """One branch fork with two arms reconverging in an or-join.
+
+    The smallest graph with two non-trivial minterms — handy for
+    exercising mutual exclusion and adaptive behaviour in isolation.
+    """
+    ctg = ConditionalTaskGraph(name="two_sided", deadline=0.0)
+    ctg.add_task("entry", NodeKind.AND)
+    ctg.add_task("fork", NodeKind.AND)
+    ctg.add_task("heavy", NodeKind.AND)
+    ctg.add_task("light", NodeKind.AND)
+    ctg.add_task("join", NodeKind.OR)
+    ctg.add_edge("entry", "fork", comm_kbytes=1.0)
+    ctg.add_conditional_edge("fork", "heavy", "h", comm_kbytes=2.0)
+    ctg.add_conditional_edge("fork", "light", "l", comm_kbytes=2.0)
+    ctg.add_edge("heavy", "join", comm_kbytes=1.0)
+    ctg.add_edge("light", "join", comm_kbytes=1.0)
+    ctg.default_probabilities = {"fork": {"h": 0.5, "l": 0.5}}
+    ctg.validate()
+    return ctg

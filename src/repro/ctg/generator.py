@@ -1,0 +1,363 @@
+"""TGFF-like random conditional task graph generation.
+
+The paper evaluates on "random task graphs by TGFF [14]" that the
+authors modified to carry conditional branches, in two families:
+
+* **Category 1** — fork–join graphs with *nested* conditional branches
+  (the MPEG and cruise-controller CTGs are of this family);
+* **Category 2** — graphs without fork–join reconvergence or nested
+  branches (conditional side-chains dangle off a trunk).
+
+TGFF itself is an external C tool, so this module is the substitution:
+a seeded generator producing both families with controllable node
+count, branch-fork count and communication volumes, plus random
+default branch probabilities.  See DESIGN.md §2 for the substitution
+rationale.
+
+Category 1 graphs are planned as a series–parallel skeleton (sequences
+of leaves, unconditional diamonds and conditional fork/or-join blocks,
+with conditional blocks allowed to nest inside each other's arms) and
+then emitted as a :class:`~repro.ctg.graph.ConditionalTaskGraph`; this
+guarantees structural validity and an exact node count by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from .graph import ConditionalTaskGraph, NodeKind
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs of the random CTG generator.
+
+    Attributes
+    ----------
+    nodes:
+        Exact task count of the generated graph.
+    branch_nodes:
+        Number of branch fork nodes to embed.
+    category:
+        1 for nested fork–join graphs, 2 for trunk-with-side-chains.
+    comm_range:
+        (low, high) KBytes drawn uniformly per edge.
+    seed:
+        Seed of the private RNG; equal configs generate equal graphs.
+    outcomes_per_branch:
+        Outcome fan-out of every branch fork (the paper uses 2).
+    """
+
+    nodes: int = 20
+    branch_nodes: int = 2
+    category: int = 1
+    comm_range: Tuple[float, float] = (1.0, 8.0)
+    seed: int = 0
+    outcomes_per_branch: int = 2
+
+    def __post_init__(self) -> None:
+        if self.category not in (1, 2):
+            raise ValueError("category must be 1 or 2")
+        if self.outcomes_per_branch < 2:
+            raise ValueError("branches need at least 2 outcomes")
+        minimum = self.minimum_nodes()
+        if self.nodes < minimum:
+            raise ValueError(
+                f"{self.nodes} nodes cannot host {self.branch_nodes} branch "
+                f"forks of category {self.category}; need at least {minimum}"
+            )
+
+    def minimum_nodes(self) -> int:
+        """Smallest node count that can host the requested branch forks."""
+        k = self.outcomes_per_branch
+        if self.category == 1:
+            # entry + exit leaves, plus per fork: fork, or-join, k arm leaves
+            return 2 + self.branch_nodes * (k + 2)
+        # trunk entry/exit plus per fork: fork on trunk + k arm leaves
+        return 2 + self.branch_nodes * (k + 1)
+
+
+def generate_ctg(config: GeneratorConfig) -> ConditionalTaskGraph:
+    """Generate a random CTG per ``config`` (seeded, reproducible)."""
+    rng = random.Random(config.seed)
+    if config.category == 1:
+        ctg = _generate_category1(config, rng)
+    else:
+        ctg = _generate_category2(config, rng)
+    _assign_probabilities(ctg, rng)
+    ctg.validate()
+    if len(ctg) != config.nodes:
+        raise AssertionError(
+            f"generator produced {len(ctg)} nodes, wanted {config.nodes}"
+        )
+    return ctg
+
+
+# ----------------------------------------------------------------------
+# Category 1: series-parallel skeleton with nested conditional blocks
+# ----------------------------------------------------------------------
+@dataclass
+class _Leaf:
+    """A single task in the skeleton."""
+
+
+@dataclass
+class _Diamond:
+    """Unconditional 2-arm fork-join: fork + 2 leaves + and-join (4 nodes)."""
+
+
+@dataclass
+class _CondBlock:
+    """Conditional fork with ``k`` guarded arms reconverging in an or-join."""
+
+    symbol: str
+    arms: List["_Container"] = field(default_factory=list)
+
+
+@dataclass
+class _Container:
+    """An ordered sequence of skeleton items (the root chain or one arm)."""
+
+    items: List[Union[_Leaf, _Diamond, _CondBlock]] = field(default_factory=list)
+
+    def has_cond(self) -> bool:
+        return any(isinstance(item, _CondBlock) for item in self.items)
+
+
+def _plan_category1(config: GeneratorConfig, rng: random.Random) -> _Container:
+    """Plan the series-parallel skeleton with an exact node budget."""
+    k = config.outcomes_per_branch
+    root = _Container()
+    containers: List[_Container] = [root]
+
+    # Place the conditional blocks, nesting into arms of earlier blocks
+    # about half the time once any exist.
+    blocks: List[_CondBlock] = []
+    for index in range(config.branch_nodes):
+        block = _CondBlock(symbol=chr(ord("a") + index % 26))
+        block.arms = [_Container() for _ in range(k)]
+        arm_hosts = [c for c in containers if c is not root]
+        if arm_hosts and rng.random() < 0.5:
+            host = rng.choice(arm_hosts)
+        else:
+            host = root
+        host.items.append(block)
+        containers.extend(block.arms)
+        blocks.append(block)
+
+    # Mandatory leaves: entry/exit of the root, one leaf per arm that
+    # did not receive a nested block.
+    root.items.insert(0, _Leaf())
+    root.items.append(_Leaf())
+    for block in blocks:
+        for arm in block.arms:
+            if not arm.has_cond():
+                arm.items.append(_Leaf())
+
+    used = _plan_cost(root)
+    extra = config.nodes - used
+    if extra < 0:  # cannot happen: config enforces the minimum
+        raise AssertionError("planner exceeded node budget")
+
+    # Spend the surplus on leaves and occasional diamonds.  Conditional
+    # arms are weighted heavily: in the paper's fork-join CTGs (MPEG,
+    # cruise controller and the TGFF derivatives) the bulk of the work
+    # hangs off the conditional branches — that is what makes branch
+    # selection drive the workload in the first place.
+    arm_containers = [c for c in containers if c is not root]
+    while extra > 0:
+        if arm_containers and rng.random() < 0.8:
+            host = rng.choice(arm_containers)
+        else:
+            host = root
+        if extra >= 4 and rng.random() < 0.25:
+            host.items.insert(rng.randrange(len(host.items) + 1), _Diamond())
+            extra -= 4
+        else:
+            host.items.insert(rng.randrange(len(host.items) + 1), _Leaf())
+            extra -= 1
+    return root
+
+
+def _plan_cost(container: _Container) -> int:
+    """Node count a planned container will emit."""
+    total = 0
+    for item in container.items:
+        if isinstance(item, _Leaf):
+            total += 1
+        elif isinstance(item, _Diamond):
+            total += 4
+        else:
+            total += 2 + sum(_plan_cost(arm) for arm in item.arms)
+    return total
+
+
+class _Emitter:
+    """Walks a planned skeleton and emits graph nodes/edges."""
+
+    def __init__(
+        self, ctg: ConditionalTaskGraph, rng: random.Random, comm_range: Tuple[float, float]
+    ) -> None:
+        self._ctg = ctg
+        self._rng = rng
+        self._comm_range = comm_range
+        self._counter = 0
+
+    def _name(self) -> str:
+        name = f"t{self._counter}"
+        self._counter += 1
+        return name
+
+    def _comm(self) -> float:
+        return self._rng.uniform(*self._comm_range)
+
+    def emit_container(self, container: _Container) -> Tuple[str, str]:
+        """Emit a container; returns its (first, last) task names."""
+        first: Optional[str] = None
+        last: Optional[str] = None
+        for item in container.items:
+            head, tail = self._emit_item(item)
+            if first is None:
+                first = head
+            if last is not None:
+                self._ctg.add_edge(last, head, comm_kbytes=self._comm())
+            last = tail
+        if first is None or last is None:
+            raise AssertionError("planner produced an empty container")
+        return first, last
+
+    def _emit_item(self, item: Union[_Leaf, _Diamond, _CondBlock]) -> Tuple[str, str]:
+        if isinstance(item, _Leaf):
+            task = self._ctg.add_task(self._name())
+            return task, task
+        if isinstance(item, _Diamond):
+            fork = self._ctg.add_task(self._name())
+            left = self._ctg.add_task(self._name())
+            right = self._ctg.add_task(self._name())
+            join = self._ctg.add_task(self._name())
+            self._ctg.add_edge(fork, left, comm_kbytes=self._comm())
+            self._ctg.add_edge(fork, right, comm_kbytes=self._comm())
+            self._ctg.add_edge(left, join, comm_kbytes=self._comm())
+            self._ctg.add_edge(right, join, comm_kbytes=self._comm())
+            return fork, join
+        fork = self._ctg.add_task(self._name())
+        join = self._ctg.add_task(self._name(), NodeKind.OR)
+        for index, arm in enumerate(item.arms):
+            head, tail = self.emit_container(arm)
+            label = f"{item.symbol}{index + 1}"
+            self._ctg.add_conditional_edge(fork, head, label, comm_kbytes=self._comm())
+            self._ctg.add_edge(tail, join, comm_kbytes=self._comm())
+        return fork, join
+
+
+def _generate_category1(config: GeneratorConfig, rng: random.Random) -> ConditionalTaskGraph:
+    ctg = ConditionalTaskGraph(name=f"cat1-n{config.nodes}-b{config.branch_nodes}-s{config.seed}")
+    plan = _plan_category1(config, rng)
+    _Emitter(ctg, rng, config.comm_range).emit_container(plan)
+    return ctg
+
+
+# ----------------------------------------------------------------------
+# Category 2: trunk with dangling conditional side chains
+# ----------------------------------------------------------------------
+def _generate_category2(config: GeneratorConfig, rng: random.Random) -> ConditionalTaskGraph:
+    """Trunk chain with branch forks whose guarded side chains dangle.
+
+    No or-joins and no reconvergence of conditional arms: the graph has
+    several sinks and no nested branches, matching the paper's
+    description of its Category 2 test graphs.
+    """
+    ctg = ConditionalTaskGraph(name=f"cat2-n{config.nodes}-b{config.branch_nodes}-s{config.seed}")
+    comm = lambda: rng.uniform(*config.comm_range)  # noqa: E731
+    k = config.outcomes_per_branch
+    counter = 0
+
+    def take() -> str:
+        nonlocal counter
+        name = f"t{counter}"
+        counter += 1
+        return name
+
+    side_budget = config.nodes - 2 - config.branch_nodes * (k + 1)
+    # Conditional side chains absorb most of the surplus so branch
+    # decisions dominate the workload (see the Category-1 rationale).
+    extra_side = (3 * side_budget) // 4 if config.branch_nodes else 0
+    trunk_extra = side_budget - extra_side
+
+    trunk: List[str] = [ctg.add_task(take())]
+    for _ in range(trunk_extra + config.branch_nodes + 1):
+        task = ctg.add_task(take())
+        ctg.add_edge(trunk[-1], task, comm_kbytes=comm())
+        trunk.append(task)
+
+    fork_positions = sorted(rng.sample(range(1, len(trunk) - 1), config.branch_nodes))
+    arm_tasks: List[str] = []
+    for branch_index, pos in enumerate(fork_positions):
+        fork = trunk[pos]
+        symbol = chr(ord("a") + branch_index % 26)
+        for i in range(k):
+            task = ctg.add_task(take())
+            ctg.add_conditional_edge(fork, task, f"{symbol}{i + 1}", comm_kbytes=comm())
+            arm_tasks.append(task)
+
+    for _ in range(extra_side):
+        # With no branch forks there are no side chains; grow the trunk.
+        parent = rng.choice(arm_tasks) if arm_tasks else trunk[-1]
+        task = ctg.add_task(take())
+        ctg.add_edge(parent, task, comm_kbytes=comm())
+        if arm_tasks:
+            arm_tasks.append(task)
+        else:
+            trunk.append(task)
+    return ctg
+
+
+# ----------------------------------------------------------------------
+# Probabilities and paper experiment shapes
+# ----------------------------------------------------------------------
+def _assign_probabilities(ctg: ConditionalTaskGraph, rng: random.Random) -> None:
+    """Attach random default probabilities to every branch fork.
+
+    The paper randomly generates branching probabilities for the
+    Table 1 experiment; distributions here are uniform draws clipped
+    away from 0/1 so no outcome is degenerate, normalised to sum to 1.
+    """
+    for branch in ctg.branch_nodes():
+        labels = ctg.outcomes_of(branch)
+        weights = [rng.uniform(0.15, 0.85) for _ in labels]
+        total = sum(weights)
+        ctg.default_probabilities[branch] = {
+            label: weight / total for label, weight in zip(labels, weights)
+        }
+
+
+def paper_table1_configs() -> List[GeneratorConfig]:
+    """CTG shapes of the paper's Table 1 — triplets (a/b/c) =
+    25/3/3, 16/3/1, 15/4/2, 15/4/2, 25/4/3; the PE count (b) lives with
+    the platform generator, this returns the graph side (a, c)."""
+    triplets = [(25, 3, 101), (16, 1, 102), (15, 2, 103), (15, 2, 111), (25, 3, 105)]
+    return [
+        GeneratorConfig(nodes=n, branch_nodes=b, category=1, seed=seed)
+        for n, b, seed in triplets
+    ]
+
+
+def paper_table4_configs() -> List[GeneratorConfig]:
+    """The ten graphs of Tables 4/5: five Category 1 (graphs 1–5) then
+    five Category 2 (graphs 6–10) with triplets 25/3/3, 16/3/1, 15/4/2,
+    15/4/1, 25/4/3."""
+    shapes = [(25, 3), (16, 1), (15, 2), (15, 1), (25, 3)]
+    configs: List[GeneratorConfig] = []
+    for category in (1, 2):
+        for index, (nodes, branches) in enumerate(shapes):
+            configs.append(
+                GeneratorConfig(
+                    nodes=nodes,
+                    branch_nodes=branches,
+                    category=category,
+                    seed=400 + 10 * category + index,
+                )
+            )
+    return configs

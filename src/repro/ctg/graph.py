@@ -1,0 +1,346 @@
+"""Conditional task graph (CTG) data structure.
+
+A CTG is an acyclic directed graph whose vertices are tasks and whose
+edges are precedence/data-dependency constraints.  An edge may carry a
+*condition* — one outcome of its source node — in which case the source
+is a **branch fork node** and the edge is only "taken" at runtime when
+the branch resolves to that outcome.  Each node is either an *and-node*
+(activated when all satisfied incoming edges have completed) or an
+*or-node* (activated when at least one has).
+
+Edges also carry the communication volume (KBytes) shipped from source
+to destination, used by the platform model to derive transfer delay and
+energy.  The whole graph is periodic and shares a single deadline.
+
+This module is purely structural; execution-time/energy tables live in
+:mod:`repro.platform` and probability distributions are supplied to the
+algorithms explicitly (they change at runtime — that is the point of
+the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from .conditions import ConditionProduct, Outcome, TRUE
+
+
+class NodeKind(Enum):
+    """Activation semantics of a CTG node (paper §II)."""
+
+    AND = "and"
+    OR = "or"
+
+
+@dataclass(frozen=True)
+class EdgeData:
+    """Payload of one CTG edge.
+
+    Attributes
+    ----------
+    condition:
+        Guarding outcome, or ``None`` for an unconditional edge.  A
+        conditional edge's outcome always belongs to the edge's source
+        node (the branch fork node).
+    comm_kbytes:
+        Data volume shipped over the edge, in KBytes.
+    pseudo:
+        ``True`` for serialisation edges injected by the scheduler to
+        record same-PE execution order.  Pseudo edges never carry data
+        or conditions and are ignored by activation semantics.
+    """
+
+    condition: Optional[Outcome] = None
+    comm_kbytes: float = 0.0
+    pseudo: bool = False
+
+
+class CTGError(ValueError):
+    """Raised for structurally invalid conditional task graphs."""
+
+
+class ConditionalTaskGraph:
+    """A conditional task graph.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier used in reports.
+    deadline:
+        Common deadline of one period of the graph (time units).  May be
+        set/overwritten later via :attr:`deadline`.
+    """
+
+    def __init__(self, name: str = "ctg", deadline: float = 0.0) -> None:
+        self.name = name
+        self.deadline = float(deadline)
+        self._graph = nx.DiGraph()
+        #: extra outcome labels declared for a branch beyond those that
+        #: appear on edges (e.g. a "do nothing" branch side).
+        self._declared_outcomes: Dict[str, List[str]] = {}
+        #: optional profiled probabilities shipped with the graph; the
+        #: algorithms always receive probabilities explicitly, this is a
+        #: convenience default for examples and generators.
+        self.default_probabilities: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_task(self, name: str, kind: NodeKind = NodeKind.AND) -> str:
+        """Add a task node; returns its name for chaining."""
+        if name in self._graph:
+            raise CTGError(f"duplicate task {name!r}")
+        self._graph.add_node(name, kind=kind)
+        return name
+
+    def add_edge(
+        self,
+        src: str,
+        dst: str,
+        condition: Optional[Outcome] = None,
+        comm_kbytes: float = 0.0,
+    ) -> None:
+        """Add a (possibly conditional) dependency edge ``src → dst``."""
+        self._require_task(src)
+        self._require_task(dst)
+        if condition is not None and condition.branch != src:
+            raise CTGError(
+                f"edge {src!r}→{dst!r} guarded by outcome of {condition.branch!r}; "
+                "conditional edges must be guarded by an outcome of their source"
+            )
+        if self._graph.has_edge(src, dst):
+            raise CTGError(f"duplicate edge {src!r}→{dst!r}")
+        self._graph.add_edge(
+            src, dst, data=EdgeData(condition=condition, comm_kbytes=float(comm_kbytes))
+        )
+
+    def add_conditional_edge(
+        self, src: str, dst: str, label: str, comm_kbytes: float = 0.0
+    ) -> None:
+        """Shorthand: add an edge guarded by outcome ``label`` of ``src``."""
+        self.add_edge(src, dst, condition=Outcome(src, label), comm_kbytes=comm_kbytes)
+
+    def add_pseudo_edge(self, src: str, dst: str) -> None:
+        """Inject a scheduler serialisation edge (no data, no condition)."""
+        self._require_task(src)
+        self._require_task(dst)
+        if self._graph.has_edge(src, dst):
+            return  # a real dependency already serialises the pair
+        self._graph.add_edge(src, dst, data=EdgeData(pseudo=True))
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(src, dst)
+            raise CTGError(f"pseudo edge {src!r}→{dst!r} would create a cycle")
+
+    def declare_outcomes(self, branch: str, labels: Sequence[str]) -> None:
+        """Declare the full outcome set of a branch node.
+
+        Only needed when some outcome guards no edge (a branch side that
+        simply skips work).  Labels found on edges are merged in.
+        """
+        self._require_task(branch)
+        self._declared_outcomes[branch] = list(labels)
+
+    def _require_task(self, name: str) -> None:
+        if name not in self._graph:
+            raise CTGError(f"unknown task {name!r}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying networkx digraph (treat as read-only)."""
+        return self._graph
+
+    def tasks(self) -> List[str]:
+        """All task names, in insertion order."""
+        return list(self._graph.nodes)
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._graph
+
+    def kind(self, name: str) -> NodeKind:
+        """Activation semantics of a node."""
+        self._require_task(name)
+        return self._graph.nodes[name]["kind"]
+
+    def edge_data(self, src: str, dst: str) -> EdgeData:
+        """Payload of edge ``src → dst``."""
+        try:
+            return self._graph.edges[src, dst]["data"]
+        except KeyError as exc:
+            raise CTGError(f"no edge {src!r}→{dst!r}") from exc
+
+    def edges(self, include_pseudo: bool = True) -> Iterator[Tuple[str, str, EdgeData]]:
+        """Iterate ``(src, dst, data)`` triples."""
+        for src, dst, attrs in self._graph.edges(data=True):
+            data: EdgeData = attrs["data"]
+            if data.pseudo and not include_pseudo:
+                continue
+            yield src, dst, data
+
+    def predecessors(self, name: str, include_pseudo: bool = True) -> List[str]:
+        """Predecessor tasks of ``name``."""
+        return [
+            p
+            for p in self._graph.predecessors(name)
+            if include_pseudo or not self.edge_data(p, name).pseudo
+        ]
+
+    def successors(self, name: str, include_pseudo: bool = True) -> List[str]:
+        """Successor tasks of ``name``."""
+        return [
+            s
+            for s in self._graph.successors(name)
+            if include_pseudo or not self.edge_data(name, s).pseudo
+        ]
+
+    def sources(self) -> List[str]:
+        """Nodes without real (non-pseudo) predecessors."""
+        return [n for n in self._graph.nodes if not self.predecessors(n, include_pseudo=False)]
+
+    def sinks(self) -> List[str]:
+        """Nodes without real (non-pseudo) successors."""
+        return [n for n in self._graph.nodes if not self.successors(n, include_pseudo=False)]
+
+    def topological_order(self) -> List[str]:
+        """A topological ordering over all (real + pseudo) edges."""
+        return list(nx.topological_sort(self._graph))
+
+    # ------------------------------------------------------------------
+    # Branch structure
+    # ------------------------------------------------------------------
+    def branch_nodes(self) -> List[str]:
+        """Branch fork nodes: nodes with at least one conditional out-edge
+        or with declared outcomes."""
+        found = set(self._declared_outcomes)
+        for src, _dst, data in self.edges(include_pseudo=False):
+            if data.condition is not None:
+                found.add(src)
+        return sorted(found)
+
+    def outcomes_of(self, branch: str) -> List[str]:
+        """All outcome labels of a branch node (edge labels ∪ declared)."""
+        labels = list(self._declared_outcomes.get(branch, []))
+        for _src, _dst, data in self.out_edges(branch, include_pseudo=False):
+            if data.condition is not None and data.condition.label not in labels:
+                labels.append(data.condition.label)
+        if not labels:
+            raise CTGError(f"{branch!r} is not a branch fork node")
+        return labels
+
+    def out_edges(
+        self, src: str, include_pseudo: bool = True
+    ) -> Iterator[Tuple[str, str, EdgeData]]:
+        """Iterate out-edges of ``src`` as ``(src, dst, data)``."""
+        for _, dst, attrs in self._graph.out_edges(src, data=True):
+            data: EdgeData = attrs["data"]
+            if data.pseudo and not include_pseudo:
+                continue
+            yield src, dst, data
+
+    def in_edges(
+        self, dst: str, include_pseudo: bool = True
+    ) -> Iterator[Tuple[str, str, EdgeData]]:
+        """Iterate in-edges of ``dst`` as ``(src, dst, data)``."""
+        for src, _, attrs in self._graph.in_edges(dst, data=True):
+            data: EdgeData = attrs["data"]
+            if data.pseudo and not include_pseudo:
+                continue
+            yield src, dst, data
+
+    def is_branch_node(self, name: str) -> bool:
+        """Whether ``name`` is a branch fork node."""
+        return name in set(self.branch_nodes())
+
+    def deciding_branches(self, name: str) -> List[str]:
+        """Branch nodes whose decision can affect the activation of ``name``.
+
+        Example 1 of the paper: or-node τ₈ has a conditional activation
+        context through τ₄, which is decided by branch fork τ₃ — at
+        runtime τ₈ cannot start before τ₃ finishes even when the branch
+        deselects τ₄, because until then it is unknown whether τ₄'s data
+        must be awaited.  We return the (conservative) set of all branch
+        fork nodes guarding a conditional edge anywhere upstream of
+        ``name``; the executor makes an or-node wait for these.
+        """
+        seen = set()
+        result: List[str] = []
+        stack = [name]
+        visited = {name}
+        while stack:
+            node = stack.pop()
+            for src, _dst, data in self.in_edges(node, include_pseudo=False):
+                if data.condition is not None and data.condition.branch not in seen:
+                    seen.add(data.condition.branch)
+                    result.append(data.condition.branch)
+                if src not in visited:
+                    visited.add(src)
+                    stack.append(src)
+        return sorted(result)
+
+    # ------------------------------------------------------------------
+    # Validation & copying
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`CTGError` if violated.
+
+        Invariants: the graph is a DAG; every conditional edge is guarded
+        by an outcome of its source; every branch node has ≥ 2 outcomes;
+        the deadline is positive when set.
+        """
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise CTGError("conditional task graph must be acyclic")
+        for src, dst, data in self.edges(include_pseudo=False):
+            if data.condition is not None and data.condition.branch != src:
+                raise CTGError(
+                    f"edge {src!r}→{dst!r} guarded by foreign branch "
+                    f"{data.condition.branch!r}"
+                )
+            if data.comm_kbytes < 0:
+                raise CTGError(f"negative communication volume on {src!r}→{dst!r}")
+        for branch in self.branch_nodes():
+            if len(self.outcomes_of(branch)) < 2:
+                raise CTGError(f"branch node {branch!r} has fewer than 2 outcomes")
+        if self.deadline < 0:
+            raise CTGError("deadline must be non-negative")
+
+    def copy(self) -> "ConditionalTaskGraph":
+        """Deep-enough copy (structure and payloads are immutable)."""
+        clone = ConditionalTaskGraph(self.name, self.deadline)
+        clone._graph = self._graph.copy()
+        clone._declared_outcomes = {b: list(v) for b, v in self._declared_outcomes.items()}
+        clone.default_probabilities = {
+            b: dict(dist) for b, dist in self.default_probabilities.items()
+        }
+        return clone
+
+    def without_pseudo_edges(self) -> "ConditionalTaskGraph":
+        """A copy with all scheduler serialisation edges removed."""
+        clone = self.copy()
+        pseudo = [
+            (src, dst)
+            for src, dst, data in clone.edges(include_pseudo=True)
+            if data.pseudo
+        ]
+        clone._graph.remove_edges_from(pseudo)
+        return clone
+
+    def path_condition(self, nodes: Sequence[str]) -> Optional[ConditionProduct]:
+        """Condition product of a node path (``None`` if contradictory)."""
+        product = TRUE
+        for src, dst in zip(nodes, nodes[1:]):
+            data = self.edge_data(src, dst)
+            if data.condition is not None:
+                conjoined = product.conjoin_outcome(data.condition)
+                if conjoined is None:
+                    return None
+                product = conjoined
+        return product

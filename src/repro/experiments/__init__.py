@@ -1,0 +1,54 @@
+"""Experiment harnesses — one per table/figure of the paper plus
+ablations.  Both the benchmark suite and the examples drive these."""
+
+from .ablations import (
+    SweepResult,
+    WeightingResult,
+    run_weighting_ablation,
+    run_window_threshold_sweep,
+)
+from .extensions import (
+    DiscreteResult,
+    OverheadResult,
+    PredictorResult,
+    RobustnessResult,
+    run_discrete_dvfs,
+    run_overhead_breakeven,
+    run_predictor_comparison,
+    run_seed_robustness,
+)
+from .figure4 import Figure4Result, run_figure4
+from .mpeg_energy import MpegResult, run_mpeg_energy
+from .runtime import RuntimeResult, run_runtime
+from .table1 import Table1Result, run_table1
+from .table3 import Table3Result, run_table3
+from .table45 import BiasResult, run_figure6, run_table4, run_table5
+
+__all__ = [
+    "SweepResult",
+    "WeightingResult",
+    "run_weighting_ablation",
+    "run_window_threshold_sweep",
+    "DiscreteResult",
+    "OverheadResult",
+    "PredictorResult",
+    "run_discrete_dvfs",
+    "run_overhead_breakeven",
+    "run_predictor_comparison",
+    "RobustnessResult",
+    "run_seed_robustness",
+    "Figure4Result",
+    "run_figure4",
+    "MpegResult",
+    "run_mpeg_energy",
+    "RuntimeResult",
+    "run_runtime",
+    "Table1Result",
+    "run_table1",
+    "Table3Result",
+    "run_table3",
+    "BiasResult",
+    "run_figure6",
+    "run_table4",
+    "run_table5",
+]

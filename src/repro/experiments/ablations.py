@@ -1,0 +1,158 @@
+"""Ablation experiments beyond the paper's tables.
+
+The paper calls out several design choices without quantifying them;
+these harnesses do:
+
+* **window/threshold sweep** — "the window size and the threshold
+  determine how frequently the online scheduling and DVFS is called
+  and they also impact how well the algorithm adapts" (§III.B);
+* **slack weighting** — the probability weighting of CalculateSlack vs
+  the unweighted distribution the paper criticises ref [9] for, plus
+  the energy-optimal root weighting and the multi-pass variant
+  (DESIGN.md interpretation notes);
+* **zero-probability pruning** — dropping statistically impossible
+  paths from the deadline analysis (hard-real-time vs statistical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..adaptive import AdaptiveConfig
+from ..analysis import format_table
+from ..ctg import CtgAnalysis
+from ..scheduling import dls_schedule, set_deadline_from_makespan, stretch_schedule
+from ..sim import empirical_distribution, run_adaptive, run_non_adaptive
+from ..workloads import movie_trace, mpeg_ctg, mpeg_platform
+
+
+@dataclass
+class SweepRow:
+    """One (window, threshold) grid point of the sweep."""
+
+    window: int
+    threshold: float
+    energy: float
+    calls: int
+    savings_vs_online: float
+
+
+@dataclass
+class SweepResult:
+    """Full window/threshold sweep on one movie clip."""
+
+    movie: str
+    online_energy: float
+    rows: List[SweepRow] = field(default_factory=list)
+
+    def format(self) -> str:
+        """Render the sweep as an aligned text table."""
+        return format_table(
+            ["window", "threshold", "adaptive E", "# calls", "savings (%)"],
+            [
+                [r.window, r.threshold, round(r.energy), r.calls, round(r.savings_vs_online, 1)]
+                for r in self.rows
+            ],
+            title=(
+                f"Ablation — window/threshold sweep on MPEG ({self.movie}); "
+                f"online = {self.online_energy:.0f}"
+            ),
+        )
+
+
+def run_window_threshold_sweep(
+    movie: str = "Shuttle",
+    windows: Sequence[int] = (10, 20, 50),
+    thresholds: Sequence[float] = (0.5, 0.25, 0.1, 0.05),
+    length: int = 2000,
+    deadline_factor: float = 1.6,
+) -> SweepResult:
+    """Sweep the two adaptive knobs on one movie clip."""
+    ctg = mpeg_ctg()
+    platform = mpeg_platform()
+    set_deadline_from_makespan(ctg, platform, deadline_factor)
+    trace = movie_trace(ctg, movie, length=length)
+    train, test = trace[: length // 2], trace[length // 2 :]
+    profile = empirical_distribution(ctg, train)
+    online = run_non_adaptive(ctg, platform, test, profile)
+    result = SweepResult(movie=movie, online_energy=online.total_energy)
+    for window in windows:
+        for threshold in thresholds:
+            adaptive = run_adaptive(
+                ctg, platform, test, profile,
+                AdaptiveConfig(window_size=window, threshold=threshold),
+            )
+            result.rows.append(
+                SweepRow(
+                    window=window,
+                    threshold=threshold,
+                    energy=adaptive.total_energy,
+                    calls=adaptive.reschedule_calls,
+                    savings_vs_online=100.0
+                    * (1 - adaptive.total_energy / online.total_energy),
+                )
+            )
+    return result
+
+
+@dataclass
+class WeightingRow:
+    """Expected energy of one slack-distribution variant."""
+
+    variant: str
+    expected_energy: float
+    relative: float
+
+
+@dataclass
+class WeightingResult:
+    """All slack-distribution variants, relative to the paper's."""
+
+    rows: List[WeightingRow] = field(default_factory=list)
+
+    def format(self) -> str:
+        """Render the variant comparison as an aligned text table."""
+        return format_table(
+            ["slack distribution variant", "expected energy", "vs paper variant (%)"],
+            [[r.variant, round(r.expected_energy, 1), round(r.relative, 1)] for r in self.rows],
+            title="Ablation — slack-distribution variants on the MPEG decoder",
+        )
+
+
+def run_weighting_ablation(deadline_factor: float = 1.6) -> WeightingResult:
+    """Compare CalculateSlack variants on the MPEG decoder.
+
+    Variants: the paper's linear single-pass weighting; the unweighted
+    ref-[9] flavour; the energy-optimal root weighting; four
+    redistribution passes; and zero-probability path pruning.
+    """
+    ctg = mpeg_ctg()
+    platform = mpeg_platform()
+    set_deadline_from_makespan(ctg, platform, deadline_factor)
+    probabilities = ctg.default_probabilities
+    analysis = CtgAnalysis.of(ctg)
+
+    variants = [
+        ("paper: linear weight, 1 pass", dict()),
+        ("unweighted (ref [9] style)", dict(probability_weighted=False)),
+        ("energy-optimal root weight", dict(share_exponent=1.0 / 3.0)),
+        ("4 redistribution passes", dict(max_passes=4)),
+        ("zero-probability pruning", dict(prune_zero_probability=True)),
+    ]
+    result = WeightingResult()
+    base_energy = None
+    for name, kwargs in variants:
+        schedule = dls_schedule(ctg, platform, probabilities, analysis=analysis)
+        stretch_schedule(schedule, probabilities, analysis=analysis, **kwargs)
+        energy = schedule.expected_energy(probabilities, scenarios=analysis.scenarios)
+        if base_energy is None:
+            base_energy = energy
+        result.rows.append(
+            WeightingRow(
+                variant=name,
+                expected_energy=energy,
+                relative=100.0 * (energy / base_energy - 1.0),
+            )
+        )
+    return result

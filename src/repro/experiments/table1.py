@@ -1,0 +1,119 @@
+"""Experiment: the paper's Table 1 — online vs the two references.
+
+Five TGFF-style Category-1 CTGs (triplets 25/3/3, 16/3/1, 15/4/2,
+15/4/2, 25/4/3) are scheduled with Reference Algorithm 1 (Shin&Kim
+[10]-style), Reference Algorithm 2 (ISCAS'07 [17]-style) and the online
+algorithm, all given the accurate profiled branch probabilities (no
+adaptive behaviour, as §IV specifies for this comparison).  Energies
+are normalised with the online algorithm at 100.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..analysis import format_table, normalise
+from ..ctg import generate_ctg, paper_table1_configs
+from ..platform import PlatformConfig, generate_platform
+from ..scheduling import (
+    reference_algorithm_1,
+    reference_algorithm_2,
+    schedule_online,
+    set_deadline_from_makespan,
+)
+
+#: PE counts (the *b* of the paper's a/b/c triplets).
+TABLE1_PE_COUNTS: Tuple[int, ...] = (3, 3, 4, 4, 4)
+
+#: Deadline relative to the nominal-speed online schedule length.
+TABLE1_DEADLINE_FACTOR = 1.3
+
+
+@dataclass
+class Table1Row:
+    """One CTG's normalised energies (online = 100)."""
+
+    index: int
+    triplet: str
+    reference_1: float
+    reference_2: float
+    online: float = 100.0
+    online_runtime: float = 0.0
+    reference_2_runtime: float = 0.0
+
+
+@dataclass
+class Table1Result:
+    """All rows plus convenience aggregates."""
+
+    rows: List[Table1Row] = field(default_factory=list)
+
+    @property
+    def mean_reference_1(self) -> float:
+        """Average normalised Reference-1 energy."""
+        return sum(r.reference_1 for r in self.rows) / len(self.rows)
+
+    @property
+    def mean_reference_2(self) -> float:
+        """Average normalised Reference-2 energy."""
+        return sum(r.reference_2 for r in self.rows) / len(self.rows)
+
+    def format(self) -> str:
+        """Render Table 1 with the paper reference note."""
+        table = format_table(
+            ["CTG", "a/b/c", "Reference Alg 1", "Reference Alg 2", "Online"],
+            [
+                [r.index, r.triplet, round(r.reference_1), round(r.reference_2), 100]
+                for r in self.rows
+            ],
+            title="Table 1 — Energy consumption of online algorithm (online = 100)",
+        )
+        summary = (
+            f"\nmean: ref1 {self.mean_reference_1:.0f}, "
+            f"ref2 {self.mean_reference_2:.0f}  "
+            f"(paper: ref1 130-290 [avg +39% energy vs online], ref2 87-97)"
+        )
+        return table + summary
+
+
+def run_table1(deadline_factor: float = TABLE1_DEADLINE_FACTOR) -> Table1Result:
+    """Regenerate Table 1; see module docstring."""
+    result = Table1Result()
+    for index, (config, pes) in enumerate(
+        zip(paper_table1_configs(), TABLE1_PE_COUNTS), start=1
+    ):
+        ctg = generate_ctg(config)
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=pes, seed=config.seed))
+        set_deadline_from_makespan(ctg, platform, deadline_factor)
+        probabilities = ctg.default_probabilities
+
+        started = time.perf_counter()
+        online = schedule_online(ctg, platform)
+        online_runtime = time.perf_counter() - started
+
+        ref1 = reference_algorithm_1(ctg, platform)
+        started = time.perf_counter()
+        ref2 = reference_algorithm_2(ctg, platform)
+        ref2_runtime = time.perf_counter() - started
+
+        energies = normalise(
+            {
+                "online": online.schedule.expected_energy(probabilities),
+                "ref1": ref1.schedule.expected_energy(probabilities),
+                "ref2": ref2.schedule.expected_energy(probabilities),
+            },
+            reference="online",
+        )
+        result.rows.append(
+            Table1Row(
+                index=index,
+                triplet=f"{config.nodes}/{pes}/{config.branch_nodes}",
+                reference_1=energies["ref1"],
+                reference_2=energies["ref2"],
+                online_runtime=online_runtime,
+                reference_2_runtime=ref2_runtime,
+            )
+        )
+    return result

@@ -1,0 +1,161 @@
+"""Experiment: the paper's Tables 4/5 and Figure 6 — random CTGs.
+
+Ten TGFF-style graphs (five Category 1 with nested fork-join branches,
+five Category 2 without) are replayed over equal-average fluctuating
+decision traces (per-branch fluctuation ≈0.45, as the paper measures
+on MPEG).  The non-adaptive online algorithm is profiled three ways:
+
+* **lowest** — biased toward the lowest-energy minterm (Table 4);
+* **highest** — biased toward the highest-energy minterm (Table 5);
+* **ideal** — the accurate long-run average (Figure 6).
+
+The adaptive framework (window 20) runs with thresholds 0.5 and 0.1;
+as in the paper its initial probabilities equal the online profile of
+the case under study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..adaptive import AdaptiveConfig
+from ..analysis import format_table, percent_savings
+from ..ctg import enumerate_scenarios, generate_ctg, paper_table4_configs
+from ..platform import PlatformConfig, generate_platform
+from ..scheduling import set_deadline_from_makespan
+from ..sim import run_adaptive, run_non_adaptive, empirical_distribution
+from ..workloads import biased_profile, fluctuating_trace
+
+TABLE45_PE_COUNTS: Tuple[int, ...] = (3, 3, 4, 4, 4, 3, 3, 4, 4, 4)
+TABLE45_DEADLINE_FACTOR = 1.6
+TABLE45_WINDOW = 20
+TABLE45_THRESHOLDS: Tuple[float, ...] = (0.5, 0.1)
+TABLE45_BIAS = 0.9
+TABLE45_TRACE_LENGTH = 1000
+
+
+@dataclass
+class BiasRow:
+    """One graph under one profiling mode."""
+
+    index: int
+    triplet: str
+    category: int
+    online_energy: float
+    adaptive_energy: Dict[float, float] = field(default_factory=dict)
+    calls: Dict[float, int] = field(default_factory=dict)
+
+    def savings(self, threshold: float) -> float:
+        """Percent saving of adaptive over the biased online run."""
+        return percent_savings(self.online_energy, self.adaptive_energy[threshold])
+
+
+@dataclass
+class BiasResult:
+    """One table's worth of rows (one profiling mode)."""
+
+    mode: str
+    rows: List[BiasRow] = field(default_factory=list)
+    thresholds: Tuple[float, ...] = TABLE45_THRESHOLDS
+
+    def mean_savings(self, threshold: float, category: int = 0) -> float:
+        """Average saving, optionally restricted to one CTG category."""
+        rows = [r for r in self.rows if category in (0, r.category)]
+        return sum(r.savings(threshold) for r in rows) / len(rows)
+
+    def format(self, title: str, reference_note: str) -> str:
+        """Render one Tables-4/5/Figure-6 table with its note."""
+        table = format_table(
+            ["CTG", "a/b/c", "Online"]
+            + [f"E T={t}" for t in self.thresholds]
+            + [f"#calls T={t}" for t in self.thresholds],
+            [
+                [r.index, r.triplet, round(r.online_energy)]
+                + [round(r.adaptive_energy[t]) for t in self.thresholds]
+                + [r.calls[t] for t in self.thresholds]
+                for r in self.rows
+            ],
+            title=title,
+        )
+        summary_lines = []
+        for t in self.thresholds:
+            summary_lines.append(
+                f"mean savings T={t}: {self.mean_savings(t):.0f}% "
+                f"(Cat1 {self.mean_savings(t, 1):.0f}%, Cat2 {self.mean_savings(t, 2):.0f}%)"
+            )
+        return table + "\n" + "\n".join(summary_lines) + "\n" + reference_note
+
+
+def _scenario_cost(platform, scenario) -> float:
+    """Energy proxy of a scenario: total average-WCET of its tasks
+    (energy tracks cycles under the unit-capacitance model)."""
+    return sum(platform.average_wcet(task) for task in scenario.active)
+
+
+def run_bias_experiment(
+    mode: str,
+    thresholds: Sequence[float] = TABLE45_THRESHOLDS,
+    deadline_factor: float = TABLE45_DEADLINE_FACTOR,
+    bias: float = TABLE45_BIAS,
+    trace_length: int = TABLE45_TRACE_LENGTH,
+) -> BiasResult:
+    """Run one profiling mode over the ten Tables-4/5 graphs.
+
+    ``mode`` is ``"lowest"`` (Table 4), ``"highest"`` (Table 5) or
+    ``"ideal"`` (Figure 6's accurate profile).
+    """
+    if mode not in ("lowest", "highest", "ideal"):
+        raise ValueError(f"unknown profiling mode {mode!r}")
+    result = BiasResult(mode=mode, thresholds=tuple(thresholds))
+    for index, (config, pes) in enumerate(
+        zip(paper_table4_configs(), TABLE45_PE_COUNTS), start=1
+    ):
+        ctg = generate_ctg(config)
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=pes, seed=config.seed))
+        set_deadline_from_makespan(ctg, platform, deadline_factor)
+        trace = fluctuating_trace(ctg, trace_length, seed=config.seed)
+
+        if mode == "ideal":
+            profile = empirical_distribution(ctg, trace)
+        else:
+            scenarios = enumerate_scenarios(ctg)
+            extreme = (min if mode == "lowest" else max)(
+                scenarios, key=lambda s: _scenario_cost(platform, s)
+            )
+            profile = biased_profile(ctg, extreme.product.assignment, bias=bias)
+
+        online = run_non_adaptive(ctg, platform, trace, profile)
+        row = BiasRow(
+            index=index,
+            triplet=f"{config.nodes}/{pes}/{config.branch_nodes}",
+            category=config.category,
+            online_energy=online.total_energy,
+        )
+        for threshold in thresholds:
+            adaptive = run_adaptive(
+                ctg,
+                platform,
+                trace,
+                profile,
+                AdaptiveConfig(window_size=TABLE45_WINDOW, threshold=threshold),
+            )
+            row.adaptive_energy[threshold] = adaptive.total_energy
+            row.calls[threshold] = adaptive.reschedule_calls
+        result.rows.append(row)
+    return result
+
+
+def run_table4(**kwargs) -> BiasResult:
+    """Table 4: online profiled for the lowest-energy minterm."""
+    return run_bias_experiment("lowest", **kwargs)
+
+
+def run_table5(**kwargs) -> BiasResult:
+    """Table 5: online profiled for the highest-energy minterm."""
+    return run_bias_experiment("highest", **kwargs)
+
+
+def run_figure6(thresholds: Sequence[float] = (0.5,), **kwargs) -> BiasResult:
+    """Figure 6: online with ideal (accurate) profiling, T = 0.5."""
+    return run_bias_experiment("ideal", thresholds=thresholds, **kwargs)

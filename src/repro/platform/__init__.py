@@ -1,0 +1,18 @@
+"""MPSoC platform substrate: PEs, links, WCET/energy tables, DVFS model."""
+
+from .energy import PAPER_MODEL, DvfsModel
+from .generator import PlatformConfig, generate_platform
+from .link import Link
+from .mpsoc import Platform, PlatformError
+from .pe import ProcessingElement
+
+__all__ = [
+    "PAPER_MODEL",
+    "DvfsModel",
+    "PlatformConfig",
+    "generate_platform",
+    "Link",
+    "Platform",
+    "PlatformError",
+    "ProcessingElement",
+]

@@ -1,0 +1,66 @@
+"""Continuous DVFS energy/delay model.
+
+The paper assumes unit load capacitance with speed/frequency as the
+only variable and no DVFS switching overhead (§IV).  With dynamic
+energy ``E = C·V²·N`` and voltage tracking frequency (``V ∝ f``),
+running a task at relative speed ``ρ ∈ (0, 1]`` takes
+
+* time  ``WCET / ρ``  (cycles are fixed), and
+* energy ``E_nominal · ρ²``  (the classic quadratic DVFS saving).
+
+:class:`DvfsModel` generalises the exponent (``energy ∝ ρ^α``, α = 2 by
+default) so the ablation benches can probe sensitivity; every algorithm
+takes the model as a parameter and never hard-codes the exponent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DvfsModel:
+    """Energy/delay scaling laws for continuous voltage scaling.
+
+    Attributes
+    ----------
+    exponent:
+        α in ``energy = nominal_energy · ρ^α``.  α = 2 reproduces the
+        paper's unit-capacitance model (V ∝ f ⇒ E ∝ V² ∝ f²).
+    """
+
+    exponent: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0:
+            raise ValueError("energy exponent must be positive")
+
+    def energy_at_speed(self, nominal_energy: float, speed: float) -> float:
+        """Task energy when run at relative speed ``ρ = speed``."""
+        if not 0.0 < speed <= 1.0 + 1e-12:
+            raise ValueError(f"relative speed must be in (0, 1], got {speed}")
+        return nominal_energy * speed ** self.exponent
+
+    def time_at_speed(self, wcet: float, speed: float) -> float:
+        """Task execution time when run at relative speed ``speed``."""
+        if not 0.0 < speed <= 1.0 + 1e-12:
+            raise ValueError(f"relative speed must be in (0, 1], got {speed}")
+        return wcet / speed
+
+    def speed_for_time(self, wcet: float, target_time: float) -> float:
+        """Relative speed that makes the task take ``target_time``.
+
+        ``target_time`` below WCET is clamped to nominal speed (we never
+        overclock); callers clamp the low end against the PE envelope.
+        """
+        if target_time <= 0:
+            raise ValueError("target time must be positive")
+        return min(1.0, wcet / target_time)
+
+    def energy_for_time(self, nominal_energy: float, wcet: float, target_time: float) -> float:
+        """Energy of a task stretched from ``wcet`` to ``target_time``."""
+        return self.energy_at_speed(nominal_energy, self.speed_for_time(wcet, target_time))
+
+
+#: The paper's model: E ∝ ρ².
+PAPER_MODEL = DvfsModel(exponent=2.0)

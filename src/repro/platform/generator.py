@@ -1,0 +1,93 @@
+"""Random platform generation matched to a CTG.
+
+The paper's random experiments pair TGFF-derived CTGs with MPSoCs of
+3–5 PEs, randomly generated execution profiles and a full point-to-
+point interconnect.  This module generates such platforms: each task
+gets a base workload, each (task, PE) pair a heterogeneity factor, and
+each PE a power weight, giving correlated but heterogeneous
+WCET/energy tables as TGFF's companion tables would.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from .energy import DvfsModel, PAPER_MODEL
+from .mpsoc import Platform
+from .pe import ProcessingElement
+
+
+@dataclass
+class PlatformConfig:
+    """Knobs of the random platform generator.
+
+    Attributes
+    ----------
+    pes:
+        Number of processing elements.
+    seed:
+        RNG seed (independent of the CTG's seed).
+    base_wcet_range:
+        Uniform range of each task's base workload (time units at
+        nominal speed on a "typical" PE).
+    heterogeneity:
+        (low, high) multiplicative spread of per-(task, PE) WCETs
+        around the base workload.
+    power_range:
+        (low, high) power weight per PE: nominal task energy is
+        ``wcet(τ, p) · power(p)``.  The default (1, 1) is the paper's
+        Table-1 assumption of unit load capacitance — energy is
+        proportional to execution cycles, identical power everywhere;
+        widen the range to model PEs with genuinely different
+        energy/performance trade-offs.
+    bandwidth:
+        KBytes per time unit of every link.
+    comm_energy_per_kbyte:
+        Transmission energy per KByte of every link.
+    min_speed:
+        DVFS floor of every PE.
+    """
+
+    pes: int = 3
+    seed: int = 0
+    base_wcet_range: Tuple[float, float] = (5.0, 40.0)
+    heterogeneity: Tuple[float, float] = (0.7, 1.4)
+    power_range: Tuple[float, float] = (1.0, 1.0)
+    bandwidth: float = 1.0
+    comm_energy_per_kbyte: float = 0.05
+    min_speed: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.pes < 1:
+            raise ValueError("need at least one PE")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+
+def generate_platform(
+    tasks: Iterable[str],
+    config: PlatformConfig,
+    dvfs: DvfsModel = PAPER_MODEL,
+) -> Platform:
+    """Generate a random platform profiling every task in ``tasks``.
+
+    Deterministic for a given (task list, config) pair.
+    """
+    rng = random.Random(config.seed)
+    pes = [
+        ProcessingElement(name=f"pe{i}", min_speed=config.min_speed)
+        for i in range(config.pes)
+    ]
+    platform = Platform(pes, dvfs=dvfs)
+    platform.connect_all(config.bandwidth, config.comm_energy_per_kbyte)
+
+    powers = {pe.name: rng.uniform(*config.power_range) for pe in pes}
+    for task in tasks:
+        base = rng.uniform(*config.base_wcet_range)
+        for pe in pes:
+            wcet = base * rng.uniform(*config.heterogeneity)
+            energy = wcet * powers[pe.name]
+            platform.set_task_profile(task, pe.name, wcet=wcet, energy=energy)
+    return platform

@@ -1,0 +1,53 @@
+"""Point-to-point communication links of the MPSoC.
+
+The paper models a dedicated point-to-point link per PE pair with a
+bandwidth ``B(pᵢ, pⱼ)`` (KBytes per time unit) and a transmission
+energy ``E_tr(pᵢ, pⱼ)`` per KByte; voltage scaling is *not* applied to
+communication (§II).  Transfers between tasks mapped to the same PE are
+free and instantaneous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Link:
+    """A bidirectional point-to-point link between two PEs.
+
+    Attributes
+    ----------
+    a, b:
+        Names of the connected PEs (order is not significant).
+    bandwidth:
+        KBytes per time unit.
+    energy_per_kbyte:
+        Transmission energy per KByte.
+    """
+
+    a: str
+    b: str
+    bandwidth: float
+    energy_per_kbyte: float
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError("a link must connect two distinct PEs")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.energy_per_kbyte < 0:
+            raise ValueError("transmission energy must be non-negative")
+
+    @property
+    def key(self) -> frozenset:
+        """Canonical unordered endpoint pair."""
+        return frozenset((self.a, self.b))
+
+    def transfer_time(self, kbytes: float) -> float:
+        """Time to ship ``kbytes`` over this link."""
+        return kbytes / self.bandwidth
+
+    def transfer_energy(self, kbytes: float) -> float:
+        """Energy to ship ``kbytes`` over this link."""
+        return kbytes * self.energy_per_kbyte

@@ -1,0 +1,182 @@
+"""The MPSoC platform container.
+
+Bundles the PE set, the per-(task, PE) worst-case execution time and
+nominal energy tables, the point-to-point link fabric and the DVFS
+model — everything of §II's architecture description that the
+scheduling and simulation layers consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from .energy import DvfsModel, PAPER_MODEL
+from .link import Link
+from .pe import ProcessingElement
+
+
+class PlatformError(ValueError):
+    """Raised for inconsistent platform descriptions."""
+
+
+class Platform:
+    """A heterogeneous multiprocessor platform.
+
+    Parameters
+    ----------
+    pes:
+        The processing elements.
+    dvfs:
+        Energy/delay scaling model shared by all PEs (the paper's
+        unit-capacitance quadratic model by default).
+
+    WCET/energy entries are registered with :meth:`set_task_profile`;
+    links with :meth:`add_link` (a missing link means the two PEs
+    cannot exchange data; :meth:`connect_all` builds the paper's full
+    point-to-point fabric).
+    """
+
+    def __init__(
+        self, pes: Iterable[ProcessingElement], dvfs: DvfsModel = PAPER_MODEL
+    ) -> None:
+        self._pes: Dict[str, ProcessingElement] = {}
+        for pe in pes:
+            if pe.name in self._pes:
+                raise PlatformError(f"duplicate PE {pe.name!r}")
+            self._pes[pe.name] = pe
+        if not self._pes:
+            raise PlatformError("a platform needs at least one PE")
+        self.dvfs = dvfs
+        self._wcet: Dict[Tuple[str, str], float] = {}
+        self._energy: Dict[Tuple[str, str], float] = {}
+        self._links: Dict[frozenset, Link] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def set_task_profile(
+        self, task: str, pe: str, wcet: float, energy: float
+    ) -> None:
+        """Register WCET(τ, p) and E(τ, p) at nominal voltage."""
+        self._require_pe(pe)
+        if wcet <= 0:
+            raise PlatformError(f"WCET({task!r}, {pe!r}) must be positive")
+        if energy < 0:
+            raise PlatformError(f"E({task!r}, {pe!r}) must be non-negative")
+        self._wcet[(task, pe)] = float(wcet)
+        self._energy[(task, pe)] = float(energy)
+
+    def add_link(self, link: Link) -> None:
+        """Register a point-to-point link (rejects duplicates)."""
+        self._require_pe(link.a)
+        self._require_pe(link.b)
+        if link.key in self._links:
+            raise PlatformError(f"duplicate link {link.a!r}↔{link.b!r}")
+        self._links[link.key] = link
+
+    def connect_all(self, bandwidth: float, energy_per_kbyte: float) -> None:
+        """Build a full point-to-point fabric with uniform parameters."""
+        names = list(self._pes)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                self.add_link(Link(a, b, bandwidth, energy_per_kbyte))
+
+    def _require_pe(self, name: str) -> None:
+        if name not in self._pes:
+            raise PlatformError(f"unknown PE {name!r}")
+
+    # ------------------------------------------------------------------
+    # PE queries
+    # ------------------------------------------------------------------
+    @property
+    def pe_names(self) -> List[str]:
+        """All PE names in registration order."""
+        return list(self._pes)
+
+    def pe(self, name: str) -> ProcessingElement:
+        """Look up a PE by name."""
+        self._require_pe(name)
+        return self._pes[name]
+
+    def __len__(self) -> int:
+        return len(self._pes)
+
+    # ------------------------------------------------------------------
+    # Task profile queries
+    # ------------------------------------------------------------------
+    def wcet(self, task: str, pe: str) -> float:
+        """WCET(τ, p) at nominal speed."""
+        try:
+            return self._wcet[(task, pe)]
+        except KeyError as exc:
+            raise PlatformError(f"no WCET for task {task!r} on PE {pe!r}") from exc
+
+    def energy(self, task: str, pe: str) -> float:
+        """E(τ, p) at nominal voltage."""
+        try:
+            return self._energy[(task, pe)]
+        except KeyError as exc:
+            raise PlatformError(f"no energy for task {task!r} on PE {pe!r}") from exc
+
+    def supports(self, task: str, pe: str) -> bool:
+        """Whether the task has a profile on the PE (i.e. may map there)."""
+        return (task, pe) in self._wcet
+
+    def average_wcet(self, task: str) -> float:
+        """Average WCET of a task across the PEs that support it.
+
+        This is the paper's ``*WCET`` used by the static levels and the
+        δ preference term of the modified DLS.
+        """
+        values = [self._wcet[(task, pe)] for pe in self._pes if (task, pe) in self._wcet]
+        if not values:
+            raise PlatformError(f"task {task!r} has no profile on any PE")
+        return sum(values) / len(values)
+
+    def profiles(self) -> List[Tuple[str, str, float, float]]:
+        """All registered profiles as ``(task, pe, wcet, energy)``, sorted."""
+        return [
+            (task, pe, wcet, self._energy[(task, pe)])
+            for (task, pe), wcet in sorted(self._wcet.items())
+        ]
+
+    # ------------------------------------------------------------------
+    # Communication queries
+    # ------------------------------------------------------------------
+    def link(self, a: str, b: str) -> Link:
+        """The link between two distinct PEs."""
+        try:
+            return self._links[frozenset((a, b))]
+        except KeyError as exc:
+            raise PlatformError(f"no link between {a!r} and {b!r}") from exc
+
+    def has_link(self, a: str, b: str) -> bool:
+        """Whether two PEs can exchange data."""
+        return a == b or frozenset((a, b)) in self._links
+
+    def comm_time(self, src_pe: str, dst_pe: str, kbytes: float) -> float:
+        """Transfer delay for ``kbytes`` between two PEs (0 if same PE)."""
+        if src_pe == dst_pe or kbytes == 0:
+            return 0.0
+        return self.link(src_pe, dst_pe).transfer_time(kbytes)
+
+    def comm_energy(self, src_pe: str, dst_pe: str, kbytes: float) -> float:
+        """Transfer energy for ``kbytes`` between two PEs (0 if same PE)."""
+        if src_pe == dst_pe or kbytes == 0:
+            return 0.0
+        return self.link(src_pe, dst_pe).transfer_energy(kbytes)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate_for(self, tasks: Iterable[str]) -> None:
+        """Check every task can run on at least one PE and all PE pairs
+        that might need to communicate are linked (full fabric)."""
+        for task in tasks:
+            if not any(self.supports(task, pe) for pe in self._pes):
+                raise PlatformError(f"task {task!r} has no profile on any PE")
+        names = list(self._pes)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                if not self.has_link(a, b):
+                    raise PlatformError(f"missing link {a!r}↔{b!r}")

@@ -1,0 +1,67 @@
+"""Processing elements of the MPSoC model.
+
+The paper's architecture (§II) is a set of heterogeneous PEs; each task
+has a per-PE worst-case execution time and energy at the nominal supply
+voltage, and each PE can scale its speed/frequency continuously (unit
+load capacitance, voltage tracking frequency).  A PE here is therefore
+mostly an identity plus its DVFS envelope: the range of relative speeds
+it supports, and optionally a discrete level set (an extension beyond
+the paper's continuous model, used by the quantisation ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ProcessingElement:
+    """One processing element.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier, e.g. ``"pe0"``.
+    min_speed:
+        Lowest relative speed (fraction of nominal frequency) DVFS may
+        select.  ``1.0`` disables scaling on this PE entirely.
+    speed_levels:
+        Optional discrete relative speed levels, sorted ascending, all
+        within ``[min_speed, 1.0]``.  ``None`` models the paper's
+        continuous scaling; when present, assigned speeds are rounded
+        *up* to the next level so deadlines stay safe.
+    """
+
+    name: str
+    min_speed: float = 0.25
+    speed_levels: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_speed <= 1.0:
+            raise ValueError(f"min_speed must be in (0, 1], got {self.min_speed}")
+        if self.speed_levels is not None:
+            levels = tuple(self.speed_levels)
+            if not levels:
+                raise ValueError("speed_levels must be non-empty when given")
+            if any(not self.min_speed <= s <= 1.0 for s in levels):
+                raise ValueError("speed levels must lie in [min_speed, 1.0]")
+            if list(levels) != sorted(levels):
+                raise ValueError("speed levels must be sorted ascending")
+            if levels[-1] != 1.0:
+                raise ValueError("the nominal speed 1.0 must be a level")
+
+    def clamp_speed(self, speed: float) -> float:
+        """Clamp a requested relative speed into this PE's envelope.
+
+        Continuous PEs clamp into ``[min_speed, 1.0]``; discrete PEs
+        additionally round *up* to the next available level (never down,
+        so a task can only finish earlier than planned).
+        """
+        clamped = min(1.0, max(self.min_speed, speed))
+        if self.speed_levels is None:
+            return clamped
+        for level in self.speed_levels:
+            if level >= clamped - 1e-12:
+                return level
+        return self.speed_levels[-1]

@@ -1,0 +1,174 @@
+"""Simulated-annealing task mapping — an offline mapping optimiser.
+
+The modified DLS maps greedily (one task at a time, by dynamic level).
+How much does that greediness cost?  This optimiser searches the
+mapping space directly: neighbours move one task to another PE, the
+ordering/serialisation is re-derived by the (fixed-mapping) list
+scheduler, speeds by the stretching heuristic, and the objective is
+the expected energy under the given branch distribution.
+
+This is an *offline* tool — a full neighbour evaluation costs one
+schedule construction, so runtimes are seconds, not the online
+algorithm's milliseconds.  The mapping-quality ablation bench uses it
+to bound the optimality gap of the DLS mapping (the paper leaves the
+mapping stage's quality unquantified).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..ctg.graph import ConditionalTaskGraph
+from ..ctg.minterms import BranchProbabilities, CtgAnalysis
+from ..platform.mpsoc import Platform
+from .dls import dls_schedule
+from .schedule import Schedule, SchedulingError
+from .stretching import stretch_schedule
+
+
+@dataclass
+class AnnealingConfig:
+    """Knobs of the annealing search.
+
+    Attributes
+    ----------
+    iterations:
+        Total neighbour evaluations.
+    initial_temperature / cooling:
+        Exponential cooling schedule: T_k = T₀ · cooling^k, with the
+        acceptance rule exp(−ΔE / (T · E₀)) (ΔE relative to the
+        starting energy, so temperatures are scale-free).
+    seed:
+        RNG seed of the search.
+    """
+
+    iterations: int = 300
+    initial_temperature: float = 0.08
+    cooling: float = 0.985
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("need at least one iteration")
+        if not 0.0 < self.cooling < 1.0:
+            raise ValueError("cooling must be in (0, 1)")
+        if self.initial_temperature <= 0:
+            raise ValueError("initial temperature must be positive")
+
+
+@dataclass
+class AnnealingResult:
+    """Outcome of one annealing run."""
+
+    schedule: Schedule
+    mapping: Dict[str, str]
+    energy: float
+    initial_energy: float
+    accepted_moves: int
+    evaluations: int
+    energy_trace: List[float] = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        """Relative energy improvement over the starting mapping."""
+        if self.initial_energy <= 0:
+            return 0.0
+        return 1.0 - self.energy / self.initial_energy
+
+
+def _evaluate(
+    ctg: ConditionalTaskGraph,
+    platform: Platform,
+    probabilities: BranchProbabilities,
+    mapping: Mapping[str, str],
+    analysis: CtgAnalysis,
+) -> Tuple[Optional[Schedule], float]:
+    """Build and stretch a schedule for a fixed mapping; returns
+    ``(schedule, expected energy)`` or ``(None, inf)`` if infeasible."""
+    try:
+        schedule = dls_schedule(
+            ctg, platform, probabilities, fixed_mapping=mapping, analysis=analysis
+        )
+        stretch_schedule(schedule, probabilities, analysis=analysis)
+    except SchedulingError:
+        return None, float("inf")
+    return schedule, schedule.expected_energy(probabilities, scenarios=analysis.scenarios)
+
+
+def anneal_mapping(
+    ctg: ConditionalTaskGraph,
+    platform: Platform,
+    probabilities: Optional[BranchProbabilities] = None,
+    config: AnnealingConfig = AnnealingConfig(),
+    initial_mapping: Optional[Mapping[str, str]] = None,
+) -> AnnealingResult:
+    """Optimise the task→PE mapping by simulated annealing.
+
+    Starts from ``initial_mapping`` (default: the DLS mapping), and
+    explores single-task moves; every candidate is fully scheduled and
+    stretched, so the objective is exactly the expected energy the
+    framework would realise.  The deadline is taken from the graph.
+    """
+    if probabilities is None:
+        probabilities = ctg.default_probabilities
+    if ctg.deadline <= 0:
+        raise SchedulingError("annealing needs a graph with a deadline")
+    analysis = CtgAnalysis.of(ctg)
+    rng = random.Random(config.seed)
+
+    if initial_mapping is None:
+        seed_schedule = dls_schedule(ctg, platform, probabilities, analysis=analysis)
+        current_mapping = {t: seed_schedule.pe_of(t) for t in ctg.tasks()}
+    else:
+        current_mapping = dict(initial_mapping)
+
+    current_schedule, current_energy = _evaluate(
+        ctg, platform, probabilities, current_mapping, analysis
+    )
+    if current_schedule is None:
+        raise SchedulingError("initial mapping is infeasible under the deadline")
+    initial_energy = current_energy
+
+    best_schedule, best_energy = current_schedule, current_energy
+    best_mapping = dict(current_mapping)
+    tasks = ctg.tasks()
+    accepted = 0
+    temperature = config.initial_temperature
+    trace: List[float] = [current_energy]
+
+    for _ in range(config.iterations):
+        task = rng.choice(tasks)
+        candidates = [
+            pe
+            for pe in platform.pe_names
+            if pe != current_mapping[task] and platform.supports(task, pe)
+        ]
+        if not candidates:
+            continue
+        neighbour = dict(current_mapping)
+        neighbour[task] = rng.choice(candidates)
+        schedule, energy = _evaluate(ctg, platform, probabilities, neighbour, analysis)
+        delta = (energy - current_energy) / initial_energy
+        if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+            if schedule is not None:
+                current_mapping = neighbour
+                current_schedule, current_energy = schedule, energy
+                accepted += 1
+                if energy < best_energy:
+                    best_schedule, best_energy = schedule, energy
+                    best_mapping = dict(neighbour)
+        temperature *= config.cooling
+        trace.append(current_energy)
+
+    return AnnealingResult(
+        schedule=best_schedule,
+        mapping=best_mapping,
+        energy=best_energy,
+        initial_energy=initial_energy,
+        accepted_moves=accepted,
+        evaluations=config.iterations,
+        energy_trace=trace,
+    )

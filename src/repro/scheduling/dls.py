@@ -1,0 +1,323 @@
+"""Modified Dynamic Level Scheduling for conditional task graphs.
+
+Stage 1 of the paper's online algorithm (§III.A), adopted from the
+authors' ISCAS'07 work [17]: a list scheduler that maps and orders
+computation *and* communication together, extended for CTGs with
+
+* **probability-weighted static levels** — a branch fork node's level
+  is the probability-weighted sum of its successors' levels instead of
+  the maximum, so likely subgraphs dominate the priority;
+* **mutual-exclusion-aware processor booking** — tasks that can never
+  co-execute may share a time slot on the same PE;
+* the **δ(τ, p) heterogeneity preference** — tasks gravitate to PEs
+  faster than their average.
+
+The dynamic level of a ready task τ on PE p is
+
+    DL(τ, p) = SL(τ) − AT(τ, p) + δ(τ, p)                       (1)
+
+with ``AT`` the earliest start honouring data arrival (including link
+transfer and link contention) and PE occupancy.  The (τ, p) pair with
+the largest DL is placed, pseudo edges serialise it against its same-PE
+non-exclusive neighbours ("update the CTG"), and the ready list is
+refreshed until empty.
+
+Setting ``probability_aware=False`` and ``mutex_overlap=False``
+degrades the scheduler to a classic worst-case DLS — the mapping and
+ordering stage used by Reference Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from ..ctg.graph import ConditionalTaskGraph
+from ..ctg.minterms import (
+    BranchProbabilities,
+    CtgAnalysis,
+    enumerate_scenarios,
+    exclusion_table,
+)
+from ..platform.mpsoc import Platform
+from .schedule import CommBooking, Schedule, SchedulingError
+
+
+def static_levels(
+    ctg: ConditionalTaskGraph,
+    platform: Platform,
+    probabilities: BranchProbabilities,
+    probability_aware: bool = True,
+) -> Dict[str, float]:
+    """The paper's SL(τ) over average WCETs.
+
+    Non-branching nodes: ``SL = *WCET + max SL(successor)``.
+    Branch fork nodes (when ``probability_aware``): ``SL = *WCET +
+    Σ prob(c) · SL(successor via c)``, with unconditional successors
+    entering through the max term alongside the weighted sum.
+    """
+    levels: Dict[str, float] = {}
+    for task in reversed(ctg.topological_order()):
+        base = platform.average_wcet(task)
+        cond_sum = 0.0
+        uncond_best = 0.0
+        has_cond = False
+        for _src, dst, data in ctg.out_edges(task, include_pseudo=False):
+            if data.condition is not None and probability_aware:
+                has_cond = True
+                prob = probabilities[data.condition.branch][data.condition.label]
+                cond_sum += prob * levels[dst]
+            else:
+                uncond_best = max(uncond_best, levels[dst])
+        tail = max(cond_sum, uncond_best) if has_cond else uncond_best
+        levels[task] = base + tail
+    return levels
+
+
+@dataclass
+class _LinkBooking:
+    """Mutable view of transfers on one link during scheduling."""
+
+    intervals: List[Tuple[float, float, str]]  # (start, finish, src_task)
+
+
+class _DlsState:
+    """Bookkeeping of the list-scheduling main loop."""
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        mutex_overlap: bool,
+    ) -> None:
+        self.schedule = schedule
+        self.mutex_overlap = mutex_overlap
+        #: worst-case (start, finish) of placed tasks at nominal speed
+        self.times: Dict[str, Tuple[float, float]] = {}
+        self.link_bookings: Dict[frozenset, _LinkBooking] = {}
+
+    def are_exclusive(self, a: str, b: str) -> bool:
+        """Mutual exclusion, gated by the mutex_overlap switch."""
+        return self.mutex_overlap and self.schedule.are_exclusive(a, b)
+
+    # -- processor booking ------------------------------------------------
+    def earliest_pe_slot(self, task: str, pe: str, ready: float, duration: float) -> float:
+        """Earliest start ≥ ready with no overlap against non-exclusive
+        tasks already on ``pe`` (mutually exclusive tasks may overlap)."""
+        busy = sorted(
+            (self.times[other][0], self.times[other][1])
+            for other in self.schedule.tasks_on(pe)
+            if not self.are_exclusive(task, other)
+        )
+        start = ready
+        for interval_start, interval_finish in busy:
+            if start + duration <= interval_start + 1e-12:
+                break
+            start = max(start, interval_finish)
+        return start
+
+    # -- link booking ------------------------------------------------------
+    def earliest_link_slot(
+        self, src_task: str, src_pe: str, dst_pe: str, ready: float, duration: float
+    ) -> float:
+        """Earliest transfer start ≥ ready on the (src_pe, dst_pe) link.
+
+        Transfers whose source tasks are mutually exclusive may overlap
+        (they can never both happen); everything else serialises on the
+        dedicated point-to-point link.
+        """
+        if duration == 0.0:
+            return ready
+        key = frozenset((src_pe, dst_pe))
+        booking = self.link_bookings.get(key)
+        if booking is None:
+            return ready
+        busy = sorted(
+            (s, f)
+            for s, f, other_src in booking.intervals
+            if not self.are_exclusive(src_task, other_src)
+        )
+        start = ready
+        for interval_start, interval_finish in busy:
+            if start + duration <= interval_start + 1e-12:
+                break
+            start = max(start, interval_finish)
+        return start
+
+    def book_link(
+        self, src_task: str, dst_task: str, src_pe: str, dst_pe: str,
+        start: float, duration: float, kbytes: float,
+    ) -> None:
+        """Commit a transfer to the link and the schedule record."""
+        if duration == 0.0:
+            return
+        key = frozenset((src_pe, dst_pe))
+        self.link_bookings.setdefault(key, _LinkBooking([])).intervals.append(
+            (start, start + duration, src_task)
+        )
+        self.schedule.book_comm(
+            CommBooking(
+                src_task=src_task,
+                dst_task=dst_task,
+                src_pe=src_pe,
+                dst_pe=dst_pe,
+                start=start,
+                duration=duration,
+                kbytes=kbytes,
+            )
+        )
+
+
+def _arrival_time(
+    state: _DlsState, ctg: ConditionalTaskGraph, platform: Platform, task: str, pe: str
+) -> Tuple[float, List[Tuple[str, float, float, float]]]:
+    """Data-ready time of ``task`` on ``pe`` plus the transfers it needs.
+
+    Returns ``(ready, transfers)`` where each transfer is
+    ``(src_task, start, duration, kbytes)`` — booked only if the
+    placement is committed.
+    """
+    ready = 0.0
+    transfers: List[Tuple[str, float, float, float]] = []
+    for src, _dst, data in ctg.in_edges(task, include_pseudo=False):
+        src_pe = state.schedule.pe_of(src)
+        finish = state.times[src][1]
+        duration = platform.comm_time(src_pe, pe, data.comm_kbytes)
+        if duration > 0.0:
+            start = state.earliest_link_slot(src, src_pe, pe, finish, duration)
+            transfers.append((src, start, duration, data.comm_kbytes))
+            ready = max(ready, start + duration)
+        else:
+            ready = max(ready, finish)
+    return ready, transfers
+
+
+def dls_schedule(
+    ctg: ConditionalTaskGraph,
+    platform: Platform,
+    probabilities: Optional[BranchProbabilities] = None,
+    probability_aware: bool = True,
+    mutex_overlap: bool = True,
+    fixed_mapping: Optional[Mapping[str, str]] = None,
+    analysis: Optional[CtgAnalysis] = None,
+) -> Schedule:
+    """Map and order a CTG on a platform with the modified DLS.
+
+    Parameters
+    ----------
+    ctg:
+        The graph to schedule (left untouched; the schedule owns a
+        working copy that accumulates pseudo edges).
+    platform:
+        Target platform (every task must be profiled on ≥ 1 PE).
+    probabilities:
+        Branch distributions; defaults to ``ctg.default_probabilities``.
+    probability_aware:
+        Use probability-weighted static levels (the modification of
+        [17]); ``False`` gives classic worst-case levels.
+    mutex_overlap:
+        Allow mutually exclusive tasks to share PE/link time slots;
+        ``False`` serialises everything (Reference Algorithm 1).
+    fixed_mapping:
+        Optional task→PE assignment.  When given, the list scheduler
+        only *orders* tasks — each task's candidate PE set shrinks to
+        its assigned PE (the setting of ref [10], which schedules on a
+        pre-given mapping).
+    analysis:
+        Pre-computed structural analysis (scenarios/exclusions); saves
+        re-deriving it on every adaptive re-scheduling call.
+
+    Returns
+    -------
+    Schedule
+        All tasks placed at nominal speed, pseudo edges recorded.
+    """
+    if probabilities is None:
+        probabilities = ctg.default_probabilities
+    working = ctg.copy()
+    if analysis is None:
+        scenarios = enumerate_scenarios(working)
+        exclusions = exclusion_table(working, scenarios)
+    else:
+        exclusions = analysis.exclusions
+    schedule = Schedule(working, platform, exclusions)
+    state = _DlsState(schedule, mutex_overlap)
+    levels = static_levels(ctg, platform, probabilities, probability_aware)
+
+    unscheduled = set(ctg.tasks())
+    while unscheduled:
+        ready = [
+            task
+            for task in unscheduled
+            if all(
+                pred in schedule.placements
+                for pred in working.predecessors(task, include_pseudo=False)
+            )
+        ]
+        if not ready:
+            raise SchedulingError("no ready task — graph is not a DAG?")
+        best: Optional[Tuple[float, float, str, str]] = None
+        best_transfers: List[Tuple[str, float, float, float]] = []
+        best_start = 0.0
+        for task in sorted(ready):
+            avg = platform.average_wcet(task)
+            for pe in platform.pe_names:
+                if not platform.supports(task, pe):
+                    continue
+                if fixed_mapping is not None and fixed_mapping[task] != pe:
+                    continue
+                wcet = platform.wcet(task, pe)
+                ready_at, transfers = _arrival_time(state, working, platform, task, pe)
+                start = state.earliest_pe_slot(task, pe, ready_at, wcet)
+                delta = avg - wcet
+                dl = levels[task] - start + delta
+                # Maximise DL; break ties on earlier start then names for
+                # determinism.
+                key = (dl, -start, task, pe)
+                if best is None or key > (best[0], -best_start, best[2], best[3]):
+                    best = (dl, start, task, pe)
+                    best_start = start
+                    best_transfers = transfers
+        assert best is not None
+        _dl, start, task, pe = best
+        _commit(state, working, platform, task, pe, start, best_transfers)
+        unscheduled.discard(task)
+    return schedule
+
+
+def _commit(
+    state: _DlsState,
+    working: ConditionalTaskGraph,
+    platform: Platform,
+    task: str,
+    pe: str,
+    start: float,
+    transfers: List[Tuple[str, float, float, float]],
+) -> None:
+    """Place ``task`` on ``pe`` at ``start``: record placement, book its
+    incoming transfers and serialise it against same-PE neighbours."""
+    schedule = state.schedule
+    placement = schedule.place(task, pe)
+    finish = start + placement.wcet
+    state.times[task] = (start, finish)
+    for src, t_start, duration, kbytes in transfers:
+        state.book_link(src, task, schedule.pe_of(src), pe, t_start, duration, kbytes)
+    # Pseudo edges: order `task` against every non-exclusive task already
+    # on the PE.  Redundant edges (already reachable) are skipped to keep
+    # the path set small.
+    graph = working.graph
+    for other in schedule.tasks_on(pe):
+        if other == task or state.are_exclusive(task, other):
+            continue
+        o_start, o_finish = state.times[other]
+        if o_finish <= start + 1e-12:
+            if not nx.has_path(graph, other, task):
+                working.add_pseudo_edge(other, task)
+        elif finish <= o_start + 1e-12:
+            if not nx.has_path(graph, task, other):
+                working.add_pseudo_edge(task, other)
+        else:  # pragma: no cover - earliest_pe_slot prevents overlap
+            raise SchedulingError(
+                f"internal: overlap between {task!r} and {other!r} on {pe!r}"
+            )

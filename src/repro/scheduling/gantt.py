@@ -1,0 +1,116 @@
+"""Text rendering of schedules (Gantt charts and timing listings).
+
+Debugging a CTG schedule means looking at it: which PE runs what when,
+where mutually exclusive tasks overlap, how far each task was
+stretched, and where the communication sits.  :func:`render_gantt`
+draws an ASCII chart (one lane per PE, one per busy link), and
+:func:`render_listing` prints the sortable per-task table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .schedule import Schedule
+
+
+def render_gantt(
+    schedule: Schedule,
+    width: int = 80,
+    show_links: bool = True,
+) -> str:
+    """ASCII Gantt chart of the worst-case timing.
+
+    Each PE lane shows its tasks as labelled bars; mutually exclusive
+    tasks sharing a slot appear on extra sub-lanes.  Link lanes (when
+    ``show_links``) show the booked transfers.  The time axis spans
+    [0, max(makespan, deadline)].
+    """
+    times = schedule.worst_case_times()
+    horizon = max(schedule.makespan(), schedule.ctg.deadline)
+    if horizon <= 0:
+        return "(empty schedule)"
+    scale = (width - 1) / horizon
+
+    def span(start: float, finish: float) -> Tuple[int, int]:
+        a = int(round(start * scale))
+        b = max(a + 1, int(round(finish * scale)))
+        return a, min(b, width)
+
+    lines: List[str] = []
+    lines.append(f"time 0 .. {horizon:.1f}  (deadline {schedule.ctg.deadline:.1f})")
+    ruler = [" "] * width
+    for tick in range(0, 11):
+        pos = min(width - 1, int(round(tick * (width - 1) / 10)))
+        ruler[pos] = "|"
+    lines.append("      " + "".join(ruler))
+
+    for pe in schedule.platform.pe_names:
+        lanes: List[List[str]] = []
+        occupancy: List[List[Tuple[int, int]]] = []
+        for task in sorted(schedule.tasks_on(pe), key=lambda t: times[t][0]):
+            a, b = span(*times[task])
+            placed = False
+            for lane, intervals in zip(lanes, occupancy):
+                if all(b <= ia or a >= ib for ia, ib in intervals):
+                    _blit(lane, a, b, task)
+                    intervals.append((a, b))
+                    placed = True
+                    break
+            if not placed:
+                lane = [" "] * width
+                _blit(lane, a, b, task)
+                lanes.append(lane)
+                occupancy.append([(a, b)])
+        if not lanes:
+            lanes = [[" "] * width]
+        for i, lane in enumerate(lanes):
+            label = f"{pe:>5} " if i == 0 else "      "
+            lines.append(label + "".join(lane))
+
+    if show_links and schedule.comm_bookings:
+        lines.append("links:")
+        by_link: Dict[frozenset, List] = {}
+        for booking in schedule.comm_bookings:
+            by_link.setdefault(frozenset((booking.src_pe, booking.dst_pe)), []).append(booking)
+        for key in sorted(by_link, key=sorted):
+            lane = [" "] * width
+            for booking in by_link[key]:
+                a, b = span(booking.start, booking.finish)
+                _blit(lane, a, b, f"{booking.src_task}>{booking.dst_task}")
+            name = "<->".join(sorted(key))
+            lines.append(f"{name:>11} "[:12] + "".join(lane))
+
+    deadline_pos = int(round(schedule.ctg.deadline * scale))
+    if 0 < deadline_pos < width:
+        marker = [" "] * width
+        marker[deadline_pos - 1] = "D"
+        lines.append("      " + "".join(marker))
+    return "\n".join(lines)
+
+
+def _blit(lane: List[str], a: int, b: int, label: str) -> None:
+    """Draw a [a, b) bar carrying as much of ``label`` as fits."""
+    body = list(f"[{label}"[: b - a].ljust(b - a, "="))
+    if b - a >= 2:
+        body[-1] = "]"
+    lane[a:b] = body
+
+
+def render_listing(schedule: Schedule, probabilities: Optional[dict] = None) -> str:
+    """Per-task table: PE, start/finish, speed, energy contribution."""
+    times = schedule.worst_case_times()
+    exponent = schedule.platform.dvfs.exponent
+    header = f"{'task':<14}{'PE':<6}{'start':>9}{'finish':>9}{'speed':>7}{'energy':>9}"
+    rows = [header, "-" * len(header)]
+    for task in sorted(schedule.placements, key=lambda t: times[t][0]):
+        placement = schedule.placement(task)
+        start, finish = times[task]
+        rows.append(
+            f"{task:<14}{placement.pe:<6}{start:>9.2f}{finish:>9.2f}"
+            f"{placement.speed:>7.2f}{placement.energy(exponent):>9.2f}"
+        )
+    rows.append(
+        f"makespan {schedule.makespan():.2f}, deadline {schedule.ctg.deadline:.2f}"
+    )
+    return "\n".join(rows)

@@ -1,0 +1,155 @@
+"""HEFT — Heterogeneous Earliest Finish Time list scheduling.
+
+HEFT (Topcuoglu et al., 2002) is the standard heterogeneous DAG
+scheduler: tasks are ordered by *upward rank* (average execution time
+plus average communication to the critical successor chain) and each
+is placed on the PE minimising its earliest finish time.
+
+It is included as an additional comparison point between the paper's
+two references: HEFT is **communication-aware** (unlike Reference 1's
+load balancing) but **probability- and mutual-exclusion-blind** (unlike
+the modified DLS).  The extended baseline bench uses it to split the
+online algorithm's Table-1 margin into its two sources: conditional
+awareness vs plain communication awareness.
+
+The implementation reuses the package's scheduling machinery (PE/link
+booking, pseudo-edge serialisation) so the resulting
+:class:`~repro.scheduling.schedule.Schedule` is directly comparable and
+stretchable by either DVFS stage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ctg.graph import ConditionalTaskGraph
+from ..ctg.minterms import BranchProbabilities, CtgAnalysis
+from ..platform.mpsoc import Platform
+from .dls import dls_schedule
+from .nlp import NlpReport, nlp_stretch_schedule
+from .schedule import Schedule, SchedulingError
+
+
+def upward_ranks(ctg: ConditionalTaskGraph, platform: Platform) -> Dict[str, float]:
+    """HEFT's rank_u: average WCET plus the critical successor chain.
+
+    ``rank_u(τ) = w̄(τ) + max over successors (c̄(τ, σ) + rank_u(σ))``
+    with ``w̄`` the PE-averaged WCET and ``c̄`` the average transfer
+    time of the edge (0 when co-located; averaged over distinct PE
+    pairs as HEFT prescribes).
+    """
+    names = platform.pe_names
+    pair_count = len(names) * len(names)
+
+    def mean_comm(volume: float) -> float:
+        if pair_count == 0 or volume == 0:
+            return 0.0
+        total = sum(
+            platform.comm_time(a, b, volume) for a in names for b in names
+        )
+        return total / pair_count
+
+    ranks: Dict[str, float] = {}
+    for task in reversed(ctg.topological_order()):
+        tail = 0.0
+        for _src, dst, data in ctg.out_edges(task, include_pseudo=False):
+            tail = max(tail, mean_comm(data.comm_kbytes) + ranks[dst])
+        ranks[task] = platform.average_wcet(task) + tail
+    return ranks
+
+
+def heft_mapping(ctg: ConditionalTaskGraph, platform: Platform) -> Dict[str, str]:
+    """The task→PE assignment HEFT produces (greedy earliest finish).
+
+    A lightweight insertion-free variant: tasks in descending upward
+    rank; each goes to the PE with the earliest finish time given the
+    data-arrival times of its already-placed predecessors and the PE's
+    current ready time.  Mutual exclusion is deliberately ignored —
+    HEFT treats the CTG as a plain worst-case DAG.
+    """
+    ranks = upward_ranks(ctg, platform)
+    order = sorted(ctg.tasks(), key=lambda t: (-ranks[t], t))
+    mapping: Dict[str, str] = {}
+    finish: Dict[str, float] = {}
+    pe_ready: Dict[str, float] = {pe: 0.0 for pe in platform.pe_names}
+    for task in order:
+        best_pe: Optional[str] = None
+        best_finish = float("inf")
+        for pe in platform.pe_names:
+            if not platform.supports(task, pe):
+                continue
+            arrival = 0.0
+            for src, _dst, data in ctg.in_edges(task, include_pseudo=False):
+                if src not in mapping:
+                    # rank order can place a successor before an
+                    # unrelated predecessor? Never: ranks decrease along
+                    # edges, so predecessors are always placed first.
+                    continue
+                arrival = max(
+                    arrival,
+                    finish[src]
+                    + platform.comm_time(mapping[src], pe, data.comm_kbytes),
+                )
+            start = max(arrival, pe_ready[pe])
+            candidate = start + platform.wcet(task, pe)
+            if candidate < best_finish - 1e-12:
+                best_finish = candidate
+                best_pe = pe
+        if best_pe is None:
+            raise SchedulingError(f"task {task!r} has no supporting PE")
+        mapping[task] = best_pe
+        finish[task] = best_finish
+        pe_ready[best_pe] = best_finish
+    return mapping
+
+
+def heft_schedule(
+    ctg: ConditionalTaskGraph,
+    platform: Platform,
+    probabilities: Optional[BranchProbabilities] = None,
+    analysis: Optional[CtgAnalysis] = None,
+) -> Schedule:
+    """Schedule a CTG with the HEFT mapping (worst-case ordering).
+
+    The mapping comes from :func:`heft_mapping`; the ordering and the
+    actual bookings are produced by the fixed-mapping list scheduler
+    with probability awareness and mutual-exclusion overlap disabled
+    (HEFT's worst-case semantics).
+    """
+    return dls_schedule(
+        ctg,
+        platform,
+        probabilities,
+        probability_aware=False,
+        mutex_overlap=False,
+        fixed_mapping=heft_mapping(ctg, platform),
+        analysis=analysis,
+    )
+
+
+def heft_with_nlp(
+    ctg: ConditionalTaskGraph,
+    platform: Platform,
+    probabilities: Optional[BranchProbabilities] = None,
+    deadline: Optional[float] = None,
+) -> tuple:
+    """HEFT mapping + expected-energy NLP stretching.
+
+    Returns ``(schedule, NlpReport)``; if the worst-case HEFT schedule
+    cannot meet the deadline it runs at nominal speed (like Reference
+    Algorithm 1 in the same situation).
+    """
+    if probabilities is None:
+        probabilities = ctg.default_probabilities
+    schedule = heft_schedule(ctg, platform, probabilities)
+    if deadline is not None:
+        schedule.ctg.deadline = deadline
+    try:
+        report = nlp_stretch_schedule(
+            schedule, probabilities, deadline=deadline, expected_energy=True
+        )
+    except SchedulingError:
+        report = NlpReport(
+            iterations=0, expected_energy_objective=float("nan"), converged=False
+        )
+    return schedule, report

@@ -1,0 +1,180 @@
+"""Deep schedule inspection: per-scenario reports and slack accounting.
+
+``Schedule.validate()`` answers *is this schedule sound*; this module
+answers *how good is it and where does the energy/slack go*:
+
+* :func:`scenario_report` — per-scenario makespan, slack to deadline
+  and energy (the distribution behind the worst-case bound);
+* :func:`slack_utilisation` — how much of the deadline headroom the
+  DVFS stage actually converted into stretching, per PE and overall;
+* :func:`overlap_report` — where mutual-exclusion slot sharing happens
+  (the CTG scheduler's structural advantage over a worst-case
+  scheduler);
+* :func:`inspect` — everything above as one text report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.tables import format_table
+from ..ctg.minterms import BranchProbabilities, Scenario, enumerate_scenarios
+from .schedule import Schedule
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """Execution profile of one scenario under a locked schedule."""
+
+    product: str
+    probability: float
+    active_tasks: int
+    makespan: float
+    slack: float
+    energy: float
+
+
+def scenario_report(
+    schedule: Schedule,
+    probabilities: Optional[BranchProbabilities] = None,
+    scenarios: Optional[Sequence[Scenario]] = None,
+) -> List[ScenarioReport]:
+    """Per-scenario makespan/slack/energy via the instance executor."""
+    # Imported here to keep repro.scheduling importable without
+    # repro.sim (which itself imports repro.scheduling.schedule).
+    from ..sim.executor import InstanceExecutor
+
+    ctg = schedule.ctg
+    if probabilities is None:
+        probabilities = ctg.default_probabilities
+    real = ctg.without_pseudo_edges()
+    if scenarios is None:
+        scenarios = enumerate_scenarios(real)
+    executor = InstanceExecutor(schedule)
+    reports: List[ScenarioReport] = []
+    for scenario in scenarios:
+        decisions = {}
+        for branch in real.branch_nodes():
+            chosen = scenario.product.label_for(branch)
+            decisions[branch] = (
+                chosen if chosen is not None else real.outcomes_of(branch)[0]
+            )
+        outcome = executor.run(decisions)
+        reports.append(
+            ScenarioReport(
+                product=str(scenario.product),
+                probability=scenario.probability(probabilities),
+                active_tasks=len(scenario.active),
+                makespan=outcome.finish_time,
+                slack=ctg.deadline - outcome.finish_time,
+                energy=outcome.energy,
+            )
+        )
+    return reports
+
+
+@dataclass(frozen=True)
+class SlackUtilisation:
+    """How the deadline headroom was spent.
+
+    ``headroom`` is deadline − nominal worst-case makespan; ``consumed``
+    is the worst-case makespan growth caused by stretching.  Their
+    ratio is the share of available slack the DVFS stage converted.
+    """
+
+    deadline: float
+    nominal_makespan: float
+    stretched_makespan: float
+
+    @property
+    def headroom(self) -> float:
+        """Deadline minus the nominal worst-case makespan."""
+        return self.deadline - self.nominal_makespan
+
+    @property
+    def consumed(self) -> float:
+        """Worst-case makespan growth caused by stretching."""
+        return self.stretched_makespan - self.nominal_makespan
+
+    @property
+    def utilisation(self) -> float:
+        """Share of the headroom the DVFS stage converted."""
+        if self.headroom <= 0:
+            return 1.0 if self.consumed <= 0 else float("inf")
+        return self.consumed / self.headroom
+
+
+def slack_utilisation(schedule: Schedule) -> SlackUtilisation:
+    """Measure consumed vs available worst-case slack (see class doc)."""
+    stretched = schedule.makespan()
+    saved_speeds = {task: p.speed for task, p in schedule.placements.items()}
+    try:
+        for task in schedule.placements:
+            schedule.placements[task].speed = 1.0
+        nominal = schedule.makespan()
+    finally:
+        for task, speed in saved_speeds.items():
+            schedule.placements[task].speed = speed
+    return SlackUtilisation(
+        deadline=schedule.ctg.deadline,
+        nominal_makespan=nominal,
+        stretched_makespan=stretched,
+    )
+
+
+def overlap_report(schedule: Schedule) -> List[Tuple[str, str, str, float]]:
+    """Mutually exclusive task pairs actually sharing PE time.
+
+    Returns ``(pe, task_a, task_b, overlap_duration)`` per overlapping
+    pair in the worst-case timing.
+    """
+    times = schedule.worst_case_times()
+    overlaps: List[Tuple[str, str, str, float]] = []
+    for pe in schedule.platform.pe_names:
+        tasks = schedule.tasks_on(pe)
+        for i, a in enumerate(tasks):
+            for b in tasks[i + 1 :]:
+                if not schedule.are_exclusive(a, b):
+                    continue
+                sa, fa = times[a]
+                sb, fb = times[b]
+                shared = min(fa, fb) - max(sa, sb)
+                if shared > 1e-9:
+                    overlaps.append((pe, a, b, shared))
+    return overlaps
+
+
+def inspect(
+    schedule: Schedule,
+    probabilities: Optional[BranchProbabilities] = None,
+) -> str:
+    """One-call text report of a locked schedule."""
+    if probabilities is None:
+        probabilities = schedule.ctg.default_probabilities
+    reports = scenario_report(schedule, probabilities)
+    table = format_table(
+        ["scenario", "prob", "tasks", "makespan", "slack", "energy"],
+        [
+            [r.product, round(r.probability, 3), r.active_tasks,
+             round(r.makespan, 1), round(r.slack, 1), round(r.energy, 1)]
+            for r in sorted(reports, key=lambda r: -r.probability)
+        ],
+        title="Per-scenario execution profile",
+    )
+    util = slack_utilisation(schedule)
+    overlaps = overlap_report(schedule)
+    expected_energy = sum(r.probability * r.energy for r in reports)
+    lines = [
+        table,
+        (
+            f"slack: deadline {util.deadline:.1f}, nominal makespan "
+            f"{util.nominal_makespan:.1f}, stretched {util.stretched_makespan:.1f} "
+            f"→ {100 * util.utilisation:.0f}% of headroom consumed"
+        ),
+        f"expected energy: {expected_energy:.2f}",
+        f"mutual-exclusion slot sharing: {len(overlaps)} overlapping pair(s)",
+    ]
+    for pe, a, b, shared in overlaps[:10]:
+        lines.append(f"  {pe}: {a} ∥ {b} for {shared:.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""The paper's online scheduling + DVFS algorithm (§III.A), end to end.
+
+One call runs both stages — the modified probability-aware DLS for
+mapping/ordering, then the low-complexity slack-distribution stretching
+heuristic for voltage selection — and returns a locked schedule.  This
+is the routine the adaptive controller re-invokes whenever the windowed
+branch probabilities drift past the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ctg.graph import ConditionalTaskGraph
+from ..ctg.minterms import BranchProbabilities, CtgAnalysis
+from ..platform.mpsoc import Platform
+from .dls import dls_schedule
+from .schedule import Schedule
+from .stretching import StretchReport, stretch_schedule
+
+
+@dataclass
+class OnlineResult:
+    """Outcome of one online scheduling + DVFS invocation."""
+
+    schedule: Schedule
+    stretch: StretchReport
+
+
+def schedule_online(
+    ctg: ConditionalTaskGraph,
+    platform: Platform,
+    probabilities: Optional[BranchProbabilities] = None,
+    deadline: Optional[float] = None,
+    probability_weighted: bool = True,
+    analysis: Optional[CtgAnalysis] = None,
+    max_passes: int = 1,
+    share_exponent: float = 1.0,
+) -> OnlineResult:
+    """Run the complete online algorithm.
+
+    Parameters
+    ----------
+    ctg:
+        The application graph (its ``deadline`` is used unless
+        overridden).
+    platform:
+        The target MPSoC.
+    probabilities:
+        Branch distributions the schedule should be optimal for;
+        defaults to the graph's profiled ones.
+    deadline:
+        Optional deadline override.
+    probability_weighted:
+        Forwarded to the stretching heuristic (the ablation switch).
+    analysis:
+        Pre-computed structural analysis of ``ctg``; pass it when
+        calling repeatedly (the adaptive controller does) so scenario
+        enumeration, mutual exclusion and Γ are derived only once.
+    max_passes, share_exponent:
+        Forwarded to :func:`repro.scheduling.stretch_schedule` (the
+        ablation knobs of the slack-distribution stage).
+
+    Returns
+    -------
+    OnlineResult
+        The locked schedule plus stretching diagnostics.
+    """
+    if probabilities is None:
+        probabilities = ctg.default_probabilities
+    if analysis is None:
+        analysis = CtgAnalysis.of(ctg)
+    schedule = dls_schedule(ctg, platform, probabilities, analysis=analysis)
+    if deadline is not None:
+        schedule.ctg.deadline = deadline
+    stretch = stretch_schedule(
+        schedule,
+        probabilities,
+        deadline=deadline,
+        probability_weighted=probability_weighted,
+        analysis=analysis,
+        max_passes=max_passes,
+        share_exponent=share_exponent,
+    )
+    return OnlineResult(schedule=schedule, stretch=stretch)
+
+
+def minimal_makespan(ctg: ConditionalTaskGraph, platform: Platform) -> float:
+    """Worst-case makespan of the nominal-speed DLS schedule.
+
+    The paper sets experiment deadlines relative to "the optimum
+    schedule length" (e.g. 2× for the cruise controller); this is the
+    reproducible stand-in: the best schedule the framework itself can
+    build at full speed.
+    """
+    schedule = dls_schedule(ctg, platform, ctg.default_probabilities)
+    return schedule.makespan()
+
+
+def set_deadline_from_makespan(
+    ctg: ConditionalTaskGraph, platform: Platform, factor: float
+) -> float:
+    """Set ``ctg.deadline = factor × minimal makespan``; returns it."""
+    if factor < 1.0:
+        raise ValueError("deadline factor below 1.0 is necessarily infeasible")
+    ctg.deadline = factor * minimal_makespan(ctg, platform)
+    return ctg.deadline

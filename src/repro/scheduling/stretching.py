@@ -1,0 +1,401 @@
+"""Online task-stretching heuristic — the paper's Figure 2.
+
+Stage 2 of the online algorithm: after the modified DLS has fixed the
+mapping and ordering (recorded as pseudo edges in the schedule's CTG),
+every task receives **one** speed, chosen by distributing path slack in
+proportion to probability-weighted criticality:
+
+1. enumerate all source→sink paths of the scheduled graph, with
+   per-path ``delay`` (execution + cross-PE communication),
+   ``slk = deadline − delay`` and ``stretchable`` (execution time of
+   the not-yet-locked tasks — the denominator of the distributable
+   ratio; see :class:`_PathState` for why);
+2. for each task τ in scheduler order, ``CalculateSlack(τ)``:
+
+   * **slk1** — for every minterm with *uncertain* spanning paths
+     (``prob(p, τ) ≠ 1``), the critical path's ratio weighted by the
+     probability of the still-undecided branch outcomes (per-minterm
+     critical paths found in one ratio-ordered sweep over scenario
+     bitmasks — see :func:`_calculate_slack`);
+   * **slk2** — the critical *certain* path's plain share;
+   * both scaled by wcet(τ) and prob(τ); the grant is
+     ``min(slk1, slk2)`` clamped so every spanning path still meets
+     the deadline (steps 9–10 — this is what makes the result a
+     *hard* real-time schedule in every scenario);
+
+3. stretch τ by its grant, lock its speed (PE envelope applied), and
+   fold the consumed slack into every spanning path before the next
+   task.
+
+Both slack terms are weighted by the activation probability prob(τ), so
+likely tasks collect more slack — the adaptive lever the paper pulls
+when branch statistics drift.  The knobs: ``probability_weighted=False``
+reproduces ref [9]'s uniform distribution, ``share_exponent`` softens
+the linear weight toward the energy-optimal root, ``max_passes`` adds
+redistribution sweeps, ``prune_zero_probability`` drops statistically
+impossible paths — all measured by the slack-weighting ablation bench
+and discussed in DESIGN.md §6.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..ctg.conditions import ConditionProduct
+from ..ctg.minterms import (
+    BranchProbabilities,
+    CtgAnalysis,
+    activation_probability,
+    enumerate_scenarios,
+)
+from ..ctg.paths import CTGPath, enumerate_paths, path_delay
+from .schedule import Schedule, SchedulingError
+
+_CERTAIN_TOL = 1e-12
+
+
+@dataclass
+class _PathState:
+    """Mutable delay/slack bookkeeping of one path.
+
+    ``delay`` tracks the path's total current delay (execution at the
+    locked speeds plus communication).  ``stretchable`` tracks the
+    nominal execution time of the tasks on the path that are *not yet
+    locked* — the paper's update step "releas[es] the tasks that are
+    being stretched from consideration", so the distributable ratio is
+    taken against what can still absorb slack.  On a simple chain this
+    makes the heuristic hand out exactly the available slack (every
+    task ends at the same speed, matching the NLP optimum), which is
+    what puts it within a few percent of the NLP baseline as the paper
+    reports.
+
+    ``prob_after`` caches the paper's ``prob(p, τ)`` per task on the
+    path under the distribution of this stretching run (computed once
+    up front — the inner loop queries it |V|·|paths| times).
+    """
+
+    path: CTGPath
+    delay: float
+    slack: float
+    stretchable: float
+    prob_after: Dict[str, float] = field(default_factory=dict)
+    #: bitmask over the scenario list: which minterms this path can
+    #: occur under (its edge conditions all chosen by the scenario)
+    scenario_mask: int = 0
+
+    @property
+    def ratio(self) -> float:
+        """The distributable slack ratio slk(p) / stretchable-delay(p)."""
+        if self.stretchable <= 0:
+            return 0.0
+        return max(self.slack, 0.0) / self.stretchable
+
+    def fill_prob_after(self, probabilities: BranchProbabilities) -> None:
+        """Pre-compute prob(p, τ) for every task on the path."""
+        hops = [
+            (i, outcome)
+            for i, outcome in enumerate(self.path.edge_conditions)
+            if outcome is not None
+        ]
+        for position, node in enumerate(self.path.nodes):
+            probability = 1.0
+            for hop, outcome in hops:
+                if hop >= position:
+                    probability *= probabilities[outcome.branch][outcome.label]
+            self.prob_after[node] = probability
+
+
+@dataclass
+class StretchReport:
+    """Diagnostics of one stretching run.
+
+    Attributes
+    ----------
+    slack_given:
+        Raw slack granted to each task (before PE-envelope clamping).
+    speeds:
+        Final relative speed of each task.
+    path_count:
+        Number of paths the heuristic reasoned over.
+    """
+
+    slack_given: Dict[str, float] = field(default_factory=dict)
+    speeds: Dict[str, float] = field(default_factory=dict)
+    path_count: int = 0
+
+
+def stretch_schedule(
+    schedule: Schedule,
+    probabilities: Optional[BranchProbabilities] = None,
+    deadline: Optional[float] = None,
+    probability_weighted: bool = True,
+    analysis: Optional["CtgAnalysis"] = None,
+    max_passes: int = 1,
+    share_exponent: float = 1.0,
+    prune_zero_probability: bool = False,
+) -> StretchReport:
+    """Assign DVFS speeds to a mapped/ordered schedule (in place).
+
+    Parameters
+    ----------
+    schedule:
+        Output of :func:`repro.scheduling.dls.dls_schedule`; modified in
+        place (speeds set on its placements).
+    probabilities:
+        Branch distributions; defaults to the graph's profiled ones.
+    deadline:
+        Overrides the graph's deadline when given.
+    probability_weighted:
+        Weight slack by activation probability (the paper's approach).
+        ``False`` drops the prob(τ) and prob(p, τ) weights — the
+        uniform slack distribution the paper criticises ref [9] for.
+    analysis:
+        Pre-computed structural analysis (scenarios/Γ); saves
+        re-deriving it on every adaptive re-scheduling call.
+    max_passes:
+        Number of distribution sweeps.  The paper's procedure is one
+        sweep (the default): each task receives its probability-
+        weighted share once and is locked, which is precisely what
+        lets a mispredicted distribution starve the tasks it considers
+        unlikely (the Table 4 effect).  Additional sweeps re-offer the
+        slack that probability weighting left on each path — closer to
+        the NLP optimum for the *given* distribution but far less
+        sensitive to it; the ablation bench compares the two regimes.
+    share_exponent:
+        Exponent applied to the activation probability in the slack
+        grant; 1.0 is the paper's linear weighting ("both slack values
+        are further weighted by the activation probability").  Under
+        the E ∝ ρ^α DVFS law the *energy-optimal* share weight is the
+        (α+1)-th root (the KKT point of the expected-energy NLP on a
+        chain), i.e. ``1/3`` for the quadratic model — available here
+        for the weighting ablation.
+    prune_zero_probability:
+        Treat paths whose branch conditions have probability 0 under
+        the supplied distribution as non-existent: they impose no
+        deadline constraint and receive no slack.  This is what makes
+        the schedule *statistically* optimal for the profiled
+        distribution — when a sliding window has seen only one side of
+        a branch for L instances, the other side's subgraph stops
+        constraining the speeds (its tasks stay at nominal speed).  If
+        the pruned branch then fires before the profiler reacts, the
+        instance may overrun the deadline; the simulator counts such
+        misses and the experiment reports include them.  Default
+        ``False``: strictly hard-real-time behaviour under any branch
+        decision (measured to cost nothing on the paper's workloads —
+        see the pruning ablation bench).
+
+    Returns
+    -------
+    StretchReport
+        Per-task slack/speed diagnostics.
+
+    Raises
+    ------
+    SchedulingError
+        If the nominal-speed schedule already misses the deadline.
+    """
+    ctg = schedule.ctg
+    limit = ctg.deadline if deadline is None else deadline
+    if limit <= 0:
+        raise SchedulingError("stretching needs a positive deadline")
+    if probabilities is None:
+        probabilities = ctg.default_probabilities
+
+    if analysis is None:
+        real_ctg = ctg.without_pseudo_edges()
+        scenarios = enumerate_scenarios(real_ctg)
+        act_prob = activation_probability(real_ctg, probabilities, scenarios=scenarios)
+    else:
+        scenarios = analysis.scenarios
+        act_prob = activation_probability(None, probabilities, scenarios=scenarios)
+    scenario_probs = [s.probability(probabilities) for s in scenarios]
+    scenario_assignments = [dict(s.product.assignment) for s in scenarios]
+
+    exec_times = schedule.execution_times()
+    edge_delays = schedule.edge_delays()
+    states: List[_PathState] = []
+    mask_cache: Dict[ConditionProduct, int] = {}
+    for path in enumerate_paths(ctg, include_pseudo=True):
+        mask = _scenario_mask(path.condition, scenario_assignments, mask_cache)
+        if prune_zero_probability and _mask_probability(mask, scenario_probs) <= 0.0:
+            continue  # statistically impossible under this distribution
+        delay = path_delay(path, exec_times, edge_delays)
+        stretchable = sum(exec_times[node] for node in path.nodes)
+        state = _PathState(
+            path=path, delay=delay, slack=limit - delay, stretchable=stretchable
+        )
+        state.fill_prob_after(probabilities)
+        state.scenario_mask = mask
+        states.append(state)
+    if not states:
+        raise SchedulingError("schedule has no paths to stretch along")
+    worst = min(state.slack for state in states)
+    if worst < -1e-6:
+        raise SchedulingError(
+            f"nominal schedule infeasible: most critical path exceeds the "
+            f"deadline by {-worst:.3f}"
+        )
+
+    spanning: Dict[str, List[_PathState]] = {task: [] for task in ctg.tasks()}
+    for state in states:
+        for node in state.path.nodes:
+            spanning[node].append(state)
+
+    report = StretchReport(path_count=len(states))
+    order = schedule.placement_order()
+    epsilon = 1e-9 * limit
+    for _ in range(max(1, max_passes)):
+        granted = 0.0
+        for task in order:
+            if not spanning[task]:
+                # every path through this task was pruned: the task
+                # cannot occur under the current distribution, so it
+                # keeps nominal speed and no bookkeeping changes.
+                report.slack_given.setdefault(task, 0.0)
+                report.speeds[task] = schedule.placement(task).speed
+                continue
+            placement = schedule.placement(task)
+            duration = placement.duration  # current, after earlier passes
+            slack = _calculate_slack(
+                task,
+                duration,
+                spanning[task],
+                act_prob.get(task, 0.0) ** share_exponent,
+                scenario_probs,
+                probability_weighted,
+            )
+            # Steps 9-10: never let a spanning path cross the deadline.
+            slack = min(slack, min(state.slack for state in spanning[task]))
+            slack = max(slack, 0.0)
+            report.slack_given[task] = report.slack_given.get(task, 0.0) + slack
+
+            schedule.set_speed(task, placement.wcet / (duration + slack))
+            report.speeds[task] = placement.speed
+            consumed = placement.duration - duration  # after PE clamping
+            granted += consumed
+            for state in spanning[task]:
+                state.delay += consumed
+                state.slack -= consumed
+                state.stretchable -= duration
+        if granted <= epsilon:
+            break
+        # Re-arm the stretchable pool for the next sweep: every task is
+        # unlocked again, its weight now being its *current* duration.
+        for state in states:
+            state.stretchable = sum(
+                schedule.placement(node).duration for node in state.path.nodes
+            )
+    return report
+
+
+def _scenario_mask(
+    condition: ConditionProduct,
+    scenario_assignments: Sequence[Mapping[str, str]],
+    cache: Dict[ConditionProduct, int],
+) -> int:
+    """Bitmask of the scenarios under which a path can occur.
+
+    A path belongs to a minterm when every branch outcome on the path
+    is actually *chosen by* that scenario (a scenario that deactivates
+    the branch cannot run the path).  Conditions repeat heavily across
+    paths, hence the cache.
+    """
+    mask = cache.get(condition)
+    if mask is not None:
+        return mask
+    items = list(condition.assignment.items())
+    mask = 0
+    for index, assignment in enumerate(scenario_assignments):
+        if all(assignment.get(branch) == label for branch, label in items):
+            mask |= 1 << index
+    cache[condition] = mask
+    return mask
+
+
+def _calculate_slack(
+    task: str,
+    wcet: float,
+    spanning_states: Sequence[_PathState],
+    task_prob: float,
+    scenario_probs: Sequence[float],
+    probability_weighted: bool,
+) -> float:
+    """The paper's CalculateSlack(τ) (Figure 2, steps 1–8).
+
+    ``slk1`` iterates the minterms (scenarios): for each minterm, the
+    critical spanning path among those belonging to it with
+    ``prob(p, τ) ≠ 1`` contributes its distributable ratio, weighted by
+    the probability of the branch outcomes still undecided after τ —
+    implemented as the scenario's probability normalised over the
+    minterms that have uncertain spanning paths, which on branch-pure
+    paths (no pseudo-edge mixing) equals the paper's prob(p_worst, τ)
+    exactly (e.g. Figure 1: the weights for τ₁ are 0.4/0.3/0.3, for τ₅
+    they are 0.5/0.5 = prob(b₁)/prob(b₂)).  ``slk2`` is the plain share
+    of the critical *certain* path.  Both carry the prob(τ) activation
+    weight, and the grant is their minimum so an uncertain critical
+    path can never starve a certain one.
+
+    With ``probability_weighted=False`` all probability weights drop to
+    the ref-[9] flavour the paper criticises: every spanning path is
+    treated alike and the share is the critical path's, regardless of
+    how likely the task or the path is.
+
+    The per-minterm critical paths are found in one sweep: walk the
+    spanning paths in ascending ratio order and let each claim every
+    not-yet-claimed scenario it belongs to — the first claimant of a
+    scenario is by construction its lowest-ratio (most critical) path.
+    """
+    if not spanning_states:
+        return 0.0
+    if not probability_weighted:
+        critical = min(spanning_states, key=lambda s: s.ratio)
+        return wcet * critical.ratio
+
+    uncertain: List[_PathState] = []
+    certain: List[_PathState] = []
+    for state in spanning_states:
+        if state.prob_after[task] >= 1.0 - _CERTAIN_TOL:
+            certain.append(state)
+        else:
+            uncertain.append(state)
+
+    slk1: Optional[float] = None
+    if uncertain:
+        uncertain.sort(key=lambda s: s.ratio)
+        universe = 0
+        for state in uncertain:
+            universe |= state.scenario_mask
+        total_prob = _mask_probability(universe, scenario_probs)
+        if total_prob > 0.0:
+            claimed = 0
+            weighted_ratio = 0.0
+            for state in uncertain:
+                fresh = state.scenario_mask & ~claimed
+                if not fresh:
+                    continue
+                weighted_ratio += _mask_probability(fresh, scenario_probs) * state.ratio
+                claimed |= fresh
+                if claimed == universe:
+                    break
+            slk1 = wcet * (weighted_ratio / total_prob) * task_prob
+
+    slk2: Optional[float] = None
+    if certain:
+        critical = min(certain, key=lambda s: s.ratio)
+        slk2 = wcet * critical.ratio * task_prob
+
+    values = [v for v in (slk1, slk2) if v is not None]
+    return min(values) if values else 0.0
+
+
+def _mask_probability(mask: int, scenario_probs: Sequence[float]) -> float:
+    """Total probability of the scenarios set in ``mask``."""
+    total = 0.0
+    index = 0
+    while mask:
+        if mask & 1:
+            total += scenario_probs[index]
+        mask >>= 1
+        index += 1
+    return total

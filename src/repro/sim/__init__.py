@@ -1,0 +1,28 @@
+"""Execution simulator: per-instance replay and trace-driven runners."""
+
+from .executor import InstanceExecutor, InstanceResult, execute_instance
+from .runner import RunResult, energy_savings, run_adaptive, run_non_adaptive
+from .vectors import (
+    DecisionVector,
+    Trace,
+    empirical_distribution,
+    executed_decisions,
+    scenario_from_decisions,
+    validate_trace,
+)
+
+__all__ = [
+    "InstanceExecutor",
+    "InstanceResult",
+    "execute_instance",
+    "RunResult",
+    "energy_savings",
+    "run_adaptive",
+    "run_non_adaptive",
+    "DecisionVector",
+    "Trace",
+    "empirical_distribution",
+    "executed_decisions",
+    "scenario_from_decisions",
+    "validate_trace",
+]

@@ -1,0 +1,150 @@
+"""Trace-driven evaluation of the adaptive and non-adaptive policies.
+
+This is the experimental harness of the paper's §IV: a *trace* (one
+branch decision vector per CTG instance) is replayed against
+
+* the **non-adaptive online** policy — one schedule built from profiled
+  training probabilities and kept for the whole run ("online" in the
+  paper's tables), and
+* the **adaptive** policy — the same online algorithm re-invoked by the
+  windowed threshold controller as statistics drift.
+
+Both report total/mean energy, per-instance energies, deadline misses
+and (for the adaptive policy) the number of re-scheduling calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional
+
+from ..adaptive.controller import AdaptiveConfig, AdaptiveController
+from ..ctg.graph import ConditionalTaskGraph
+from ..platform.mpsoc import Platform
+from ..scheduling.online import schedule_online
+from .executor import InstanceExecutor
+from .vectors import Trace
+
+
+@dataclass
+class RunResult:
+    """Aggregate outcome of replaying a trace under one policy.
+
+    Attributes
+    ----------
+    energies:
+        Per-instance energy, in trace order.
+    reschedule_calls:
+        How many times the online algorithm was re-invoked (0 for the
+        non-adaptive policy).
+    call_instances:
+        Instance indices (1-based) at which re-scheduling happened.
+    deadline_misses:
+        Number of instances finishing past the deadline (0 by
+        construction for schedules built by this package).
+    """
+
+    energies: List[float] = field(default_factory=list)
+    reschedule_calls: int = 0
+    call_instances: List[int] = field(default_factory=list)
+    deadline_misses: int = 0
+
+    @property
+    def total_energy(self) -> float:
+        """Sum of all instance energies (re-scheduling overhead excluded)."""
+        return sum(self.energies)
+
+    @property
+    def mean_energy(self) -> float:
+        """Average energy per instance (0 for an empty trace)."""
+        return self.total_energy / len(self.energies) if self.energies else 0.0
+
+    def total_with_overhead(self, energy_per_call: float) -> float:
+        """Total energy including a per-re-scheduling-call cost.
+
+        The paper neglects the overhead of the online algorithm itself
+        but motivates the threshold by it ("appropriate threshold
+        selection minimizes the overhead"); this puts a number on the
+        trade-off (see the overhead ablation bench).
+        """
+        return self.total_energy + self.reschedule_calls * energy_per_call
+
+    def break_even_overhead(self, baseline: "RunResult") -> float:
+        """Per-call overhead at which this run's saving over ``baseline``
+        vanishes (``inf`` when no calls were made)."""
+        if self.reschedule_calls == 0:
+            return float("inf")
+        return (baseline.total_energy - self.total_energy) / self.reschedule_calls
+
+
+def run_non_adaptive(
+    ctg: ConditionalTaskGraph,
+    platform: Platform,
+    trace: Trace,
+    probabilities: Mapping[str, Mapping[str, float]],
+    deadline: Optional[float] = None,
+) -> RunResult:
+    """Replay a trace under a single schedule built from ``probabilities``.
+
+    ``probabilities`` is the profiled training distribution (the paper's
+    "online"/"non-adaptive" rows); it is *not* updated during the run.
+    """
+    online = schedule_online(ctg, platform, probabilities, deadline=deadline)
+    executor = InstanceExecutor(online.schedule)
+    result = RunResult()
+    for vector in trace:
+        outcome = executor.run(vector)
+        result.energies.append(outcome.energy)
+        if not outcome.deadline_met:
+            result.deadline_misses += 1
+    return result
+
+
+def run_adaptive(
+    ctg: ConditionalTaskGraph,
+    platform: Platform,
+    trace: Trace,
+    initial_probabilities: Mapping[str, Mapping[str, float]],
+    config: AdaptiveConfig = AdaptiveConfig(),
+    deadline: Optional[float] = None,
+    profiler=None,
+) -> RunResult:
+    """Replay a trace under the window/threshold adaptive policy.
+
+    Each instance executes under the *current* schedule; its executed
+    branch decisions are then shifted into the profiler, possibly
+    triggering re-scheduling that takes effect from the next instance
+    (the paper: "each time after a branch fork task is executed, a new
+    branch decision is shifted into the buffer").  ``profiler`` swaps
+    the estimator (default: the paper's sliding window).
+    """
+    if deadline is not None:
+        ctg = ctg.copy()
+        ctg.deadline = deadline
+    controller = AdaptiveController(
+        ctg, platform, initial_probabilities, config, profiler=profiler
+    )
+    executor = InstanceExecutor(controller.schedule)
+    branches = ctg.branch_nodes()
+    result = RunResult()
+    for vector in trace:
+        outcome = executor.run(vector)
+        result.energies.append(outcome.energy)
+        if not outcome.deadline_met:
+            result.deadline_misses += 1
+        executed = {
+            b: vector[b] for b in branches if b in outcome.scenario.active
+        }
+        if controller.observe(executed):
+            executor = InstanceExecutor(controller.schedule)
+    result.reschedule_calls = controller.calls
+    result.call_instances = list(controller.call_log)
+    return result
+
+
+def energy_savings(non_adaptive: RunResult, adaptive: RunResult) -> float:
+    """Relative energy saving of the adaptive policy (paper's headline
+    percentage): ``1 − adaptive / non-adaptive``."""
+    if non_adaptive.total_energy == 0:
+        return 0.0
+    return 1.0 - adaptive.total_energy / non_adaptive.total_energy

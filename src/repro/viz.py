@@ -1,0 +1,258 @@
+"""Dependency-free SVG rendering of schedules and experiment figures.
+
+The environment this package targets is offline and matplotlib-free,
+so the figures the paper plots (Gantt-style schedules, the Figure-4
+probability series, the Figure-5/6 energy bars) are emitted as plain
+SVG — viewable in any browser and diffable in version control.
+
+* :func:`gantt_svg` — one lane per PE (sub-lanes for overlapping
+  mutually exclusive tasks), bars shaded by DVFS speed, deadline
+  marker;
+* :func:`series_svg` — one or more 0-1 series over instance index
+  (Figure 4);
+* :func:`bars_svg` — grouped bar chart (Figure 5 / Figure 6).
+
+Only standard-library string formatting is used; every function
+returns the SVG document as a string (callers write it to a file).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .scheduling.schedule import Schedule
+
+#: A small colour-blind-safe palette for categorical data.
+PALETTE: Tuple[str, ...] = (
+    "#4477aa", "#ee6677", "#228833", "#ccbb44",
+    "#66ccee", "#aa3377", "#bbbbbb",
+)
+
+
+def _header(width: int, height: int) -> List[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="monospace" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+
+
+def _text(x: float, y: float, content: str, anchor: str = "start", size: int = 11) -> str:
+    return (
+        f'<text x="{x:.1f}" y="{y:.1f}" text-anchor="{anchor}" '
+        f'font-size="{size}">{html.escape(content)}</text>'
+    )
+
+
+def _speed_colour(speed: float) -> str:
+    """Green (deep stretch) → red (nominal speed) ramp."""
+    speed = min(1.0, max(0.0, speed))
+    red = int(60 + 180 * speed)
+    green = int(200 - 120 * speed)
+    return f"rgb({red},{green},80)"
+
+
+def gantt_svg(
+    schedule: Schedule,
+    width: int = 900,
+    lane_height: int = 26,
+    title: str = "",
+) -> str:
+    """Render the worst-case schedule as an SVG Gantt chart."""
+    times = schedule.worst_case_times()
+    horizon = max(schedule.makespan(), schedule.ctg.deadline)
+    if horizon <= 0:
+        raise ValueError("cannot render an empty schedule")
+    left, top, right = 70, 40 if title else 24, 20
+    plot_width = width - left - right
+    scale = plot_width / horizon
+
+    # lay tasks into sub-lanes per PE (mutually exclusive overlap)
+    pe_lanes: List[Tuple[str, List[List[str]]]] = []
+    for pe in schedule.platform.pe_names:
+        lanes: List[List[str]] = []
+        ends: List[List[Tuple[float, float]]] = []
+        for task in sorted(schedule.tasks_on(pe), key=lambda t: times[t][0]):
+            start, finish = times[task]
+            placed = False
+            for lane, intervals in zip(lanes, ends):
+                if all(finish <= a or start >= b for a, b in intervals):
+                    lane.append(task)
+                    intervals.append((start, finish))
+                    placed = True
+                    break
+            if not placed:
+                lanes.append([task])
+                ends.append([(start, finish)])
+        pe_lanes.append((pe, lanes or [[]]))
+
+    total_lanes = sum(len(lanes) for _pe, lanes in pe_lanes)
+    height = top + total_lanes * lane_height + 40
+    out = _header(width, height)
+    if title:
+        out.append(_text(width / 2, 18, title, anchor="middle", size=14))
+
+    y = top
+    for pe, lanes in pe_lanes:
+        out.append(_text(8, y + lane_height * len(lanes) / 2, pe))
+        for lane in lanes:
+            for task in lane:
+                start, finish = times[task]
+                placement = schedule.placement(task)
+                x = left + start * scale
+                bar_width = max(1.0, (finish - start) * scale)
+                out.append(
+                    f'<rect x="{x:.1f}" y="{y + 3}" width="{bar_width:.1f}" '
+                    f'height="{lane_height - 6}" fill="{_speed_colour(placement.speed)}" '
+                    f'stroke="#333" stroke-width="0.5">'
+                    f"<title>{html.escape(task)}: [{start:.1f}, {finish:.1f}) "
+                    f"speed {placement.speed:.2f}</title></rect>"
+                )
+                if bar_width > 7 * len(task):
+                    out.append(
+                        _text(x + bar_width / 2, y + lane_height / 2 + 3, task, "middle", 10)
+                    )
+            y += lane_height
+
+    axis_y = y + 8
+    out.append(
+        f'<line x1="{left}" y1="{axis_y}" x2="{left + plot_width}" y2="{axis_y}" '
+        f'stroke="#333"/>'
+    )
+    for tick in range(0, 11):
+        tx = left + plot_width * tick / 10
+        out.append(f'<line x1="{tx:.1f}" y1="{axis_y}" x2="{tx:.1f}" y2="{axis_y + 4}" stroke="#333"/>')
+        out.append(_text(tx, axis_y + 16, f"{horizon * tick / 10:.0f}", "middle", 9))
+    deadline_x = left + schedule.ctg.deadline * scale
+    out.append(
+        f'<line x1="{deadline_x:.1f}" y1="{top - 4}" x2="{deadline_x:.1f}" '
+        f'y2="{axis_y}" stroke="#cc0000" stroke-dasharray="4 3"/>'
+    )
+    out.append(_text(deadline_x, top - 8, "deadline", "middle", 10))
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def series_svg(
+    series: Mapping[str, Sequence[float]],
+    width: int = 900,
+    height: int = 260,
+    title: str = "",
+    y_range: Tuple[float, float] = (0.0, 1.0),
+) -> str:
+    """Render named numeric series (e.g. Figure 4's prob curves)."""
+    if not series:
+        raise ValueError("no series to render")
+    left, top, right, bottom = 46, 40 if title else 20, 14, 34
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    lo, hi = y_range
+    if hi <= lo:
+        raise ValueError("empty y range")
+    length = max(len(values) for values in series.values())
+    if length < 2:
+        raise ValueError("series need at least two points")
+
+    out = _header(width, height)
+    if title:
+        out.append(_text(width / 2, 18, title, anchor="middle", size=14))
+    # axes + gridlines
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        gy = top + plot_h * (1 - frac)
+        out.append(
+            f'<line x1="{left}" y1="{gy:.1f}" x2="{left + plot_w}" y2="{gy:.1f}" '
+            f'stroke="#ddd"/>'
+        )
+        out.append(_text(left - 6, gy + 4, f"{lo + frac * (hi - lo):.2f}", "end", 9))
+    for index, (name, values) in enumerate(series.items()):
+        colour = PALETTE[index % len(PALETTE)]
+        points = []
+        for i, value in enumerate(values):
+            x = left + plot_w * i / (length - 1)
+            clamped = min(hi, max(lo, value))
+            y = top + plot_h * (1 - (clamped - lo) / (hi - lo))
+            points.append(f"{x:.1f},{y:.1f}")
+        out.append(
+            f'<polyline points="{" ".join(points)}" fill="none" '
+            f'stroke="{colour}" stroke-width="1.4"/>'
+        )
+        out.append(
+            f'<rect x="{left + 8 + 150 * index}" y="{height - 18}" width="10" '
+            f'height="10" fill="{colour}"/>'
+        )
+        out.append(_text(left + 22 + 150 * index, height - 9, name, size=10))
+    out.append(
+        f'<line x1="{left}" y1="{top + plot_h}" x2="{left + plot_w}" '
+        f'y2="{top + plot_h}" stroke="#333"/>'
+    )
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def bars_svg(
+    categories: Sequence[str],
+    groups: Mapping[str, Sequence[float]],
+    width: int = 900,
+    height: int = 300,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render a grouped bar chart (Figure 5 / Figure 6 style).
+
+    ``categories`` label the x axis (e.g. movie names); each entry of
+    ``groups`` is one bar series (e.g. "online", "adaptive T=0.5") with
+    one value per category.
+    """
+    if not categories or not groups:
+        raise ValueError("need categories and at least one group")
+    for name, values in groups.items():
+        if len(values) != len(categories):
+            raise ValueError(f"group {name!r} has {len(values)} values for "
+                             f"{len(categories)} categories")
+    left, top, right, bottom = 56, 40 if title else 20, 14, 52
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    peak = max(max(values) for values in groups.values())
+    if peak <= 0:
+        raise ValueError("all values are non-positive")
+
+    out = _header(width, height)
+    if title:
+        out.append(_text(width / 2, 18, title, anchor="middle", size=14))
+    if y_label:
+        out.append(_text(12, top - 6, y_label, size=10))
+    for frac in (0.25, 0.5, 0.75, 1.0):
+        gy = top + plot_h * (1 - frac)
+        out.append(f'<line x1="{left}" y1="{gy:.1f}" x2="{left + plot_w}" y2="{gy:.1f}" stroke="#ddd"/>')
+        out.append(_text(left - 6, gy + 4, f"{peak * frac:.0f}", "end", 9))
+
+    slot = plot_w / len(categories)
+    bar = slot * 0.8 / len(groups)
+    for g_index, (name, values) in enumerate(groups.items()):
+        colour = PALETTE[g_index % len(PALETTE)]
+        for c_index, value in enumerate(values):
+            x = left + slot * c_index + slot * 0.1 + bar * g_index
+            bar_height = plot_h * max(0.0, value) / peak
+            y = top + plot_h - bar_height
+            out.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar:.1f}" '
+                f'height="{bar_height:.1f}" fill="{colour}">'
+                f"<title>{html.escape(name)} / {html.escape(str(categories[c_index]))}: "
+                f"{value:.1f}</title></rect>"
+            )
+        out.append(
+            f'<rect x="{left + 8 + 170 * g_index}" y="{height - 14}" width="10" '
+            f'height="10" fill="{colour}"/>'
+        )
+        out.append(_text(left + 22 + 170 * g_index, height - 5, name, size=10))
+    for c_index, category in enumerate(categories):
+        cx = left + slot * (c_index + 0.5)
+        out.append(_text(cx, top + plot_h + 14, str(category), "middle", 9))
+    out.append(
+        f'<line x1="{left}" y1="{top + plot_h}" x2="{left + plot_w}" '
+        f'y2="{top + plot_h}" stroke="#333"/>'
+    )
+    out.append("</svg>")
+    return "\n".join(out)

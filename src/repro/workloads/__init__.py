@@ -1,0 +1,35 @@
+"""Application models and branch-decision trace generators."""
+
+from .cruise import cruise_ctg, cruise_platform
+from .mpeg import BLOCK_COUNT, mpeg_ctg, mpeg_platform
+from .wlan import CHANNEL_STATES, channel_trace, wlan_ctg, wlan_platform
+from .traces import (
+    MOVIE_PROFILES,
+    ROAD_REGIMES,
+    DriftingBranchModel,
+    biased_profile,
+    drifting_trace,
+    fluctuating_trace,
+    movie_trace,
+    road_trace,
+)
+
+__all__ = [
+    "cruise_ctg",
+    "cruise_platform",
+    "BLOCK_COUNT",
+    "mpeg_ctg",
+    "mpeg_platform",
+    "MOVIE_PROFILES",
+    "ROAD_REGIMES",
+    "DriftingBranchModel",
+    "biased_profile",
+    "drifting_trace",
+    "fluctuating_trace",
+    "movie_trace",
+    "road_trace",
+    "CHANNEL_STATES",
+    "channel_trace",
+    "wlan_ctg",
+    "wlan_platform",
+]

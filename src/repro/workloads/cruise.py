@@ -1,0 +1,146 @@
+"""The vehicle cruise-controller CTG (paper §IV, after Pop [15]).
+
+The paper's second real-life application: a 32-task conditional task
+graph with **two** branching nodes mapped onto **five** PEs, whose
+branch decisions track the road (increase vs decrease the reference
+speed, and how to brake).  The paper notes the CTG has only **three
+minterms**, the two minterms of a common branching node being "almost
+equal in energy" — which is why adaptivity only buys ≈5% there.
+
+We reconstruct that structure: a sensing/fusion front-end, a control
+branch (accelerate vs decelerate), a braking-strategy branch nested in
+the decelerate arm (engine vs friction braking → minterms c₁, c₂g₁,
+c₂g₂), near-symmetric arm costs, and an actuation/diagnostics
+back-end.  Execution profiles follow typical automotive task weights
+(estimation/fusion heavy, actuation light).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ctg.graph import ConditionalTaskGraph, NodeKind
+from ..platform.energy import PAPER_MODEL, DvfsModel
+from ..platform.mpsoc import Platform
+from ..platform.pe import ProcessingElement
+
+_TASK_WCET: Dict[str, float] = {
+    # sensing front-end
+    "speed_sensor": 3.0,
+    "wheel_sensor": 3.0,
+    "throttle_sensor": 3.0,
+    "brake_sensor": 3.0,
+    "incline_sensor": 3.0,
+    "filter_speed": 5.0,
+    "filter_wheel": 5.0,
+    "filter_pedal": 4.0,
+    "fusion": 9.0,
+    "estimator": 11.0,
+    "target_calc": 6.0,
+    "control_law": 8.0,          # branch fork #1 (accelerate/decelerate)
+    # accelerate arm (minterm c1)
+    "throttle_plan": 7.0,
+    "fuel_map": 8.0,
+    "ignition_adv": 6.0,
+    "throttle_drive": 5.0,
+    # decelerate arm with nested braking fork (minterms c2g1 / c2g2)
+    "decel_plan": 7.0,
+    "brake_strategy": 4.0,       # branch fork #2 (engine/friction braking)
+    "engine_brake": 9.0,
+    "gear_select": 7.0,
+    "friction_brake": 8.0,
+    "abs_check": 8.0,
+    "brake_drive": 5.0,
+    # merge + actuation/diagnostics back-end
+    "actuate": 4.0,              # or-join of the three control paths
+    "speed_limit": 4.0,
+    "dashboard": 5.0,
+    "can_tx": 4.0,
+    "logger": 4.0,
+    "watchdog": 3.0,
+    "diag": 5.0,
+    "idle_mgr": 3.0,
+    "radar_sensor": 3.0,
+}
+
+
+def cruise_ctg() -> ConditionalTaskGraph:
+    """Build the 32-task, 2-fork cruise-controller CTG."""
+    ctg = ConditionalTaskGraph(name="cruise_controller")
+    for name in _TASK_WCET:
+        # brake_drive joins the two mutually exclusive braking paths;
+        # actuate joins the accelerate and decelerate arms.
+        kind = NodeKind.OR if name in ("actuate", "brake_drive") else NodeKind.AND
+        ctg.add_task(name, kind)
+
+    # Sensing front-end.
+    ctg.add_edge("speed_sensor", "filter_speed", comm_kbytes=1.0)
+    ctg.add_edge("wheel_sensor", "filter_wheel", comm_kbytes=1.0)
+    ctg.add_edge("throttle_sensor", "filter_pedal", comm_kbytes=1.0)
+    ctg.add_edge("brake_sensor", "filter_pedal", comm_kbytes=1.0)
+    ctg.add_edge("incline_sensor", "fusion", comm_kbytes=1.0)
+    ctg.add_edge("radar_sensor", "fusion", comm_kbytes=1.0)
+    ctg.add_edge("filter_speed", "fusion", comm_kbytes=2.0)
+    ctg.add_edge("filter_wheel", "fusion", comm_kbytes=2.0)
+    ctg.add_edge("filter_pedal", "fusion", comm_kbytes=2.0)
+    ctg.add_edge("fusion", "estimator", comm_kbytes=3.0)
+    ctg.add_edge("estimator", "target_calc", comm_kbytes=2.0)
+    ctg.add_edge("target_calc", "control_law", comm_kbytes=2.0)
+
+    # Branch #1: accelerate (c1) vs decelerate (c2).
+    ctg.add_conditional_edge("control_law", "throttle_plan", "c1", comm_kbytes=2.0)
+    ctg.add_conditional_edge("control_law", "decel_plan", "c2", comm_kbytes=2.0)
+
+    # Accelerate arm.
+    ctg.add_edge("throttle_plan", "fuel_map", comm_kbytes=2.0)
+    ctg.add_edge("fuel_map", "ignition_adv", comm_kbytes=2.0)
+    ctg.add_edge("ignition_adv", "throttle_drive", comm_kbytes=1.0)
+    ctg.add_edge("throttle_drive", "actuate", comm_kbytes=1.0)
+
+    # Decelerate arm with the nested braking-strategy fork.
+    ctg.add_edge("decel_plan", "brake_strategy", comm_kbytes=2.0)
+    ctg.add_conditional_edge("brake_strategy", "engine_brake", "g1", comm_kbytes=1.5)
+    ctg.add_conditional_edge("brake_strategy", "friction_brake", "g2", comm_kbytes=1.5)
+    ctg.add_edge("engine_brake", "gear_select", comm_kbytes=1.5)
+    ctg.add_edge("friction_brake", "abs_check", comm_kbytes=1.5)
+    ctg.add_edge("gear_select", "brake_drive", comm_kbytes=1.0)
+    ctg.add_edge("abs_check", "brake_drive", comm_kbytes=1.0)
+    ctg.add_edge("brake_drive", "actuate", comm_kbytes=1.0)
+
+    # Back-end after the or-join.
+    ctg.add_edge("actuate", "speed_limit", comm_kbytes=1.0)
+    ctg.add_edge("speed_limit", "dashboard", comm_kbytes=1.0)
+    ctg.add_edge("speed_limit", "can_tx", comm_kbytes=1.0)
+    ctg.add_edge("can_tx", "logger", comm_kbytes=1.0)
+    ctg.add_edge("dashboard", "diag", comm_kbytes=1.0)
+    ctg.add_edge("logger", "diag", comm_kbytes=1.0)
+    ctg.add_edge("watchdog", "diag", comm_kbytes=0.5)
+    ctg.add_edge("diag", "idle_mgr", comm_kbytes=0.5)
+
+    ctg.default_probabilities = {
+        "control_law": {"c1": 0.5, "c2": 0.5},
+        "brake_strategy": {"g1": 0.5, "g2": 0.5},
+    }
+
+    ctg.validate()
+    if len(ctg) != 32 or len(ctg.branch_nodes()) != 2:
+        raise AssertionError("cruise CTG must have 32 tasks and 2 branch forks")
+    return ctg
+
+
+def cruise_platform(
+    pes: int = 5, dvfs: DvfsModel = PAPER_MODEL, min_speed: float = 0.25
+) -> Platform:
+    """The paper's 5-PE MPSoC for the cruise-controller experiment."""
+    platform = Platform(
+        [ProcessingElement(f"pe{i}", min_speed=min_speed) for i in range(pes)],
+        dvfs=dvfs,
+    )
+    if pes > 1:
+        platform.connect_all(bandwidth=2.0, energy_per_kbyte=0.05)
+    factors = [1.0 + 0.1 * ((i % 5) - 2) / 2.0 for i in range(pes)]
+    for task, base in _TASK_WCET.items():
+        for i, pe in enumerate(platform.pe_names):
+            wcet = base * factors[i]
+            platform.set_task_profile(task, pe, wcet=wcet, energy=wcet)
+    return platform

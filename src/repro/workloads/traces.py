@@ -1,0 +1,422 @@
+"""Branch-decision trace generators.
+
+The paper extracts branch decisions from real movie clips decoded by
+the Berkeley MPEG player and from vehicle runs over changing roads;
+neither resource is available, so these generators synthesise traces
+with the *statistics the paper measures*:
+
+* slowly drifting per-branch probabilities with local fluctuation
+  (Figure 4: the window-50 estimate wanders but is "predictable",
+  with occasional scene-change jumps);
+* average per-branch probability fluctuation of 0.4–0.5 during a run
+  (§IV, random-CTG experiments), while the long-run average stays at
+  a configured value (the Tables 4/5 vector sets have "average
+  probabilities of all branches … equal" across the set);
+* segment/regime structure for the cruise controller (uphill,
+  downhill, straight, bumpy road stretches).
+
+Every generator is seeded and returns a plain list of decision
+vectors (``branch → label``), one per CTG instance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ctg.graph import ConditionalTaskGraph
+from ..sim.vectors import Trace
+
+
+def _normalise(weights: Mapping[str, float]) -> Dict[str, float]:
+    total = sum(weights.values())
+    if total <= 0:
+        n = len(weights)
+        return {label: 1.0 / n for label in weights}
+    return {label: w / total for label, w in weights.items()}
+
+
+def _sample(rng: random.Random, distribution: Mapping[str, float]) -> str:
+    roll = rng.random()
+    acc = 0.0
+    last = None
+    for label, p in distribution.items():
+        acc += p
+        last = label
+        if roll < acc:
+            return label
+    return last  # guard against floating-point shortfall
+
+
+@dataclass
+class DriftingBranchModel:
+    """Per-branch probability process with drift, jumps and a mean.
+
+    The first outcome's probability follows a bounded random walk
+    around ``mean`` with step ``drift`` per instance, amplitude
+    ``amplitude``, plus Poisson-like "scene cuts" that re-draw the
+    probability uniformly inside the band — together reproducing the
+    locality + abrupt-change structure of Figure 4.  Remaining outcomes
+    share the complement in fixed proportion.
+
+    Attributes
+    ----------
+    labels:
+        Outcome labels of the branch; the walk controls ``labels[0]``.
+    mean:
+        Long-run average probability of the first outcome.
+    amplitude:
+        Half-width of the band the walk is reflected in (the paper's
+        "average probability fluctuation per branch was 0.4~0.5" means
+        a band of that total width, i.e. amplitude ≈ 0.2–0.25).
+    drift:
+        Per-instance random-walk step size.
+    cut_rate:
+        Probability per instance of a scene-change jump.
+    """
+
+    labels: Sequence[str]
+    mean: float = 0.5
+    amplitude: float = 0.25
+    drift: float = 0.02
+    cut_rate: float = 0.004
+
+    def walk(self, rng: random.Random, length: int) -> List[Dict[str, float]]:
+        """Generate ``length`` per-instance distributions."""
+        low = max(0.02, self.mean - self.amplitude)
+        high = min(0.98, self.mean + self.amplitude)
+        p = rng.uniform(low, high)
+        rest = list(self.labels[1:])
+        shares = [rng.uniform(0.5, 1.5) for _ in rest] or [1.0]
+        out: List[Dict[str, float]] = []
+        for _ in range(length):
+            if rng.random() < self.cut_rate:
+                p = rng.uniform(low, high)
+            else:
+                p += rng.uniform(-self.drift, self.drift)
+                if p < low:
+                    p = low + (low - p)
+                if p > high:
+                    p = high - (p - high)
+                p = min(high, max(low, p))
+            dist = {self.labels[0]: p}
+            if rest:
+                total = sum(shares)
+                for label, share in zip(rest, shares):
+                    dist[label] = (1.0 - p) * share / total
+            out.append(dist)
+        return out
+
+
+def drifting_trace(
+    ctg: ConditionalTaskGraph,
+    length: int,
+    seed: int,
+    models: Optional[Mapping[str, DriftingBranchModel]] = None,
+    amplitude: float = 0.25,
+    mean_overrides: Optional[Mapping[str, float]] = None,
+) -> Trace:
+    """A trace whose branch probabilities drift independently.
+
+    Parameters
+    ----------
+    ctg:
+        Supplies the branch set; every vector decides every branch.
+    length:
+        Number of CTG instances.
+    seed:
+        Trace RNG seed.
+    models:
+        Optional per-branch :class:`DriftingBranchModel`; defaults to a
+        mean-0.5 walk with the given ``amplitude`` for every branch.
+    mean_overrides:
+        Shortcut to move the long-run mean of selected branches.
+    """
+    rng = random.Random(seed)
+    trace: List[Dict[str, str]] = [dict() for _ in range(length)]
+    for branch in ctg.branch_nodes():
+        labels = ctg.outcomes_of(branch)
+        if models is not None and branch in models:
+            model = models[branch]
+        else:
+            mean = (mean_overrides or {}).get(branch, 0.5)
+            model = DriftingBranchModel(labels=labels, mean=mean, amplitude=amplitude)
+        walk = model.walk(rng, length)
+        for i, dist in enumerate(walk):
+            trace[i][branch] = _sample(rng, dist)
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Movie-like traces (MPEG experiments)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MovieProfile:
+    """Synthetic stand-in for one of the paper's movie clips.
+
+    Attributes
+    ----------
+    mbs_per_frame:
+        Macroblocks per frame — 330 for the SIF clips (352×240), 99
+        for the QCIF ``Shuttle`` (176×144); the paper: "1000 vectors
+        constitutes little more than 3 video frames" (SIF) and
+        "roughly 10 frames" (Shuttle).
+    gop:
+        Frame-type pattern repeated over the clip.  I-frames force the
+        intra branch (b₁ ≈ 1, no skipped blocks), which is the abrupt
+        probability swing that trips even the 0.5 threshold.
+    skip_mean / coded_mean:
+        Long-run centre of the skip probability (a₂) and of the
+        per-block coded probability (c₁) in P/B frames.
+    activity_drift / cut_rate:
+        Scene-activity walk step and scene-change rate driving the
+        local fluctuation of Figure 4.
+    seed:
+        Clip RNG seed.
+    """
+
+    mbs_per_frame: int
+    gop: str
+    skip_mean: float
+    coded_mean: float
+    activity_drift: float
+    cut_rate: float
+    seed: int
+
+
+#: The eight clips of the paper's Figure 5 / Table 2.  ``Shuttle`` is
+#: the QCIF clip: shorter frames mean more I-frames per 1000 vectors,
+#: which reproduces its outlier call count (32 vs 5–14 at T=0.5).
+MOVIE_PROFILES: Dict[str, MovieProfile] = {
+    "Airwolf": MovieProfile(330, "IBBPBBPBB", 0.30, 0.55, 0.020, 0.016, 11),
+    "Bike": MovieProfile(330, "IBBPBBPBB", 0.25, 0.60, 0.022, 0.016, 12),
+    "Bus": MovieProfile(330, "IBBPBB", 0.20, 0.70, 0.035, 0.026, 43),
+    "Coaster": MovieProfile(330, "IBBPBBPBB", 0.28, 0.60, 0.025, 0.018, 24),
+    "Flower": MovieProfile(330, "IBBPBBPBB", 0.25, 0.65, 0.028, 0.020, 25),
+    "Shuttle": MovieProfile(99, "IBBPBBPBB", 0.45, 0.45, 0.040, 0.030, 16),
+    "Tennis": MovieProfile(330, "IBBPBBPBB", 0.27, 0.62, 0.026, 0.020, 17),
+    "Train": MovieProfile(330, "IBBPBBPBBPBB", 0.32, 0.55, 0.018, 0.014, 18),
+}
+
+
+def movie_trace(ctg: ConditionalTaskGraph, movie: str, length: int = 2000) -> Trace:
+    """A macroblock decision trace mimicking one of the paper's clips.
+
+    Expects the MPEG CTG of :func:`repro.workloads.mpeg.mpeg_ctg`
+    (branches ``parse``/``classify``/``dct_type``/``chk1..chk6``).
+    The clip is a GOP-structured frame sequence: I-frames pin the
+    decisions to intra decoding (a₁, b₁), P/B frames draw skipped and
+    per-block-coded decisions from slowly drifting scene statistics.
+    The first ``length // 2`` vectors serve as the training sequence
+    and the rest as the testing sequence, as in §IV.
+    """
+    try:
+        profile = MOVIE_PROFILES[movie]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown movie {movie!r}; choose from {sorted(MOVIE_PROFILES)}"
+        ) from exc
+    branches = set(ctg.branch_nodes())
+    expected = {"parse", "classify", "dct_type"} | {f"chk{k}" for k in range(1, 7)}
+    if branches != expected:
+        raise ValueError("movie_trace expects the 40-task MPEG decoder CTG")
+
+    rng = random.Random(profile.seed)
+
+    def new_scene() -> Dict[str, object]:
+        """Draw the statistics of a fresh visual scene.
+
+        The centre values are drawn wide: a static scene skips most
+        macroblocks and codes few blocks, an action scene the
+        opposite.  The training half of a clip therefore profiles
+        scenes that the testing half largely does not repeat — the
+        mismatch the adaptive algorithm exploits (paper §IV).
+        """
+        anchor = rng.random()  # 0 = static scene, 1 = action scene
+        return {
+            "skip": min(0.9, max(0.05, 0.75 - 0.7 * anchor + rng.uniform(-0.1, 0.1))),
+            "coded": [
+                min(0.95, max(0.05, 0.15 + 0.75 * anchor + rng.uniform(-0.15, 0.15)))
+                for _ in range(6)
+            ],
+            "dct": rng.uniform(0.3, 0.7),
+        }
+
+    scene = new_scene()
+    #: expected scene duration in macroblocks, derived from the clip's
+    #: cut rate (cuts per 50 macroblocks in the profile's units)
+    scene_hazard = profile.cut_rate / 8.0
+    #: remaining macroblocks of an intra burst: after a scene change
+    #: (and periodically, as intra refresh) encoders emit stretches of
+    #: intra macroblocks even inside P/B frames — the paper's Figure 4
+    #: shows exactly such 0↔1 swings of the type-I branch probability.
+    intra_burst = 0
+
+    trace: List[Dict[str, str]] = []
+    frame = 0
+    while len(trace) < length:
+        frame_type = profile.gop[frame % len(profile.gop)]
+        span = min(profile.mbs_per_frame, length - len(trace))
+        for _ in range(span):
+            if rng.random() < scene_hazard:
+                scene = new_scene()
+                intra_burst = rng.randint(
+                    profile.mbs_per_frame // 4, (3 * profile.mbs_per_frame) // 4
+                )
+            skip_p: float = scene["skip"]  # type: ignore[assignment]
+            coded_p: List[float] = scene["coded"]  # type: ignore[assignment]
+            dct_p: float = scene["dct"]  # type: ignore[assignment]
+            intra_p = 0.85 if intra_burst > 0 else 0.05
+            if intra_burst > 0:
+                intra_burst -= 1
+            vector: Dict[str, str] = {}
+            if frame_type == "I":
+                vector["parse"] = "a1"
+                vector["classify"] = "b1"
+            else:
+                vector["parse"] = "a2" if rng.random() < skip_p else "a1"
+                vector["classify"] = "b1" if rng.random() < intra_p else "b2"
+            vector["dct_type"] = "d1" if rng.random() < dct_p else "d2"
+            for k in range(6):
+                vector[f"chk{k + 1}"] = "c1" if rng.random() < coded_p[k] else "c2"
+            # slow within-scene drift (image locality)
+            scene["skip"] = _bounded_walk(rng, skip_p, profile.activity_drift, 0.05, 0.9)
+            scene["coded"] = [
+                _bounded_walk(rng, p, profile.activity_drift, 0.05, 0.95)
+                for p in coded_p
+            ]
+            scene["dct"] = _bounded_walk(rng, dct_p, profile.activity_drift / 2, 0.2, 0.8)
+            trace.append(vector)
+        frame += 1
+    return trace
+
+
+def _bounded_walk(
+    rng: random.Random, value: float, step: float, low: float, high: float
+) -> float:
+    value += rng.uniform(-step, step)
+    return min(high, max(low, value))
+
+
+# ----------------------------------------------------------------------
+# Road traces (cruise controller)
+# ----------------------------------------------------------------------
+#: Regime-specific distributions of the cruise controller's two branch
+#: decisions.  The first branch chooses accelerate/decelerate, the
+#: second (inside the decelerate arm) engine-brake vs friction-brake.
+ROAD_REGIMES: Tuple[str, ...] = ("uphill", "downhill", "straight", "bumpy")
+
+
+def road_trace(
+    ctg: ConditionalTaskGraph,
+    length: int,
+    seed: int,
+    segment_range: Tuple[int, int] = (60, 180),
+) -> Trace:
+    """A cruise-controller trace over changing road conditions.
+
+    The road alternates between regimes (uphill / downhill / straight /
+    bumpy), each lasting a random number of control periods; each
+    regime induces its own distribution over the two branch decisions
+    (uphill → mostly accelerate; downhill → mostly decelerate with
+    braking; bumpy → noisy mixtures).
+    """
+    branches = ctg.branch_nodes()
+    rng = random.Random(seed)
+    regime_tables: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for regime in ROAD_REGIMES:
+        table: Dict[str, Dict[str, float]] = {}
+        for i, branch in enumerate(branches):
+            labels = ctg.outcomes_of(branch)
+            if regime == "uphill":
+                lead = 0.95 if i == 0 else 0.3
+            elif regime == "downhill":
+                lead = 0.05 if i == 0 else 0.8
+            elif regime == "straight":
+                lead = 0.5
+            else:  # bumpy
+                lead = rng.uniform(0.25, 0.75)
+            weights = {labels[0]: lead}
+            for label in labels[1:]:
+                weights[label] = (1.0 - lead) / (len(labels) - 1)
+            table[branch] = weights
+        regime_tables[regime] = table
+
+    trace: List[Dict[str, str]] = []
+    while len(trace) < length:
+        regime = rng.choice(ROAD_REGIMES)
+        span = rng.randint(*segment_range)
+        for _ in range(min(span, length - len(trace))):
+            vector = {
+                branch: _sample(rng, regime_tables[regime][branch])
+                for branch in branches
+            }
+            trace.append(vector)
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Equal-average fluctuating traces (Tables 4/5) and biased profiles
+# ----------------------------------------------------------------------
+def fluctuating_trace(
+    ctg: ConditionalTaskGraph,
+    length: int,
+    seed: int,
+    fluctuation: float = 0.45,
+    block_range: Tuple[int, int] = (40, 120),
+) -> Trace:
+    """The Tables-4/5 testing vectors: equal long-run averages with
+    considerable fluctuation.
+
+    The probability of each branch's first outcome alternates between
+    ``0.5 + f/2`` and ``0.5 − f/2`` in random-length blocks (mean-
+    preserving by symmetry), with ``f`` the paper's observed 0.4–0.5
+    per-branch fluctuation.
+    """
+    rng = random.Random(seed)
+    branches = ctg.branch_nodes()
+    high = 0.5 + fluctuation / 2.0
+    trace: List[Dict[str, str]] = [dict() for _ in range(length)]
+    for branch in branches:
+        labels = ctg.outcomes_of(branch)
+        level = rng.choice([high, 1.0 - high])
+        position = 0
+        while position < length:
+            span = rng.randint(*block_range)
+            for i in range(position, min(position + span, length)):
+                weights = {labels[0]: level}
+                for label in labels[1:]:
+                    weights[label] = (1.0 - level) / (len(labels) - 1)
+                trace[i][branch] = _sample(rng, weights)
+            position += span
+            level = 1.0 - level  # alternate to keep the average at 0.5
+    return trace
+
+
+def biased_profile(
+    ctg: ConditionalTaskGraph,
+    scenario_product: Mapping[str, str],
+    bias: float = 0.85,
+) -> Dict[str, Dict[str, float]]:
+    """A profiled distribution favouring one minterm (Tables 4/5).
+
+    Branches named in ``scenario_product`` give their chosen outcome
+    probability ``bias`` (rest shared equally); unmentioned branches
+    stay uniform.  Used to model "profiled average branch probability
+    favors the minterm with the lowest/highest energy".
+    """
+    if not 0.0 < bias < 1.0:
+        raise ValueError("bias must be a probability")
+    profile: Dict[str, Dict[str, float]] = {}
+    for branch in ctg.branch_nodes():
+        labels = ctg.outcomes_of(branch)
+        chosen = scenario_product.get(branch)
+        if chosen is None:
+            profile[branch] = {label: 1.0 / len(labels) for label in labels}
+        else:
+            rest = (1.0 - bias) / (len(labels) - 1)
+            profile[branch] = {
+                label: bias if label == chosen else rest for label in labels
+            }
+    return profile

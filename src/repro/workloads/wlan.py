@@ -1,0 +1,213 @@
+"""An 802.11b physical-layer receiver CTG.
+
+The paper's introduction names this workload class explicitly:
+"branches that select different modulation schemes for preamble and
+payload based on 802.11b physical layer standard".  In 802.11b the
+PLCP preamble/header are always transmitted at 1 Mbit/s DBPSK, while
+the PSDU (payload) is demodulated at one of four rates — 1 Mbit/s
+DBPSK, 2 Mbit/s DQPSK, or 5.5/11 Mbit/s CCK — announced in the PLCP
+header's SIGNAL field.  A receiver pipeline therefore contains a
+four-way task-level branch whose selection statistics follow the link
+conditions (rate adaptation), plus a short/long-preamble branch.
+
+The model below is a 24-task CTG with those two branch forks:
+
+* ``plcp_sync`` (branch **p**): p1 = long preamble (144 µs sync
+  train), p2 = short preamble (72 µs) — short preambles appear once
+  the link negotiates them;
+* ``rate_select`` (branch **r**): r1/r2 = DBPSK/DQPSK demodulation
+  chains (cheap), r55/r11 = CCK correlator chains (expensive — the
+  11 Mbit/s chunk decoder dominates the pipeline).
+
+Rate adaptation makes the branch statistics non-stationary in exactly
+the paper's sense: good channels sit at 11 Mbit/s, fades push traffic
+down to DBPSK, and the adaptive scheduler should follow.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..ctg.graph import ConditionalTaskGraph, NodeKind
+from ..platform.energy import PAPER_MODEL, DvfsModel
+from ..platform.mpsoc import Platform
+from ..platform.pe import ProcessingElement
+from ..sim.vectors import Trace
+
+_TASK_WCET: Dict[str, float] = {
+    # front end
+    "agc": 3.0,
+    "dc_offset": 2.0,
+    "plcp_sync": 4.0,            # branch fork p (long/short preamble)
+    "sync_long": 12.0,
+    "sync_short": 6.0,
+    "sfd_detect": 3.0,           # or-join of the two sync paths
+    "header_demod": 6.0,
+    "header_crc": 2.0,
+    "rate_select": 2.0,          # branch fork r (payload modulation)
+    # 1 Mbit/s DBPSK chain
+    "dbpsk_demod": 8.0,
+    "dbpsk_descramble": 4.0,
+    # 2 Mbit/s DQPSK chain
+    "dqpsk_demod": 10.0,
+    "dqpsk_descramble": 5.0,
+    # 5.5 Mbit/s CCK chain
+    "cck55_correlate": 16.0,
+    "cck55_decode": 8.0,
+    # 11 Mbit/s CCK chain
+    "cck11_correlate": 24.0,
+    "cck11_chunk": 12.0,
+    "cck11_decode": 9.0,
+    # common back end
+    "payload_merge": 3.0,        # or-join of the four payload chains
+    "descramble": 4.0,
+    "fcs_check": 4.0,
+    "mac_filter": 3.0,
+    "dispatch": 2.0,
+    "stats_update": 2.0,
+}
+
+#: The payload-rate outcomes and the head task of each chain.
+RATE_ARMS: Tuple[Tuple[str, str], ...] = (
+    ("r1", "dbpsk_demod"),
+    ("r2", "dqpsk_demod"),
+    ("r55", "cck55_correlate"),
+    ("r11", "cck11_correlate"),
+)
+
+
+def wlan_ctg() -> ConditionalTaskGraph:
+    """Build the 24-task, 2-fork 802.11b receiver CTG."""
+    ctg = ConditionalTaskGraph(name="wlan_80211b")
+    for name in _TASK_WCET:
+        kind = NodeKind.OR if name in ("sfd_detect", "payload_merge") else NodeKind.AND
+        ctg.add_task(name, kind)
+
+    ctg.add_edge("agc", "dc_offset", comm_kbytes=1.0)
+    ctg.add_edge("dc_offset", "plcp_sync", comm_kbytes=1.0)
+    ctg.add_conditional_edge("plcp_sync", "sync_long", "p1", comm_kbytes=2.0)
+    ctg.add_conditional_edge("plcp_sync", "sync_short", "p2", comm_kbytes=1.0)
+    ctg.add_edge("sync_long", "sfd_detect", comm_kbytes=1.0)
+    ctg.add_edge("sync_short", "sfd_detect", comm_kbytes=1.0)
+    ctg.add_edge("sfd_detect", "header_demod", comm_kbytes=1.0)
+    ctg.add_edge("header_demod", "header_crc", comm_kbytes=1.0)
+    ctg.add_edge("header_crc", "rate_select", comm_kbytes=0.5)
+
+    ctg.add_conditional_edge("rate_select", "dbpsk_demod", "r1", comm_kbytes=4.0)
+    ctg.add_edge("dbpsk_demod", "dbpsk_descramble", comm_kbytes=2.0)
+    ctg.add_edge("dbpsk_descramble", "payload_merge", comm_kbytes=2.0)
+
+    ctg.add_conditional_edge("rate_select", "dqpsk_demod", "r2", comm_kbytes=4.0)
+    ctg.add_edge("dqpsk_demod", "dqpsk_descramble", comm_kbytes=2.0)
+    ctg.add_edge("dqpsk_descramble", "payload_merge", comm_kbytes=2.0)
+
+    ctg.add_conditional_edge("rate_select", "cck55_correlate", "r55", comm_kbytes=4.0)
+    ctg.add_edge("cck55_correlate", "cck55_decode", comm_kbytes=2.0)
+    ctg.add_edge("cck55_decode", "payload_merge", comm_kbytes=2.0)
+
+    ctg.add_conditional_edge("rate_select", "cck11_correlate", "r11", comm_kbytes=4.0)
+    ctg.add_edge("cck11_correlate", "cck11_chunk", comm_kbytes=2.0)
+    ctg.add_edge("cck11_chunk", "cck11_decode", comm_kbytes=2.0)
+    ctg.add_edge("cck11_decode", "payload_merge", comm_kbytes=2.0)
+
+    ctg.add_edge("payload_merge", "descramble", comm_kbytes=2.0)
+    ctg.add_edge("descramble", "fcs_check", comm_kbytes=2.0)
+    ctg.add_edge("fcs_check", "mac_filter", comm_kbytes=1.0)
+    ctg.add_edge("mac_filter", "dispatch", comm_kbytes=1.0)
+    ctg.add_edge("mac_filter", "stats_update", comm_kbytes=0.5)
+
+    ctg.default_probabilities = {
+        "plcp_sync": {"p1": 0.3, "p2": 0.7},
+        "rate_select": {"r1": 0.1, "r2": 0.15, "r55": 0.25, "r11": 0.5},
+    }
+    ctg.validate()
+    if len(ctg) != 24 or len(ctg.branch_nodes()) != 2:
+        raise AssertionError("WLAN CTG must have 24 tasks and 2 branch forks")
+    return ctg
+
+
+def wlan_platform(
+    pes: int = 2, dvfs: DvfsModel = PAPER_MODEL, min_speed: float = 0.25
+) -> Platform:
+    """A 2-PE baseband platform (DSP + accelerator flavour)."""
+    platform = Platform(
+        [ProcessingElement(f"pe{i}", min_speed=min_speed) for i in range(pes)],
+        dvfs=dvfs,
+    )
+    if pes > 1:
+        platform.connect_all(bandwidth=4.0, energy_per_kbyte=0.03)
+    factors = [1.0 + 0.2 * ((i % 2) - 0.5) for i in range(pes)]
+    for task, base in _TASK_WCET.items():
+        for i, pe in enumerate(platform.pe_names):
+            wcet = base * factors[i]
+            platform.set_task_profile(task, pe, wcet=wcet, energy=wcet)
+    return platform
+
+
+#: Channel states of the rate-adaptation Markov model, with their
+#: payload-rate distributions (good links use 11 Mbit/s, deep fades
+#: fall back to DBPSK) and short-preamble probability.
+CHANNEL_STATES: Dict[str, Dict[str, object]] = {
+    "excellent": {
+        "rates": {"r1": 0.02, "r2": 0.03, "r55": 0.15, "r11": 0.80},
+        "short_preamble": 0.9,
+    },
+    "good": {
+        "rates": {"r1": 0.05, "r2": 0.10, "r55": 0.45, "r11": 0.40},
+        "short_preamble": 0.8,
+    },
+    "fair": {
+        "rates": {"r1": 0.15, "r2": 0.40, "r55": 0.35, "r11": 0.10},
+        "short_preamble": 0.6,
+    },
+    "poor": {
+        "rates": {"r1": 0.60, "r2": 0.30, "r55": 0.08, "r11": 0.02},
+        "short_preamble": 0.3,
+    },
+}
+
+_STATE_ORDER = ("excellent", "good", "fair", "poor")
+
+
+def channel_trace(
+    ctg: ConditionalTaskGraph,
+    length: int,
+    seed: int,
+    dwell_range: Tuple[int, int] = (80, 300),
+) -> Trace:
+    """A frame-decision trace under a fading channel.
+
+    The channel performs a random walk over the quality states
+    (excellent ↔ good ↔ fair ↔ poor), dwelling a random number of
+    frames in each — the slowly-varying, regime-structured statistics
+    the adaptive framework targets.
+    """
+    if set(ctg.branch_nodes()) != {"plcp_sync", "rate_select"}:
+        raise ValueError("channel_trace expects the 802.11b receiver CTG")
+    rng = random.Random(seed)
+    state_index = rng.randrange(len(_STATE_ORDER))
+    trace: List[Dict[str, str]] = []
+    while len(trace) < length:
+        state = CHANNEL_STATES[_STATE_ORDER[state_index]]
+        dwell = rng.randint(*dwell_range)
+        rates: Dict[str, float] = state["rates"]  # type: ignore[assignment]
+        short_p: float = state["short_preamble"]  # type: ignore[assignment]
+        for _ in range(min(dwell, length - len(trace))):
+            roll = rng.random()
+            acc = 0.0
+            outcome = "r11"
+            for label, probability in rates.items():
+                acc += probability
+                if roll < acc:
+                    outcome = label
+                    break
+            trace.append(
+                {
+                    "plcp_sync": "p2" if rng.random() < short_p else "p1",
+                    "rate_select": outcome,
+                }
+            )
+        state_index += rng.choice((-1, 1))
+        state_index = max(0, min(len(_STATE_ORDER) - 1, state_index))
+    return trace

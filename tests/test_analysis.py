@@ -1,0 +1,97 @@
+"""Unit tests for the analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    format_series,
+    format_table,
+    geometric_mean,
+    normalise,
+    percent_savings,
+    sliding_window_series,
+    threshold_filter_series,
+)
+
+
+class TestNormalise:
+    def test_reference_gets_scale(self):
+        result = normalise({"a": 50.0, "b": 100.0}, reference="a")
+        assert result["a"] == pytest.approx(100.0)
+        assert result["b"] == pytest.approx(200.0)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            normalise({"a": 0.0}, reference="a")
+
+
+class TestPercentSavings:
+    def test_basic(self):
+        assert percent_savings(100.0, 80.0) == pytest.approx(20.0)
+
+    def test_negative_when_worse(self):
+        assert percent_savings(100.0, 110.0) == pytest.approx(-10.0)
+
+    def test_zero_baseline(self):
+        assert percent_savings(0.0, 10.0) == 0.0
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestSlidingWindowSeries:
+    def test_prefix_growth(self):
+        series = sliding_window_series([1, 1, 0, 0], window=2)
+        assert series == pytest.approx([1.0, 1.0, 0.5, 0.0])
+
+    def test_window_one_is_identity(self):
+        assert sliding_window_series([0, 1, 1], window=1) == [0.0, 1.0, 1.0]
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            sliding_window_series([1], window=0)
+
+    def test_bounded_between_zero_and_one(self):
+        series = sliding_window_series([1, 0] * 50, window=7)
+        assert all(0.0 <= v <= 1.0 for v in series)
+
+
+class TestThresholdFilterSeries:
+    def test_holds_until_threshold_crossed(self):
+        probs = [0.5, 0.55, 0.62, 0.9]
+        filtered = threshold_filter_series(probs, threshold=0.1, initial=0.5)
+        assert filtered == pytest.approx([0.5, 0.5, 0.62, 0.9])
+
+    def test_never_updates_with_huge_threshold(self):
+        filtered = threshold_filter_series([0.1, 0.9, 0.1], threshold=0.95, initial=0.5)
+        assert filtered == [0.5, 0.5, 0.5]
+
+    def test_snap_count_matches_call_count_semantics(self):
+        probs = [0.5] * 5 + [1.0] * 5 + [0.0] * 5
+        filtered = threshold_filter_series(probs, threshold=0.3, initial=0.5)
+        snaps = sum(1 for a, b in zip(filtered, filtered[1:]) if a != b)
+        assert snaps == 2
+
+
+class TestFormatting:
+    def test_format_table_aligns(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["long-name", 12.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[-1]
+        assert "12.5" in lines[-1]
+
+    def test_format_table_with_title(self):
+        text = format_table(["x"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_format_series_chunks(self):
+        text = format_series("s", [0.1] * 25, per_line=10)
+        assert len(text.splitlines()) == 1 + 3

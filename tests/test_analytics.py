@@ -1,0 +1,118 @@
+"""Tests for the CTG analytics (repro.ctg.analytics)."""
+
+import pytest
+
+from repro.ctg import (
+    branch_entropy,
+    criticality,
+    figure1_ctg,
+    parallelism_profile,
+    summarize,
+    workload_statistics,
+)
+from repro.ctg.examples import diamond_ctg, two_sided_branch_ctg
+from repro.platform import Platform, PlatformConfig, ProcessingElement, generate_platform
+from repro.workloads import mpeg_ctg, mpeg_platform
+
+
+def uniform_platform(ctg, wcet=10.0):
+    platform = Platform([ProcessingElement("pe0")])
+    for task in ctg.tasks():
+        platform.set_task_profile(task, "pe0", wcet=wcet, energy=wcet)
+    return platform
+
+
+class TestWorkloadStatistics:
+    def test_unconditional_graph_no_spread(self):
+        ctg = diamond_ctg()
+        stats = workload_statistics(ctg, uniform_platform(ctg), {})
+        assert stats.minimum == stats.maximum == stats.expected == pytest.approx(40.0)
+        assert stats.conditional_share == pytest.approx(0.0)
+        assert stats.spread == pytest.approx(1.0)
+
+    def test_figure1_statistics(self):
+        ctg = figure1_ctg()
+        stats = workload_statistics(ctg, uniform_platform(ctg))
+        # scenarios activate 5, 6, 6 of 8 tasks
+        assert stats.minimum == pytest.approx(50.0)
+        assert stats.maximum == pytest.approx(60.0)
+        # expected = 0.4·50 + 0.6·60
+        assert stats.expected == pytest.approx(56.0)
+        # t1,t2,t3,t8 always active → conditional share 4/8
+        assert stats.conditional_share == pytest.approx(0.5)
+
+    def test_expected_respects_probabilities(self):
+        ctg = figure1_ctg()
+        platform = uniform_platform(ctg)
+        skewed = workload_statistics(
+            ctg, platform, {"t3": {"a1": 1.0, "a2": 0.0}, "t5": {"b1": 0.5, "b2": 0.5}}
+        )
+        assert skewed.expected == pytest.approx(50.0)
+
+
+class TestBranchEntropy:
+    def test_uniform_binary_is_one_bit(self):
+        ctg = two_sided_branch_ctg()
+        entropies = branch_entropy(ctg, {"fork": {"h": 0.5, "l": 0.5}})
+        assert entropies["fork"] == pytest.approx(1.0)
+        assert entropies["*scenarios*"] == pytest.approx(1.0)
+
+    def test_deterministic_branch_zero_entropy(self):
+        ctg = two_sided_branch_ctg()
+        entropies = branch_entropy(ctg, {"fork": {"h": 1.0, "l": 0.0}})
+        assert entropies["fork"] == pytest.approx(0.0)
+
+    def test_figure1_joint_entropy(self):
+        ctg = figure1_ctg()
+        entropies = branch_entropy(ctg)
+        # three scenarios at 0.4/0.3/0.3
+        expected = -(0.4 * __import__("math").log2(0.4) + 2 * 0.3 * __import__("math").log2(0.3))
+        assert entropies["*scenarios*"] == pytest.approx(expected)
+
+
+class TestParallelismProfile:
+    def test_diamond(self):
+        assert parallelism_profile(diamond_ctg()) == [1, 2, 1]
+
+    def test_figure1(self):
+        # levels: t1 | t2,t3 | t4,t5 | t6,t7,t8
+        assert parallelism_profile(figure1_ctg()) == [1, 2, 2, 3]
+
+    def test_profile_sums_to_task_count(self):
+        ctg = mpeg_ctg()
+        assert sum(parallelism_profile(ctg)) == len(ctg)
+
+
+class TestCriticality:
+    def test_always_on_chain_fully_critical(self):
+        ctg = diamond_ctg()
+        crit = criticality(ctg, uniform_platform(ctg), {})
+        assert crit["src"] == pytest.approx(1.0)
+        assert crit["join"] == pytest.approx(1.0)
+        # exactly one of the two equal arms is on the critical chain
+        assert crit["left"] + crit["right"] == pytest.approx(1.0)
+
+    def test_probabilities_weight_criticality(self):
+        ctg = two_sided_branch_ctg()
+        platform = Platform([ProcessingElement("pe0")])
+        for task, wcet in {"entry": 5, "fork": 5, "heavy": 30, "light": 10, "join": 5}.items():
+            platform.set_task_profile(task, "pe0", wcet=wcet, energy=wcet)
+        crit = criticality(ctg, platform, {"fork": {"h": 0.8, "l": 0.2}})
+        assert crit["heavy"] == pytest.approx(0.8)
+        assert crit["light"] == pytest.approx(0.2)
+        assert crit["entry"] == pytest.approx(1.0)
+
+    def test_values_bounded(self):
+        ctg = mpeg_ctg()
+        crit = criticality(ctg, mpeg_platform())
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in crit.values())
+
+
+class TestSummarize:
+    def test_mentions_key_numbers(self):
+        ctg = figure1_ctg()
+        text = summarize(ctg, uniform_platform(ctg))
+        assert "8 tasks" in text
+        assert "2 branch" in text
+        assert "3 scenarios" in text
+        assert "conditional share" in text

@@ -1,0 +1,97 @@
+"""Tests for the simulated-annealing mapping optimiser."""
+
+import pytest
+
+from repro.ctg import GeneratorConfig, generate_ctg
+from repro.platform import PlatformConfig, generate_platform
+from repro.scheduling import (
+    AnnealingConfig,
+    SchedulingError,
+    anneal_mapping,
+    schedule_online,
+    set_deadline_from_makespan,
+)
+from repro.scheduling.baselines import load_balanced_mapping
+
+
+def make_instance(seed=7, nodes=16, branches=2, pes=3, factor=1.4):
+    ctg = generate_ctg(GeneratorConfig(nodes=nodes, branch_nodes=branches, seed=seed))
+    platform = generate_platform(ctg.tasks(), PlatformConfig(pes=pes, seed=seed))
+    set_deadline_from_makespan(ctg, platform, factor)
+    return ctg, platform
+
+
+class TestAnnealingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnnealingConfig(iterations=0)
+        with pytest.raises(ValueError):
+            AnnealingConfig(cooling=1.0)
+        with pytest.raises(ValueError):
+            AnnealingConfig(initial_temperature=0.0)
+
+
+class TestAnnealMapping:
+    def test_never_worse_than_start(self):
+        ctg, platform = make_instance()
+        result = anneal_mapping(
+            ctg, platform, config=AnnealingConfig(iterations=60, seed=2)
+        )
+        assert result.energy <= result.initial_energy + 1e-9
+        assert 0.0 <= result.improvement < 1.0
+
+    def test_result_schedule_valid_and_feasible(self):
+        ctg, platform = make_instance(seed=9)
+        result = anneal_mapping(
+            ctg, platform, config=AnnealingConfig(iterations=50, seed=3)
+        )
+        result.schedule.validate()
+        assert result.schedule.meets_deadline()
+        # the reported mapping matches the reported schedule
+        assert {t: result.schedule.pe_of(t) for t in ctg.tasks()} == result.mapping
+
+    def test_deterministic_for_seed(self):
+        ctg, platform = make_instance(seed=11)
+        a = anneal_mapping(ctg, platform, config=AnnealingConfig(iterations=40, seed=5))
+        b = anneal_mapping(ctg, platform, config=AnnealingConfig(iterations=40, seed=5))
+        assert a.mapping == b.mapping
+        assert a.energy == pytest.approx(b.energy)
+
+    def test_improves_a_bad_initial_mapping(self):
+        """Starting from the communication-blind load-balanced mapping,
+        annealing must claw back a real share of the gap to DLS."""
+        ctg, platform = make_instance(seed=13, factor=1.5)
+        bad = load_balanced_mapping(ctg, platform)
+        result = anneal_mapping(
+            ctg,
+            platform,
+            config=AnnealingConfig(iterations=250, seed=4),
+            initial_mapping=bad,
+        )
+        assert result.energy < result.initial_energy
+
+    def test_requires_deadline(self):
+        ctg, platform = make_instance()
+        ctg.deadline = 0.0
+        with pytest.raises(SchedulingError):
+            anneal_mapping(ctg, platform)
+
+    def test_energy_trace_recorded(self):
+        ctg, platform = make_instance()
+        result = anneal_mapping(
+            ctg, platform, config=AnnealingConfig(iterations=30, seed=6)
+        )
+        assert len(result.energy_trace) == 31
+        assert result.energy_trace[0] == pytest.approx(result.initial_energy)
+
+    def test_dls_mapping_close_to_annealed(self):
+        """The headline sanity check: the online DLS mapping should be
+        within a modest factor of a 200-evaluation annealed mapping."""
+        ctg, platform = make_instance(seed=21, factor=1.3)
+        online = schedule_online(ctg, platform)
+        online_energy = online.schedule.expected_energy(ctg.default_probabilities)
+        annealed = anneal_mapping(
+            ctg, platform, config=AnnealingConfig(iterations=200, seed=7)
+        )
+        assert annealed.energy <= online_energy + 1e-9
+        assert online_energy <= annealed.energy * 1.5

@@ -1,0 +1,85 @@
+"""Integration tests for the online algorithm and both baselines.
+
+These pin down the qualitative Table-1 shape on generated instances:
+Reference Algorithm 2 (NLP) ≤ Online < Reference Algorithm 1.
+"""
+
+import pytest
+
+from repro.ctg import generate_ctg, paper_table1_configs
+from repro.platform import PlatformConfig, generate_platform
+from repro.scheduling import (
+    reference_algorithm_1,
+    reference_algorithm_2,
+    schedule_online,
+    set_deadline_from_makespan,
+)
+
+
+def build(index):
+    cfg = paper_table1_configs()[index]
+    pes = [3, 3, 4, 4, 4][index]
+    ctg = generate_ctg(cfg)
+    platform = generate_platform(ctg.tasks(), PlatformConfig(pes=pes, seed=cfg.seed))
+    set_deadline_from_makespan(ctg, platform, 1.3)
+    return ctg, platform
+
+
+class TestOnline:
+    def test_online_schedules_and_meets_deadline(self):
+        ctg, platform = build(0)
+        result = schedule_online(ctg, platform)
+        result.schedule.validate()
+        assert result.schedule.meets_deadline()
+
+    def test_online_saves_energy_vs_nominal(self):
+        ctg, platform = build(0)
+        result = schedule_online(ctg, platform)
+        probs = ctg.default_probabilities
+        nominal = sum(
+            result.schedule.placement(t).nominal_energy for t in ctg.tasks()
+        )
+        assert result.schedule.expected_energy(probs) < nominal
+
+    def test_deadline_override(self):
+        ctg, platform = build(1)
+        wide = schedule_online(ctg, platform, deadline=ctg.deadline * 2)
+        tight = schedule_online(ctg, platform)
+        probs = ctg.default_probabilities
+        assert wide.schedule.expected_energy(probs) <= tight.schedule.expected_energy(probs)
+
+
+class TestReferenceAlgorithms:
+    @pytest.mark.parametrize("index", range(5))
+    def test_nlp_reference_never_loses_to_online(self, index):
+        ctg, platform = build(index)
+        probs = ctg.default_probabilities
+        online = schedule_online(ctg, platform)
+        ref2 = reference_algorithm_2(ctg, platform)
+        ref2.schedule.validate()
+        assert ref2.schedule.expected_energy(probs) <= (
+            online.schedule.expected_energy(probs) * 1.001
+        )
+
+    @pytest.mark.parametrize("index", range(5))
+    def test_shin_kim_reference_loses_to_online(self, index):
+        ctg, platform = build(index)
+        probs = ctg.default_probabilities
+        online = schedule_online(ctg, platform)
+        ref1 = reference_algorithm_1(ctg, platform)
+        assert ref1.schedule.expected_energy(probs) > (
+            online.schedule.expected_energy(probs)
+        )
+
+    def test_ref1_mapping_is_fixed_load_balanced(self):
+        from repro.scheduling.baselines import load_balanced_mapping
+
+        ctg, platform = build(2)
+        ref1 = reference_algorithm_1(ctg, platform)
+        mapping = load_balanced_mapping(ctg, platform)
+        assert {t: ref1.schedule.pe_of(t) for t in ctg.tasks()} == mapping
+
+    def test_ref2_reports_convergence(self):
+        ctg, platform = build(3)
+        ref2 = reference_algorithm_2(ctg, platform)
+        assert ref2.nlp.converged

@@ -1,0 +1,46 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+from repro.ctg import figure1_ctg
+from repro.io import save_instance
+from repro.platform import PlatformConfig, generate_platform
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "deadline" in out
+        assert "makespan" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "nonsense"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Reference Alg 1" in out
+
+    def test_schedule_instance(self, tmp_path, capsys):
+        ctg = figure1_ctg()
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=5))
+        path = tmp_path / "instance.json"
+        save_instance(path, ctg, platform)
+        assert main(["schedule", str(path), "--deadline-factor", "1.5"]) == 0
+        out = capsys.readouterr().out
+        assert "expected energy" in out
+        assert "t8" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,96 @@
+"""Property-based tests of the condition algebra laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctg.conditions import TRUE, ConditionProduct, Outcome
+
+BRANCHES = ["b0", "b1", "b2", "b3"]
+LABELS = ["x", "y", "z"]
+
+
+@st.composite
+def products(draw):
+    pairs = draw(
+        st.dictionaries(st.sampled_from(BRANCHES), st.sampled_from(LABELS), max_size=4)
+    )
+    return ConditionProduct(Outcome(b, l) for b, l in pairs.items())
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=products(), b=products())
+def test_conjoin_commutative(a, b):
+    assert a.conjoin(b) == b.conjoin(a)
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=products(), b=products(), c=products())
+def test_conjoin_associative(a, b, c):
+    left_first = a.conjoin(b)
+    right_first = b.conjoin(c)
+    left = left_first.conjoin(c) if left_first is not None else None
+    right = a.conjoin(right_first) if right_first is not None else None
+    # if either grouping is defined, both agree; a contradiction in any
+    # pair forces both groupings to None or to the same product
+    if left is not None and right is not None:
+        assert left == right
+    if left is None or right is None:
+        # the overall conjunction is contradictory; verify directly
+        merged = {}
+        contradictory = False
+        for p in (a, b, c):
+            for branch, label in p.assignment.items():
+                if merged.get(branch, label) != label:
+                    contradictory = True
+                merged[branch] = label
+        assert contradictory or (left == right)
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=products())
+def test_true_is_identity(a):
+    assert a.conjoin(TRUE) == a
+    assert TRUE.conjoin(a) == a
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=products())
+def test_conjoin_idempotent(a):
+    assert a.conjoin(a) == a
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=products(), b=products())
+def test_conjunction_implies_both_factors(a, b):
+    joined = a.conjoin(b)
+    if joined is not None:
+        assert joined.implies(a)
+        assert joined.implies(b)
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=products(), b=products(), c=products())
+def test_implication_transitive(a, b, c):
+    if a.implies(b) and b.implies(c):
+        assert a.implies(c)
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=products(), b=products())
+def test_implication_iff_conjunction_absorbs(a, b):
+    # a ⇒ b exactly when a ∧ b = a
+    assert a.implies(b) == (a.conjoin(b) == a)
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=products(), b=products())
+def test_consistency_symmetric(a, b):
+    assert a.is_consistent_with(b) == b.is_consistent_with(a)
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=products())
+def test_restrict_projects(a):
+    kept = a.restrict(["b0", "b1"])
+    assert set(kept.branches) <= {"b0", "b1"}
+    assert a.implies(kept)

@@ -1,0 +1,150 @@
+"""Unit tests for the condition algebra (repro.ctg.conditions)."""
+
+import pytest
+
+from repro.ctg.conditions import (
+    TRUE,
+    ConditionProduct,
+    Outcome,
+    minimal_products,
+    product_probability,
+)
+
+
+def product(*pairs):
+    return ConditionProduct(Outcome(b, l) for b, l in pairs)
+
+
+class TestOutcome:
+    def test_equality_and_hash(self):
+        assert Outcome("b", "a1") == Outcome("b", "a1")
+        assert hash(Outcome("b", "a1")) == hash(Outcome("b", "a1"))
+        assert Outcome("b", "a1") != Outcome("b", "a2")
+
+    def test_conflicts_same_branch_different_label(self):
+        assert Outcome("b", "a1").conflicts_with(Outcome("b", "a2"))
+
+    def test_no_conflict_same_outcome(self):
+        assert not Outcome("b", "a1").conflicts_with(Outcome("b", "a1"))
+
+    def test_no_conflict_different_branch(self):
+        assert not Outcome("b", "a1").conflicts_with(Outcome("c", "a1"))
+
+
+class TestConditionProduct:
+    def test_empty_product_is_true(self):
+        assert TRUE.is_true()
+        assert len(TRUE) == 0
+        assert str(TRUE) == "1"
+
+    def test_single_outcome(self):
+        p = product(("t3", "a1"))
+        assert not p.is_true()
+        assert p.label_for("t3") == "a1"
+        assert p.label_for("t5") is None
+
+    def test_duplicate_outcome_collapses(self):
+        p = ConditionProduct([Outcome("t3", "a1"), Outcome("t3", "a1")])
+        assert len(p) == 1
+
+    def test_contradictory_construction_raises(self):
+        with pytest.raises(ValueError):
+            ConditionProduct([Outcome("t3", "a1"), Outcome("t3", "a2")])
+
+    def test_str_concatenates_labels(self):
+        p = product(("t3", "a2"), ("t5", "b1"))
+        assert str(p) == "a2b1"
+
+    def test_equality_order_independent(self):
+        assert product(("x", "a"), ("y", "b")) == product(("y", "b"), ("x", "a"))
+
+    def test_hashable(self):
+        s = {product(("x", "a")), product(("x", "a")), TRUE}
+        assert len(s) == 2
+
+
+class TestConjoin:
+    def test_conjoin_disjoint_branches(self):
+        p = product(("t3", "a2")).conjoin(product(("t5", "b1")))
+        assert p == product(("t3", "a2"), ("t5", "b1"))
+
+    def test_conjoin_contradiction_returns_none(self):
+        assert product(("t3", "a1")).conjoin(product(("t3", "a2"))) is None
+
+    def test_conjoin_idempotent(self):
+        p = product(("t3", "a1"))
+        assert p.conjoin(p) == p
+
+    def test_conjoin_with_true_is_identity(self):
+        p = product(("t3", "a1"))
+        assert p.conjoin(TRUE) == p
+        assert TRUE.conjoin(p) == p
+
+    def test_conjoin_outcome(self):
+        p = TRUE.conjoin_outcome(Outcome("t3", "a1"))
+        assert p == product(("t3", "a1"))
+
+    def test_consistency(self):
+        assert product(("t3", "a1")).is_consistent_with(product(("t5", "b1")))
+        assert not product(("t3", "a1")).is_consistent_with(product(("t3", "a2")))
+
+
+class TestImplication:
+    def test_everything_implies_true(self):
+        assert product(("t3", "a1")).implies(TRUE)
+        assert TRUE.implies(TRUE)
+
+    def test_true_implies_only_true(self):
+        assert not TRUE.implies(product(("t3", "a1")))
+
+    def test_more_specific_implies_general(self):
+        specific = product(("t3", "a2"), ("t5", "b1"))
+        assert specific.implies(product(("t3", "a2")))
+        assert not product(("t3", "a2")).implies(specific)
+
+    def test_conflicting_does_not_imply(self):
+        assert not product(("t3", "a1")).implies(product(("t3", "a2")))
+
+
+class TestRestrict:
+    def test_restrict_keeps_subset(self):
+        p = product(("t3", "a2"), ("t5", "b1"))
+        assert p.restrict(["t3"]) == product(("t3", "a2"))
+
+    def test_restrict_to_nothing_gives_true(self):
+        assert product(("t3", "a2")).restrict([]) == TRUE
+
+
+class TestProductProbability:
+    PROBS = {"t3": {"a1": 0.4, "a2": 0.6}, "t5": {"b1": 0.5, "b2": 0.5}}
+
+    def test_true_has_probability_one(self):
+        assert product_probability(TRUE, self.PROBS) == 1.0
+
+    def test_single(self):
+        assert product_probability(product(("t3", "a1")), self.PROBS) == pytest.approx(0.4)
+
+    def test_joint(self):
+        p = product(("t3", "a2"), ("t5", "b1"))
+        assert product_probability(p, self.PROBS) == pytest.approx(0.3)
+
+    def test_missing_outcome_raises(self):
+        with pytest.raises(KeyError):
+            product_probability(product(("zz", "q1")), self.PROBS)
+
+
+class TestMinimalProducts:
+    def test_deduplicates(self):
+        terms = [product(("t3", "a1")), product(("t3", "a1")), TRUE]
+        assert len(minimal_products(terms)) == 2
+
+    def test_no_absorption(self):
+        # The paper keeps Γ(τ₈) = {1, a₁}: 1 must NOT absorb a₁.
+        terms = [TRUE, product(("t3", "a1"))]
+        assert set(minimal_products(terms)) == {TRUE, product(("t3", "a1"))}
+
+    def test_sorted_deterministically(self):
+        terms = [product(("t5", "b1")), TRUE, product(("t3", "a1"))]
+        result = minimal_products(terms)
+        assert result[0] == TRUE
+        assert [str(t) for t in result] == ["1", "a1", "b1"]

@@ -1,0 +1,82 @@
+"""Unit tests for the adaptive threshold controller."""
+
+import pytest
+
+from repro.adaptive import AdaptiveConfig, AdaptiveController
+from repro.ctg.examples import two_sided_branch_ctg
+from repro.platform import PlatformConfig, generate_platform
+from repro.scheduling import set_deadline_from_makespan
+
+
+def make_controller(threshold=0.25, window=4):
+    ctg = two_sided_branch_ctg()
+    platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=8))
+    set_deadline_from_makespan(ctg, platform, 1.5)
+    initial = {"fork": {"h": 0.5, "l": 0.5}}
+    controller = AdaptiveController(
+        ctg, platform, initial, AdaptiveConfig(window_size=window, threshold=threshold)
+    )
+    return controller
+
+
+class TestAdaptiveConfig:
+    def test_defaults(self):
+        cfg = AdaptiveConfig()
+        assert cfg.window_size == 20
+        assert cfg.threshold == 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(window_size=0)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(threshold=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(threshold=1.5)
+
+
+class TestAdaptiveController:
+    def test_initial_schedule_built(self):
+        controller = make_controller()
+        assert controller.schedule.meets_deadline()
+        assert controller.calls == 0
+
+    def test_no_trigger_below_threshold(self):
+        controller = make_controller(threshold=0.6, window=4)
+        # one observation shifts the window by 0.25 — below 0.6
+        assert controller.observe({"fork": "h"}) is False
+        assert controller.calls == 0
+
+    def test_trigger_after_persistent_shift(self):
+        controller = make_controller(threshold=0.25, window=4)
+        triggered = [controller.observe({"fork": "h"}) for _ in range(4)]
+        assert any(triggered)
+        assert controller.calls >= 1
+        # in-use distribution snapped to the windowed estimate
+        assert controller.in_use["fork"]["h"] > 0.5
+
+    def test_call_log_records_instance_indices(self):
+        controller = make_controller(threshold=0.25, window=4)
+        for _ in range(4):
+            controller.observe({"fork": "h"})
+        assert controller.call_log
+        assert all(1 <= i <= 4 for i in controller.call_log)
+
+    def test_schedule_changes_after_trigger(self):
+        controller = make_controller(threshold=0.25, window=4)
+        before = dict(controller.schedule.execution_times())
+        for _ in range(4):
+            controller.observe({"fork": "h"})
+        after = dict(controller.schedule.execution_times())
+        assert before != after
+
+    def test_rescheduled_schedule_still_feasible(self):
+        controller = make_controller(threshold=0.25, window=4)
+        for label in ("h", "h", "h", "h", "l", "l"):
+            controller.observe({"fork": label})
+        controller.schedule.validate()
+        assert controller.schedule.meets_deadline()
+
+    def test_observation_of_inactive_branch_is_skipped(self):
+        controller = make_controller()
+        # empty observation (branch did not execute) changes nothing
+        assert controller.observe({}) is False

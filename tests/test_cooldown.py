@@ -1,0 +1,46 @@
+"""Tests for the re-scheduling cooldown extension."""
+
+import pytest
+
+from repro.adaptive import AdaptiveConfig, AdaptiveController
+from repro.ctg.examples import two_sided_branch_ctg
+from repro.platform import PlatformConfig, generate_platform
+from repro.scheduling import set_deadline_from_makespan
+
+
+def make_controller(cooldown, threshold=0.2, window=4):
+    ctg = two_sided_branch_ctg()
+    platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=8))
+    set_deadline_from_makespan(ctg, platform, 1.5)
+    return AdaptiveController(
+        ctg,
+        platform,
+        {"fork": {"h": 0.5, "l": 0.5}},
+        AdaptiveConfig(window_size=window, threshold=threshold, cooldown=cooldown),
+    )
+
+
+class TestCooldown:
+    def test_negative_cooldown_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(cooldown=-1)
+
+    def test_cooldown_suppresses_rapid_recalls(self):
+        """An alternating stream trips the threshold repeatedly; the
+        cooldown must bound the call rate."""
+        free = make_controller(cooldown=0)
+        limited = make_controller(cooldown=20)
+        stream = (["h"] * 4 + ["l"] * 4) * 10
+        for label in stream:
+            free.observe({"fork": label})
+            limited.observe({"fork": label})
+        assert limited.calls < free.calls
+        # calls at least `cooldown` instances apart
+        for a, b in zip(limited.call_log, limited.call_log[1:]):
+            assert b - a >= 20
+
+    def test_zero_cooldown_is_default_behaviour(self):
+        a = make_controller(cooldown=0)
+        stream = ["h"] * 4 + ["l"] * 4
+        calls = sum(bool(a.observe({"fork": s})) for s in stream)
+        assert calls == a.calls

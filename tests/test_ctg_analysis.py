@@ -1,0 +1,48 @@
+"""Tests for the cached structural analysis (CtgAnalysis)."""
+
+import pytest
+
+from repro.ctg import (
+    CtgAnalysis,
+    GeneratorConfig,
+    enumerate_scenarios,
+    exclusion_table,
+    figure1_ctg,
+    gamma,
+    generate_ctg,
+)
+
+
+class TestCtgAnalysis:
+    def test_matches_fresh_computation(self):
+        ctg = figure1_ctg()
+        analysis = CtgAnalysis.of(ctg)
+        assert {str(s.product) for s in analysis.scenarios} == {
+            str(s.product) for s in enumerate_scenarios(ctg)
+        }
+        assert analysis.exclusions == exclusion_table(ctg)
+        assert analysis.gammas == gamma(ctg)
+
+    def test_ignores_pseudo_edges(self):
+        ctg = figure1_ctg()
+        plain = CtgAnalysis.of(ctg)
+        ctg.add_pseudo_edge("t4", "t5")
+        with_pseudo = CtgAnalysis.of(ctg)
+        assert {str(s.product) for s in plain.scenarios} == {
+            str(s.product) for s in with_pseudo.scenarios
+        }
+        assert plain.exclusions == with_pseudo.exclusions
+
+    @pytest.mark.parametrize("seed", [3, 9, 27])
+    def test_random_graphs_consistent(self, seed):
+        ctg = generate_ctg(GeneratorConfig(nodes=18, branch_nodes=2, seed=seed))
+        analysis = CtgAnalysis.of(ctg)
+        # probabilities of all scenarios sum to 1 under the defaults
+        total = sum(
+            s.probability(ctg.default_probabilities) for s in analysis.scenarios
+        )
+        assert total == pytest.approx(1.0)
+        # exclusion table covers every task
+        assert set(analysis.exclusions) == set(ctg.tasks())
+        # every task has at least one activation context
+        assert all(analysis.gammas[t] for t in ctg.tasks())

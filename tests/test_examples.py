@@ -1,0 +1,43 @@
+"""Smoke tests: the shipped example scripts must run end to end.
+
+Only the fast examples run here (the MPEG/WLAN ones replay thousands
+of instances and belong to the benchmark tier); each is executed in a
+subprocess exactly as a user would run it.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=180):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "Policy comparison" in result.stdout
+        assert "deadline met: True" in result.stdout
+
+    def test_random_ctg_sweep(self):
+        result = run_example("random_ctg_sweep.py", "1.4")
+        assert result.returncode == 0, result.stderr
+        assert "Normalised expected energy" in result.stdout
+
+    def test_schedule_inspection(self, tmp_path):
+        result = run_example("schedule_inspection.py", str(tmp_path))
+        assert result.returncode == 0, result.stderr
+        assert (tmp_path / "mpeg_schedule.svg").exists()
+        assert (tmp_path / "mpeg_instance.json").exists()
+        assert "Per-scenario execution profile" in result.stdout

@@ -1,0 +1,91 @@
+"""Tests for the schedule text rendering (repro.scheduling.gantt)."""
+
+import pytest
+
+from repro.ctg import figure1_ctg
+from repro.ctg.examples import two_sided_branch_ctg
+from repro.platform import Platform, PlatformConfig, ProcessingElement, generate_platform
+from repro.scheduling import (
+    dls_schedule,
+    render_gantt,
+    render_listing,
+    schedule_online,
+    set_deadline_from_makespan,
+)
+
+
+@pytest.fixture
+def fig1_schedule():
+    ctg = figure1_ctg()
+    platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=3))
+    set_deadline_from_makespan(ctg, platform, 1.4)
+    return schedule_online(ctg, platform).schedule
+
+
+class TestGantt:
+    def test_contains_all_pe_lanes(self, fig1_schedule):
+        text = render_gantt(fig1_schedule)
+        for pe in fig1_schedule.platform.pe_names:
+            assert pe in text
+
+    def test_contains_deadline_header(self, fig1_schedule):
+        text = render_gantt(fig1_schedule)
+        assert "deadline" in text
+
+    def test_every_task_appears(self, fig1_schedule):
+        text = render_gantt(fig1_schedule, width=160)
+        for task in fig1_schedule.ctg.tasks():
+            assert task in text
+
+    def test_mutually_exclusive_tasks_share_overlapping_lanes(self):
+        """Mutex arms on one PE must render on separate sub-lanes."""
+        ctg = two_sided_branch_ctg()
+        platform = Platform([ProcessingElement("pe0")])
+        for task in ctg.tasks():
+            platform.set_task_profile(task, "pe0", wcet=10.0, energy=1.0)
+        schedule = dls_schedule(ctg, platform)
+        schedule.ctg.deadline = 50.0
+        text = render_gantt(schedule, width=100)
+        assert "heavy" in text
+        assert "light" in text
+        # two sub-lanes for pe0: more lines than PEs + header
+        lane_lines = [l for l in text.splitlines() if "[" in l]
+        assert len(lane_lines) >= 2
+
+    def test_width_respected(self, fig1_schedule):
+        text = render_gantt(fig1_schedule, width=60)
+        for line in text.splitlines():
+            assert len(line) <= 60 + 12  # label prefix allowance
+
+    def test_empty_schedule(self):
+        ctg = figure1_ctg()
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=1, seed=1))
+        from repro.ctg import exclusion_table
+        from repro.scheduling.schedule import Schedule
+
+        schedule = Schedule(ctg.copy(), platform, exclusion_table(ctg))
+        assert render_gantt(schedule) == "(empty schedule)"
+
+    def test_links_lane_optional(self, fig1_schedule):
+        with_links = render_gantt(fig1_schedule, show_links=True)
+        without = render_gantt(fig1_schedule, show_links=False)
+        if fig1_schedule.comm_bookings:
+            assert "links:" in with_links
+        assert "links:" not in without
+
+
+class TestListing:
+    def test_lists_every_task(self, fig1_schedule):
+        text = render_listing(fig1_schedule)
+        for task in fig1_schedule.ctg.tasks():
+            assert task in text
+
+    def test_reports_makespan_and_deadline(self, fig1_schedule):
+        text = render_listing(fig1_schedule)
+        assert "makespan" in text
+        assert f"{fig1_schedule.ctg.deadline:.2f}" in text
+
+    def test_rows_sorted_by_start(self, fig1_schedule):
+        lines = render_listing(fig1_schedule).splitlines()[2:-1]
+        starts = [float(line.split()[2]) for line in lines]
+        assert starts == sorted(starts)

@@ -1,0 +1,135 @@
+"""Unit + property tests for the TGFF-like CTG generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctg import (
+    GeneratorConfig,
+    enumerate_paths,
+    enumerate_scenarios,
+    generate_ctg,
+    paper_table1_configs,
+    paper_table4_configs,
+)
+from repro.ctg.minterms import gamma
+
+
+class TestConfigValidation:
+    def test_bad_category_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(category=3)
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(nodes=5, branch_nodes=3, category=1)
+
+    def test_single_outcome_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(outcomes_per_branch=1)
+
+    def test_minimum_nodes_formula(self):
+        cfg = GeneratorConfig(nodes=30, branch_nodes=3, category=1)
+        assert cfg.minimum_nodes() == 2 + 3 * 4
+        cfg2 = GeneratorConfig(nodes=30, branch_nodes=3, category=2)
+        assert cfg2.minimum_nodes() == 2 + 3 * 3
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        a = generate_ctg(GeneratorConfig(nodes=20, branch_nodes=2, seed=7))
+        b = generate_ctg(GeneratorConfig(nodes=20, branch_nodes=2, seed=7))
+        assert a.tasks() == b.tasks()
+        assert list(a.edges()) == list(b.edges())
+        assert a.default_probabilities == b.default_probabilities
+
+    def test_different_seed_differs(self):
+        a = generate_ctg(GeneratorConfig(nodes=20, branch_nodes=2, seed=7))
+        b = generate_ctg(GeneratorConfig(nodes=20, branch_nodes=2, seed=8))
+        assert list(a.edges()) != list(b.edges()) or a.default_probabilities != b.default_probabilities
+
+
+class TestCategory1:
+    def test_exact_node_and_branch_count(self):
+        ctg = generate_ctg(GeneratorConfig(nodes=25, branch_nodes=3, category=1, seed=1))
+        assert len(ctg) == 25
+        assert len(ctg.branch_nodes()) == 3
+
+    def test_single_source_single_sink(self):
+        ctg = generate_ctg(GeneratorConfig(nodes=25, branch_nodes=3, category=1, seed=2))
+        assert len(ctg.sources()) == 1
+        assert len(ctg.sinks()) == 1
+
+    def test_probabilities_normalised(self):
+        ctg = generate_ctg(GeneratorConfig(nodes=25, branch_nodes=3, category=1, seed=3))
+        for dist in ctg.default_probabilities.values():
+            assert sum(dist.values()) == pytest.approx(1.0)
+            assert all(0 < p < 1 for p in dist.values())
+
+
+class TestCategory2:
+    def test_exact_node_and_branch_count(self):
+        ctg = generate_ctg(GeneratorConfig(nodes=25, branch_nodes=3, category=2, seed=1))
+        assert len(ctg) == 25
+        assert len(ctg.branch_nodes()) == 3
+
+    def test_no_or_nodes(self):
+        from repro.ctg import NodeKind
+
+        ctg = generate_ctg(GeneratorConfig(nodes=25, branch_nodes=3, category=2, seed=4))
+        assert all(ctg.kind(t) is not NodeKind.OR for t in ctg.tasks())
+
+    def test_no_nested_branches(self):
+        # No branch fork may lie in a conditional activation context.
+        ctg = generate_ctg(GeneratorConfig(nodes=25, branch_nodes=3, category=2, seed=5))
+        g = gamma(ctg)
+        for branch in ctg.branch_nodes():
+            assert all(term.is_true() for term in g[branch])
+
+    def test_scenario_count_is_power_of_outcomes(self):
+        ctg = generate_ctg(GeneratorConfig(nodes=25, branch_nodes=3, category=2, seed=6))
+        assert len(enumerate_scenarios(ctg)) == 2 ** 3
+
+    def test_zero_branches_is_a_chain_family(self):
+        ctg = generate_ctg(GeneratorConfig(nodes=10, branch_nodes=0, category=2, seed=7))
+        assert len(ctg) == 10
+        assert len(enumerate_scenarios(ctg)) == 1
+
+
+class TestPaperConfigs:
+    def test_table1_shapes(self):
+        shapes = [(c.nodes, c.branch_nodes) for c in paper_table1_configs()]
+        assert shapes == [(25, 3), (16, 1), (15, 2), (15, 2), (25, 3)]
+
+    def test_table4_has_five_per_category(self):
+        configs = paper_table4_configs()
+        assert len(configs) == 10
+        assert [c.category for c in configs] == [1] * 5 + [2] * 5
+
+    def test_all_paper_graphs_build_and_validate(self):
+        for cfg in paper_table1_configs() + paper_table4_configs():
+            ctg = generate_ctg(cfg)
+            ctg.validate()
+            assert len(enumerate_paths(ctg)) >= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    nodes=st.integers(14, 40),
+    branches=st.integers(0, 3),
+    category=st.sampled_from([1, 2]),
+    seed=st.integers(0, 10_000),
+)
+def test_generator_invariants(nodes, branches, category, seed):
+    """Property: any in-range config yields a valid graph with the exact
+    node/branch counts, consistent scenarios and feasible paths."""
+    cfg = GeneratorConfig(nodes=nodes, branch_nodes=branches, category=category, seed=seed)
+    ctg = generate_ctg(cfg)
+    ctg.validate()
+    assert len(ctg) == nodes
+    assert len(ctg.branch_nodes()) == branches
+    scenarios = enumerate_scenarios(ctg)
+    total = sum(s.probability(ctg.default_probabilities) for s in scenarios)
+    assert abs(total - 1.0) < 1e-9
+    for path in enumerate_paths(ctg):
+        assert path.condition is not None

@@ -1,0 +1,215 @@
+"""Unit tests for the CTG structure (repro.ctg.graph)."""
+
+import pytest
+
+from repro.ctg import CTGError, ConditionalTaskGraph, NodeKind, Outcome
+from repro.ctg.examples import diamond_ctg, figure1_ctg
+
+
+class TestConstruction:
+    def test_add_task_returns_name(self):
+        ctg = ConditionalTaskGraph()
+        assert ctg.add_task("a") == "a"
+        assert "a" in ctg
+
+    def test_duplicate_task_rejected(self):
+        ctg = ConditionalTaskGraph()
+        ctg.add_task("a")
+        with pytest.raises(CTGError):
+            ctg.add_task("a")
+
+    def test_edge_to_unknown_task_rejected(self):
+        ctg = ConditionalTaskGraph()
+        ctg.add_task("a")
+        with pytest.raises(CTGError):
+            ctg.add_edge("a", "missing")
+
+    def test_duplicate_edge_rejected(self):
+        ctg = ConditionalTaskGraph()
+        ctg.add_task("a")
+        ctg.add_task("b")
+        ctg.add_edge("a", "b")
+        with pytest.raises(CTGError):
+            ctg.add_edge("a", "b")
+
+    def test_conditional_edge_must_be_guarded_by_source(self):
+        ctg = ConditionalTaskGraph()
+        ctg.add_task("a")
+        ctg.add_task("b")
+        with pytest.raises(CTGError):
+            ctg.add_edge("a", "b", condition=Outcome("b", "x1"))
+
+    def test_default_node_kind_is_and(self):
+        ctg = ConditionalTaskGraph()
+        ctg.add_task("a")
+        assert ctg.kind("a") is NodeKind.AND
+
+    def test_or_node_kind(self):
+        ctg = ConditionalTaskGraph()
+        ctg.add_task("a", NodeKind.OR)
+        assert ctg.kind("a") is NodeKind.OR
+
+
+class TestQueries:
+    def test_figure1_sources_and_sinks(self):
+        ctg = figure1_ctg()
+        assert ctg.sources() == ["t1"]
+        assert set(ctg.sinks()) == {"t6", "t7", "t8"}
+
+    def test_topological_order_respects_edges(self):
+        ctg = figure1_ctg()
+        order = ctg.topological_order()
+        for src, dst, _data in ctg.edges():
+            assert order.index(src) < order.index(dst)
+
+    def test_len_counts_tasks(self):
+        assert len(figure1_ctg()) == 8
+        assert len(diamond_ctg()) == 4
+
+    def test_edge_data_roundtrip(self):
+        ctg = figure1_ctg()
+        data = ctg.edge_data("t3", "t4")
+        assert data.condition == Outcome("t3", "a1")
+        assert data.comm_kbytes == 3.0
+
+    def test_edge_data_missing_raises(self):
+        with pytest.raises(CTGError):
+            figure1_ctg().edge_data("t1", "t8")
+
+    def test_predecessors_successors(self):
+        ctg = figure1_ctg()
+        assert set(ctg.predecessors("t8")) == {"t2", "t4"}
+        assert set(ctg.successors("t3")) == {"t4", "t5"}
+
+
+class TestBranchStructure:
+    def test_branch_nodes_detected_from_edges(self):
+        assert figure1_ctg().branch_nodes() == ["t3", "t5"]
+
+    def test_outcomes_of_branch(self):
+        ctg = figure1_ctg()
+        assert set(ctg.outcomes_of("t3")) == {"a1", "a2"}
+
+    def test_outcomes_of_non_branch_raises(self):
+        with pytest.raises(CTGError):
+            figure1_ctg().outcomes_of("t1")
+
+    def test_declared_outcomes_merge_with_edges(self):
+        ctg = ConditionalTaskGraph()
+        ctg.add_task("f")
+        ctg.add_task("x")
+        ctg.add_conditional_edge("f", "x", "a1")
+        ctg.declare_outcomes("f", ["a2"])
+        assert set(ctg.outcomes_of("f")) == {"a1", "a2"}
+
+    def test_deciding_branches_of_or_node(self):
+        # Example 1: τ₈ waits on branch fork τ₃ even when a₁ deselects τ₄.
+        assert figure1_ctg().deciding_branches("t8") == ["t3"]
+
+    def test_deciding_branches_unconditional_graph(self):
+        assert diamond_ctg().deciding_branches("join") == []
+
+
+class TestPseudoEdges:
+    def test_pseudo_edge_added_and_flagged(self):
+        ctg = diamond_ctg()
+        ctg.add_pseudo_edge("left", "right")
+        assert ctg.edge_data("left", "right").pseudo
+
+    def test_pseudo_edge_over_existing_real_edge_is_noop(self):
+        ctg = diamond_ctg()
+        ctg.add_pseudo_edge("src", "left")
+        assert not ctg.edge_data("src", "left").pseudo
+
+    def test_pseudo_edge_cycle_rejected(self):
+        ctg = diamond_ctg()
+        with pytest.raises(CTGError):
+            ctg.add_pseudo_edge("join", "src")
+
+    def test_pseudo_edges_invisible_to_real_queries(self):
+        ctg = diamond_ctg()
+        ctg.add_pseudo_edge("left", "right")
+        assert "left" not in ctg.predecessors("right", include_pseudo=False)
+        assert "left" in ctg.predecessors("right", include_pseudo=True)
+
+    def test_without_pseudo_edges_strips_them(self):
+        ctg = diamond_ctg()
+        ctg.add_pseudo_edge("left", "right")
+        clean = ctg.without_pseudo_edges()
+        with pytest.raises(CTGError):
+            clean.edge_data("left", "right")
+        # original untouched
+        assert ctg.edge_data("left", "right").pseudo
+
+
+class TestValidation:
+    def test_figure1_validates(self):
+        figure1_ctg().validate()
+
+    def test_cycle_rejected(self):
+        ctg = ConditionalTaskGraph()
+        ctg.add_task("a")
+        ctg.add_task("b")
+        ctg.add_edge("a", "b")
+        ctg.graph.add_edge("b", "a", data=ctg.edge_data("a", "b"))
+        with pytest.raises(CTGError):
+            ctg.validate()
+
+    def test_single_outcome_branch_rejected(self):
+        ctg = ConditionalTaskGraph()
+        ctg.add_task("f")
+        ctg.add_task("x")
+        ctg.add_conditional_edge("f", "x", "a1")
+        with pytest.raises(CTGError):
+            ctg.validate()
+
+    def test_negative_comm_rejected(self):
+        ctg = ConditionalTaskGraph()
+        ctg.add_task("a")
+        ctg.add_task("b")
+        ctg.graph.add_node("a")
+        with pytest.raises(CTGError):
+            ctg.add_edge("a", "b", comm_kbytes=-1.0)
+            ctg.validate()
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        ctg = figure1_ctg()
+        clone = ctg.copy()
+        clone.add_task("extra")
+        assert "extra" not in ctg
+        clone.default_probabilities["t3"]["a1"] = 0.9
+        assert ctg.default_probabilities["t3"]["a1"] == 0.4
+
+    def test_copy_preserves_structure(self):
+        ctg = figure1_ctg()
+        clone = ctg.copy()
+        assert set(clone.tasks()) == set(ctg.tasks())
+        assert clone.kind("t8") is NodeKind.OR
+        assert clone.deadline == ctg.deadline
+
+
+class TestPathCondition:
+    def test_unconditional_path(self):
+        ctg = figure1_ctg()
+        assert ctg.path_condition(["t1", "t2", "t8"]).is_true()
+
+    def test_conditional_path(self):
+        ctg = figure1_ctg()
+        cond = ctg.path_condition(["t1", "t3", "t5", "t6"])
+        assert str(cond) == "a2b1"
+
+    def test_contradictory_path_returns_none(self):
+        ctg = ConditionalTaskGraph()
+        for n in ("f", "x", "g"):
+            ctg.add_task(n)
+        ctg.add_task("y")
+        ctg.add_conditional_edge("f", "x", "a1")
+        ctg.add_conditional_edge("f", "y", "a2")
+        ctg.add_edge("x", "g")
+        # fabricate a contradictory chain by querying across arms
+        ctg.add_edge("y", "g")
+        # a path using both arms cannot exist structurally; check the
+        # condition helper directly on a contrived chain
+        assert ctg.path_condition(["f", "x", "g"]) is not None

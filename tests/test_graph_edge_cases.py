@@ -1,0 +1,179 @@
+"""Additional edge-case tests for graph semantics and the simulator.
+
+Covers behaviours not exercised by the main suites: multi-outcome
+branches (fan-out > 2), chained or-nodes, conditional re-convergence
+through and-nodes within one arm, and executor behaviour under unusual
+topologies.
+"""
+
+import pytest
+
+from repro.ctg import (
+    ConditionalTaskGraph,
+    NodeKind,
+    enumerate_paths,
+    enumerate_scenarios,
+    exclusion_table,
+    gamma,
+    mutually_exclusive,
+)
+from repro.platform import Platform, ProcessingElement
+from repro.scheduling import dls_schedule, stretch_schedule
+from repro.sim import execute_instance
+
+
+def uniform_platform(ctg, pes=2, wcet=10.0):
+    platform = Platform([ProcessingElement(f"pe{i}", min_speed=0.1) for i in range(pes)])
+    if pes > 1:
+        platform.connect_all(bandwidth=2.0, energy_per_kbyte=0.05)
+    for task in ctg.tasks():
+        for pe in platform.pe_names:
+            platform.set_task_profile(task, pe, wcet=wcet, energy=wcet)
+    return platform
+
+
+def four_way_branch():
+    """A 4-outcome branch (like the WLAN rate selector)."""
+    ctg = ConditionalTaskGraph(name="four_way")
+    ctg.add_task("head")
+    ctg.add_task("fork")
+    ctg.add_task("merge", NodeKind.OR)
+    ctg.add_edge("head", "fork", comm_kbytes=1.0)
+    for i in range(1, 5):
+        arm = f"arm{i}"
+        ctg.add_task(arm)
+        ctg.add_conditional_edge("fork", arm, f"x{i}", comm_kbytes=1.0)
+        ctg.add_edge(arm, "merge", comm_kbytes=1.0)
+    ctg.default_probabilities = {"fork": {f"x{i}": 0.25 for i in range(1, 5)}}
+    ctg.validate()
+    return ctg
+
+
+class TestMultiOutcomeBranch:
+    def test_four_scenarios(self):
+        assert len(enumerate_scenarios(four_way_branch())) == 4
+
+    def test_all_arms_pairwise_exclusive(self):
+        ctg = four_way_branch()
+        for i in range(1, 5):
+            for j in range(i + 1, 5):
+                assert mutually_exclusive(ctg, f"arm{i}", f"arm{j}")
+
+    def test_single_pe_all_arms_share_one_slot(self):
+        ctg = four_way_branch()
+        platform = uniform_platform(ctg, pes=1)
+        schedule = dls_schedule(ctg, platform)
+        # head, fork, (4 arms in parallel), merge → 4 slots of 10
+        assert schedule.makespan() == pytest.approx(40.0)
+
+    def test_executor_runs_each_arm(self):
+        ctg = four_way_branch()
+        platform = uniform_platform(ctg, pes=1)
+        schedule = dls_schedule(ctg, platform)
+        schedule.ctg.deadline = 80.0
+        stretch_schedule(schedule)
+        for i in range(1, 5):
+            outcome = execute_instance(schedule, {"fork": f"x{i}"})
+            assert f"arm{i}" in outcome.finish_times
+            assert outcome.deadline_met
+
+
+class TestChainedOrNodes:
+    def build(self):
+        """fork → (a | b) → or1 → mid → fork2 → (c | d) → or2."""
+        ctg = ConditionalTaskGraph(name="chained_or")
+        for name in ("fork", "a", "b", "mid", "fork2", "c", "d"):
+            ctg.add_task(name)
+        ctg.add_task("or1", NodeKind.OR)
+        ctg.add_task("or2", NodeKind.OR)
+        ctg.add_conditional_edge("fork", "a", "x1")
+        ctg.add_conditional_edge("fork", "b", "x2")
+        ctg.add_edge("a", "or1")
+        ctg.add_edge("b", "or1")
+        ctg.add_edge("or1", "mid")
+        ctg.add_edge("mid", "fork2")
+        ctg.add_conditional_edge("fork2", "c", "y1")
+        ctg.add_conditional_edge("fork2", "d", "y2")
+        ctg.add_edge("c", "or2")
+        ctg.add_edge("d", "or2")
+        ctg.default_probabilities = {
+            "fork": {"x1": 0.5, "x2": 0.5},
+            "fork2": {"y1": 0.5, "y2": 0.5},
+        }
+        ctg.validate()
+        return ctg
+
+    def test_four_scenarios_over_two_independent_branches(self):
+        scenarios = enumerate_scenarios(self.build())
+        assert len(scenarios) == 4
+
+    def test_gamma_of_downstream_or(self):
+        g = gamma(self.build())
+        # Γ keeps the structural contexts without absorption (paper
+        # Example 1), so the upstream x-branch stays in the products.
+        labels = {str(term) for term in g["or2"]}
+        assert labels == {"x1y1", "x1y2", "x2y1", "x2y2"}
+        # the join of the upstream branch carries both of its contexts
+        assert {str(term) for term in g["or1"]} == {"x1", "x2"}
+
+    def test_cross_branch_tasks_not_exclusive(self):
+        ctg = self.build()
+        assert not mutually_exclusive(ctg, "a", "c")
+        assert mutually_exclusive(ctg, "a", "b")
+        assert mutually_exclusive(ctg, "c", "d")
+
+    def test_path_count(self):
+        # 2 upstream arms × 2 downstream arms
+        assert len(enumerate_paths(self.build())) == 4
+
+    def test_executor_all_combinations(self):
+        ctg = self.build()
+        platform = uniform_platform(ctg, pes=2)
+        schedule = dls_schedule(ctg, platform)
+        schedule.ctg.deadline = schedule.makespan() * 1.3
+        stretch_schedule(schedule)
+        for x in ("x1", "x2"):
+            for y in ("y1", "y2"):
+                outcome = execute_instance(schedule, {"fork": x, "fork2": y})
+                assert outcome.deadline_met
+                assert ("a" in outcome.finish_times) == (x == "x1")
+                assert ("c" in outcome.finish_times) == (y == "y1")
+
+
+class TestConditionalSubgraphWithJoin:
+    def test_and_join_inside_one_arm(self):
+        """An and-node deep inside a conditional arm inherits the arm's
+        context through both of its parents (consistent conjunction)."""
+        ctg = ConditionalTaskGraph(name="arm_join")
+        for name in ("fork", "p", "q", "j", "other"):
+            ctg.add_task(name)
+        ctg.add_task("merge", NodeKind.OR)
+        ctg.add_conditional_edge("fork", "p", "x1")
+        ctg.add_edge("p", "q")
+        ctg.add_edge("p", "j")
+        ctg.add_edge("q", "j")  # and-join of q and p, both in arm x1
+        ctg.add_conditional_edge("fork", "other", "x2")
+        ctg.add_edge("j", "merge")
+        ctg.add_edge("other", "merge")
+        ctg.default_probabilities = {"fork": {"x1": 0.6, "x2": 0.4}}
+        ctg.validate()
+
+        g = gamma(ctg)
+        assert [str(t) for t in g["j"]] == ["x1"]
+        scenarios = {str(s.product): s for s in enumerate_scenarios(ctg)}
+        assert "j" in scenarios["x1"].active
+        assert "j" not in scenarios["x2"].active
+
+    def test_exclusion_table_respects_arm_membership(self):
+        ctg = ConditionalTaskGraph(name="arm_join2")
+        for name in ("fork", "p", "q"):
+            ctg.add_task(name)
+        ctg.add_task("other")
+        ctg.add_conditional_edge("fork", "p", "x1")
+        ctg.add_edge("p", "q")
+        ctg.add_conditional_edge("fork", "other", "x2")
+        ctg.default_probabilities = {"fork": {"x1": 0.5, "x2": 0.5}}
+        ctg.validate()
+        table = exclusion_table(ctg)
+        assert "other" in table["q"]
+        assert "p" not in table["q"]

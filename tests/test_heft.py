@@ -1,0 +1,109 @@
+"""Tests for the HEFT baseline scheduler."""
+
+import pytest
+
+from repro.ctg import GeneratorConfig, figure1_ctg, generate_ctg
+from repro.ctg.examples import diamond_ctg
+from repro.platform import Platform, PlatformConfig, ProcessingElement, generate_platform
+from repro.scheduling import (
+    heft_mapping,
+    heft_schedule,
+    heft_with_nlp,
+    set_deadline_from_makespan,
+    upward_ranks,
+)
+
+
+def uniform_platform(ctg, pes=2, wcet=10.0, bandwidth=1.0):
+    platform = Platform([ProcessingElement(f"pe{i}") for i in range(pes)])
+    if pes > 1:
+        platform.connect_all(bandwidth=bandwidth, energy_per_kbyte=0.1)
+    for task in ctg.tasks():
+        for pe in platform.pe_names:
+            platform.set_task_profile(task, pe, wcet=wcet, energy=wcet)
+    return platform
+
+
+class TestUpwardRanks:
+    def test_ranks_decrease_along_edges(self):
+        ctg = figure1_ctg()
+        platform = uniform_platform(ctg)
+        ranks = upward_ranks(ctg, platform)
+        for src, dst, _data in ctg.edges(include_pseudo=False):
+            assert ranks[src] > ranks[dst]
+
+    def test_sink_rank_is_own_wcet(self):
+        ctg = diamond_ctg()
+        platform = uniform_platform(ctg)
+        ranks = upward_ranks(ctg, platform)
+        assert ranks["join"] == pytest.approx(10.0)
+
+    def test_communication_enters_rank(self):
+        ctg = diamond_ctg()
+        slow_link = uniform_platform(ctg, bandwidth=0.1)
+        fast_link = uniform_platform(ctg, bandwidth=100.0)
+        assert (
+            upward_ranks(ctg, slow_link)["src"]
+            > upward_ranks(ctg, fast_link)["src"]
+        )
+
+
+class TestHeftMapping:
+    def test_every_task_mapped_to_supporting_pe(self):
+        ctg = generate_ctg(GeneratorConfig(nodes=18, branch_nodes=2, seed=3))
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=3, seed=3))
+        mapping = heft_mapping(ctg, platform)
+        assert set(mapping) == set(ctg.tasks())
+        for task, pe in mapping.items():
+            assert platform.supports(task, pe)
+
+    def test_expensive_communication_clusters_tasks(self):
+        """With near-zero link bandwidth HEFT keeps a chain on one PE."""
+        from repro.ctg import ConditionalTaskGraph
+
+        ctg = ConditionalTaskGraph(name="chain")
+        prev = None
+        for i in range(4):
+            ctg.add_task(f"c{i}")
+            if prev:
+                ctg.add_edge(prev, f"c{i}", comm_kbytes=50.0)
+            prev = f"c{i}"
+        ctg.validate()
+        platform = uniform_platform(ctg, pes=2, bandwidth=0.01)
+        mapping = heft_mapping(ctg, platform)
+        assert len(set(mapping.values())) == 1
+
+
+class TestHeftSchedule:
+    def test_schedule_valid(self):
+        ctg = generate_ctg(GeneratorConfig(nodes=16, branch_nodes=2, seed=5))
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=3, seed=5))
+        schedule = heft_schedule(ctg, platform)
+        schedule.ctg.deadline = 0.0
+        schedule.validate()
+        assert set(schedule.placements) == set(ctg.tasks())
+
+    def test_mutex_blind_serialises_arms(self):
+        from repro.ctg.examples import two_sided_branch_ctg
+
+        ctg = two_sided_branch_ctg()
+        platform = uniform_platform(ctg, pes=1)
+        schedule = heft_schedule(ctg, platform)
+        # worst-case semantics: all 5 tasks serialised
+        assert schedule.makespan() == pytest.approx(50.0)
+
+    def test_with_nlp_meets_deadline(self):
+        ctg = generate_ctg(GeneratorConfig(nodes=16, branch_nodes=2, seed=7))
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=3, seed=7))
+        set_deadline_from_makespan(ctg, platform, 1.5)
+        schedule, report = heft_with_nlp(ctg, platform)
+        if report.converged:
+            assert schedule.meets_deadline(tol=1e-4)
+
+    def test_nominal_fallback_when_deadline_unreachable(self):
+        ctg = generate_ctg(GeneratorConfig(nodes=16, branch_nodes=2, seed=7))
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=3, seed=7))
+        ctg.deadline = 1e-3  # impossible
+        schedule, report = heft_with_nlp(ctg, platform)
+        assert not report.converged
+        assert all(p.speed == 1.0 for p in schedule.placements.values())

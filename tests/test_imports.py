@@ -1,0 +1,36 @@
+"""Import hygiene: every subpackage must import cleanly on its own.
+
+Circular imports only bite when a particular module is imported
+*first*, so each candidate is imported in a fresh interpreter.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.ctg",
+    "repro.platform",
+    "repro.scheduling",
+    "repro.adaptive",
+    "repro.sim",
+    "repro.workloads",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.io",
+    "repro.viz",
+    "repro.__main__",
+]
+
+
+@pytest.mark.parametrize("module", SUBPACKAGES)
+def test_subpackage_imports_standalone(module):
+    result = subprocess.run(
+        [sys.executable, "-c", f"import {module}"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0, f"import {module} failed:\n{result.stderr}"

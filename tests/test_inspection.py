@@ -1,0 +1,92 @@
+"""Tests for schedule inspection (repro.scheduling.inspection)."""
+
+import pytest
+
+from repro.ctg import figure1_ctg
+from repro.ctg.examples import two_sided_branch_ctg
+from repro.platform import Platform, PlatformConfig, ProcessingElement, generate_platform
+from repro.scheduling import dls_schedule, schedule_online, set_deadline_from_makespan
+from repro.scheduling.inspection import (
+    inspect,
+    overlap_report,
+    scenario_report,
+    slack_utilisation,
+)
+
+
+@pytest.fixture
+def fig1_schedule():
+    ctg = figure1_ctg()
+    platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=5))
+    set_deadline_from_makespan(ctg, platform, 1.4)
+    return schedule_online(ctg, platform).schedule
+
+
+class TestScenarioReport:
+    def test_one_row_per_scenario(self, fig1_schedule):
+        reports = scenario_report(fig1_schedule)
+        assert len(reports) == 3
+        assert {r.product for r in reports} == {"a1", "a2b1", "a2b2"}
+
+    def test_probabilities_sum_to_one(self, fig1_schedule):
+        reports = scenario_report(fig1_schedule)
+        assert sum(r.probability for r in reports) == pytest.approx(1.0)
+
+    def test_all_scenarios_within_deadline(self, fig1_schedule):
+        for report in scenario_report(fig1_schedule):
+            assert report.slack >= -1e-6
+            assert report.makespan <= fig1_schedule.ctg.deadline + 1e-6
+
+    def test_expected_energy_consistent_with_schedule(self, fig1_schedule):
+        reports = scenario_report(fig1_schedule)
+        mixture = sum(r.probability * r.energy for r in reports)
+        analytical = fig1_schedule.expected_energy(
+            fig1_schedule.ctg.default_probabilities
+        )
+        assert mixture == pytest.approx(analytical, rel=1e-9)
+
+
+class TestSlackUtilisation:
+    def test_online_schedule_consumes_most_headroom(self, fig1_schedule):
+        util = slack_utilisation(fig1_schedule)
+        assert util.headroom > 0
+        assert 0.5 <= util.utilisation <= 1.0 + 1e-9
+
+    def test_measurement_does_not_mutate_speeds(self, fig1_schedule):
+        before = {t: p.speed for t, p in fig1_schedule.placements.items()}
+        slack_utilisation(fig1_schedule)
+        after = {t: p.speed for t, p in fig1_schedule.placements.items()}
+        assert before == after
+
+    def test_nominal_schedule_consumes_nothing(self):
+        ctg = figure1_ctg()
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=5))
+        set_deadline_from_makespan(ctg, platform, 1.4)
+        schedule = dls_schedule(ctg, platform)  # no stretching
+        util = slack_utilisation(schedule)
+        assert util.consumed == pytest.approx(0.0)
+
+
+class TestOverlapReport:
+    def test_single_pe_exclusive_arms_overlap(self):
+        ctg = two_sided_branch_ctg()
+        platform = Platform([ProcessingElement("pe0")])
+        for task in ctg.tasks():
+            platform.set_task_profile(task, "pe0", wcet=10.0, energy=1.0)
+        schedule = dls_schedule(ctg, platform)
+        overlaps = overlap_report(schedule)
+        assert any({a, b} == {"heavy", "light"} for _pe, a, b, _d in overlaps)
+
+    def test_no_false_overlaps(self, fig1_schedule):
+        for _pe, a, b, duration in overlap_report(fig1_schedule):
+            assert fig1_schedule.are_exclusive(a, b)
+            assert duration > 0
+
+
+class TestInspect:
+    def test_report_contains_sections(self, fig1_schedule):
+        text = inspect(fig1_schedule)
+        assert "Per-scenario execution profile" in text
+        assert "slack:" in text
+        assert "expected energy" in text
+        assert "mutual-exclusion" in text

@@ -1,0 +1,116 @@
+"""Tests for JSON serialisation (repro.io)."""
+
+import json
+
+import pytest
+
+from repro.ctg import CTGError, figure1_ctg, generate_ctg, GeneratorConfig
+from repro.ctg.minterms import enumerate_scenarios
+from repro.io import (
+    ctg_from_dict,
+    ctg_to_dict,
+    load_instance,
+    platform_from_dict,
+    platform_to_dict,
+    save_instance,
+)
+from repro.platform import PlatformConfig, ProcessingElement, Platform, generate_platform
+from repro.workloads import drifting_trace
+
+
+class TestCtgRoundTrip:
+    def test_figure1_round_trip(self):
+        original = figure1_ctg()
+        original.deadline = 42.0
+        clone = ctg_from_dict(ctg_to_dict(original))
+        assert clone.tasks() == original.tasks()
+        assert clone.deadline == 42.0
+        assert clone.default_probabilities == original.default_probabilities
+        assert clone.kind("t8").value == "or"
+        assert clone.edge_data("t3", "t4").condition.label == "a1"
+        assert clone.edge_data("t1", "t2").comm_kbytes == 4.0
+
+    def test_scenarios_preserved(self):
+        original = generate_ctg(GeneratorConfig(nodes=20, branch_nodes=2, seed=5))
+        clone = ctg_from_dict(ctg_to_dict(original))
+        a = {str(s.product) for s in enumerate_scenarios(original)}
+        b = {str(s.product) for s in enumerate_scenarios(clone)}
+        assert a == b
+
+    def test_pseudo_edges_not_serialised(self):
+        ctg = figure1_ctg()
+        ctg.add_pseudo_edge("t4", "t5")
+        clone = ctg_from_dict(ctg_to_dict(ctg))
+        with pytest.raises(CTGError):
+            clone.edge_data("t4", "t5")
+
+    def test_json_serialisable(self):
+        payload = ctg_to_dict(figure1_ctg())
+        json.dumps(payload)  # must not raise
+
+    def test_version_checked(self):
+        payload = ctg_to_dict(figure1_ctg())
+        payload["version"] = 999
+        with pytest.raises(CTGError):
+            ctg_from_dict(payload)
+
+
+class TestPlatformRoundTrip:
+    def test_generated_platform_round_trip(self):
+        tasks = [f"t{i}" for i in range(6)]
+        original = generate_platform(tasks, PlatformConfig(pes=3, seed=9))
+        clone = platform_from_dict(platform_to_dict(original))
+        assert clone.pe_names == original.pe_names
+        for task in tasks:
+            for pe in original.pe_names:
+                assert clone.wcet(task, pe) == original.wcet(task, pe)
+                assert clone.energy(task, pe) == original.energy(task, pe)
+        assert clone.comm_time("pe0", "pe1", 4.0) == original.comm_time("pe0", "pe1", 4.0)
+        assert clone.dvfs.exponent == original.dvfs.exponent
+
+    def test_speed_levels_preserved(self):
+        platform = Platform(
+            [ProcessingElement("pe0", min_speed=0.25, speed_levels=(0.25, 0.5, 1.0))]
+        )
+        platform.set_task_profile("t", "pe0", wcet=1.0, energy=1.0)
+        clone = platform_from_dict(platform_to_dict(platform))
+        assert clone.pe("pe0").speed_levels == (0.25, 0.5, 1.0)
+
+
+class TestInstanceBundle:
+    def test_save_and_load(self, tmp_path):
+        ctg = figure1_ctg()
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=4))
+        trace = drifting_trace(ctg, 20, seed=1)
+        path = tmp_path / "instance.json"
+        save_instance(path, ctg, platform, trace)
+        ctg2, platform2, trace2 = load_instance(path)
+        assert ctg2.tasks() == ctg.tasks()
+        assert platform2.pe_names == platform.pe_names
+        assert trace2 == [dict(v) for v in trace]
+
+    def test_load_without_trace(self, tmp_path):
+        ctg = figure1_ctg()
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=4))
+        path = tmp_path / "instance.json"
+        save_instance(path, ctg, platform)
+        _ctg2, _platform2, trace = load_instance(path)
+        assert trace is None
+
+    def test_bad_trace_rejected_on_save(self, tmp_path):
+        ctg = figure1_ctg()
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=4))
+        with pytest.raises(ValueError):
+            save_instance(tmp_path / "x.json", ctg, platform, [{"t3": "zz"}])
+
+    def test_loaded_instance_schedulable(self, tmp_path):
+        from repro.scheduling import schedule_online, set_deadline_from_makespan
+
+        ctg = generate_ctg(GeneratorConfig(nodes=15, branch_nodes=1, seed=3))
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=3))
+        path = tmp_path / "inst.json"
+        save_instance(path, ctg, platform)
+        ctg2, platform2, _ = load_instance(path)
+        set_deadline_from_makespan(ctg2, platform2, 1.4)
+        result = schedule_online(ctg2, platform2)
+        result.schedule.validate()

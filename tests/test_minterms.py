@@ -1,0 +1,177 @@
+"""Unit tests for scenario/minterm analysis (repro.ctg.minterms)."""
+
+import pytest
+
+from repro.ctg import (
+    TRUE,
+    ConditionalTaskGraph,
+    NodeKind,
+    activation_probability,
+    activation_sets,
+    enumerate_scenarios,
+    exclusion_table,
+    gamma,
+    mutually_exclusive,
+    resolve_activation,
+)
+from repro.ctg.conditions import ConditionProduct, Outcome
+from repro.ctg.examples import diamond_ctg, figure1_ctg, two_sided_branch_ctg
+
+
+def product(*pairs):
+    return ConditionProduct(Outcome(b, l) for b, l in pairs)
+
+
+class TestResolveActivation:
+    def test_unconditional_graph_fully_active(self):
+        ctg = diamond_ctg()
+        active, unresolved = resolve_activation(ctg, {})
+        assert unresolved is None
+        assert active == frozenset(ctg.tasks())
+
+    def test_unresolved_branch_reported(self):
+        ctg = figure1_ctg()
+        _active, unresolved = resolve_activation(ctg, {})
+        assert unresolved == "t3"
+
+    def test_a1_scenario(self):
+        ctg = figure1_ctg()
+        active, unresolved = resolve_activation(ctg, {"t3": "a1"})
+        assert unresolved is None
+        assert active == frozenset({"t1", "t2", "t3", "t4", "t8"})
+
+    def test_nested_branch_needs_second_decision(self):
+        ctg = figure1_ctg()
+        _active, unresolved = resolve_activation(ctg, {"t3": "a2"})
+        assert unresolved == "t5"
+
+    def test_or_node_active_through_unconditional_input(self):
+        ctg = figure1_ctg()
+        active, _ = resolve_activation(ctg, {"t3": "a2", "t5": "b1"})
+        assert "t8" in active
+        assert "t4" not in active
+
+
+class TestEnumerateScenarios:
+    def test_figure1_minterms(self):
+        # Paper Example 1: M = {1, a₁, a₂b₁, a₂b₂}; the executable
+        # scenarios are the three non-trivial products.
+        scenarios = enumerate_scenarios(figure1_ctg())
+        products = {str(s.product) for s in scenarios}
+        assert products == {"a1", "a2b1", "a2b2"}
+
+    def test_unconditional_graph_single_scenario(self):
+        scenarios = enumerate_scenarios(diamond_ctg())
+        assert len(scenarios) == 1
+        assert scenarios[0].product.is_true()
+
+    def test_probabilities_sum_to_one(self):
+        ctg = figure1_ctg()
+        scenarios = enumerate_scenarios(ctg)
+        total = sum(s.probability(ctg.default_probabilities) for s in scenarios)
+        assert total == pytest.approx(1.0)
+
+    def test_active_sets_match_paper(self):
+        ctg = figure1_ctg()
+        by_product = {str(s.product): s.active for s in enumerate_scenarios(ctg)}
+        assert by_product["a1"] == frozenset({"t1", "t2", "t3", "t4", "t8"})
+        assert by_product["a2b1"] == frozenset({"t1", "t2", "t3", "t5", "t6", "t8"})
+        assert by_product["a2b2"] == frozenset({"t1", "t2", "t3", "t5", "t7", "t8"})
+
+    def test_deactivated_branch_contributes_no_outcome(self):
+        # Under a₁ the inner branch t5 never fires, so no scenario
+        # carries an outcome of t5 together with a₁.
+        for scenario in enumerate_scenarios(figure1_ctg()):
+            if scenario.product.label_for("t3") == "a1":
+                assert scenario.product.label_for("t5") is None
+
+
+class TestGamma:
+    def test_figure1_gamma_matches_example1(self):
+        g = gamma(figure1_ctg())
+        assert g["t1"] == (TRUE,)
+        assert g["t2"] == (TRUE,)
+        assert g["t3"] == (TRUE,)
+        assert g["t4"] == (product(("t3", "a1")),)
+        assert g["t5"] == (product(("t3", "a2")),)
+        assert g["t6"] == (product(("t3", "a2"), ("t5", "b1")),)
+        assert g["t7"] == (product(("t3", "a2"), ("t5", "b2")),)
+        # Or-node keeps both activation contexts — no absorption.
+        assert set(g["t8"]) == {TRUE, product(("t3", "a1"))}
+
+    def test_gamma_of_unconditional_graph_all_true(self):
+        g = gamma(diamond_ctg())
+        assert all(terms == (TRUE,) for terms in g.values())
+
+    def test_and_node_conjunction_across_inputs(self):
+        # and-join fed by both arms of a branch is unsatisfiable.
+        ctg = ConditionalTaskGraph()
+        for n in ("f", "x", "y"):
+            ctg.add_task(n)
+        ctg.add_task("join", NodeKind.AND)
+        ctg.add_conditional_edge("f", "x", "a1")
+        ctg.add_conditional_edge("f", "y", "a2")
+        ctg.add_edge("x", "join")
+        ctg.add_edge("y", "join")
+        with pytest.raises(Exception):
+            gamma(ctg)
+
+
+class TestActivationProbability:
+    def test_figure1_probabilities(self):
+        ctg = figure1_ctg()
+        probs = activation_probability(ctg, ctg.default_probabilities)
+        assert probs["t1"] == pytest.approx(1.0)
+        assert probs["t4"] == pytest.approx(0.4)
+        assert probs["t5"] == pytest.approx(0.6)
+        assert probs["t6"] == pytest.approx(0.3)
+        assert probs["t8"] == pytest.approx(1.0)
+
+    def test_respects_supplied_distribution(self):
+        ctg = figure1_ctg()
+        probs = activation_probability(
+            ctg, {"t3": {"a1": 1.0, "a2": 0.0}, "t5": {"b1": 0.5, "b2": 0.5}}
+        )
+        assert probs["t4"] == pytest.approx(1.0)
+        assert probs["t5"] == pytest.approx(0.0)
+
+    def test_activation_sets_consistency(self):
+        ctg = figure1_ctg()
+        sets = activation_sets(ctg)
+        assert len(sets["t1"]) == 3  # active in every scenario
+        assert len(sets["t4"]) == 1
+        assert len(sets["t8"]) == 3
+
+
+class TestMutualExclusion:
+    def test_sibling_arms_exclusive(self):
+        ctg = figure1_ctg()
+        assert mutually_exclusive(ctg, "t4", "t5")
+        assert mutually_exclusive(ctg, "t6", "t7")
+        assert mutually_exclusive(ctg, "t4", "t6")
+
+    def test_unconditional_tasks_not_exclusive(self):
+        ctg = figure1_ctg()
+        assert not mutually_exclusive(ctg, "t1", "t2")
+        assert not mutually_exclusive(ctg, "t2", "t4")
+
+    def test_task_not_exclusive_with_itself(self):
+        assert not mutually_exclusive(figure1_ctg(), "t4", "t4")
+
+    def test_exclusion_table_symmetric(self):
+        ctg = figure1_ctg()
+        table = exclusion_table(ctg)
+        for task, others in table.items():
+            for other in others:
+                assert task in table[other]
+
+    def test_exclusion_table_figure1(self):
+        table = exclusion_table(figure1_ctg())
+        assert table["t4"] == frozenset({"t5", "t6", "t7"})
+        assert table["t6"] == frozenset({"t4", "t7"})
+        assert table["t1"] == frozenset()
+
+    def test_two_sided_branch(self):
+        ctg = two_sided_branch_ctg()
+        assert mutually_exclusive(ctg, "heavy", "light")
+        assert not mutually_exclusive(ctg, "heavy", "join")

@@ -1,0 +1,125 @@
+"""Unit tests for the NLP stretching baseline."""
+
+import pytest
+
+from repro.ctg import ConditionalTaskGraph, GeneratorConfig, figure1_ctg, generate_ctg
+from repro.platform import Platform, PlatformConfig, ProcessingElement, generate_platform
+from repro.scheduling import (
+    SchedulingError,
+    dls_schedule,
+    nlp_stretch_schedule,
+    set_deadline_from_makespan,
+    stretch_schedule,
+)
+
+
+def chain_ctg(n=4):
+    ctg = ConditionalTaskGraph(name="chain")
+    prev = None
+    for i in range(n):
+        ctg.add_task(f"c{i}")
+        if prev is not None:
+            ctg.add_edge(prev, f"c{i}")
+        prev = f"c{i}"
+    ctg.validate()
+    return ctg
+
+
+def uniform_platform(ctg, wcet=10.0, energy=10.0, min_speed=0.1):
+    platform = Platform([ProcessingElement("pe0", min_speed=min_speed)])
+    for task in ctg.tasks():
+        platform.set_task_profile(task, "pe0", wcet=wcet, energy=energy)
+    return platform
+
+
+class TestChainOptimum:
+    def test_uniform_chain_equal_speeds(self):
+        """Convex optimum on a uniform chain: equal speeds filling the
+        deadline exactly (the classical DVFS result)."""
+        ctg = chain_ctg(5)
+        platform = uniform_platform(ctg)
+        sched = dls_schedule(ctg, platform)
+        sched.ctg.deadline = 100.0
+        report = nlp_stretch_schedule(sched, {})
+        assert report.converged
+        for task in ctg.tasks():
+            assert sched.placement(task).speed == pytest.approx(0.5, rel=1e-4)
+
+    def test_respects_min_speed(self):
+        ctg = chain_ctg(2)
+        platform = uniform_platform(ctg, min_speed=0.8)
+        sched = dls_schedule(ctg, platform)
+        sched.ctg.deadline = 1000.0
+        nlp_stretch_schedule(sched, {})
+        for task in ctg.tasks():
+            assert sched.placement(task).speed >= 0.8 - 1e-9
+
+    def test_infeasible_deadline_raises(self):
+        ctg = chain_ctg(3)
+        platform = uniform_platform(ctg)
+        sched = dls_schedule(ctg, platform)
+        sched.ctg.deadline = 25.0
+        with pytest.raises(SchedulingError):
+            nlp_stretch_schedule(sched, {})
+
+    def test_deadline_met_after_solve(self):
+        ctg = chain_ctg(4)
+        platform = uniform_platform(ctg)
+        sched = dls_schedule(ctg, platform)
+        sched.ctg.deadline = 60.0
+        nlp_stretch_schedule(sched, {})
+        assert sched.meets_deadline()
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", [1, 5, 9])
+    def test_nlp_lower_bounds_heuristic(self, seed):
+        """Given the same mapping/ordering, the NLP is the continuous
+        optimum for expected energy: it must never lose to the Figure-2
+        heuristic (this is the mechanism behind Table 1's ref-2 ≤ 100)."""
+        ctg = generate_ctg(GeneratorConfig(nodes=18, branch_nodes=2, seed=seed))
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=3, seed=seed))
+        set_deadline_from_makespan(ctg, platform, 1.4)
+        probs = ctg.default_probabilities
+
+        heuristic = dls_schedule(ctg, platform, probs)
+        stretch_schedule(heuristic, probs)
+        optimal = dls_schedule(ctg, platform, probs)
+        nlp_stretch_schedule(optimal, probs)
+
+        assert optimal.expected_energy(probs) <= heuristic.expected_energy(probs) * 1.001
+
+    def test_expected_weighting_beats_worst_case_on_skewed_branch(self):
+        """Expected-energy weights shift slack toward likely tasks; the
+        worst-case objective must not win under the true distribution."""
+        ctg = figure1_ctg()
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=2))
+        set_deadline_from_makespan(ctg, platform, 1.4)
+        probs = {"t3": {"a1": 0.95, "a2": 0.05}, "t5": {"b1": 0.5, "b2": 0.5}}
+
+        expected = dls_schedule(ctg, platform, probs)
+        nlp_stretch_schedule(expected, probs, expected_energy=True)
+        worst = dls_schedule(ctg, platform, probs)
+        nlp_stretch_schedule(worst, probs, expected_energy=False)
+
+        assert expected.expected_energy(probs) <= worst.expected_energy(probs) + 1e-6
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("seed", [3, 7, 13])
+    def test_all_scenarios_meet_deadline(self, seed):
+        ctg = generate_ctg(GeneratorConfig(nodes=20, branch_nodes=3, seed=seed))
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=3, seed=seed))
+        set_deadline_from_makespan(ctg, platform, 1.5)
+        sched = dls_schedule(ctg, platform)
+        nlp_stretch_schedule(sched)
+        assert sched.meets_deadline(tol=1e-4)
+
+    def test_report_fields(self):
+        ctg = chain_ctg(3)
+        platform = uniform_platform(ctg)
+        sched = dls_schedule(ctg, platform)
+        sched.ctg.deadline = 45.0
+        report = nlp_stretch_schedule(sched, {})
+        assert report.iterations > 0
+        assert report.expected_energy_objective > 0

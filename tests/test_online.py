@@ -1,0 +1,120 @@
+"""Tests for the online entry points (repro.scheduling.online)."""
+
+import pytest
+
+from repro.ctg import ConditionalTaskGraph, GeneratorConfig, NodeKind, figure1_ctg, generate_ctg
+from repro.ctg.minterms import CtgAnalysis, enumerate_scenarios
+from repro.platform import PlatformConfig, generate_platform
+from repro.scheduling import (
+    minimal_makespan,
+    schedule_online,
+    set_deadline_from_makespan,
+)
+
+
+@pytest.fixture
+def instance():
+    ctg = figure1_ctg()
+    platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=5))
+    return ctg, platform
+
+
+class TestMinimalMakespan:
+    def test_positive_and_deterministic(self, instance):
+        ctg, platform = instance
+        a = minimal_makespan(ctg, platform)
+        b = minimal_makespan(ctg, platform)
+        assert a == b > 0
+
+    def test_set_deadline_scales(self, instance):
+        ctg, platform = instance
+        base = minimal_makespan(ctg, platform)
+        deadline = set_deadline_from_makespan(ctg, platform, 1.7)
+        assert deadline == pytest.approx(1.7 * base)
+        assert ctg.deadline == deadline
+
+    def test_factor_below_one_rejected(self, instance):
+        ctg, platform = instance
+        with pytest.raises(ValueError):
+            set_deadline_from_makespan(ctg, platform, 0.9)
+
+
+class TestScheduleOnline:
+    def test_analysis_reuse_gives_identical_schedule(self, instance):
+        ctg, platform = instance
+        set_deadline_from_makespan(ctg, platform, 1.4)
+        analysis = CtgAnalysis.of(ctg)
+        with_cache = schedule_online(ctg, platform, analysis=analysis)
+        without = schedule_online(ctg, platform)
+        probs = ctg.default_probabilities
+        assert with_cache.schedule.expected_energy(probs) == pytest.approx(
+            without.schedule.expected_energy(probs)
+        )
+        assert {t: p.pe for t, p in with_cache.schedule.placements.items()} == {
+            t: p.pe for t, p in without.schedule.placements.items()
+        }
+
+    def test_probability_weighted_flag_changes_speeds(self, instance):
+        ctg, platform = instance
+        set_deadline_from_makespan(ctg, platform, 1.4)
+        probs = {"t3": {"a1": 0.9, "a2": 0.1}, "t5": {"b1": 0.5, "b2": 0.5}}
+        weighted = schedule_online(ctg, platform, probs)
+        unweighted = schedule_online(ctg, platform, probs, probability_weighted=False)
+        assert weighted.stretch.speeds != unweighted.stretch.speeds
+
+    def test_max_passes_forwarded(self, instance):
+        ctg, platform = instance
+        set_deadline_from_makespan(ctg, platform, 1.6)
+        single = schedule_online(ctg, platform, max_passes=1)
+        multi = schedule_online(ctg, platform, max_passes=4)
+        probs = ctg.default_probabilities
+        assert multi.schedule.expected_energy(probs) <= (
+            single.schedule.expected_energy(probs) + 1e-9
+        )
+
+    def test_share_exponent_forwarded(self, instance):
+        ctg, platform = instance
+        set_deadline_from_makespan(ctg, platform, 1.6)
+        probs = {"t3": {"a1": 0.9, "a2": 0.1}, "t5": {"b1": 0.5, "b2": 0.5}}
+        linear = schedule_online(ctg, platform, probs)
+        root = schedule_online(ctg, platform, probs, share_exponent=1 / 3)
+        assert linear.stretch.slack_given != root.stretch.slack_given
+
+
+class TestDeclaredOutcomeBranch:
+    def test_branch_side_with_no_tasks(self):
+        """A branch outcome may guard no edge at all (a 'skip' side
+        declared via declare_outcomes); scenarios and scheduling must
+        handle the empty side."""
+        ctg = ConditionalTaskGraph(name="skip_side")
+        ctg.add_task("a")
+        ctg.add_task("work")
+        ctg.add_task("end", NodeKind.OR)
+        ctg.add_conditional_edge("a", "work", "x1", comm_kbytes=1.0)
+        ctg.add_edge("work", "end", comm_kbytes=1.0)
+        ctg.add_edge("a", "end", comm_kbytes=0.5)
+        ctg.declare_outcomes("a", ["x1", "x2"])
+        ctg.default_probabilities = {"a": {"x1": 0.5, "x2": 0.5}}
+        ctg.validate()
+
+        scenarios = enumerate_scenarios(ctg)
+        assert len(scenarios) == 2
+        actives = {str(s.product): s.active for s in scenarios}
+        assert "work" in actives["x1"]
+        assert "work" not in actives["x2"]
+
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=1))
+        set_deadline_from_makespan(ctg, platform, 1.5)
+        result = schedule_online(ctg, platform)
+        result.schedule.validate()
+
+
+class TestLargerGraphs:
+    @pytest.mark.parametrize("seed", [31, 32])
+    def test_online_on_category2(self, seed):
+        ctg = generate_ctg(GeneratorConfig(nodes=22, branch_nodes=3, category=2, seed=seed))
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=3, seed=seed))
+        set_deadline_from_makespan(ctg, platform, 1.3)
+        result = schedule_online(ctg, platform)
+        result.schedule.validate()
+        assert result.schedule.meets_deadline()

@@ -1,0 +1,31 @@
+"""Tests for re-scheduling overhead accounting on RunResult."""
+
+import pytest
+
+from repro.sim import RunResult
+
+
+class TestOverheadAccounting:
+    def test_total_with_overhead(self):
+        result = RunResult(energies=[10.0, 10.0], reschedule_calls=4)
+        assert result.total_with_overhead(0.5) == pytest.approx(22.0)
+
+    def test_zero_overhead_is_plain_total(self):
+        result = RunResult(energies=[5.0], reschedule_calls=3)
+        assert result.total_with_overhead(0.0) == result.total_energy
+
+    def test_break_even_overhead(self):
+        baseline = RunResult(energies=[100.0])
+        adaptive = RunResult(energies=[80.0], reschedule_calls=10)
+        # saving of 20 over 10 calls → 2.0 per call break-even
+        assert adaptive.break_even_overhead(baseline) == pytest.approx(2.0)
+
+    def test_break_even_infinite_without_calls(self):
+        baseline = RunResult(energies=[100.0])
+        adaptive = RunResult(energies=[90.0], reschedule_calls=0)
+        assert adaptive.break_even_overhead(baseline) == float("inf")
+
+    def test_break_even_negative_when_adaptive_worse(self):
+        baseline = RunResult(energies=[80.0])
+        adaptive = RunResult(energies=[100.0], reschedule_calls=5)
+        assert adaptive.break_even_overhead(baseline) < 0

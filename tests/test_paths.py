@@ -1,0 +1,139 @@
+"""Unit tests for path enumeration (repro.ctg.paths)."""
+
+import pytest
+
+from repro.ctg import (
+    TRUE,
+    enumerate_paths,
+    path_delay,
+    paths_of_minterm,
+    paths_through,
+)
+from repro.ctg.conditions import ConditionProduct, Outcome
+from repro.ctg.examples import diamond_ctg, figure1_ctg
+
+
+def product(*pairs):
+    return ConditionProduct(Outcome(b, l) for b, l in pairs)
+
+
+@pytest.fixture
+def fig1_paths():
+    return enumerate_paths(figure1_ctg())
+
+
+class TestEnumeratePaths:
+    def test_figure1_has_four_paths(self, fig1_paths):
+        chains = {p.nodes for p in fig1_paths}
+        assert chains == {
+            ("t1", "t2", "t8"),
+            ("t1", "t3", "t4", "t8"),
+            ("t1", "t3", "t5", "t6"),
+            ("t1", "t3", "t5", "t7"),
+        }
+
+    def test_path_conditions(self, fig1_paths):
+        by_nodes = {p.nodes: p for p in fig1_paths}
+        assert by_nodes[("t1", "t2", "t8")].condition == TRUE
+        assert by_nodes[("t1", "t3", "t4", "t8")].condition == product(("t3", "a1"))
+        assert by_nodes[("t1", "t3", "t5", "t6")].condition == product(
+            ("t3", "a2"), ("t5", "b1")
+        )
+
+    def test_diamond_two_paths(self):
+        assert len(enumerate_paths(diamond_ctg())) == 2
+
+    def test_pseudo_edges_extend_paths(self):
+        ctg = diamond_ctg()
+        ctg.add_pseudo_edge("left", "right")
+        with_pseudo = enumerate_paths(ctg, include_pseudo=True)
+        without = enumerate_paths(ctg, include_pseudo=False)
+        assert {p.nodes for p in without} == {
+            ("src", "left", "join"),
+            ("src", "right", "join"),
+        }
+        assert ("src", "left", "right", "join") in {p.nodes for p in with_pseudo}
+
+    def test_contradictory_paths_dropped(self):
+        # or-join of two arms then continuation: a chain picking a1 then
+        # a2 would be contradictory and must not be enumerated.
+        from repro.ctg.examples import two_sided_branch_ctg
+
+        paths = enumerate_paths(two_sided_branch_ctg())
+        assert all(p.condition is not None for p in paths)
+        assert len(paths) == 2
+
+    def test_max_paths_guard(self):
+        with pytest.raises(RuntimeError):
+            enumerate_paths(figure1_ctg(), max_paths=2)
+
+
+class TestProbAfter:
+    PROBS = {"t3": {"a1": 0.4, "a2": 0.6}, "t5": {"b1": 0.5, "b2": 0.5}}
+
+    def _path(self, fig1_paths, nodes):
+        return next(p for p in fig1_paths if p.nodes == nodes)
+
+    def test_paper_example_prob_after_t5(self, fig1_paths):
+        # prob(τ₁-τ₃-τ₅-τ₆, τ₅) = prob(b₁) = 0.5
+        p = self._path(fig1_paths, ("t1", "t3", "t5", "t6"))
+        assert p.prob_after("t5", self.PROBS) == pytest.approx(0.5)
+
+    def test_paper_example_prob_after_t8(self, fig1_paths):
+        # prob(τ₁-τ₃-τ₄-τ₈, τ₈) = 1 — no conditional branch after τ₈.
+        p = self._path(fig1_paths, ("t1", "t3", "t4", "t8"))
+        assert p.prob_after("t8", self.PROBS) == pytest.approx(1.0)
+        assert p.is_certain_after("t8")
+
+    def test_prob_after_source_is_joint(self, fig1_paths):
+        p = self._path(fig1_paths, ("t1", "t3", "t5", "t6"))
+        assert p.prob_after("t1", self.PROBS) == pytest.approx(0.6 * 0.5)
+
+    def test_conditions_after_excludes_earlier_hops(self, fig1_paths):
+        p = self._path(fig1_paths, ("t1", "t3", "t5", "t6"))
+        # After t5 only the b-branch hop remains.
+        assert [o.label for o in p.conditions_after("t5")] == ["b1"]
+        assert [o.label for o in p.conditions_after("t3")] == ["a2", "b1"]
+
+    def test_index_and_contains(self, fig1_paths):
+        p = self._path(fig1_paths, ("t1", "t2", "t8"))
+        assert "t2" in p
+        assert "t4" not in p
+        assert p.index("t8") == 2
+
+
+class TestFilters:
+    def test_paths_through(self, fig1_paths):
+        through_t8 = paths_through(fig1_paths, "t8")
+        assert {p.nodes for p in through_t8} == {
+            ("t1", "t2", "t8"),
+            ("t1", "t3", "t4", "t8"),
+        }
+
+    def test_paths_of_true_minterm_is_everything(self, fig1_paths):
+        assert len(paths_of_minterm(fig1_paths, TRUE)) == len(fig1_paths)
+
+    def test_paths_of_a1_excludes_a2_paths(self, fig1_paths):
+        selected = paths_of_minterm(fig1_paths, product(("t3", "a1")))
+        assert {p.nodes for p in selected} == {
+            ("t1", "t2", "t8"),
+            ("t1", "t3", "t4", "t8"),
+        }
+
+
+class TestPathDelay:
+    def test_sum_of_execution_times(self, fig1_paths):
+        times = {f"t{i}": float(i) for i in range(1, 9)}
+        p = next(p for p in fig1_paths if p.nodes == ("t1", "t2", "t8"))
+        assert path_delay(p, times) == pytest.approx(1 + 2 + 8)
+
+    def test_edge_delays_added(self, fig1_paths):
+        times = {f"t{i}": 1.0 for i in range(1, 9)}
+        p = next(p for p in fig1_paths if p.nodes == ("t1", "t2", "t8"))
+        hops = {("t1", "t2"): 0.5, ("t2", "t8"): 0.25}
+        assert path_delay(p, times, hops) == pytest.approx(3.75)
+
+    def test_missing_edge_delay_defaults_to_zero(self, fig1_paths):
+        times = {f"t{i}": 1.0 for i in range(1, 9)}
+        p = next(p for p in fig1_paths if p.nodes == ("t1", "t2", "t8"))
+        assert path_delay(p, times, {}) == pytest.approx(3.0)

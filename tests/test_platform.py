@@ -1,0 +1,229 @@
+"""Unit + property tests for the MPSoC platform substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform import (
+    PAPER_MODEL,
+    DvfsModel,
+    Link,
+    Platform,
+    PlatformConfig,
+    PlatformError,
+    ProcessingElement,
+    generate_platform,
+)
+
+
+class TestProcessingElement:
+    def test_defaults(self):
+        pe = ProcessingElement("pe0")
+        assert pe.min_speed == 0.25
+        assert pe.speed_levels is None
+
+    def test_bad_min_speed_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessingElement("pe0", min_speed=0.0)
+        with pytest.raises(ValueError):
+            ProcessingElement("pe0", min_speed=1.5)
+
+    def test_clamp_continuous(self):
+        pe = ProcessingElement("pe0", min_speed=0.4)
+        assert pe.clamp_speed(0.1) == 0.4
+        assert pe.clamp_speed(0.7) == 0.7
+        assert pe.clamp_speed(2.0) == 1.0
+
+    def test_discrete_levels_round_up(self):
+        pe = ProcessingElement("pe0", min_speed=0.25, speed_levels=(0.25, 0.5, 0.75, 1.0))
+        assert pe.clamp_speed(0.3) == 0.5
+        assert pe.clamp_speed(0.5) == 0.5
+        assert pe.clamp_speed(0.76) == 1.0
+
+    def test_levels_must_include_nominal(self):
+        with pytest.raises(ValueError):
+            ProcessingElement("pe0", speed_levels=(0.5, 0.9))
+
+    def test_levels_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            ProcessingElement("pe0", speed_levels=(1.0, 0.5))
+
+    def test_levels_must_respect_min_speed(self):
+        with pytest.raises(ValueError):
+            ProcessingElement("pe0", min_speed=0.5, speed_levels=(0.25, 1.0))
+
+
+class TestDvfsModel:
+    def test_paper_model_quadratic(self):
+        assert PAPER_MODEL.energy_at_speed(100.0, 0.5) == pytest.approx(25.0)
+
+    def test_nominal_speed_identity(self):
+        assert PAPER_MODEL.energy_at_speed(42.0, 1.0) == pytest.approx(42.0)
+        assert PAPER_MODEL.time_at_speed(10.0, 1.0) == pytest.approx(10.0)
+
+    def test_time_scales_inverse(self):
+        assert PAPER_MODEL.time_at_speed(10.0, 0.5) == pytest.approx(20.0)
+
+    def test_speed_for_time(self):
+        assert PAPER_MODEL.speed_for_time(10.0, 20.0) == pytest.approx(0.5)
+        # never overclock
+        assert PAPER_MODEL.speed_for_time(10.0, 5.0) == 1.0
+
+    def test_energy_for_time(self):
+        # stretching 2x quarters the energy
+        assert PAPER_MODEL.energy_for_time(100.0, 10.0, 20.0) == pytest.approx(25.0)
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(ValueError):
+            PAPER_MODEL.energy_at_speed(1.0, 0.0)
+        with pytest.raises(ValueError):
+            PAPER_MODEL.time_at_speed(1.0, 1.5)
+
+    def test_custom_exponent(self):
+        cubic = DvfsModel(exponent=3.0)
+        assert cubic.energy_at_speed(8.0, 0.5) == pytest.approx(1.0)
+
+    def test_bad_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            DvfsModel(exponent=0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        wcet=st.floats(0.1, 1000),
+        stretch=st.floats(1.0, 10.0),
+        energy=st.floats(0.0, 1000),
+    )
+    def test_stretching_never_increases_energy(self, wcet, stretch, energy):
+        stretched = PAPER_MODEL.energy_for_time(energy, wcet, wcet * stretch)
+        assert stretched <= energy + 1e-9
+
+
+class TestLink:
+    def test_transfer_math(self):
+        link = Link("a", "b", bandwidth=4.0, energy_per_kbyte=0.1)
+        assert link.transfer_time(8.0) == pytest.approx(2.0)
+        assert link.transfer_energy(8.0) == pytest.approx(0.8)
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "a", 1.0, 0.0)
+
+    def test_key_unordered(self):
+        assert Link("a", "b", 1.0, 0.0).key == Link("b", "a", 1.0, 0.0).key
+
+
+def small_platform():
+    platform = Platform([ProcessingElement("pe0"), ProcessingElement("pe1")])
+    platform.connect_all(bandwidth=4.0, energy_per_kbyte=0.1)
+    platform.set_task_profile("t", "pe0", wcet=10.0, energy=20.0)
+    platform.set_task_profile("t", "pe1", wcet=20.0, energy=15.0)
+    return platform
+
+
+class TestPlatform:
+    def test_duplicate_pe_rejected(self):
+        with pytest.raises(PlatformError):
+            Platform([ProcessingElement("pe0"), ProcessingElement("pe0")])
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(PlatformError):
+            Platform([])
+
+    def test_profile_roundtrip(self):
+        p = small_platform()
+        assert p.wcet("t", "pe0") == 10.0
+        assert p.energy("t", "pe1") == 15.0
+
+    def test_missing_profile_raises(self):
+        p = small_platform()
+        with pytest.raises(PlatformError):
+            p.wcet("missing", "pe0")
+
+    def test_average_wcet(self):
+        assert small_platform().average_wcet("t") == pytest.approx(15.0)
+
+    def test_supports(self):
+        p = small_platform()
+        assert p.supports("t", "pe0")
+        assert not p.supports("u", "pe0")
+
+    def test_comm_same_pe_free(self):
+        p = small_platform()
+        assert p.comm_time("pe0", "pe0", 100.0) == 0.0
+        assert p.comm_energy("pe0", "pe0", 100.0) == 0.0
+
+    def test_comm_cross_pe(self):
+        p = small_platform()
+        assert p.comm_time("pe0", "pe1", 8.0) == pytest.approx(2.0)
+        assert p.comm_energy("pe0", "pe1", 8.0) == pytest.approx(0.8)
+
+    def test_zero_volume_free(self):
+        p = small_platform()
+        assert p.comm_time("pe0", "pe1", 0.0) == 0.0
+
+    def test_missing_link_raises(self):
+        platform = Platform([ProcessingElement("a"), ProcessingElement("b")])
+        with pytest.raises(PlatformError):
+            platform.comm_time("a", "b", 1.0)
+
+    def test_duplicate_link_rejected(self):
+        p = small_platform()
+        with pytest.raises(PlatformError):
+            p.add_link(Link("pe0", "pe1", 1.0, 0.0))
+
+    def test_invalid_wcet_rejected(self):
+        p = small_platform()
+        with pytest.raises(PlatformError):
+            p.set_task_profile("u", "pe0", wcet=0.0, energy=1.0)
+        with pytest.raises(PlatformError):
+            p.set_task_profile("u", "pe0", wcet=1.0, energy=-1.0)
+
+    def test_validate_for(self):
+        p = small_platform()
+        p.validate_for(["t"])
+        with pytest.raises(PlatformError):
+            p.validate_for(["t", "unknown"])
+
+
+class TestGeneratePlatform:
+    def test_deterministic(self):
+        tasks = [f"t{i}" for i in range(10)]
+        cfg = PlatformConfig(pes=3, seed=42)
+        a = generate_platform(tasks, cfg)
+        b = generate_platform(tasks, cfg)
+        assert all(
+            a.wcet(t, pe) == b.wcet(t, pe) for t in tasks for pe in a.pe_names
+        )
+
+    def test_full_profile_and_fabric(self):
+        tasks = [f"t{i}" for i in range(6)]
+        platform = generate_platform(tasks, PlatformConfig(pes=4, seed=1))
+        platform.validate_for(tasks)
+        assert len(platform) == 4
+        for t in tasks:
+            for pe in platform.pe_names:
+                assert platform.wcet(t, pe) > 0
+                assert platform.energy(t, pe) > 0
+
+    def test_heterogeneity_within_bounds(self):
+        tasks = ["a", "b"]
+        cfg = PlatformConfig(pes=3, seed=5, base_wcet_range=(10, 10), heterogeneity=(0.5, 2.0))
+        platform = generate_platform(tasks, cfg)
+        for t in tasks:
+            for pe in platform.pe_names:
+                assert 5.0 <= platform.wcet(t, pe) <= 20.0
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(pes=0)
+        with pytest.raises(ValueError):
+            PlatformConfig(bandwidth=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(pes=st.integers(1, 6), seed=st.integers(0, 1000))
+    def test_generated_platform_always_valid(self, pes, seed):
+        tasks = [f"t{i}" for i in range(8)]
+        platform = generate_platform(tasks, PlatformConfig(pes=pes, seed=seed))
+        platform.validate_for(tasks)
+        for t in tasks:
+            assert platform.average_wcet(t) > 0

@@ -1,0 +1,106 @@
+"""Tests for the exponential-smoothing branch estimator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adaptive import (
+    AdaptiveConfig,
+    AdaptiveController,
+    ExponentialBranchEstimator,
+    ExponentialProfiler,
+    WindowProfiler,
+)
+from repro.ctg.examples import two_sided_branch_ctg
+from repro.platform import PlatformConfig, generate_platform
+from repro.scheduling import set_deadline_from_makespan
+
+
+class TestExponentialBranchEstimator:
+    def test_empty_estimate_is_zero(self):
+        est = ExponentialBranchEstimator("b", ["x", "y"], smoothing=0.9)
+        assert est.distribution() == {"x": 0.0, "y": 0.0}
+        assert len(est) == 0
+
+    def test_converges_to_observed_rate(self):
+        est = ExponentialBranchEstimator("b", ["x", "y"], smoothing=0.9)
+        for i in range(500):
+            est.push("x" if i % 4 else "y")
+        assert est.distribution()["x"] == pytest.approx(0.75, abs=0.12)
+
+    def test_seed_sets_distribution_exactly(self):
+        est = ExponentialBranchEstimator("b", ["x", "y"], smoothing=0.9)
+        est.seed({"x": 0.7, "y": 0.3})
+        assert est.distribution()["x"] == pytest.approx(0.7)
+
+    def test_recent_samples_dominate(self):
+        est = ExponentialBranchEstimator("b", ["x", "y"], smoothing=0.8)
+        for _ in range(50):
+            est.push("x")
+        for _ in range(20):
+            est.push("y")
+        assert est.distribution()["y"] > 0.9
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            ExponentialBranchEstimator("b", ["x", "y"], smoothing=1.0)
+        with pytest.raises(ValueError):
+            ExponentialBranchEstimator("b", ["x", "y"], smoothing=0.0)
+
+    def test_unknown_label(self):
+        est = ExponentialBranchEstimator("b", ["x", "y"], smoothing=0.9)
+        with pytest.raises(ValueError):
+            est.push("z")
+
+    @settings(max_examples=25, deadline=None)
+    @given(smoothing=st.floats(0.05, 0.95), n=st.integers(1, 200))
+    def test_distribution_always_normalised(self, smoothing, n):
+        est = ExponentialBranchEstimator("b", ["x", "y"], smoothing=smoothing)
+        for i in range(n):
+            est.push("x" if i % 2 else "y")
+        assert sum(est.distribution().values()) == pytest.approx(1.0)
+
+
+class TestExponentialProfiler:
+    LABELS = {"b1": ["x", "y"]}
+
+    def test_equivalent_window_derivation(self):
+        prof = ExponentialProfiler(self.LABELS, equivalent_window=20)
+        assert prof.smoothing == pytest.approx(1 - 2 / 21)
+
+    def test_max_deviation_like_window(self):
+        initial = {"b1": {"x": 0.5, "y": 0.5}}
+        prof = ExponentialProfiler(self.LABELS, smoothing=0.7, initial=initial)
+        for _ in range(20):
+            prof.observe({"b1": "x"})
+        assert prof.max_deviation(initial) > 0.4
+
+    def test_monotone_drift_under_constant_input(self):
+        """Under a constant stream the estimate approaches 1 strictly
+        monotonically (no window-eviction jitter)."""
+        initial = {"b1": {"x": 0.5, "y": 0.5}}
+        exp = ExponentialProfiler(self.LABELS, equivalent_window=20, initial=initial)
+        previous = 0.5
+        for _ in range(30):
+            exp.observe({"b1": "x"})
+            current = exp.distributions()["b1"]["x"]
+            assert current > previous
+            previous = current
+        assert previous > 0.9
+
+    def test_works_with_controller(self):
+        ctg = two_sided_branch_ctg()
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=8))
+        set_deadline_from_makespan(ctg, platform, 1.5)
+        initial = {"fork": {"h": 0.5, "l": 0.5}}
+        profiler = ExponentialProfiler(
+            {"fork": ["h", "l"]}, smoothing=0.6, initial=initial
+        )
+        controller = AdaptiveController(
+            ctg, platform, initial,
+            AdaptiveConfig(window_size=4, threshold=0.25),
+            profiler=profiler,
+        )
+        triggered = [controller.observe({"fork": "h"}) for _ in range(6)]
+        assert any(triggered)
+        controller.schedule.validate()

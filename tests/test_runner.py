@@ -1,0 +1,131 @@
+"""Integration tests for the trace-driven policy runners."""
+
+import pytest
+
+from repro.adaptive import AdaptiveConfig
+from repro.ctg.examples import two_sided_branch_ctg
+from repro.platform import Platform, ProcessingElement
+from repro.scheduling import set_deadline_from_makespan
+from repro.sim import (
+    RunResult,
+    energy_savings,
+    run_adaptive,
+    run_non_adaptive,
+)
+
+
+def heavy_light_setup():
+    ctg = two_sided_branch_ctg()
+    platform = Platform([ProcessingElement("pe0", min_speed=0.2), ProcessingElement("pe1", min_speed=0.2)])
+    platform.connect_all(bandwidth=2.0, energy_per_kbyte=0.05)
+    weights = {"entry": 5, "fork": 5, "heavy": 40, "light": 10, "join": 5}
+    for task, wcet in weights.items():
+        for pe in platform.pe_names:
+            platform.set_task_profile(task, pe, wcet=wcet, energy=float(wcet))
+    set_deadline_from_makespan(ctg, platform, 1.6)
+    return ctg, platform
+
+
+def regime_trace(first, second, per=50):
+    """A trace with two regimes: mostly-`first` then mostly-`second`."""
+    trace = []
+    for block, label in ((0, first), (1, second)):
+        for i in range(per):
+            other = "l" if label == "h" else "h"
+            trace.append({"fork": label if i % 10 else other})
+    return trace
+
+
+class TestRunResult:
+    def test_totals(self):
+        result = RunResult(energies=[1.0, 2.0, 3.0])
+        assert result.total_energy == pytest.approx(6.0)
+        assert result.mean_energy == pytest.approx(2.0)
+
+    def test_empty(self):
+        result = RunResult()
+        assert result.total_energy == 0.0
+        assert result.mean_energy == 0.0
+
+
+class TestNonAdaptive:
+    def test_energy_recorded_per_instance(self):
+        ctg, platform = heavy_light_setup()
+        trace = regime_trace("h", "l", per=10)
+        result = run_non_adaptive(ctg, platform, trace, {"fork": {"h": 0.5, "l": 0.5}})
+        assert len(result.energies) == len(trace)
+        assert result.reschedule_calls == 0
+        assert result.deadline_misses == 0
+
+    def test_heavy_instances_cost_more(self):
+        ctg, platform = heavy_light_setup()
+        trace = [{"fork": "h"}, {"fork": "l"}]
+        result = run_non_adaptive(ctg, platform, trace, {"fork": {"h": 0.5, "l": 0.5}})
+        assert result.energies[0] > result.energies[1]
+
+    def test_deadline_override(self):
+        ctg, platform = heavy_light_setup()
+        trace = [{"fork": "h"}]
+        tight = run_non_adaptive(
+            ctg, platform, trace, {"fork": {"h": 0.5, "l": 0.5}}, deadline=ctg.deadline
+        )
+        loose = run_non_adaptive(
+            ctg, platform, trace, {"fork": {"h": 0.5, "l": 0.5}}, deadline=ctg.deadline * 2
+        )
+        assert loose.total_energy <= tight.total_energy
+
+
+class TestAdaptive:
+    def test_rescheduling_happens_on_regime_change(self):
+        ctg, platform = heavy_light_setup()
+        trace = regime_trace("h", "l")
+        result = run_adaptive(
+            ctg,
+            platform,
+            trace,
+            {"fork": {"h": 0.9, "l": 0.1}},
+            AdaptiveConfig(window_size=10, threshold=0.3),
+        )
+        assert result.reschedule_calls >= 1
+        assert result.call_instances
+        assert len(result.energies) == len(trace)
+
+    def test_adaptive_beats_badly_profiled_online(self):
+        """The Table-4 mechanism: a profile biased to the cheap arm makes
+        the static schedule run the heavy arm hot; tracking fixes it."""
+        ctg, platform = heavy_light_setup()
+        trace = [{"fork": "h"} for _ in range(60)] + [{"fork": "l"} for _ in range(20)]
+        bad_profile = {"fork": {"h": 0.1, "l": 0.9}}
+        online = run_non_adaptive(ctg, platform, trace, bad_profile)
+        adaptive = run_adaptive(
+            ctg, platform, trace, bad_profile, AdaptiveConfig(window_size=10, threshold=0.2)
+        )
+        assert adaptive.total_energy < online.total_energy
+        assert energy_savings(online, adaptive) > 0.05
+
+    def test_no_deadline_misses_by_default(self):
+        ctg, platform = heavy_light_setup()
+        trace = regime_trace("h", "l")
+        result = run_adaptive(
+            ctg, platform, trace, {"fork": {"h": 0.5, "l": 0.5}},
+            AdaptiveConfig(window_size=10, threshold=0.2),
+        )
+        assert result.deadline_misses == 0
+
+    def test_original_graph_deadline_unchanged_with_override(self):
+        ctg, platform = heavy_light_setup()
+        original = ctg.deadline
+        run_adaptive(
+            ctg, platform, [{"fork": "h"}], {"fork": {"h": 0.5, "l": 0.5}},
+            AdaptiveConfig(window_size=4, threshold=0.9),
+            deadline=original * 2,
+        )
+        assert ctg.deadline == original
+
+
+class TestEnergySavings:
+    def test_positive_when_adaptive_cheaper(self):
+        assert energy_savings(RunResult(energies=[100.0]), RunResult(energies=[80.0])) == pytest.approx(0.2)
+
+    def test_zero_base(self):
+        assert energy_savings(RunResult(), RunResult(energies=[1.0])) == 0.0

@@ -1,0 +1,53 @@
+"""Tests for the sample statistics helpers (repro.analysis.stats)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import summarize_samples
+
+
+class TestSummarizeSamples:
+    def test_known_values(self):
+        summary = summarize_samples([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert summary.mean == pytest.approx(5.0)
+        assert summary.std == pytest.approx(2.138, abs=1e-3)
+        assert summary.ci_low < 5.0 < summary.ci_high
+
+    def test_constant_samples_zero_width(self):
+        summary = summarize_samples([3.0, 3.0, 3.0])
+        assert summary.std == 0.0
+        assert summary.ci_low == summary.ci_high == pytest.approx(3.0)
+
+    def test_interval_ordering(self):
+        summary = summarize_samples([1.0, 2.0, 10.0])
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_higher_confidence_wider(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        narrow = summarize_samples(samples, confidence=0.8)
+        wide = summarize_samples(samples, confidence=0.99)
+        assert wide.ci_high - wide.ci_low > narrow.ci_high - narrow.ci_low
+
+    def test_rejects_tiny_samples(self):
+        with pytest.raises(ValueError):
+            summarize_samples([1.0])
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            summarize_samples([1.0, 2.0], confidence=1.0)
+
+    def test_format_mentions_ci(self):
+        text = summarize_samples([1.0, 2.0, 3.0]).format(unit="%")
+        assert "CI" in text
+        assert "%" in text
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        samples=st.lists(st.floats(-100, 100), min_size=2, max_size=30),
+        confidence=st.floats(0.5, 0.999),
+    )
+    def test_mean_always_inside_interval(self, samples, confidence):
+        summary = summarize_samples(samples, confidence)
+        assert summary.ci_low <= summary.mean + 1e-9
+        assert summary.mean <= summary.ci_high + 1e-9

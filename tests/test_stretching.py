@@ -1,0 +1,201 @@
+"""Unit tests for the online stretching heuristic (paper Figure 2)."""
+
+import pytest
+
+from repro.ctg import (
+    ConditionalTaskGraph,
+    GeneratorConfig,
+    figure1_ctg,
+    generate_ctg,
+)
+from repro.ctg.examples import diamond_ctg, two_sided_branch_ctg
+from repro.platform import Platform, PlatformConfig, ProcessingElement, generate_platform
+from repro.scheduling import (
+    SchedulingError,
+    dls_schedule,
+    set_deadline_from_makespan,
+    stretch_schedule,
+)
+
+
+def uniform_platform(ctg, pes=1, wcet=10.0, energy=10.0):
+    platform = Platform([ProcessingElement(f"pe{i}", min_speed=0.1) for i in range(pes)])
+    if pes > 1:
+        platform.connect_all(bandwidth=1.0, energy_per_kbyte=0.1)
+    for task in ctg.tasks():
+        for pe in platform.pe_names:
+            platform.set_task_profile(task, pe, wcet=wcet, energy=energy)
+    return platform
+
+
+def chain_ctg(n=4):
+    ctg = ConditionalTaskGraph(name="chain")
+    prev = None
+    for i in range(n):
+        ctg.add_task(f"c{i}")
+        if prev is not None:
+            ctg.add_edge(prev, f"c{i}")
+        prev = f"c{i}"
+    ctg.validate()
+    return ctg
+
+
+class TestChainExactness:
+    def test_chain_distributes_all_slack_evenly(self):
+        """On an unconditional chain the heuristic must match the NLP
+        optimum: every task at the same speed, deadline met exactly."""
+        ctg = chain_ctg(5)
+        platform = uniform_platform(ctg)
+        sched = dls_schedule(ctg, platform)
+        sched.ctg.deadline = 100.0  # 2× the 50-unit chain
+        stretch_schedule(sched, {})
+        for task in ctg.tasks():
+            assert sched.placement(task).speed == pytest.approx(0.5, rel=1e-6)
+        assert sched.makespan() == pytest.approx(100.0)
+
+    def test_tight_deadline_no_stretch(self):
+        ctg = chain_ctg(3)
+        platform = uniform_platform(ctg)
+        sched = dls_schedule(ctg, platform)
+        sched.ctg.deadline = 30.0
+        stretch_schedule(sched, {})
+        for task in ctg.tasks():
+            assert sched.placement(task).speed == pytest.approx(1.0)
+
+    def test_infeasible_deadline_raises(self):
+        ctg = chain_ctg(3)
+        platform = uniform_platform(ctg)
+        sched = dls_schedule(ctg, platform)
+        sched.ctg.deadline = 20.0
+        with pytest.raises(SchedulingError):
+            stretch_schedule(sched, {})
+
+    def test_missing_deadline_raises(self):
+        ctg = chain_ctg(3)
+        platform = uniform_platform(ctg)
+        sched = dls_schedule(ctg, platform)
+        with pytest.raises(SchedulingError):
+            stretch_schedule(sched, {})
+
+
+class TestDeadlineGuarantee:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_every_scenario_meets_deadline(self, seed):
+        ctg = generate_ctg(GeneratorConfig(nodes=18, branch_nodes=2, seed=seed))
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=3, seed=seed))
+        set_deadline_from_makespan(ctg, platform, 1.4)
+        sched = dls_schedule(ctg, platform)
+        stretch_schedule(sched)
+        assert sched.meets_deadline()
+        sched.validate()
+
+    def test_loose_deadline_fully_used_on_critical_path(self):
+        ctg = figure1_ctg()
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=7))
+        set_deadline_from_makespan(ctg, platform, 1.5)
+        sched = dls_schedule(ctg, platform)
+        stretch_schedule(sched)
+        # With min_speed=0.25 and only 50% extra slack the critical path
+        # should be stretched close to the deadline.
+        assert sched.makespan() >= 0.9 * ctg.deadline
+
+
+class TestProbabilityWeighting:
+    def test_likely_arm_gets_more_slack(self):
+        """The heavy-probability arm of a branch must receive at least
+        as much slack as its mirror (paper: 'more slack ... to tasks
+        that are more likely to be activated')."""
+        ctg = two_sided_branch_ctg()
+        platform = uniform_platform(ctg, pes=1)
+        probs = {"fork": {"h": 0.9, "l": 0.1}}
+        sched = dls_schedule(ctg, platform, probs)
+        sched.ctg.deadline = 60.0
+        report = stretch_schedule(sched, probs)
+        assert report.slack_given["heavy"] > report.slack_given["light"]
+
+    def test_unweighted_variant_treats_arms_alike(self):
+        ctg = two_sided_branch_ctg()
+        platform = uniform_platform(ctg, pes=1)
+        probs = {"fork": {"h": 0.9, "l": 0.1}}
+        sched = dls_schedule(ctg, platform, probs)
+        sched.ctg.deadline = 60.0
+        report = stretch_schedule(sched, probs, probability_weighted=False)
+        assert report.slack_given["heavy"] == pytest.approx(
+            report.slack_given["light"], rel=1e-6
+        )
+
+    def test_weighting_lowers_expected_energy_under_competition(self):
+        """When a low-probability heavy arm competes for slack with an
+        always-activated downstream task, probability-aware distribution
+        must beat the unweighted ref-[9] flavour (that is the paper's
+        criticism of [9]: it 'does not differentiate tasks with high
+        activation probability from tasks with low')."""
+        from repro.ctg import NodeKind
+
+        ctg = ConditionalTaskGraph(name="compete")
+        for name in ("A", "fork", "B", "C"):
+            ctg.add_task(name)
+        ctg.add_task("join", NodeKind.OR)
+        ctg.add_task("D")
+        ctg.add_edge("A", "fork")
+        ctg.add_conditional_edge("fork", "B", "b")
+        ctg.add_conditional_edge("fork", "C", "c")
+        ctg.add_edge("B", "join")
+        ctg.add_edge("C", "join")
+        ctg.add_edge("join", "D")
+        ctg.validate()
+        platform = Platform([ProcessingElement("pe0", min_speed=0.1)])
+        for task, wcet in {"A": 10, "fork": 10, "B": 10, "C": 40, "join": 10, "D": 40}.items():
+            platform.set_task_profile(task, "pe0", wcet=wcet, energy=float(wcet))
+        probs = {"fork": {"b": 0.9, "c": 0.1}}
+
+        energies = {}
+        for flag in (True, False):
+            sched = dls_schedule(ctg, platform, probs)
+            sched.ctg.deadline = 165.0
+            stretch_schedule(sched, probs, probability_weighted=flag)
+            energies[flag] = sched.expected_energy(probs)
+        assert energies[True] < energies[False]
+
+
+class TestReport:
+    def test_report_covers_all_tasks(self):
+        ctg = figure1_ctg()
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=3))
+        set_deadline_from_makespan(ctg, platform, 1.3)
+        sched = dls_schedule(ctg, platform)
+        report = stretch_schedule(sched)
+        assert set(report.slack_given) == set(ctg.tasks())
+        assert set(report.speeds) == set(ctg.tasks())
+        assert report.path_count >= 4
+
+    def test_slack_never_negative(self):
+        ctg = generate_ctg(GeneratorConfig(nodes=20, branch_nodes=2, seed=11))
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=3, seed=11))
+        set_deadline_from_makespan(ctg, platform, 1.2)
+        sched = dls_schedule(ctg, platform)
+        report = stretch_schedule(sched)
+        assert all(slack >= 0 for slack in report.slack_given.values())
+
+    def test_speeds_within_envelope(self):
+        ctg = generate_ctg(GeneratorConfig(nodes=20, branch_nodes=2, seed=12))
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=3, seed=12))
+        set_deadline_from_makespan(ctg, platform, 2.0)
+        sched = dls_schedule(ctg, platform)
+        stretch_schedule(sched)
+        for task in ctg.tasks():
+            placement = sched.placement(task)
+            pe = platform.pe(placement.pe)
+            assert pe.min_speed - 1e-9 <= placement.speed <= 1.0 + 1e-9
+
+
+class TestDiamond:
+    def test_parallel_arms_share_deadline(self):
+        ctg = diamond_ctg()
+        platform = uniform_platform(ctg, pes=2)
+        sched = dls_schedule(ctg, platform)
+        base = sched.makespan()
+        sched.ctg.deadline = base * 2
+        stretch_schedule(sched, {})
+        assert sched.meets_deadline()
+        assert sched.expected_energy({}) < 4 * 10.0  # strictly below nominal

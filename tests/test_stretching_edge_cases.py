@@ -1,0 +1,147 @@
+"""Edge-case tests for the stretching heuristic's optional behaviours."""
+
+import pytest
+
+from repro.ctg import ConditionalTaskGraph, GeneratorConfig, NodeKind, generate_ctg
+from repro.ctg.examples import two_sided_branch_ctg
+from repro.platform import Platform, PlatformConfig, ProcessingElement, generate_platform
+from repro.scheduling import dls_schedule, set_deadline_from_makespan, stretch_schedule
+
+
+def uniform_platform(ctg, pes=1, wcet=10.0, min_speed=0.1, speed_levels=None):
+    platform = Platform(
+        [
+            ProcessingElement(f"pe{i}", min_speed=min_speed, speed_levels=speed_levels)
+            for i in range(pes)
+        ]
+    )
+    if pes > 1:
+        platform.connect_all(bandwidth=1.0, energy_per_kbyte=0.1)
+    for task in ctg.tasks():
+        for pe in platform.pe_names:
+            platform.set_task_profile(task, pe, wcet=wcet, energy=wcet)
+    return platform
+
+
+class TestZeroProbabilityPruning:
+    def _setup(self):
+        ctg = two_sided_branch_ctg()
+        platform = uniform_platform(ctg, pes=1)
+        probs = {"fork": {"h": 0.0, "l": 1.0}}
+        return ctg, platform, probs
+
+    def test_pruned_branch_keeps_nominal_speed(self):
+        ctg, platform, probs = self._setup()
+        sched = dls_schedule(ctg, platform, probs)
+        sched.ctg.deadline = 60.0
+        stretch_schedule(sched, probs, prune_zero_probability=True)
+        # the impossible heavy arm is untouched...
+        assert sched.placement("heavy").speed == pytest.approx(1.0)
+        # ...while the certain arm absorbs slack
+        assert sched.placement("light").speed < 1.0
+
+    def test_without_pruning_zero_prob_arm_still_constrains(self):
+        ctg, platform, probs = self._setup()
+        sched = dls_schedule(ctg, platform, probs)
+        sched.ctg.deadline = 60.0
+        stretch_schedule(sched, probs, prune_zero_probability=False)
+        # worst case still counts the heavy arm: deadline must hold
+        assert sched.meets_deadline()
+
+    def test_pruning_can_deepen_stretch_of_live_paths(self):
+        ctg, platform, probs = self._setup()
+        pruned = dls_schedule(ctg, platform, probs)
+        pruned.ctg.deadline = 60.0
+        stretch_schedule(pruned, probs, prune_zero_probability=True)
+        strict = dls_schedule(ctg, platform, probs)
+        strict.ctg.deadline = 60.0
+        stretch_schedule(strict, probs, prune_zero_probability=False)
+        assert pruned.placement("light").speed <= strict.placement("light").speed + 1e-9
+
+
+class TestMultiPassConvergence:
+    def test_passes_monotonically_reduce_expected_energy(self):
+        ctg = generate_ctg(GeneratorConfig(nodes=18, branch_nodes=2, seed=17))
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=3, seed=17))
+        set_deadline_from_makespan(ctg, platform, 1.6)
+        probs = ctg.default_probabilities
+        energies = []
+        for passes in (1, 2, 4, 8):
+            sched = dls_schedule(ctg, platform, probs)
+            stretch_schedule(sched, probs, max_passes=passes)
+            energies.append(sched.expected_energy(probs))
+        for earlier, later in zip(energies, energies[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_extra_passes_never_break_the_deadline(self):
+        ctg = generate_ctg(GeneratorConfig(nodes=20, branch_nodes=3, seed=19))
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=3, seed=19))
+        set_deadline_from_makespan(ctg, platform, 1.8)
+        sched = dls_schedule(ctg, platform)
+        stretch_schedule(sched, max_passes=8)
+        assert sched.meets_deadline()
+        sched.validate()
+
+
+class TestDiscreteLevels:
+    def test_speeds_land_on_levels(self):
+        levels = (0.25, 0.5, 0.75, 1.0)
+        ctg = generate_ctg(GeneratorConfig(nodes=14, branch_nodes=1, seed=23))
+        platform = uniform_platform(ctg, pes=2, min_speed=0.25, speed_levels=levels)
+        sched = dls_schedule(ctg, platform)
+        sched.ctg.deadline = sched.makespan() * 1.5
+        stretch_schedule(sched)
+        for task in ctg.tasks():
+            assert sched.placement(task).speed in levels
+
+    def test_quantised_schedule_still_meets_deadline(self):
+        levels = (0.5, 1.0)
+        ctg = generate_ctg(GeneratorConfig(nodes=14, branch_nodes=1, seed=23))
+        platform = uniform_platform(ctg, pes=2, min_speed=0.5, speed_levels=levels)
+        sched = dls_schedule(ctg, platform)
+        sched.ctg.deadline = sched.makespan() * 1.3
+        stretch_schedule(sched)
+        assert sched.meets_deadline()
+
+
+class TestShareExponent:
+    def test_root_weight_softens_probability_response(self):
+        """Moving from linear to root weighting must narrow the slack
+        gap between a likely and an unlikely arm."""
+        ctg = two_sided_branch_ctg()
+        platform = uniform_platform(ctg, pes=1)
+        probs = {"fork": {"h": 0.9, "l": 0.1}}
+
+        def arm_gap(exponent):
+            sched = dls_schedule(ctg, platform, probs)
+            sched.ctg.deadline = 60.0
+            report = stretch_schedule(sched, probs, share_exponent=exponent)
+            return report.slack_given["heavy"] - report.slack_given["light"]
+
+        assert 0 < arm_gap(1.0 / 3.0) < arm_gap(1.0)
+
+
+class TestDegenerateGraphs:
+    def test_single_task_graph(self):
+        ctg = ConditionalTaskGraph(name="single")
+        ctg.add_task("only")
+        ctg.validate()
+        platform = uniform_platform(ctg)
+        sched = dls_schedule(ctg, platform)
+        sched.ctg.deadline = 20.0
+        stretch_schedule(sched)
+        assert sched.placement("only").speed == pytest.approx(0.5)
+        assert sched.meets_deadline()
+
+    def test_two_independent_tasks(self):
+        ctg = ConditionalTaskGraph(name="pair")
+        ctg.add_task("a")
+        ctg.add_task("b")
+        ctg.validate()
+        platform = uniform_platform(ctg, pes=2)
+        sched = dls_schedule(ctg, platform)
+        sched.ctg.deadline = 30.0
+        stretch_schedule(sched)
+        assert sched.meets_deadline()
+        for task in ("a", "b"):
+            assert sched.placement(task).speed <= 1.0

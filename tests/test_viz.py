@@ -1,0 +1,108 @@
+"""Tests for the SVG renderers (repro.viz)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.ctg import figure1_ctg
+from repro.platform import PlatformConfig, generate_platform
+from repro.scheduling import schedule_online, set_deadline_from_makespan
+from repro.viz import bars_svg, gantt_svg, series_svg
+
+
+@pytest.fixture
+def fig1_schedule():
+    ctg = figure1_ctg()
+    platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=3))
+    set_deadline_from_makespan(ctg, platform, 1.4)
+    return schedule_online(ctg, platform).schedule
+
+
+def parse(svg: str) -> ET.Element:
+    """Well-formedness check: the output must be valid XML."""
+    return ET.fromstring(svg)
+
+
+class TestGanttSvg:
+    def test_well_formed(self, fig1_schedule):
+        root = parse(gantt_svg(fig1_schedule, title="demo"))
+        assert root.tag.endswith("svg")
+
+    def test_one_bar_per_task(self, fig1_schedule):
+        svg = gantt_svg(fig1_schedule)
+        root = parse(svg)
+        bars = [
+            el for el in root.iter()
+            if el.tag.endswith("rect") and el.find("{http://www.w3.org/2000/svg}title") is not None
+        ]
+        assert len(bars) == len(fig1_schedule.ctg.tasks())
+
+    def test_deadline_marker_present(self, fig1_schedule):
+        assert "deadline" in gantt_svg(fig1_schedule)
+
+    def test_tooltips_carry_speed(self, fig1_schedule):
+        svg = gantt_svg(fig1_schedule)
+        assert "speed" in svg
+
+    def test_empty_schedule_rejected(self):
+        from repro.ctg import exclusion_table
+        from repro.scheduling.schedule import Schedule
+
+        ctg = figure1_ctg()
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=1, seed=1))
+        empty = Schedule(ctg.copy(), platform, exclusion_table(ctg))
+        empty.ctg.deadline = 0.0
+        with pytest.raises(ValueError):
+            gantt_svg(empty)
+
+
+class TestSeriesSvg:
+    def test_well_formed_multi_series(self):
+        svg = series_svg(
+            {"prob": [0.1, 0.5, 0.9, 0.4], "filtered": [0.1, 0.1, 0.9, 0.9]},
+            title="figure 4",
+        )
+        root = parse(svg)
+        polylines = [el for el in root.iter() if el.tag.endswith("polyline")]
+        assert len(polylines) == 2
+
+    def test_series_names_in_legend(self):
+        svg = series_svg({"windowed": [0, 1, 0]})
+        assert "windowed" in svg
+
+    def test_values_clamped_into_range(self):
+        svg = series_svg({"s": [-1.0, 2.0, 0.5]})
+        parse(svg)  # no crash, still well-formed
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series_svg({})
+        with pytest.raises(ValueError):
+            series_svg({"s": [0.5]})
+
+
+class TestBarsSvg:
+    def test_well_formed(self):
+        svg = bars_svg(
+            ["Airwolf", "Bike"],
+            {"online": [40.0, 43.0], "adaptive": [32.0, 34.0]},
+            title="figure 5",
+        )
+        root = parse(svg)
+        bars = [
+            el for el in root.iter()
+            if el.tag.endswith("rect") and el.find("{http://www.w3.org/2000/svg}title") is not None
+        ]
+        assert len(bars) == 4
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bars_svg(["a", "b"], {"g": [1.0]})
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            bars_svg(["a"], {"g": [0.0]})
+
+    def test_category_labels_present(self):
+        svg = bars_svg(["Shuttle"], {"online": [10.0]})
+        assert "Shuttle" in svg

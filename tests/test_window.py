@@ -1,0 +1,111 @@
+"""Unit + property tests for the sliding-window profiler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adaptive import BranchWindow, WindowProfiler
+
+
+class TestBranchWindow:
+    def test_empty_window(self):
+        w = BranchWindow("b", ["x", "y"], size=4)
+        assert len(w) == 0
+        assert not w.full
+        assert w.probability("x") == 0.0
+        assert w.distribution() == {"x": 0.0, "y": 0.0}
+
+    def test_push_and_probability(self):
+        w = BranchWindow("b", ["x", "y"], size=4)
+        for label in ("x", "x", "y", "x"):
+            w.push(label)
+        assert w.full
+        assert w.probability("x") == pytest.approx(0.75)
+        assert w.probability("y") == pytest.approx(0.25)
+
+    def test_window_evicts_oldest(self):
+        w = BranchWindow("b", ["x", "y"], size=2)
+        w.push("x")
+        w.push("x")
+        w.push("y")  # evicts the first x
+        assert w.probability("x") == pytest.approx(0.5)
+
+    def test_unknown_label_rejected(self):
+        w = BranchWindow("b", ["x", "y"], size=2)
+        with pytest.raises(ValueError):
+            w.push("z")
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BranchWindow("b", ["x", "y"], size=0)
+        with pytest.raises(ValueError):
+            BranchWindow("b", ["only"], size=4)
+
+    def test_seed_approximates_distribution(self):
+        w = BranchWindow("b", ["x", "y"], size=20)
+        w.seed({"x": 0.7, "y": 0.3})
+        assert w.full
+        assert w.probability("x") == pytest.approx(0.7, abs=0.051)
+
+    def test_seed_uniform(self):
+        w = BranchWindow("b", ["x", "y", "z"], size=21)
+        w.seed({"x": 1 / 3, "y": 1 / 3, "z": 1 / 3})
+        assert w.probability("x") == pytest.approx(1 / 3, abs=0.05)
+
+    @settings(max_examples=30, deadline=None)
+    @given(p=st.floats(0.0, 1.0), size=st.integers(1, 50))
+    def test_seed_bounded_error(self, p, size):
+        """Property: seeding error is bounded by one sample weight."""
+        w = BranchWindow("b", ["x", "y"], size=size)
+        w.seed({"x": p, "y": 1 - p})
+        assert abs(w.probability("x") - p) <= 1.0 / size + 1e-9
+
+    def test_distribution_sums_to_one_when_filled(self):
+        w = BranchWindow("b", ["x", "y", "z"], size=5)
+        for label in ("x", "y", "z", "x", "x"):
+            w.push(label)
+        assert sum(w.distribution().values()) == pytest.approx(1.0)
+
+
+class TestWindowProfiler:
+    LABELS = {"b1": ["x", "y"], "b2": ["p", "q"]}
+
+    def test_observe_updates_only_named_branches(self):
+        prof = WindowProfiler(self.LABELS, size=4)
+        prof.observe({"b1": "x"})
+        assert len(prof.windows["b1"]) == 1
+        assert len(prof.windows["b2"]) == 0
+
+    def test_observe_ignores_unknown_branches(self):
+        prof = WindowProfiler(self.LABELS, size=4)
+        prof.observe({"zz": "x"})  # silently skipped
+        assert all(len(w) == 0 for w in prof.windows.values())
+
+    def test_initial_seeding(self):
+        initial = {"b1": {"x": 0.75, "y": 0.25}, "b2": {"p": 0.5, "q": 0.5}}
+        prof = WindowProfiler(self.LABELS, size=20, initial=initial)
+        assert prof.windows["b1"].probability("x") == pytest.approx(0.75, abs=0.051)
+
+    def test_max_deviation_zero_when_matching(self):
+        initial = {"b1": {"x": 0.5, "y": 0.5}, "b2": {"p": 0.5, "q": 0.5}}
+        prof = WindowProfiler(self.LABELS, size=4, initial=initial)
+        assert prof.max_deviation(initial) == pytest.approx(0.0)
+
+    def test_max_deviation_tracks_shift(self):
+        initial = {"b1": {"x": 0.5, "y": 0.5}, "b2": {"p": 0.5, "q": 0.5}}
+        prof = WindowProfiler(self.LABELS, size=4, initial=initial)
+        for _ in range(4):
+            prof.observe({"b1": "x"})
+        assert prof.max_deviation(initial) == pytest.approx(0.5)
+
+    def test_max_deviation_skips_empty_windows(self):
+        prof = WindowProfiler(self.LABELS, size=4)  # unseeded
+        reference = {"b1": {"x": 0.5, "y": 0.5}, "b2": {"p": 0.5, "q": 0.5}}
+        assert prof.max_deviation(reference) == 0.0
+
+    def test_distributions_shape(self):
+        prof = WindowProfiler(self.LABELS, size=4)
+        prof.observe({"b1": "x", "b2": "q"})
+        dists = prof.distributions()
+        assert dists["b1"] == {"x": 1.0, "y": 0.0}
+        assert dists["b2"] == {"p": 0.0, "q": 1.0}

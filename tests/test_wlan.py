@@ -1,0 +1,90 @@
+"""Tests for the 802.11b receiver workload."""
+
+import pytest
+
+from repro.adaptive import AdaptiveConfig
+from repro.ctg import enumerate_scenarios, mutually_exclusive
+from repro.scheduling import schedule_online, set_deadline_from_makespan
+from repro.sim import empirical_distribution, energy_savings, run_adaptive, run_non_adaptive, validate_trace
+from repro.workloads import CHANNEL_STATES, channel_trace, cruise_ctg, wlan_ctg, wlan_platform
+
+
+class TestWlanModel:
+    def test_dimensions(self):
+        ctg = wlan_ctg()
+        assert len(ctg) == 24
+        assert set(ctg.branch_nodes()) == {"plcp_sync", "rate_select"}
+
+    def test_eight_scenarios(self):
+        # 2 preamble × 4 payload rates
+        assert len(enumerate_scenarios(wlan_ctg())) == 8
+
+    def test_rate_chains_mutually_exclusive(self):
+        ctg = wlan_ctg()
+        assert mutually_exclusive(ctg, "dbpsk_demod", "cck11_correlate")
+        assert mutually_exclusive(ctg, "cck55_decode", "dqpsk_demod")
+        assert not mutually_exclusive(ctg, "cck11_chunk", "cck11_decode")
+
+    def test_cck11_is_heaviest_rate(self):
+        ctg = wlan_ctg()
+        platform = wlan_platform()
+        loads = {}
+        for scenario in enumerate_scenarios(ctg):
+            rate = scenario.product.label_for("rate_select")
+            load = sum(platform.average_wcet(t) for t in scenario.active)
+            loads[rate] = max(loads.get(rate, 0.0), load)
+        assert loads["r11"] == max(loads.values())
+        assert loads["r1"] == min(loads.values())
+
+    def test_platform_supports_all_tasks(self):
+        ctg = wlan_ctg()
+        wlan_platform().validate_for(ctg.tasks())
+
+    def test_schedulable(self):
+        ctg = wlan_ctg()
+        platform = wlan_platform()
+        set_deadline_from_makespan(ctg, platform, 1.4)
+        result = schedule_online(ctg, platform)
+        result.schedule.validate()
+
+
+class TestChannelTrace:
+    def test_valid_and_deterministic(self):
+        ctg = wlan_ctg()
+        trace = channel_trace(ctg, 400, seed=3)
+        assert len(trace) == 400
+        validate_trace(ctg, trace)
+        assert trace == channel_trace(ctg, 400, seed=3)
+
+    def test_rejects_foreign_graph(self):
+        with pytest.raises(ValueError):
+            channel_trace(cruise_ctg(), 100, seed=1)
+
+    def test_channel_states_normalised(self):
+        for state in CHANNEL_STATES.values():
+            assert sum(state["rates"].values()) == pytest.approx(1.0)
+
+    def test_regime_structure(self):
+        ctg = wlan_ctg()
+        trace = channel_trace(ctg, 3000, seed=5, dwell_range=(300, 500))
+        windows = [
+            sum(1 for v in trace[i : i + 150] if v["rate_select"] == "r11") / 150
+            for i in range(0, 3000, 150)
+        ]
+        assert max(windows) - min(windows) > 0.3
+
+
+class TestWlanAdaptivity:
+    def test_adaptive_follows_the_channel(self):
+        ctg = wlan_ctg()
+        platform = wlan_platform()
+        set_deadline_from_makespan(ctg, platform, 1.5)
+        trace = channel_trace(ctg, 1200, seed=12)
+        train, test = trace[:400], trace[400:]
+        profile = empirical_distribution(ctg, train)
+        online = run_non_adaptive(ctg, platform, test, profile)
+        adaptive = run_adaptive(
+            ctg, platform, test, profile, AdaptiveConfig(window_size=20, threshold=0.1)
+        )
+        assert adaptive.deadline_misses == 0
+        assert energy_savings(online, adaptive) > 0.02

@@ -1,0 +1,195 @@
+"""Tests for the MPEG / cruise-controller models and trace generators."""
+
+import pytest
+
+from repro.ctg import enumerate_paths, enumerate_scenarios, gamma
+from repro.sim import empirical_distribution, validate_trace
+from repro.workloads import (
+    MOVIE_PROFILES,
+    biased_profile,
+    cruise_ctg,
+    cruise_platform,
+    drifting_trace,
+    fluctuating_trace,
+    movie_trace,
+    mpeg_ctg,
+    mpeg_platform,
+    road_trace,
+)
+
+
+class TestMpegModel:
+    def test_paper_dimensions(self):
+        ctg = mpeg_ctg()
+        assert len(ctg) == 40
+        assert len(ctg.branch_nodes()) == 9
+
+    def test_scenario_count(self):
+        # 1 skipped + 2 intra (DCT type) + 2^6 inter block combinations
+        assert len(enumerate_scenarios(mpeg_ctg())) == 1 + 2 + 64
+
+    def test_skipped_scenario_is_smallest(self):
+        scenarios = enumerate_scenarios(mpeg_ctg())
+        skipped = [s for s in scenarios if s.product.label_for("parse") == "a2"]
+        assert len(skipped) == 1
+        assert len(skipped[0].active) == min(len(s.active) for s in scenarios)
+
+    def test_intra_and_inter_mutually_exclusive(self):
+        from repro.ctg import mutually_exclusive
+
+        ctg = mpeg_ctg()
+        assert mutually_exclusive(ctg, "idct_frame", "mc_luma")
+        assert mutually_exclusive(ctg, "copy_mb", "vld_header")
+        assert not mutually_exclusive(ctg, "mc_luma", "idct1")
+
+    def test_platform_profiles_all_tasks(self):
+        ctg = mpeg_ctg()
+        platform = mpeg_platform()
+        platform.validate_for(ctg.tasks())
+        assert len(platform) == 3  # the paper's 3-PE system
+
+    def test_probabilities_cover_all_branches(self):
+        ctg = mpeg_ctg()
+        assert set(ctg.default_probabilities) == set(ctg.branch_nodes())
+
+    def test_path_count_tractable(self):
+        assert len(enumerate_paths(mpeg_ctg())) < 100
+
+
+class TestCruiseModel:
+    def test_paper_dimensions(self):
+        ctg = cruise_ctg()
+        assert len(ctg) == 32
+        assert len(ctg.branch_nodes()) == 2
+
+    def test_three_minterms(self):
+        # The paper: "there are only three minterms in the CTG model".
+        scenarios = enumerate_scenarios(cruise_ctg())
+        assert len(scenarios) == 3
+        products = {str(s.product) for s in scenarios}
+        assert products == {"c1", "g1c2", "g2c2"}
+
+    def test_five_pe_platform(self):
+        platform = cruise_platform()
+        assert len(platform) == 5
+        platform.validate_for(cruise_ctg().tasks())
+
+    def test_arms_nearly_equal_energy(self):
+        """The paper attributes the low adaptive gain to near-equal
+        minterm energies; the model must preserve that property."""
+        ctg = cruise_ctg()
+        platform = cruise_platform()
+        scenarios = enumerate_scenarios(ctg)
+        costs = sorted(
+            sum(platform.average_wcet(t) for t in s.active) for s in scenarios
+        )
+        assert costs[-1] / costs[0] < 1.25
+
+
+class TestMovieTraces:
+    def test_all_profiles_generate_valid_traces(self):
+        ctg = mpeg_ctg()
+        for movie in MOVIE_PROFILES:
+            trace = movie_trace(ctg, movie, length=300)
+            assert len(trace) == 300
+            validate_trace(ctg, trace)
+
+    def test_deterministic(self):
+        ctg = mpeg_ctg()
+        assert movie_trace(ctg, "Bike", 200) == movie_trace(ctg, "Bike", 200)
+
+    def test_unknown_movie_rejected(self):
+        with pytest.raises(KeyError):
+            movie_trace(mpeg_ctg(), "Nonexistent", 100)
+
+    def test_requires_mpeg_graph(self):
+        with pytest.raises(ValueError):
+            movie_trace(cruise_ctg(), "Bike", 100)
+
+    def test_i_frames_force_intra(self):
+        ctg = mpeg_ctg()
+        trace = movie_trace(ctg, "Airwolf", length=330)  # first frame is I
+        intra = sum(1 for v in trace if v["classify"] == "b1")
+        assert intra == len(trace)
+        assert all(v["parse"] == "a1" for v in trace)
+
+    def test_pb_frames_mostly_inter(self):
+        ctg = mpeg_ctg()
+        trace = movie_trace(ctg, "Train", length=990)
+        later = trace[330:]  # B/P frames
+        inter = sum(1 for v in later if v["classify"] == "b2")
+        assert inter > len(later) * 0.4
+
+
+class TestRoadTraces:
+    def test_valid_and_deterministic(self):
+        ctg = cruise_ctg()
+        trace = road_trace(ctg, 500, seed=3)
+        assert len(trace) == 500
+        validate_trace(ctg, trace)
+        assert trace == road_trace(ctg, 500, seed=3)
+
+    def test_regime_structure_moves_probabilities(self):
+        ctg = cruise_ctg()
+        trace = road_trace(ctg, 2000, seed=5, segment_range=(200, 400))
+        # windowed probability of the control branch should vary widely
+        branch = "control_law"
+        windows = [
+            sum(1 for v in trace[i : i + 100] if v[branch] == "c1") / 100
+            for i in range(0, 2000, 100)
+        ]
+        assert max(windows) - min(windows) > 0.3
+
+
+class TestFluctuatingTraces:
+    def test_equal_long_run_average(self):
+        ctg = mpeg_ctg()
+        trace = fluctuating_trace(ctg, 4000, seed=2)
+        dist = empirical_distribution(ctg, trace)
+        # the a-branch executes always: its average must be near 0.5
+        assert dist["parse"]["a1"] == pytest.approx(0.5, abs=0.08)
+
+    def test_fluctuation_amplitude(self):
+        ctg = mpeg_ctg()
+        trace = fluctuating_trace(ctg, 3000, seed=4, fluctuation=0.45)
+        branch = "parse"
+        windows = [
+            sum(1 for v in trace[i : i + 60] if v[branch] == "a1") / 60
+            for i in range(0, 3000, 60)
+        ]
+        assert max(windows) - min(windows) >= 0.3
+
+    def test_validates(self):
+        ctg = mpeg_ctg()
+        validate_trace(ctg, fluctuating_trace(ctg, 200, seed=7))
+
+
+class TestDriftingTrace:
+    def test_valid_for_any_graph(self):
+        ctg = cruise_ctg()
+        trace = drifting_trace(ctg, 300, seed=1)
+        validate_trace(ctg, trace)
+
+    def test_mean_override(self):
+        ctg = cruise_ctg()
+        branch = ctg.branch_nodes()[0]
+        label = ctg.outcomes_of(branch)[0]
+        trace = drifting_trace(
+            ctg, 2000, seed=2, amplitude=0.05, mean_overrides={branch: 0.9}
+        )
+        share = sum(1 for v in trace if v[branch] == label) / len(trace)
+        assert share > 0.75
+
+
+class TestBiasedProfile:
+    def test_biased_branches(self):
+        ctg = mpeg_ctg()
+        profile = biased_profile(ctg, {"parse": "a2"}, bias=0.9)
+        assert profile["parse"]["a2"] == pytest.approx(0.9)
+        assert profile["parse"]["a1"] == pytest.approx(0.1)
+        # unmentioned branches uniform
+        assert profile["classify"]["b1"] == pytest.approx(0.5)
+
+    def test_bias_bounds(self):
+        with pytest.raises(ValueError):
+            biased_profile(mpeg_ctg(), {}, bias=1.0)
