@@ -10,16 +10,24 @@ probabilities, the in-use distribution snaps to the new estimate, and
 the call counter increments (the paper's Table 2 / Tables 4–5 "# of
 calls" column; the snap behaviour is Figure 4's "filtered Prob"
 staircase).
+
+Re-scheduling reuses the structural analysis *and* the path-analytics
+cache across calls (``CtgAnalysis.path_cache``): when drift changes the
+probabilities but DLS reproduces the same mapping — the common case —
+the stretching stage skips path enumeration entirely.  The controller's
+``profiler`` accumulates per-stage timings and the cache hit/miss
+counters over the whole run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
 
 from ..ctg.graph import ConditionalTaskGraph
 from ..ctg.minterms import CtgAnalysis
 from ..platform.mpsoc import Platform
+from ..profiling import StageProfiler
 from ..scheduling.online import OnlineResult, schedule_online
 from .window import WindowProfiler
 
@@ -69,12 +77,20 @@ class AdaptiveController:
         probabilities of algorithm are taken same as the profiled
         probabilities of online algorithm").
     config:
-        Window length and threshold.
+        Window length and threshold; ``None`` uses the defaults.  (A
+        fresh :class:`AdaptiveConfig` is created per controller — the
+        config is a mutable dataclass, so a shared default instance
+        would leak state between controllers.)
     profiler:
         Optional estimator instance replacing the default sliding
         window — anything with ``observe`` / ``distributions`` /
         ``max_deviation`` (e.g.
         :class:`~repro.adaptive.predictors.ExponentialProfiler`).
+    stage_profiler:
+        Optional :class:`~repro.profiling.StageProfiler` accumulating
+        hot-path timings and cache counters across every re-scheduling
+        call; the controller creates a private one when not given
+        (exposed as :attr:`stats`).
     """
 
     def __init__(
@@ -82,27 +98,34 @@ class AdaptiveController:
         ctg: ConditionalTaskGraph,
         platform: Platform,
         initial_probabilities: Mapping[str, Mapping[str, float]],
-        config: AdaptiveConfig = AdaptiveConfig(),
+        config: Optional[AdaptiveConfig] = None,
         profiler=None,
+        stage_profiler: Optional[StageProfiler] = None,
     ) -> None:
         self.ctg = ctg
         self.platform = platform
-        self.config = config
+        self.config = config if config is not None else AdaptiveConfig()
+        self.stats = stage_profiler if stage_profiler is not None else StageProfiler()
         self.in_use: Dict[str, Dict[str, float]] = {
             branch: dict(dist) for branch, dist in initial_probabilities.items()
         }
         branch_labels = {b: ctg.outcomes_of(b) for b in ctg.branch_nodes()}
         self.profiler = profiler if profiler is not None else WindowProfiler(
-            branch_labels, config.window_size, initial=self.in_use
+            branch_labels, self.config.window_size, initial=self.in_use
         )
         self.calls = 0
         self.call_log: List[int] = []
         self._instance = 0
         # Structural analysis is probability-independent: derive once,
-        # reuse for every re-scheduling call.
+        # reuse for every re-scheduling call.  Its path_cache also keeps
+        # the per-mapping path analytics warm across calls.
         self._analysis = CtgAnalysis.of(ctg)
         self.current: OnlineResult = schedule_online(
-            ctg, platform, self.in_use, analysis=self._analysis
+            ctg,
+            platform,
+            self.in_use,
+            analysis=self._analysis,
+            profiler=self.stats,
         )
 
     @property
@@ -130,8 +153,13 @@ class AdaptiveController:
             return False
         self.in_use = self.profiler.distributions()
         self.current = schedule_online(
-            self.ctg, self.platform, self.in_use, analysis=self._analysis
+            self.ctg,
+            self.platform,
+            self.in_use,
+            analysis=self._analysis,
+            profiler=self.stats,
         )
         self.calls += 1
+        self.stats.count("reschedule.calls")
         self.call_log.append(self._instance)
         return True

@@ -51,9 +51,26 @@ class BranchWindow:
         initial (profiled) probabilities: the buffer is filled with a
         deterministic proportional pattern, so the first real decisions
         shift history out gradually instead of swinging the estimate.
+
+        The distribution must be non-negative over this branch's labels
+        and sum to ≈ 1 (it is renormalised to remove rounding residue).
+        A zero or badly-off total raises ``ValueError`` — silently
+        filling the window with the first label would fabricate a
+        history of decisions that were never profiled.
         """
+        weights = {label: distribution.get(label, 0.0) for label in self.labels}
+        if any(w < 0.0 for w in weights.values()):
+            raise ValueError(
+                f"negative probability in seed distribution of branch {self.branch!r}"
+            )
+        total = sum(weights.values())
+        if abs(total - 1.0) > 1e-3:
+            raise ValueError(
+                f"seed distribution of branch {self.branch!r} sums to {total!r}, "
+                "expected ≈ 1 over its outcome labels"
+            )
         self._buffer.clear()
-        counts = {label: distribution.get(label, 0.0) * self.size for label in self.labels}
+        counts = {label: weights[label] / total * self.size for label in self.labels}
         filled: List[str] = []
         acc = {label: 0.0 for label in self.labels}
         for _ in range(self.size):

@@ -130,10 +130,13 @@ class ConditionalTaskGraph:
         self._require_task(dst)
         if self._graph.has_edge(src, dst):
             return  # a real dependency already serialises the pair
-        self._graph.add_edge(src, dst, data=EdgeData(pseudo=True))
-        if not nx.is_directed_acyclic_graph(self._graph):
-            self._graph.remove_edge(src, dst)
+        # src→dst closes a cycle exactly when dst already reaches src; a
+        # targeted reachability probe is far cheaper than re-verifying
+        # acyclicity of the whole graph (this runs once per pseudo edge
+        # on the scheduler's hot path).
+        if nx.has_path(self._graph, dst, src):
             raise CTGError(f"pseudo edge {src!r}→{dst!r} would create a cycle")
+        self._graph.add_edge(src, dst, data=EdgeData(pseudo=True))
 
     def declare_outcomes(self, branch: str, labels: Sequence[str]) -> None:
         """Declare the full outcome set of a branch node.

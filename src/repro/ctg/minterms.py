@@ -20,7 +20,7 @@ This module provides:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from .conditions import ConditionProduct, Outcome, TRUE, minimal_products, product_probability
@@ -223,11 +223,22 @@ class CtgAnalysis:
     re-scheduling (the per-call cost the paper's 0.6 ms figure counts
     is the list scheduling and slack distribution, not re-deriving the
     graph's minterm structure).
+
+    ``path_cache`` additionally holds the *scheduled-graph* path
+    analytics of the stretching stage, keyed by the schedule's
+    pseudo-edge/mapping fingerprint (see
+    :mod:`repro.scheduling.pathcache`, which owns the contents — this
+    class only provides the per-graph home so repeated
+    ``schedule_online`` calls that produce the same mapping reuse the
+    enumerated path set instead of re-deriving it).
     """
 
     scenarios: Tuple[Scenario, ...]
     exclusions: Dict[str, FrozenSet[str]]
     gammas: Dict[str, Tuple[ConditionProduct, ...]]
+    path_cache: Dict[object, object] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     @classmethod
     def of(cls, ctg: ConditionalTaskGraph) -> "CtgAnalysis":

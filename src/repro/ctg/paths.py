@@ -15,7 +15,7 @@ in the stretching module, which owns the schedule.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from .conditions import ConditionProduct, Outcome, TRUE
 from .graph import ConditionalTaskGraph
@@ -101,30 +101,34 @@ def enumerate_paths(
         Safety valve against pathological graphs.
     """
     paths: List[CTGPath] = []
-    sinks = {
-        node
-        for node in ctg.tasks()
-        if not ctg.successors(node, include_pseudo=include_pseudo)
-    }
+    # One adjacency pass up front: the DFS below visits every partial
+    # path, and going through the graph view per visit dominates the
+    # enumeration cost on dense scheduled graphs.
+    adjacency: Dict[str, List[Tuple[str, Optional[Outcome]]]] = {}
+    for node in ctg.tasks():
+        adjacency[node] = [
+            (dst, data.condition)
+            for _src, dst, data in ctg.out_edges(node, include_pseudo=include_pseudo)
+        ]
     stack: List[Tuple[Tuple[str, ...], ConditionProduct, Tuple[Optional[Outcome], ...]]] = []
     for source in ctg.tasks():
         if not ctg.predecessors(source, include_pseudo=include_pseudo):
             stack.append(((source,), TRUE, ()))
     while stack:
         nodes, condition, hops = stack.pop()
-        tail = nodes[-1]
-        if tail in sinks:
+        successors = adjacency[nodes[-1]]
+        if not successors:
             paths.append(CTGPath(nodes=nodes, condition=condition, edge_conditions=hops))
             if len(paths) > max_paths:
                 raise RuntimeError(f"path explosion: more than {max_paths} paths")
             continue
-        for _src, dst, data in ctg.out_edges(tail, include_pseudo=include_pseudo):
-            if data.condition is None:
+        for dst, edge_condition in successors:
+            if edge_condition is None:
                 stack.append((nodes + (dst,), condition, hops + (None,)))
             else:
-                conjoined = condition.conjoin_outcome(data.condition)
+                conjoined = condition.conjoin_outcome(edge_condition)
                 if conjoined is not None:
-                    stack.append((nodes + (dst,), conjoined, hops + (data.condition,)))
+                    stack.append((nodes + (dst,), conjoined, hops + (edge_condition,)))
     return tuple(paths)
 
 

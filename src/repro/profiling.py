@@ -1,0 +1,145 @@
+"""Lightweight stage timers and counters for the re-scheduling hot path.
+
+The paper's adaptive framework only pays off when the re-scheduling
+step itself is cheap (§III.B motivates the drift threshold with exactly
+this overhead argument), so the hot path — DLS, path analytics,
+stretching, executor replay — is instrumented end to end.  A
+:class:`StageProfiler` is threaded through
+:func:`repro.scheduling.online.schedule_online`, the
+:class:`~repro.adaptive.controller.AdaptiveController` and the trace
+runner; the aggregate lands on ``OnlineResult.profile`` and
+``RunResult.profile`` so experiments and benches can report where the
+adaptation time goes.
+
+Design constraints:
+
+* **near-zero overhead** — a stage costs two ``perf_counter`` calls and
+  two dict updates; call sites that receive no profiler use the shared
+  :data:`NULL_PROFILER`, whose methods are no-ops, so the hot loops
+  carry no ``if profiler is not None`` branching;
+* **mergeable** — sub-profiles (e.g. one per re-scheduling call) fold
+  into a run-level aggregate with :meth:`StageProfiler.merge`;
+* **plain data** — timings/counters are ordinary dicts, trivially
+  serialisable for experiment reports.
+
+Conventional stage/counter names used across the package (dots group
+related entries; nothing enforces the vocabulary):
+
+========================  =====================================================
+``online``                 one full ``schedule_online`` invocation
+``dls``                    mapping/ordering stage
+``stretch``                slack-distribution stage (total)
+``stretch.structure``      path enumeration + scenario-mask construction
+``stretch.refresh``        probability-dependent table refresh
+``stretch.sweep``          the per-task CalculateSlack sweep
+``executor.replay``        per-instance schedule replay in the simulator
+``reschedule.calls``       adaptive re-invocations of the online algorithm
+``path_cache.hit/miss``    structural path-analytics cache outcomes
+``prob_cache.hit/miss``    probability-tier (prob_after) cache outcomes
+``paths.enumerated``       paths enumerated on structural cache misses
+``stretch.prune_fallback`` all-paths-pruned fallbacks to unpruned stretching
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+
+@dataclass
+class StageProfiler:
+    """Accumulating stage timings and event counters.
+
+    Attributes
+    ----------
+    timings:
+        Stage name → total seconds spent inside :meth:`stage` blocks.
+    calls:
+        Stage name → number of times the stage was entered.
+    counters:
+        Counter name → accumulated count (:meth:`count`).
+    """
+
+    timings: Dict[str, float] = field(default_factory=dict)
+    calls: Dict[str, int] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with``-block under ``name`` (re-entrant, additive)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.timings[name] = self.timings.get(name, 0.0) + elapsed
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Bump a named counter."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def merge(self, other: "StageProfiler") -> None:
+        """Fold another profiler's data into this one."""
+        for name, value in other.timings.items():
+            self.timings[name] = self.timings.get(name, 0.0) + value
+        for name, value in other.calls.items():
+            self.calls[name] = self.calls.get(name, 0) + value
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def timing(self, name: str) -> float:
+        """Total seconds recorded for a stage (0.0 if never entered)."""
+        return self.timings.get(name, 0.0)
+
+    def counter(self, name: str) -> int:
+        """Value of a counter (0 if never bumped)."""
+        return self.counters.get(name, 0)
+
+    def format(self) -> str:
+        """Human-readable two-column report of timings then counters."""
+        lines = []
+        if self.timings:
+            width = max(len(n) for n in self.timings)
+            lines.append("stage timings:")
+            for name in sorted(self.timings):
+                lines.append(
+                    f"  {name:<{width}}  {self.timings[name] * 1e3:10.3f} ms"
+                    f"  ({self.calls.get(name, 0)}x)"
+                )
+        if self.counters:
+            width = max(len(n) for n in self.counters)
+            lines.append("counters:")
+            for name in sorted(self.counters):
+                lines.append(f"  {name:<{width}}  {self.counters[name]}")
+        return "\n".join(lines) if lines else "(no profiling data)"
+
+
+class _NullProfiler(StageProfiler):
+    """Shared no-op sink for call sites given no profiler.
+
+    Methods intentionally record nothing, so hot loops can call the
+    profiler unconditionally.  The dicts stay empty forever.
+    """
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:  # noqa: ARG002
+        yield
+
+    def count(self, name: str, amount: int = 1) -> None:  # noqa: ARG002
+        pass
+
+    def merge(self, other: "StageProfiler") -> None:  # noqa: ARG002
+        pass
+
+
+#: Shared do-nothing profiler; see :func:`as_profiler`.
+NULL_PROFILER = _NullProfiler()
+
+
+def as_profiler(profiler: Optional[StageProfiler]) -> StageProfiler:
+    """Normalise an optional profiler to a safe-to-call instance."""
+    return NULL_PROFILER if profiler is None else profiler

@@ -14,6 +14,13 @@ from .online import (
     schedule_online,
     set_deadline_from_makespan,
 )
+from .pathcache import (
+    PathStructure,
+    build_structure,
+    freeze_probabilities,
+    schedule_fingerprint,
+    structure_for,
+)
 from .schedule import CommBooking, Placement, Schedule, SchedulingError
 from .stretching import StretchReport, stretch_schedule
 
@@ -45,6 +52,11 @@ __all__ = [
     "minimal_makespan",
     "schedule_online",
     "set_deadline_from_makespan",
+    "PathStructure",
+    "build_structure",
+    "freeze_probabilities",
+    "schedule_fingerprint",
+    "structure_for",
     "CommBooking",
     "Placement",
     "Schedule",

@@ -42,6 +42,7 @@ from ..ctg.minterms import (
     exclusion_table,
 )
 from ..platform.mpsoc import Platform
+from ..profiling import StageProfiler, as_profiler
 from .schedule import CommBooking, Schedule, SchedulingError
 
 
@@ -96,6 +97,9 @@ class _DlsState:
         #: worst-case (start, finish) of placed tasks at nominal speed
         self.times: Dict[str, Tuple[float, float]] = {}
         self.link_bookings: Dict[frozenset, _LinkBooking] = {}
+        #: tasks per PE in placement order (avoids the repeated
+        #: order-index sort of Schedule.tasks_on in the candidate loop)
+        self.pe_tasks: Dict[str, List[str]] = {}
 
     def are_exclusive(self, a: str, b: str) -> bool:
         """Mutual exclusion, gated by the mutex_overlap switch."""
@@ -107,7 +111,7 @@ class _DlsState:
         tasks already on ``pe`` (mutually exclusive tasks may overlap)."""
         busy = sorted(
             (self.times[other][0], self.times[other][1])
-            for other in self.schedule.tasks_on(pe)
+            for other in self.pe_tasks.get(pe, ())
             if not self.are_exclusive(task, other)
         )
         start = ready
@@ -201,6 +205,7 @@ def dls_schedule(
     mutex_overlap: bool = True,
     fixed_mapping: Optional[Mapping[str, str]] = None,
     analysis: Optional[CtgAnalysis] = None,
+    profiler: Optional[StageProfiler] = None,
 ) -> Schedule:
     """Map and order a CTG on a platform with the modified DLS.
 
@@ -227,12 +232,16 @@ def dls_schedule(
     analysis:
         Pre-computed structural analysis (scenarios/exclusions); saves
         re-deriving it on every adaptive re-scheduling call.
+    profiler:
+        Optional :class:`~repro.profiling.StageProfiler`; records the
+        ``dls.levels`` stage and the ``dls.tasks_placed`` counter.
 
     Returns
     -------
     Schedule
         All tasks placed at nominal speed, pseudo edges recorded.
     """
+    prof = as_profiler(profiler)
     if probabilities is None:
         probabilities = ctg.default_probabilities
     working = ctg.copy()
@@ -243,7 +252,8 @@ def dls_schedule(
         exclusions = analysis.exclusions
     schedule = Schedule(working, platform, exclusions)
     state = _DlsState(schedule, mutex_overlap)
-    levels = static_levels(ctg, platform, probabilities, probability_aware)
+    with prof.stage("dls.levels"):
+        levels = static_levels(ctg, platform, probabilities, probability_aware)
 
     unscheduled = set(ctg.tasks())
     while unscheduled:
@@ -283,6 +293,7 @@ def dls_schedule(
         _dl, start, task, pe = best
         _commit(state, working, platform, task, pe, start, best_transfers)
         unscheduled.discard(task)
+    prof.count("dls.tasks_placed", len(schedule.placements))
     return schedule
 
 
@@ -307,7 +318,8 @@ def _commit(
     # on the PE.  Redundant edges (already reachable) are skipped to keep
     # the path set small.
     graph = working.graph
-    for other in schedule.tasks_on(pe):
+    peers = state.pe_tasks.setdefault(pe, [])
+    for other in peers:
         if other == task or state.are_exclusive(task, other):
             continue
         o_start, o_finish = state.times[other]
@@ -321,3 +333,4 @@ def _commit(
             raise SchedulingError(
                 f"internal: overlap between {task!r} and {other!r} on {pe!r}"
             )
+    peers.append(task)

@@ -5,6 +5,15 @@ mapping/ordering, then the low-complexity slack-distribution stretching
 heuristic for voltage selection — and returns a locked schedule.  This
 is the routine the adaptive controller re-invokes whenever the windowed
 branch probabilities drift past the threshold.
+
+Because re-invocation is the common case, the call is built to be
+cheap when repeated: pass the same ``analysis`` object every time and
+the stretching stage reuses the cached path analytics whenever DLS
+reproduces the previous mapping (see
+:mod:`repro.scheduling.pathcache`); pass a
+:class:`~repro.profiling.StageProfiler` to see exactly where the
+re-scheduling time goes (``dls`` vs ``stretch`` stages, cache hit/miss
+counters).
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from typing import Optional
 from ..ctg.graph import ConditionalTaskGraph
 from ..ctg.minterms import BranchProbabilities, CtgAnalysis
 from ..platform.mpsoc import Platform
+from ..profiling import StageProfiler, as_profiler
 from .dls import dls_schedule
 from .schedule import Schedule
 from .stretching import StretchReport, stretch_schedule
@@ -22,10 +32,15 @@ from .stretching import StretchReport, stretch_schedule
 
 @dataclass
 class OnlineResult:
-    """Outcome of one online scheduling + DVFS invocation."""
+    """Outcome of one online scheduling + DVFS invocation.
+
+    ``profile`` carries the stage timings and cache counters of the
+    invocation when a profiler was supplied (``None`` otherwise).
+    """
 
     schedule: Schedule
     stretch: StretchReport
+    profile: Optional[StageProfiler] = None
 
 
 def schedule_online(
@@ -37,6 +52,9 @@ def schedule_online(
     analysis: Optional[CtgAnalysis] = None,
     max_passes: int = 1,
     share_exponent: float = 1.0,
+    vectorized: bool = True,
+    use_cache: bool = True,
+    profiler: Optional[StageProfiler] = None,
 ) -> OnlineResult:
     """Run the complete online algorithm.
 
@@ -57,33 +75,51 @@ def schedule_online(
     analysis:
         Pre-computed structural analysis of ``ctg``; pass it when
         calling repeatedly (the adaptive controller does) so scenario
-        enumeration, mutual exclusion and Γ are derived only once.
+        enumeration, mutual exclusion and Γ are derived only once —
+        and so the stretching stage can cache path analytics across
+        calls that produce the same mapping.
     max_passes, share_exponent:
         Forwarded to :func:`repro.scheduling.stretch_schedule` (the
         ablation knobs of the slack-distribution stage).
+    vectorized, use_cache:
+        Forwarded to :func:`repro.scheduling.stretch_schedule`; the
+        defaults give the fast hot path, ``vectorized=False,
+        use_cache=False`` reproduces the scalar seed behaviour (used by
+        the equivalence tests and the hot-path bench as the baseline).
+    profiler:
+        Optional stage profiler; timings/counters accumulate into it
+        and it is attached to the result as ``profile``.
 
     Returns
     -------
     OnlineResult
         The locked schedule plus stretching diagnostics.
     """
-    if probabilities is None:
-        probabilities = ctg.default_probabilities
-    if analysis is None:
-        analysis = CtgAnalysis.of(ctg)
-    schedule = dls_schedule(ctg, platform, probabilities, analysis=analysis)
-    if deadline is not None:
-        schedule.ctg.deadline = deadline
-    stretch = stretch_schedule(
-        schedule,
-        probabilities,
-        deadline=deadline,
-        probability_weighted=probability_weighted,
-        analysis=analysis,
-        max_passes=max_passes,
-        share_exponent=share_exponent,
-    )
-    return OnlineResult(schedule=schedule, stretch=stretch)
+    prof = as_profiler(profiler)
+    with prof.stage("online"):
+        if probabilities is None:
+            probabilities = ctg.default_probabilities
+        if analysis is None:
+            analysis = CtgAnalysis.of(ctg)
+        with prof.stage("dls"):
+            schedule = dls_schedule(
+                ctg, platform, probabilities, analysis=analysis, profiler=profiler
+            )
+        if deadline is not None:
+            schedule.ctg.deadline = deadline
+        stretch = stretch_schedule(
+            schedule,
+            probabilities,
+            deadline=deadline,
+            probability_weighted=probability_weighted,
+            analysis=analysis,
+            max_passes=max_passes,
+            share_exponent=share_exponent,
+            vectorized=vectorized,
+            use_cache=use_cache,
+            profiler=profiler,
+        )
+    return OnlineResult(schedule=schedule, stretch=stretch, profile=profiler)
 
 
 def minimal_makespan(ctg: ConditionalTaskGraph, platform: Platform) -> float:

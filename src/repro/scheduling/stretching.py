@@ -35,24 +35,49 @@ the linear weight toward the energy-optimal root, ``max_passes`` adds
 redistribution sweeps, ``prune_zero_probability`` drops statistically
 impossible paths — all measured by the slack-weighting ablation bench
 and discussed in DESIGN.md §6.1.
+
+Two implementations of the same algorithm coexist:
+
+* the **vectorized hot path** (default) — scenario membership as a
+  boolean path×scenario matrix, scenario probabilities as an array,
+  path delays/slack as vectors; the per-minterm critical-path sweep of
+  ``CalculateSlack`` becomes a handful of numpy operations, and the
+  path analytics are fetched from the fingerprint-keyed cache in
+  :mod:`repro.scheduling.pathcache` when an ``analysis`` is supplied
+  (the adaptive controller's repeated re-scheduling hits that cache
+  whenever drift leaves the DLS outcome unchanged);
+* the **scalar reference** (``vectorized=False``) — the original
+  per-path-state loop, kept as the executable specification the
+  equivalence tests compare against.
+
+Both produce the same speeds and :class:`StretchReport` contents up to
+floating-point summation order (well below 1e-9 relative).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..ctg.conditions import ConditionProduct
 from ..ctg.minterms import (
     BranchProbabilities,
     CtgAnalysis,
+    Scenario,
     activation_probability,
     enumerate_scenarios,
 )
 from ..ctg.paths import CTGPath, enumerate_paths, path_delay
+from ..profiling import StageProfiler, as_profiler
+from .pathcache import PathStructure, structure_for
 from .schedule import Schedule, SchedulingError
 
 _CERTAIN_TOL = 1e-12
+
+#: message raised when the scheduled graph genuinely has no paths
+_NO_PATHS = "schedule has no paths to stretch along"
 
 
 @dataclass
@@ -134,6 +159,9 @@ def stretch_schedule(
     max_passes: int = 1,
     share_exponent: float = 1.0,
     prune_zero_probability: bool = False,
+    vectorized: bool = True,
+    use_cache: bool = True,
+    profiler: Optional[StageProfiler] = None,
 ) -> StretchReport:
     """Assign DVFS speeds to a mapped/ordered schedule (in place).
 
@@ -152,7 +180,8 @@ def stretch_schedule(
         uniform slack distribution the paper criticises ref [9] for.
     analysis:
         Pre-computed structural analysis (scenarios/Γ); saves
-        re-deriving it on every adaptive re-scheduling call.
+        re-deriving it on every adaptive re-scheduling call, and is the
+        home of the path-analytics cache (see ``use_cache``).
     max_passes:
         Number of distribution sweeps.  The paper's procedure is one
         sweep (the default): each task receives its probability-
@@ -183,7 +212,24 @@ def stretch_schedule(
         misses and the experiment reports include them.  Default
         ``False``: strictly hard-real-time behaviour under any branch
         decision (measured to cost nothing on the paper's workloads —
-        see the pruning ablation bench).
+        see the pruning ablation bench).  When the distribution prunes
+        *every* path (degenerate but reachable through a saturated
+        window), pruning is abandoned for the call and the schedule is
+        stretched unpruned instead — only a graph with no paths at all
+        raises :class:`SchedulingError`.
+    vectorized:
+        Use the numpy slack kernels (default).  ``False`` runs the
+        scalar reference implementation — same algorithm, same results
+        up to floating-point summation order; kept for the equivalence
+        tests and as the executable specification.
+    use_cache:
+        Reuse the path analytics cached on ``analysis.path_cache`` for
+        schedules with an identical pseudo-edge/mapping fingerprint
+        (no-op when ``analysis`` is ``None`` or ``vectorized=False``).
+    profiler:
+        Optional :class:`~repro.profiling.StageProfiler` collecting
+        stage timings (``stretch``, ``stretch.structure``,
+        ``stretch.refresh``, ``stretch.sweep``) and cache counters.
 
     Returns
     -------
@@ -193,43 +239,273 @@ def stretch_schedule(
     Raises
     ------
     SchedulingError
-        If the nominal-speed schedule already misses the deadline.
+        If the nominal-speed schedule already misses the deadline, or
+        the scheduled graph has no source→sink paths.
     """
-    ctg = schedule.ctg
-    limit = ctg.deadline if deadline is None else deadline
-    if limit <= 0:
-        raise SchedulingError("stretching needs a positive deadline")
-    if probabilities is None:
-        probabilities = ctg.default_probabilities
+    prof = as_profiler(profiler)
+    with prof.stage("stretch"):
+        ctg = schedule.ctg
+        limit = ctg.deadline if deadline is None else deadline
+        if limit <= 0:
+            raise SchedulingError("stretching needs a positive deadline")
+        if probabilities is None:
+            probabilities = ctg.default_probabilities
 
-    if analysis is None:
-        real_ctg = ctg.without_pseudo_edges()
-        scenarios = enumerate_scenarios(real_ctg)
-        act_prob = activation_probability(real_ctg, probabilities, scenarios=scenarios)
-    else:
-        scenarios = analysis.scenarios
-        act_prob = activation_probability(None, probabilities, scenarios=scenarios)
+        if analysis is None:
+            real_ctg = ctg.without_pseudo_edges()
+            scenarios: Sequence[Scenario] = enumerate_scenarios(real_ctg)
+            cache = None
+        else:
+            scenarios = analysis.scenarios
+            cache = analysis.path_cache if use_cache else None
+
+        if vectorized:
+            structure = structure_for(schedule, scenarios, cache=cache, profiler=prof)
+            return _stretch_vectorized(
+                schedule,
+                structure,
+                probabilities,
+                limit,
+                probability_weighted,
+                max_passes,
+                share_exponent,
+                prune_zero_probability,
+                prof,
+            )
+        return _stretch_scalar(
+            schedule,
+            scenarios,
+            probabilities,
+            limit,
+            probability_weighted,
+            max_passes,
+            share_exponent,
+            prune_zero_probability,
+            prof,
+        )
+
+
+# ----------------------------------------------------------------------
+# Vectorized implementation (the hot path)
+# ----------------------------------------------------------------------
+def _stretch_vectorized(
+    schedule: Schedule,
+    structure: PathStructure,
+    probabilities: BranchProbabilities,
+    limit: float,
+    probability_weighted: bool,
+    max_passes: int,
+    share_exponent: float,
+    prune_zero_probability: bool,
+    prof: StageProfiler,
+) -> StretchReport:
+    if structure.path_count == 0:
+        raise SchedulingError(_NO_PATHS)
+    tables = structure.tables(probabilities, prof)
+    scenario_probs = tables.scenario_probs
+    prob_after_flat = tables.prob_after_flat
+    act_prob = tables.act_prob
+
+    with prof.stage("stretch.sweep"):
+        exec_values = structure.execution_vector(schedule)
+        delay = structure.delay_vector(schedule, exec_values)
+        stretchable = structure.stretchable_vector(exec_values)
+        slack = limit - delay
+
+        if prune_zero_probability:
+            path_probs = structure.membership.astype(float) @ scenario_probs
+            keep = path_probs > 0.0
+            if not keep.any():
+                # every path is statistically impossible under this
+                # distribution — pruning them all would leave nothing to
+                # stretch along, so fall back to unpruned stretching
+                # (strict hard-real-time behaviour) for this call.
+                keep = np.ones(structure.path_count, dtype=bool)
+                prof.count("stretch.prune_fallback")
+        else:
+            keep = np.ones(structure.path_count, dtype=bool)
+
+        worst = float(slack[keep].min())
+        if worst < -1e-6:
+            raise SchedulingError(
+                f"nominal schedule infeasible: most critical path exceeds the "
+                f"deadline by {-worst:.3f}"
+            )
+
+        pruning = not keep.all()
+        spanning: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        for task in structure.task_list:
+            idx = structure.spanning_idx[task]
+            flat = structure.spanning_flat[task]
+            if pruning and idx.size:
+                kept = keep[idx]
+                idx, flat = idx[kept], flat[kept]
+            spanning[task] = (idx, flat)
+
+        report = StretchReport(path_count=int(keep.sum()))
+        order = schedule.placement_order()
+        epsilon = 1e-9 * limit
+        membership = structure.membership
+        for _ in range(max(1, max_passes)):
+            granted = 0.0
+            for task in order:
+                idx, flat = spanning[task]
+                if idx.size == 0:
+                    # every path through this task was pruned: the task
+                    # cannot occur under the current distribution, so it
+                    # keeps nominal speed and no bookkeeping changes.
+                    report.slack_given.setdefault(task, 0.0)
+                    report.speeds[task] = schedule.placement(task).speed
+                    continue
+                placement = schedule.placement(task)
+                duration = placement.duration  # current, after earlier passes
+
+                span_slack = slack[idx]
+                span_stretchable = stretchable[idx]
+                ratio = np.zeros(idx.size)
+                positive = span_stretchable > 0
+                np.divide(
+                    np.maximum(span_slack, 0.0),
+                    span_stretchable,
+                    out=ratio,
+                    where=positive,
+                )
+
+                grant = _vector_slack(
+                    duration,
+                    ratio,
+                    idx,
+                    prob_after_flat[flat],
+                    membership,
+                    scenario_probs,
+                    act_prob.get(task, 0.0) ** share_exponent,
+                    probability_weighted,
+                )
+                # Steps 9-10: never let a spanning path cross the deadline.
+                grant = min(grant, float(span_slack.min()))
+                grant = max(grant, 0.0)
+                report.slack_given[task] = report.slack_given.get(task, 0.0) + grant
+
+                schedule.set_speed(task, placement.wcet / (duration + grant))
+                report.speeds[task] = placement.speed
+                consumed = placement.duration - duration  # after PE clamping
+                granted += consumed
+                delay[idx] += consumed
+                slack[idx] -= consumed
+                stretchable[idx] -= duration
+            if granted <= epsilon:
+                break
+            # Re-arm the stretchable pool for the next sweep: every task is
+            # unlocked again, its weight now being its *current* duration.
+            exec_values = structure.execution_vector(schedule)
+            stretchable = structure.stretchable_vector(exec_values)
+    return report
+
+
+def _vector_slack(
+    wcet: float,
+    ratio: np.ndarray,
+    span_idx: np.ndarray,
+    prob_after: np.ndarray,
+    membership: np.ndarray,
+    scenario_probs: np.ndarray,
+    task_prob: float,
+    probability_weighted: bool,
+) -> float:
+    """CalculateSlack(τ) over the spanning-path vectors.
+
+    Mirrors :func:`_calculate_slack`: the per-minterm critical paths of
+    ``slk1`` are found by a stable ratio sort of the uncertain paths —
+    ``argmax`` down the sorted membership columns yields each
+    scenario's first (most critical) claimant, and ``bincount``
+    accumulates the scenario probabilities per claimant.
+    """
+    if ratio.size == 0:
+        return 0.0
+    if not probability_weighted:
+        return wcet * float(ratio.min())
+
+    uncertain = prob_after < 1.0 - _CERTAIN_TOL
+
+    slk1: Optional[float] = None
+    if uncertain.any():
+        order = np.argsort(ratio[uncertain], kind="stable")
+        ratios_sorted = ratio[uncertain][order]
+        rows = membership[span_idx[uncertain][order]]
+        covered = rows.any(axis=0)
+        total_prob = float(scenario_probs[covered].sum())
+        if total_prob > 0.0:
+            first_claimant = rows.argmax(axis=0)
+            per_claimant = np.bincount(
+                first_claimant[covered],
+                weights=scenario_probs[covered],
+                minlength=ratios_sorted.size,
+            )
+            weighted_ratio = float(per_claimant @ ratios_sorted)
+            slk1 = wcet * (weighted_ratio / total_prob) * task_prob
+
+    slk2: Optional[float] = None
+    if not uncertain.all():
+        slk2 = wcet * float(ratio[~uncertain].min()) * task_prob
+
+    values = [v for v in (slk1, slk2) if v is not None]
+    return min(values) if values else 0.0
+
+
+# ----------------------------------------------------------------------
+# Scalar reference implementation
+# ----------------------------------------------------------------------
+def _stretch_scalar(
+    schedule: Schedule,
+    scenarios: Sequence[Scenario],
+    probabilities: BranchProbabilities,
+    limit: float,
+    probability_weighted: bool,
+    max_passes: int,
+    share_exponent: float,
+    prune_zero_probability: bool,
+    prof: StageProfiler,
+) -> StretchReport:
+    ctg = schedule.ctg
+    act_prob = activation_probability(None, probabilities, scenarios=scenarios)
     scenario_probs = [s.probability(probabilities) for s in scenarios]
     scenario_assignments = [dict(s.product.assignment) for s in scenarios]
 
     exec_times = schedule.execution_times()
     edge_delays = schedule.edge_delays()
-    states: List[_PathState] = []
     mask_cache: Dict[ConditionProduct, int] = {}
-    for path in enumerate_paths(ctg, include_pseudo=True):
-        mask = _scenario_mask(path.condition, scenario_assignments, mask_cache)
-        if prune_zero_probability and _mask_probability(mask, scenario_probs) <= 0.0:
-            continue  # statistically impossible under this distribution
+    paths = enumerate_paths(ctg, include_pseudo=True)
+    prof.count("paths.enumerated", len(paths))
+    if not paths:
+        raise SchedulingError(_NO_PATHS)
+    masks = [
+        _scenario_mask(path.condition, scenario_assignments, mask_cache)
+        for path in paths
+    ]
+    kept = list(range(len(paths)))
+    if prune_zero_probability:
+        kept = [
+            j
+            for j, mask in enumerate(masks)
+            if _mask_probability(mask, scenario_probs) > 0.0
+        ]
+        if not kept:
+            # see the prune_zero_probability note in stretch_schedule:
+            # a distribution that prunes every path falls back to
+            # unpruned (strict) stretching instead of erroring out.
+            kept = list(range(len(paths)))
+            prof.count("stretch.prune_fallback")
+    states: List[_PathState] = []
+    for j in kept:
+        path = paths[j]
         delay = path_delay(path, exec_times, edge_delays)
         stretchable = sum(exec_times[node] for node in path.nodes)
         state = _PathState(
             path=path, delay=delay, slack=limit - delay, stretchable=stretchable
         )
         state.fill_prob_after(probabilities)
-        state.scenario_mask = mask
+        state.scenario_mask = masks[j]
         states.append(state)
-    if not states:
-        raise SchedulingError("schedule has no paths to stretch along")
     worst = min(state.slack for state in states)
     if worst < -1e-6:
         raise SchedulingError(

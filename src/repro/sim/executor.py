@@ -25,9 +25,10 @@ schedules produced by this package that is guaranteed by construction
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..ctg.minterms import Scenario
+from ..profiling import StageProfiler, as_profiler
 from ..scheduling.schedule import Schedule
 from .vectors import DecisionVector, scenario_from_decisions
 
@@ -60,10 +61,19 @@ class InstanceResult:
 
 
 class InstanceExecutor:
-    """Reusable executor for one schedule (caches graph lookups)."""
+    """Reusable executor for one schedule (caches graph lookups).
 
-    def __init__(self, schedule: Schedule) -> None:
+    ``profiler`` (optional) accumulates the ``executor.replay`` stage
+    timing and the ``executor.instances`` counter across :meth:`run`
+    calls; omitted, the null profiler keeps the replay loop free of
+    instrumentation cost.
+    """
+
+    def __init__(
+        self, schedule: Schedule, profiler: Optional[StageProfiler] = None
+    ) -> None:
         self.schedule = schedule
+        self._prof = as_profiler(profiler)
         ctg = schedule.ctg
         self._real_ctg = ctg.without_pseudo_edges()
         self._order = ctg.topological_order()
@@ -76,6 +86,12 @@ class InstanceExecutor:
 
     def run(self, decisions: DecisionVector) -> InstanceResult:
         """Execute one instance under a concrete decision vector."""
+        with self._prof.stage("executor.replay"):
+            result = self._run(decisions)
+        self._prof.count("executor.instances")
+        return result
+
+    def _run(self, decisions: DecisionVector) -> InstanceResult:
         schedule = self.schedule
         ctg = schedule.ctg
         scenario = scenario_from_decisions(self._real_ctg, decisions)

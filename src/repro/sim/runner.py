@@ -21,6 +21,7 @@ from typing import List, Mapping, Optional
 from ..adaptive.controller import AdaptiveConfig, AdaptiveController
 from ..ctg.graph import ConditionalTaskGraph
 from ..platform.mpsoc import Platform
+from ..profiling import StageProfiler
 from ..scheduling.online import schedule_online
 from .executor import InstanceExecutor
 from .vectors import Trace
@@ -42,12 +43,18 @@ class RunResult:
     deadline_misses:
         Number of instances finishing past the deadline (0 by
         construction for schedules built by this package).
+    profile:
+        Stage timings and counters of the whole run — scheduling stages
+        (``dls``, ``stretch``, cache hit/miss counters), instance
+        replay (``executor.replay`` / ``executor.instances``) and, for
+        the adaptive policy, ``reschedule.calls``.
     """
 
     energies: List[float] = field(default_factory=list)
     reschedule_calls: int = 0
     call_instances: List[int] = field(default_factory=list)
     deadline_misses: int = 0
+    profile: Optional[StageProfiler] = None
 
     @property
     def total_energy(self) -> float:
@@ -89,9 +96,12 @@ def run_non_adaptive(
     ``probabilities`` is the profiled training distribution (the paper's
     "online"/"non-adaptive" rows); it is *not* updated during the run.
     """
-    online = schedule_online(ctg, platform, probabilities, deadline=deadline)
-    executor = InstanceExecutor(online.schedule)
-    result = RunResult()
+    stats = StageProfiler()
+    online = schedule_online(
+        ctg, platform, probabilities, deadline=deadline, profiler=stats
+    )
+    executor = InstanceExecutor(online.schedule, profiler=stats)
+    result = RunResult(profile=stats)
     for vector in trace:
         outcome = executor.run(vector)
         result.energies.append(outcome.energy)
@@ -105,7 +115,7 @@ def run_adaptive(
     platform: Platform,
     trace: Trace,
     initial_probabilities: Mapping[str, Mapping[str, float]],
-    config: AdaptiveConfig = AdaptiveConfig(),
+    config: Optional[AdaptiveConfig] = None,
     deadline: Optional[float] = None,
     profiler=None,
 ) -> RunResult:
@@ -116,17 +126,25 @@ def run_adaptive(
     triggering re-scheduling that takes effect from the next instance
     (the paper: "each time after a branch fork task is executed, a new
     branch decision is shifted into the buffer").  ``profiler`` swaps
-    the estimator (default: the paper's sliding window).
+    the estimator (default: the paper's sliding window); ``config``
+    defaults to a fresh :class:`AdaptiveConfig` (never a shared
+    instance — the config is mutable).
     """
     if deadline is not None:
         ctg = ctg.copy()
         ctg.deadline = deadline
+    stats = StageProfiler()
     controller = AdaptiveController(
-        ctg, platform, initial_probabilities, config, profiler=profiler
+        ctg,
+        platform,
+        initial_probabilities,
+        config,
+        profiler=profiler,
+        stage_profiler=stats,
     )
-    executor = InstanceExecutor(controller.schedule)
+    executor = InstanceExecutor(controller.schedule, profiler=stats)
     branches = ctg.branch_nodes()
-    result = RunResult()
+    result = RunResult(profile=stats)
     for vector in trace:
         outcome = executor.run(vector)
         result.energies.append(outcome.energy)
@@ -136,7 +154,7 @@ def run_adaptive(
             b: vector[b] for b in branches if b in outcome.scenario.active
         }
         if controller.observe(executed):
-            executor = InstanceExecutor(controller.schedule)
+            executor = InstanceExecutor(controller.schedule, profiler=stats)
     result.reschedule_calls = controller.calls
     result.call_instances = list(controller.call_log)
     return result

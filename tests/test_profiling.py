@@ -1,0 +1,118 @@
+"""The StageProfiler itself, and its exposure on run results."""
+
+import pytest
+
+from repro.profiling import NULL_PROFILER, StageProfiler, as_profiler
+from repro.adaptive.controller import AdaptiveConfig
+from repro.ctg.examples import two_sided_branch_ctg
+from repro.sim.executor import InstanceExecutor
+from repro.sim.runner import run_adaptive, run_non_adaptive
+from repro.scheduling import dls_schedule
+from repro.workloads.traces import drifting_trace
+
+from .test_stretching_edge_cases import uniform_platform
+
+
+class TestStageProfiler:
+    def test_stage_accumulates_time_and_calls(self):
+        prof = StageProfiler()
+        with prof.stage("work"):
+            pass
+        with prof.stage("work"):
+            pass
+        assert prof.calls["work"] == 2
+        assert prof.timing("work") >= 0.0
+        assert "work" in prof.timings
+
+    def test_stage_records_even_on_exception(self):
+        prof = StageProfiler()
+        with pytest.raises(RuntimeError):
+            with prof.stage("boom"):
+                raise RuntimeError("x")
+        assert prof.calls["boom"] == 1
+
+    def test_counters_accumulate(self):
+        prof = StageProfiler()
+        prof.count("events")
+        prof.count("events", 4)
+        assert prof.counter("events") == 5
+        assert prof.counter("missing") == 0
+        assert prof.timing("missing") == 0.0
+
+    def test_merge_folds_everything(self):
+        a, b = StageProfiler(), StageProfiler()
+        with a.stage("s"):
+            pass
+        with b.stage("s"):
+            pass
+        b.count("c", 3)
+        a.merge(b)
+        assert a.calls["s"] == 2
+        assert a.counter("c") == 3
+
+    def test_format_lists_stages_and_counters(self):
+        prof = StageProfiler()
+        with prof.stage("alpha"):
+            pass
+        prof.count("beta", 2)
+        text = prof.format()
+        assert "alpha" in text and "beta" in text
+        assert StageProfiler().format() == "(no profiling data)"
+
+    def test_null_profiler_records_nothing(self):
+        with NULL_PROFILER.stage("s"):
+            NULL_PROFILER.count("c")
+        assert not NULL_PROFILER.timings
+        assert not NULL_PROFILER.counters
+        assert as_profiler(None) is NULL_PROFILER
+        real = StageProfiler()
+        assert as_profiler(real) is real
+
+
+class TestRunResultProfile:
+    def _setup(self):
+        ctg = two_sided_branch_ctg()
+        platform = uniform_platform(ctg, pes=1)
+        trace = drifting_trace(ctg, 25, seed=5)
+        return ctg, platform, trace
+
+    def test_non_adaptive_profile_covers_scheduling_and_replay(self):
+        ctg, platform, trace = self._setup()
+        result = run_non_adaptive(
+            ctg, platform, trace, ctg.default_probabilities, deadline=60.0
+        )
+        prof = result.profile
+        assert prof is not None
+        assert prof.calls["online"] == 1
+        assert prof.calls["dls"] == 1
+        assert prof.calls["stretch"] == 1
+        assert prof.counter("executor.instances") == len(trace)
+        assert prof.calls["executor.replay"] == len(trace)
+        assert prof.counter("path_cache.miss") == 1
+
+    def test_adaptive_profile_counts_reschedules_and_cache(self):
+        ctg, platform, trace = self._setup()
+        result = run_adaptive(
+            ctg,
+            platform,
+            trace,
+            ctg.default_probabilities,
+            AdaptiveConfig(window_size=8, threshold=0.1),
+            deadline=60.0,
+        )
+        prof = result.profile
+        assert prof is not None
+        assert prof.counter("reschedule.calls") == result.reschedule_calls
+        assert prof.calls["online"] == result.reschedule_calls + 1
+        assert prof.counter("executor.instances") == len(trace)
+        hits = prof.counter("path_cache.hit")
+        misses = prof.counter("path_cache.miss")
+        assert hits + misses == result.reschedule_calls + 1
+        assert misses >= 1
+
+    def test_executor_without_profiler_has_no_instrumentation_state(self):
+        ctg, platform, _trace = self._setup()
+        sched = dls_schedule(ctg, platform)
+        sched.ctg.deadline = 60.0
+        executor = InstanceExecutor(sched)
+        assert executor._prof is NULL_PROFILER
