@@ -4,13 +4,18 @@ Usage
 -----
     python -m repro list
     python -m repro run table1 [table3 figure4 ...] | all
-    python -m repro schedule INSTANCE.json [--deadline-factor 1.3]
+    python -m repro schedule INSTANCE.json [--deadline-factor 1.3] [--check]
+    python -m repro check INSTANCE.json|mpeg|cruise|wlan ... [--json]
     python -m repro demo
 
 ``run`` regenerates the requested tables/figures and prints them;
 ``schedule`` loads a problem instance saved with
 :func:`repro.io.save_instance`, runs the online algorithm and prints
-the Gantt chart; ``demo`` schedules the paper's Figure-1 example.
+the Gantt chart; ``check`` statically verifies instances (saved JSON
+files or the built-in workloads by name) end to end — graph, platform,
+online schedule, per-minterm deadline feasibility — and exits non-zero
+on any error-severity diagnostic (see ``docs/diagnostics.md``);
+``demo`` schedules the paper's Figure-1 example.
 """
 
 from __future__ import annotations
@@ -74,7 +79,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     ctg, platform, _trace = load_instance(args.instance)
     if ctg.deadline <= 0:
         set_deadline_from_makespan(ctg, platform, args.deadline_factor)
-    result = schedule_online(ctg, platform)
+    result = schedule_online(ctg, platform, check=args.check)
     result.schedule.validate()
     print(render_gantt(result.schedule))
     print()
@@ -82,6 +87,52 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     energy = result.schedule.expected_energy(ctg.default_probabilities)
     print(f"\nexpected energy per period: {energy:.2f}")
     return 0
+
+
+#: Built-in workloads the ``check`` verb accepts by name.
+_WORKLOADS = ("mpeg", "cruise", "wlan")
+
+
+def _load_target(name: str, deadline_factor: float):
+    """Resolve a ``check`` target to a ready ``(ctg, platform)`` pair."""
+    if name in _WORKLOADS:
+        from . import workloads
+
+        ctg = getattr(workloads, f"{name}_ctg")()
+        platform = getattr(workloads, f"{name}_platform")()
+    else:
+        ctg, platform, _trace = load_instance(name)
+    if ctg.deadline <= 0:
+        set_deadline_from_makespan(ctg, platform, deadline_factor)
+    return ctg, platform
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check import check_instance
+    from .ctg import CTGError
+    from .ctg.minterms import CtgAnalysis
+    from .platform.mpsoc import PlatformError
+
+    worst = 0
+    for name in args.targets:
+        try:
+            ctg, platform = _load_target(name, args.deadline_factor)
+        except (CTGError, PlatformError, OSError, ValueError) as exc:
+            print(f"{name}\nerror: cannot load target: {exc}", file=sys.stderr)
+            worst = 1
+            continue
+        analysis = CtgAnalysis.of(ctg)
+        schedule = None
+        if not args.no_schedule:
+            schedule = schedule_online(ctg, platform, analysis=analysis).schedule
+        report = check_instance(ctg, platform, schedule, analysis=analysis)
+        if args.json:
+            print(report.to_json())
+        else:
+            print(report.render_text(header=name))
+        if not report.ok:
+            worst = 1
+    return worst
 
 
 def _cmd_demo(_args: argparse.Namespace) -> int:
@@ -115,7 +166,32 @@ def main(argv=None) -> int:
     sched = sub.add_parser("schedule", help="schedule a saved problem instance")
     sched.add_argument("instance", help="JSON file from repro.io.save_instance")
     sched.add_argument("--deadline-factor", type=float, default=1.3)
+    sched.add_argument(
+        "--check",
+        action="store_true",
+        help="statically verify the schedule before printing it "
+        "(raises on any error-severity diagnostic)",
+    )
     sched.set_defaults(func=_cmd_schedule)
+
+    check = sub.add_parser(
+        "check", help="statically verify instances without simulating them"
+    )
+    check.add_argument(
+        "targets",
+        nargs="+",
+        metavar="TARGET",
+        help=f"instance JSON path or workload name ({', '.join(_WORKLOADS)})",
+    )
+    check.add_argument("--deadline-factor", type=float, default=1.3)
+    check.add_argument(
+        "--no-schedule",
+        action="store_true",
+        help="verify only the graph and platform (skip building and "
+        "checking an online schedule)",
+    )
+    check.add_argument("--json", action="store_true", help="emit reports as JSON")
+    check.set_defaults(func=_cmd_check)
 
     sub.add_parser("demo", help="schedule the paper's Figure-1 example").set_defaults(
         func=_cmd_demo

@@ -48,11 +48,18 @@ class AdaptiveConfig:
         extension: the paper bounds the overhead only through the
         threshold; a cooldown bounds it *directly* regardless of how
         wildly the statistics swing).  0 disables rate limiting.
+    check:
+        Debug hook: statically verify every schedule the controller
+        installs (initial build and each re-scheduling) and raise
+        :class:`repro.check.CheckError` on any error-severity finding.
+        Costs a full scenario sweep per call — leave off outside tests
+        and debugging sessions.
     """
 
     window_size: int = 20
     threshold: float = 0.1
     cooldown: int = 0
+    check: bool = False
 
     def __post_init__(self) -> None:
         if self.window_size < 1:
@@ -126,6 +133,7 @@ class AdaptiveController:
             self.in_use,
             analysis=self._analysis,
             profiler=self.stats,
+            check=self.config.check,
         )
 
     @property
@@ -158,6 +166,7 @@ class AdaptiveController:
             self.in_use,
             analysis=self._analysis,
             profiler=self.stats,
+            check=self.config.check,
         )
         self.calls += 1
         self.stats.count("reschedule.calls")

@@ -1,0 +1,116 @@
+"""Top-level orchestration of the static verification subsystem.
+
+Two entry points:
+
+* :func:`check_instance` — verify a ``(CTG, platform[, schedule])``
+  tuple end to end and return a :class:`CheckReport`;
+* :func:`verify_schedule` — the schedule-only subset used by the
+  ``--check`` debug hook inside :func:`repro.scheduling.schedule_online`
+  and the adaptive controller (the graph/platform were either checked
+  up front or are trusted there).
+
+:func:`assert_clean` converts an error-carrying report into a
+:class:`CheckError` for callers that want exception semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..ctg.graph import ConditionalTaskGraph
+from ..ctg.minterms import CtgAnalysis
+from ..platform.mpsoc import Platform
+from ..scheduling.schedule import Schedule
+from .cache_checks import check_pathcache
+from .ctg_checks import check_ctg
+from .diagnostics import CheckReport
+from .feasibility import check_scenario_feasibility
+from .platform_checks import check_platform
+from .schedule_checks import check_schedule
+
+
+class CheckError(RuntimeError):
+    """Raised by :func:`assert_clean` when a report carries errors.
+
+    The offending report is attached as :attr:`report`.
+    """
+
+    def __init__(self, message: str, report: CheckReport) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+def check_instance(
+    ctg: ConditionalTaskGraph,
+    platform: Platform,
+    schedule: Optional[Schedule] = None,
+    probabilities: Optional[Mapping[str, Mapping[str, float]]] = None,
+    analysis: Optional[CtgAnalysis] = None,
+    require_deadline: bool = True,
+) -> CheckReport:
+    """Verify a problem instance, and optionally a schedule built on it.
+
+    Stages (each skipped cleanly when its prerequisites already
+    failed): graph well-formedness and condition satisfiability →
+    platform/application pairing → schedule structure → per-minterm
+    deadline feasibility → path-cache cross-consistency.
+
+    ``probabilities`` overrides the graph's profiled distributions for
+    the probability-table checks; ``analysis`` supplies cached
+    scenarios (and its path cache, which is then cross-checked).
+    """
+    report = CheckReport()
+    report.checks_run.append("ctg")
+    report.extend(check_ctg(ctg, probabilities, require_deadline=require_deadline))
+
+    report.checks_run.append("platform")
+    report.extend(check_platform(platform, ctg))
+
+    # A cyclic graph has no topological order, so every schedule-level
+    # checker (which propagates times along it) is meaningless; a failed
+    # scenario enumeration likewise blocks only the per-minterm stages.
+    if schedule is not None and not report.has("CTG001"):
+        report.checks_run.append("schedule")
+        report.extend(check_schedule(schedule))
+        if not report.has("CTG011"):
+            report.checks_run.append("feasibility")
+            scenarios = analysis.scenarios if analysis is not None else None
+            report.extend(check_scenario_feasibility(schedule, scenarios))
+            report.checks_run.append("pathcache")
+            report.extend(check_pathcache(schedule, analysis))
+    return report
+
+
+def verify_schedule(
+    schedule: Schedule,
+    analysis: Optional[CtgAnalysis] = None,
+) -> CheckReport:
+    """Schedule-only verification (structure + feasibility + cache).
+
+    This is the ``--check`` hook's workhorse: cheap enough to run after
+    every re-scheduling call, it re-proves the invariants the adaptive
+    loop relies on without re-validating the immutable graph/platform.
+    """
+    report = CheckReport(checks_run=["schedule", "feasibility", "pathcache"])
+    report.extend(check_schedule(schedule))
+    scenarios = analysis.scenarios if analysis is not None else None
+    report.extend(check_scenario_feasibility(schedule, scenarios))
+    report.extend(check_pathcache(schedule, analysis))
+    return report
+
+
+def assert_clean(report: CheckReport, context: str = "") -> CheckReport:
+    """Raise :class:`CheckError` if the report carries any error.
+
+    Returns the report unchanged when clean, so the call composes:
+    ``assert_clean(verify_schedule(s), "after re-scheduling")``.
+    """
+    if report.ok:
+        return report
+    prefix = f"{context}: " if context else ""
+    codes = ", ".join(sorted({d.code for d in report.errors}))
+    raise CheckError(
+        f"{prefix}static verification failed with {len(report.errors)} "
+        f"error(s) ({codes})\n{report.render_text()}",
+        report,
+    )

@@ -1,0 +1,344 @@
+"""Repository AST lint — rules distilled from this project's own bugs.
+
+PR 1 fixed three latent-bug families that ordinary review had let
+through: a shared mutable dataclass default (``AdaptiveConfig()`` leaked
+window state between controllers), a silent ``except Exception: pass``
+(swallowed real cycle errors in the modal DVFS clone), and exact float
+comparisons on derived times.  This linter turns each family into a
+machine-checked rule so none of them regresses:
+
+``AST101`` — **mutable default argument / shared dataclass default.**
+    A function parameter default that is a mutable literal (list, dict,
+    set, comprehension) or a constructor call is evaluated *once* and
+    shared across calls.  The same applies to a ``@dataclass`` field
+    default that is a constructor call or ``field(default=<mutable>)``
+    — use ``field(default_factory=...)``.  Calls to known-immutable
+    builtins (``tuple``, ``frozenset``, ``object`` sentinels, ...) are
+    allowed.
+
+``AST102`` — **blind exception handler.**
+    A bare ``except:`` anywhere, or an ``except Exception:`` /
+    ``except BaseException:`` whose body only ``pass``es — both hide
+    unrelated failures (the modal-DVFS bug).  Handling ``Exception``
+    and *doing something* (log, count, re-raise) is fine; swallowing it
+    is not.
+
+``AST103`` — **float equality.**
+    ``==`` / ``!=`` against a float literal compares derived times,
+    energies or speeds for bit-exactness; use a tolerance from
+    :mod:`repro.check.tolerances` or an inequality.  Test files and
+    benchmarks are exempt — asserting an exactly-constructed value is
+    the point of a unit test.
+
+Suppression: append ``# lint: ignore[AST103]`` (or a bare
+``# lint: ignore``) to the offending line when a finding is a
+deliberate exception; the comment documents the waiver in place.
+
+Run as ``python -m repro.check.astlint src tests`` (exit code 1 when
+any finding survives suppression); the CI lint job does exactly that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .diagnostics import CheckReport, Diagnostic
+
+#: Call targets allowed as parameter/field defaults: immutable results
+#: (or the conventional ``object()`` identity sentinel).
+_IMMUTABLE_CALLS: Set[str] = {
+    "tuple",
+    "frozenset",
+    "int",
+    "float",
+    "bool",
+    "str",
+    "bytes",
+    "complex",
+    "object",
+    "Decimal",
+    "Fraction",
+    "Path",
+}
+
+#: Directory names whose files are exempt from the float-equality rule.
+_FLOAT_EQ_EXEMPT_DIRS: Set[str] = {"tests", "benchmarks"}
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
+
+
+def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Line → suppressed codes (``None`` = every code) from comments."""
+    table: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            table[lineno] = None
+        else:
+            table[lineno] = {c.strip() for c in codes.split(",") if c.strip()}
+    return table
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    """Trailing identifier of a call target (``a.b.C()`` → ``"C"``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _mutable_default(node: ast.expr) -> Optional[str]:
+    """Why a default expression is shared-mutable, or ``None`` if safe."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return "a mutable literal"
+    if isinstance(node, ast.Call):
+        name = _call_name(node)
+        if name is None or name not in _IMMUTABLE_CALLS:
+            rendered = name or "<expression>"
+            return f"a call to {rendered}() evaluated once at definition time"
+    return None
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _exception_names(handler_type: Optional[ast.expr]) -> List[str]:
+    if handler_type is None:
+        return []
+    nodes: Iterable[ast.expr]
+    nodes = handler_type.elts if isinstance(handler_type, ast.Tuple) else [handler_type]
+    names = []
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+    return names
+
+
+def _body_is_silent(body: Sequence[ast.stmt]) -> bool:
+    """Whether a handler body does nothing but swallow."""
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+        for stmt in body
+    )
+
+
+class _Linter(ast.NodeVisitor):
+    """Single-file rule visitor; findings accumulate on ``self.found``."""
+
+    def __init__(self, filename: str, float_eq_exempt: bool) -> None:
+        self.filename = filename
+        self.float_eq_exempt = float_eq_exempt
+        self.found: List[Tuple[str, int, str]] = []  # (code, lineno, message)
+
+    # -- AST101: function defaults --------------------------------------
+    def _check_defaults(self, node) -> None:
+        args = node.args
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is None:
+                continue
+            reason = _mutable_default(default)
+            if reason is not None:
+                self.found.append(
+                    (
+                        "AST101",
+                        default.lineno,
+                        f"default of an argument of {getattr(node, 'name', '<lambda>')!r} "
+                        f"is {reason}; use None + in-body construction or "
+                        "field(default_factory=...)",
+                    )
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- AST101: dataclass field defaults --------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if _is_dataclass_decorated(node):
+            for stmt in node.body:
+                if not isinstance(stmt, ast.AnnAssign) or stmt.value is None:
+                    continue
+                value = stmt.value
+                if isinstance(value, ast.Call) and _call_name(value) == "field":
+                    for keyword in value.keywords:
+                        if keyword.arg != "default":
+                            continue
+                        reason = _mutable_default(keyword.value)
+                        if reason is not None:
+                            self.found.append(
+                                (
+                                    "AST101",
+                                    keyword.value.lineno,
+                                    f"field(default=...) in dataclass "
+                                    f"{node.name!r} is {reason}; use "
+                                    "default_factory",
+                                )
+                            )
+                else:
+                    reason = _mutable_default(value)
+                    if reason is not None:
+                        self.found.append(
+                            (
+                                "AST101",
+                                value.lineno,
+                                f"dataclass {node.name!r} field default is "
+                                f"{reason} shared by every instance; use "
+                                "field(default_factory=...)",
+                            )
+                        )
+        self.generic_visit(node)
+
+    # -- AST102: blind except --------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.found.append(
+                (
+                    "AST102",
+                    node.lineno,
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt too; "
+                    "name the exceptions this handler is for",
+                )
+            )
+        else:
+            names = _exception_names(node.type)
+            if (
+                any(n in ("Exception", "BaseException") for n in names)
+                and _body_is_silent(node.body)
+            ):
+                self.found.append(
+                    (
+                        "AST102",
+                        node.lineno,
+                        f"'except {'/'.join(names)}: pass' silently swallows "
+                        "every failure; narrow the exception type or handle it",
+                    )
+                )
+        self.generic_visit(node)
+
+    # -- AST103: float equality ------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if not self.float_eq_exempt and any(
+            isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+        ):
+            operands = [node.left, *node.comparators]
+            if any(
+                isinstance(operand, ast.Constant) and isinstance(operand.value, float)
+                for operand in operands
+            ):
+                self.found.append(
+                    (
+                        "AST103",
+                        node.lineno,
+                        "'==' / '!=' against a float literal; compare with a "
+                        "tolerance from repro.check.tolerances instead",
+                    )
+                )
+        self.generic_visit(node)
+
+
+def _float_eq_exempt(path: Path) -> bool:
+    parts = set(path.parts[:-1])
+    name = path.name
+    return (
+        bool(parts & _FLOAT_EQ_EXEMPT_DIRS)
+        or name.startswith("test_")
+        or name == "conftest.py"
+    )
+
+
+def lint_source(
+    source: str, filename: str = "<string>", float_eq_exempt: bool = False
+) -> List[Diagnostic]:
+    """Lint one source string; returns surviving findings."""
+    tree = ast.parse(source, filename=filename)
+    linter = _Linter(filename, float_eq_exempt)
+    linter.visit(tree)
+    suppressed = _suppressions(source)
+    findings: List[Diagnostic] = []
+    for code, lineno, message in sorted(linter.found, key=lambda f: (f[1], f[0])):
+        waiver = suppressed.get(lineno, "absent")
+        if waiver is None or (waiver != "absent" and code in waiver):
+            continue
+        findings.append(
+            Diagnostic(code, message, subject=f"{filename}:{lineno}")
+        )
+    return findings
+
+
+def lint_paths(paths: Sequence[Path]) -> CheckReport:
+    """Lint every ``*.py`` file under the given files/directories."""
+    report = CheckReport(checks_run=["astlint"])
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    for file in files:
+        source = file.read_text(encoding="utf-8")
+        report.extend(
+            lint_source(source, filename=str(file), float_eq_exempt=_float_eq_exempt(file))
+        )
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.check.astlint",
+        description="repo-specific AST lint (AST101 mutable defaults, "
+        "AST102 blind except, AST103 float equality)",
+    )
+    parser.add_argument("paths", nargs="+", type=Path, metavar="PATH")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(argv)
+    missing = [p for p in args.paths if not p.exists()]
+    if missing:
+        print(f"no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+    report = lint_paths(args.paths)
+    if args.json:
+        print(report.to_json())
+    else:
+        for diagnostic in report:
+            print(diagnostic)
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

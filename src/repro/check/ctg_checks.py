@@ -1,0 +1,185 @@
+"""Static checks on conditional task graphs.
+
+Mirrors (and extends) :meth:`ConditionalTaskGraph.validate`, but
+*collects* findings instead of raising on the first one, so a report can
+show every problem of a malformed graph at once.  Beyond the structural
+invariants it verifies what the scheduler will later rely on:
+
+* condition satisfiability — every task's activation condition Γ(τ) has
+  at least one consistent term, and scenario enumeration terminates
+  with a non-empty minterm set;
+* probability-table sanity — each declared default distribution covers
+  only declared outcome labels, stays in ``[0, 1]`` per label and sums
+  to 1 within :data:`~repro.check.tolerances.PROB_EPS`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+import networkx as nx
+
+from ..ctg.graph import CTGError, ConditionalTaskGraph
+from ..ctg.minterms import enumerate_scenarios, gamma
+from .diagnostics import Diagnostic
+from .tolerances import PROB_EPS
+
+
+def check_ctg(
+    ctg: ConditionalTaskGraph,
+    probabilities: Optional[Mapping[str, Mapping[str, float]]] = None,
+    require_deadline: bool = True,
+) -> List[Diagnostic]:
+    """All graph-level findings for ``ctg``.
+
+    ``probabilities`` defaults to the graph's profiled distributions;
+    pass the distribution a schedule was actually built with to check
+    that one instead.  ``require_deadline=False`` silences the
+    missing-deadline warning (``CTG006``) for callers that derive the
+    deadline later.
+    """
+    findings: List[Diagnostic] = []
+    findings.extend(_check_structure(ctg, require_deadline))
+    # Satisfiability work is meaningless on a cyclic graph — topological
+    # order does not exist — so stop at the structural findings.
+    if any(d.code == "CTG001" for d in findings):
+        return findings
+    findings.extend(_check_satisfiability(ctg))
+    table = ctg.default_probabilities if probabilities is None else probabilities
+    findings.extend(check_probability_table(ctg, table))
+    return findings
+
+
+def _check_structure(
+    ctg: ConditionalTaskGraph, require_deadline: bool
+) -> List[Diagnostic]:
+    findings: List[Diagnostic] = []
+    if not nx.is_directed_acyclic_graph(ctg.graph):
+        cycle = nx.find_cycle(ctg.graph)
+        chain = " → ".join([edge[0] for edge in cycle] + [cycle[0][0]])
+        findings.append(
+            Diagnostic("CTG001", f"graph contains the cycle {chain}", subject=chain)
+        )
+    for src, dst, data in ctg.edges(include_pseudo=False):
+        edge = f"{src}→{dst}"
+        if data.condition is not None and data.condition.branch != src:
+            findings.append(
+                Diagnostic(
+                    "CTG002",
+                    f"edge {edge} is guarded by an outcome of "
+                    f"{data.condition.branch!r}, not of its source",
+                    subject=edge,
+                )
+            )
+        if data.comm_kbytes < 0:
+            findings.append(
+                Diagnostic(
+                    "CTG003",
+                    f"edge {edge} carries negative volume {data.comm_kbytes}",
+                    subject=edge,
+                )
+            )
+    for branch in ctg.branch_nodes():
+        try:
+            outcomes = ctg.outcomes_of(branch)
+        except CTGError:
+            outcomes = []
+        if len(outcomes) < 2:
+            findings.append(
+                Diagnostic(
+                    "CTG004",
+                    f"branch fork {branch!r} declares "
+                    f"{len(outcomes)} outcome(s); needs at least 2",
+                    subject=branch,
+                )
+            )
+    if ctg.deadline < 0:
+        findings.append(
+            Diagnostic("CTG005", f"deadline {ctg.deadline} is negative")
+        )
+    elif ctg.deadline == 0 and require_deadline:
+        findings.append(
+            Diagnostic("CTG006", "graph has no deadline; feasibility is unchecked")
+        )
+    return findings
+
+
+def _check_satisfiability(ctg: ConditionalTaskGraph) -> List[Diagnostic]:
+    """Condition-consistency findings (``CTG010``/``CTG011``)."""
+    findings: List[Diagnostic] = []
+    real = ctg.without_pseudo_edges()
+    try:
+        gamma(real)
+    except CTGError as exc:
+        findings.append(Diagnostic("CTG010", str(exc)))
+    try:
+        scenarios = enumerate_scenarios(real)
+        if not scenarios:  # enumerate_scenarios raises instead, but be safe
+            findings.append(Diagnostic("CTG011", "graph produced no scenarios"))
+    except (CTGError, RecursionError) as exc:
+        findings.append(Diagnostic("CTG011", f"scenario enumeration failed: {exc}"))
+    return findings
+
+
+def check_probability_table(
+    ctg: ConditionalTaskGraph,
+    probabilities: Mapping[str, Mapping[str, float]],
+    tol: float = PROB_EPS,
+) -> List[Diagnostic]:
+    """Findings on one branch-probability table (``CTG012``–``CTG015``).
+
+    A branch *without* a distribution only warns (``CTG015``): the
+    algorithms accept partial tables as long as no conditional edge of
+    a scheduled path needs the missing branch.
+    """
+    findings: List[Diagnostic] = []
+    branch_nodes = set(ctg.branch_nodes())
+    for branch, distribution in sorted(probabilities.items()):
+        if branch not in branch_nodes:
+            findings.append(
+                Diagnostic(
+                    "CTG013",
+                    f"distribution given for {branch!r}, which is not a "
+                    "branch fork node",
+                    subject=branch,
+                )
+            )
+            continue
+        outcomes = set(ctg.outcomes_of(branch))
+        for label, value in sorted(distribution.items()):
+            if label not in outcomes:
+                findings.append(
+                    Diagnostic(
+                        "CTG013",
+                        f"branch {branch!r} has no outcome {label!r} "
+                        f"(declared: {sorted(outcomes)})",
+                        subject=f"{branch}.{label}",
+                    )
+                )
+            if not 0.0 <= value <= 1.0:
+                findings.append(
+                    Diagnostic(
+                        "CTG014",
+                        f"prob({branch!r}={label!r}) = {value} is outside [0, 1]",
+                        subject=f"{branch}.{label}",
+                    )
+                )
+        total = sum(distribution.values())
+        if abs(total - 1.0) > tol:
+            findings.append(
+                Diagnostic(
+                    "CTG012",
+                    f"distribution of branch {branch!r} sums to {total:.9f}, "
+                    "not 1",
+                    subject=branch,
+                )
+            )
+    for branch in sorted(branch_nodes - set(probabilities)):
+        findings.append(
+            Diagnostic(
+                "CTG015",
+                f"branch fork {branch!r} has no distribution in the table",
+                subject=branch,
+            )
+        )
+    return findings

@@ -1,0 +1,63 @@
+"""Static checks on platform specifications.
+
+The :class:`~repro.platform.mpsoc.Platform` constructor already rejects
+locally inconsistent entries (non-positive WCETs, duplicate links); what
+it cannot see is the *pairing* with an application graph — whether every
+task can run somewhere and every data transfer the mapper might choose
+has a link to run on.  These checks verify exactly that pairing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ctg.graph import ConditionalTaskGraph
+from ..platform.mpsoc import Platform
+from .diagnostics import Diagnostic
+
+
+def check_platform(platform: Platform, ctg: ConditionalTaskGraph) -> List[Diagnostic]:
+    """Platform findings for one application graph.
+
+    * ``PLAT001`` — a task of the graph has no WCET/energy profile on
+      any PE, so no mapping can exist.
+    * ``PLAT002`` — a data-carrying edge admits a cross-PE mapping
+      (both endpoints supported on distinct PEs) with no link between
+      the two PEs.  The DLS treats a missing link as "cannot transfer",
+      so this is an error only when the *actual* mapping uses the pair
+      (reported by the schedule checks); at the platform level it flags
+      the unlinked pairs that a mapper could need.
+    """
+    findings: List[Diagnostic] = []
+    for task in ctg.tasks():
+        if not any(platform.supports(task, pe) for pe in platform.pe_names):
+            findings.append(
+                Diagnostic(
+                    "PLAT001",
+                    f"task {task!r} has no WCET/energy profile on any PE",
+                    subject=task,
+                )
+            )
+    reported = set()
+    for src, dst, data in ctg.edges(include_pseudo=False):
+        if data.comm_kbytes <= 0:
+            continue
+        for pe_a in platform.pe_names:
+            if not platform.supports(src, pe_a):
+                continue
+            for pe_b in platform.pe_names:
+                if pe_a == pe_b or not platform.supports(dst, pe_b):
+                    continue
+                pair = frozenset((pe_a, pe_b))
+                if pair in reported or platform.has_link(pe_a, pe_b):
+                    continue
+                reported.add(pair)
+                findings.append(
+                    Diagnostic(
+                        "PLAT002",
+                        f"no link {pe_a!r}↔{pe_b!r}, but edge {src}→{dst} "
+                        f"({data.comm_kbytes} KB) could map across the pair",
+                        subject=f"{pe_a}↔{pe_b}",
+                    )
+                )
+    return findings

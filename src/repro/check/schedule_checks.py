@@ -1,0 +1,276 @@
+"""Structural soundness checks on a built schedule.
+
+Extends :meth:`Schedule.validate` into a report-collecting checker that
+verifies everything the simulator and the stretching stage *assume*
+about a schedule, without running either:
+
+* placement completeness and PE support (``SCHED001``/``SCHED002``);
+* DVFS speeds inside each PE's envelope and, for discrete PEs, on the
+  level set (``PLAT003``/``PLAT004``);
+* placement order consistent with real precedence (``SCHED010``);
+* placement exclusivity — non-mutually-exclusive tasks sharing a PE
+  must be serialised by a pseudo/real path (``SCHED021``) and must not
+  overlap in the derived worst-case timing (``SCHED020``);
+* link bookings: existing links, endpoints matching the mapping,
+  durations matching bandwidth, no overlap between transfers whose
+  source tasks can co-occur (``LINK001``–``LINK005``, ``PLAT002``);
+* the worst-case deadline bound (``SCHED030``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from ..platform.mpsoc import PlatformError
+from ..scheduling.schedule import Schedule
+from .diagnostics import Diagnostic
+from .tolerances import EXACT_EPS, SPEED_EPS, TIME_EPS
+
+
+def check_schedule(schedule: Schedule) -> List[Diagnostic]:
+    """All structural findings for one schedule."""
+    findings: List[Diagnostic] = []
+    findings.extend(_check_placements(schedule))
+    findings.extend(_check_speeds(schedule))
+    findings.extend(_check_order(schedule))
+    findings.extend(_check_exclusivity(schedule))
+    findings.extend(_check_links(schedule))
+    findings.extend(_check_worst_case_deadline(schedule))
+    return findings
+
+
+def _check_placements(schedule: Schedule) -> List[Diagnostic]:
+    findings: List[Diagnostic] = []
+    platform = schedule.platform
+    pe_names = set(platform.pe_names)
+    for task in schedule.ctg.tasks():
+        placement = schedule.placements.get(task)
+        if placement is None:
+            findings.append(
+                Diagnostic("SCHED001", f"task {task!r} is not placed", subject=task)
+            )
+            continue
+        if placement.pe not in pe_names or not platform.supports(task, placement.pe):
+            findings.append(
+                Diagnostic(
+                    "SCHED002",
+                    f"task {task!r} is mapped to {placement.pe!r}, which does "
+                    "not support it",
+                    subject=task,
+                )
+            )
+    return findings
+
+
+def _check_speeds(schedule: Schedule) -> List[Diagnostic]:
+    findings: List[Diagnostic] = []
+    platform = schedule.platform
+    for task, placement in sorted(schedule.placements.items()):
+        try:
+            pe = platform.pe(placement.pe)
+        except PlatformError:
+            continue  # SCHED002 already covers the unknown PE
+        speed = placement.speed
+        low = pe.min_speed * (1.0 - SPEED_EPS)
+        high = 1.0 + SPEED_EPS
+        if not low <= speed <= high:
+            findings.append(
+                Diagnostic(
+                    "PLAT003",
+                    f"task {task!r} runs at speed {speed:.6f}, outside "
+                    f"[{pe.min_speed}, 1.0] of PE {pe.name!r}",
+                    subject=task,
+                )
+            )
+        elif pe.speed_levels is not None and not any(
+            abs(speed - level) <= EXACT_EPS for level in pe.speed_levels
+        ):
+            findings.append(
+                Diagnostic(
+                    "PLAT004",
+                    f"task {task!r} runs at speed {speed:.6f}, which is not "
+                    f"a level of PE {pe.name!r} ({list(pe.speed_levels)})",
+                    subject=task,
+                )
+            )
+    return findings
+
+
+def _check_order(schedule: Schedule) -> List[Diagnostic]:
+    """Placement order must be a linear extension of real precedence."""
+    findings: List[Diagnostic] = []
+    placements = schedule.placements
+    for src, dst, _data in schedule.ctg.edges(include_pseudo=False):
+        if src not in placements or dst not in placements:
+            continue
+        if placements[src].order_index >= placements[dst].order_index:
+            findings.append(
+                Diagnostic(
+                    "SCHED010",
+                    f"{dst!r} was placed before its predecessor {src!r} "
+                    "(stretching sweeps assume precedence order)",
+                    subject=f"{src}→{dst}",
+                )
+            )
+    return findings
+
+
+def _check_exclusivity(schedule: Schedule) -> List[Diagnostic]:
+    """Same-PE pairs: serialisation paths and derived-time overlap."""
+    findings: List[Diagnostic] = []
+    graph = schedule.ctg.graph
+    try:
+        times = schedule.worst_case_times()
+    except PlatformError:
+        # broken mapping (SCHED002/PLAT002 report it) — timing is
+        # undefined, but the serialisation-path findings still apply
+        times = {}
+    reachable: Dict[str, set] = {}
+
+    def descendants(task: str) -> set:
+        cached = reachable.get(task)
+        if cached is None:
+            cached = nx.descendants(graph, task)
+            reachable[task] = cached
+        return cached
+
+    for pe in schedule.platform.pe_names:
+        tasks = schedule.tasks_on(pe)
+        for i, a in enumerate(tasks):
+            for b in tasks[i + 1 :]:
+                if schedule.are_exclusive(a, b):
+                    continue
+                pair = f"{a},{b}@{pe}"
+                if b not in descendants(a) and a not in descendants(b):
+                    findings.append(
+                        Diagnostic(
+                            "SCHED021",
+                            f"tasks {a!r} and {b!r} share PE {pe!r}, are not "
+                            "mutually exclusive, and no pseudo/real path "
+                            "serialises them",
+                            subject=pair,
+                        )
+                    )
+                if a in times and b in times:
+                    sa, fa = times[a]
+                    sb, fb = times[b]
+                    if sa < fb - TIME_EPS and sb < fa - TIME_EPS:
+                        findings.append(
+                            Diagnostic(
+                                "SCHED020",
+                                f"tasks {a!r} and {b!r} overlap on {pe!r}: "
+                                f"[{sa:.3f},{fa:.3f}) vs [{sb:.3f},{fb:.3f})",
+                                subject=pair,
+                            )
+                        )
+    return findings
+
+
+def _check_links(schedule: Schedule) -> List[Diagnostic]:
+    findings: List[Diagnostic] = []
+    platform = schedule.platform
+    placements = schedule.placements
+
+    # Actual cross-PE data edges must have a link (upgrade of PLAT002).
+    for src, dst, data in schedule.ctg.edges(include_pseudo=False):
+        if data.comm_kbytes <= 0 or src not in placements or dst not in placements:
+            continue
+        pe_a, pe_b = placements[src].pe, placements[dst].pe
+        if pe_a != pe_b and not platform.has_link(pe_a, pe_b):
+            findings.append(
+                Diagnostic(
+                    "PLAT002",
+                    f"edge {src}→{dst} is mapped across {pe_a!r}↔{pe_b!r}, "
+                    "which have no link",
+                    subject=f"{pe_a}↔{pe_b}",
+                )
+            )
+
+    per_link: Dict[frozenset, List[Tuple[float, float, str, int]]] = defaultdict(list)
+    for index, booking in enumerate(schedule.comm_bookings):
+        subject = f"{booking.src_task}→{booking.dst_task}"
+        if booking.src_pe == booking.dst_pe or not platform.has_link(
+            booking.src_pe, booking.dst_pe
+        ):
+            findings.append(
+                Diagnostic(
+                    "LINK001",
+                    f"transfer {subject} is booked on {booking.src_pe!r}↔"
+                    f"{booking.dst_pe!r}, which is not a link",
+                    subject=subject,
+                )
+            )
+            continue
+        src_place = placements.get(booking.src_task)
+        dst_place = placements.get(booking.dst_task)
+        if (
+            src_place is None
+            or dst_place is None
+            or src_place.pe != booking.src_pe
+            or dst_place.pe != booking.dst_pe
+        ):
+            findings.append(
+                Diagnostic(
+                    "LINK002",
+                    f"transfer {subject} is booked {booking.src_pe!r}→"
+                    f"{booking.dst_pe!r} but the tasks are mapped elsewhere",
+                    subject=subject,
+                )
+            )
+        expected = platform.comm_time(booking.src_pe, booking.dst_pe, booking.kbytes)
+        if abs(expected - booking.duration) > TIME_EPS:
+            findings.append(
+                Diagnostic(
+                    "LINK003",
+                    f"transfer {subject} is booked for {booking.duration:.6f} "
+                    f"but {booking.kbytes} KB over the link takes "
+                    f"{expected:.6f}",
+                    subject=subject,
+                )
+            )
+        per_link[frozenset((booking.src_pe, booking.dst_pe))].append(
+            (booking.start, booking.finish, booking.src_task, index)
+        )
+
+    for key, intervals in per_link.items():
+        intervals.sort()
+        for i, (sa, fa, task_a, _ia) in enumerate(intervals):
+            for sb, fb, task_b, _ib in intervals[i + 1 :]:
+                if sb >= fa - TIME_EPS:
+                    break  # sorted by start: no later interval overlaps either
+                if schedule.are_exclusive(task_a, task_b):
+                    continue
+                if sa < fb - TIME_EPS and sb < fa - TIME_EPS:
+                    link_name = "↔".join(sorted(key))
+                    findings.append(
+                        Diagnostic(
+                            "LINK005",
+                            f"transfers from {task_a!r} and {task_b!r} overlap "
+                            f"on link {link_name}: [{sa:.3f},{fa:.3f}) vs "
+                            f"[{sb:.3f},{fb:.3f})",
+                            subject=link_name,
+                        )
+                    )
+    return findings
+
+
+def _check_worst_case_deadline(schedule: Schedule) -> List[Diagnostic]:
+    deadline = schedule.ctg.deadline
+    if deadline <= 0:
+        return []  # CTG005/CTG006 report the missing deadline
+    try:
+        makespan = schedule.makespan()
+    except PlatformError:
+        return []  # SCHED002/PLAT002 report the broken mapping
+    if makespan > deadline + TIME_EPS:
+        return [
+            Diagnostic(
+                "SCHED030",
+                f"worst-case makespan {makespan:.6f} exceeds the deadline "
+                f"{deadline:.6f}",
+            )
+        ]
+    return []

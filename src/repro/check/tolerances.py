@@ -1,0 +1,45 @@
+"""The repository's single home for numerical comparison tolerances.
+
+The seed code grew ad-hoc epsilons — ``Schedule.meets_deadline`` and
+``Schedule.validate`` defaulted to ``1e-6``, the stretching kernels used
+``1e-6``/``1e-9``/``1e-12`` literals, the simulator another ``1e-6`` —
+all encoding the same three ideas.  Scattered constants drift apart
+silently (a checker using a tighter epsilon than the scheduler would
+flag schedules the scheduler considers feasible), so every layer now
+imports from here:
+
+``TIME_EPS``
+    Absolute slack tolerated on *time* comparisons — deadline checks,
+    PE/link overlap tests, per-scenario finish times.  Derived timing
+    is a sum of O(|V|) float additions, so ``1e-6`` absolute (on the
+    paper's time-unit scale) absorbs the accumulated rounding while
+    still catching any real constraint violation.
+``PROB_EPS``
+    Tolerance on probability-mass identities (a branch distribution
+    summing to 1, a scenario-probability vector summing to 1).
+``SPEED_EPS``
+    Relative tolerance on DVFS speed comparisons against a PE's
+    envelope — speeds come out of one division, so they are tight.
+``EXACT_EPS``
+    Near-machine-epsilon guard used where two floats are expected to be
+    *identical up to representation* (discrete speed-level lookup,
+    interval endpoints produced by the same arithmetic).
+
+This module must stay import-free of the rest of the package: it is
+imported by ``repro.ctg``, ``repro.platform``, ``repro.scheduling`` and
+``repro.sim`` alike, below everything else in the layering.
+"""
+
+from __future__ import annotations
+
+#: Absolute tolerance for time comparisons (deadlines, overlaps).
+TIME_EPS = 1e-6
+
+#: Absolute tolerance for probability-mass sums.
+PROB_EPS = 1e-6
+
+#: Relative tolerance for DVFS speed envelope comparisons.
+SPEED_EPS = 1e-9
+
+#: Near-representation-level guard for floats expected to be identical.
+EXACT_EPS = 1e-12

@@ -26,6 +26,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
+from ..check.tolerances import PROB_EPS
 from .conditions import ConditionProduct, Outcome, TRUE
 
 
@@ -297,7 +298,9 @@ class ConditionalTaskGraph:
 
         Invariants: the graph is a DAG; every conditional edge is guarded
         by an outcome of its source; every branch node has ≥ 2 outcomes;
-        the deadline is positive when set.
+        the deadline is positive when set; every profiled distribution in
+        :attr:`default_probabilities` names a branch node, covers only
+        declared outcomes, and sums to 1 within ``PROB_EPS``.
         """
         if not nx.is_directed_acyclic_graph(self._graph):
             raise CTGError("conditional task graph must be acyclic")
@@ -309,11 +312,37 @@ class ConditionalTaskGraph:
                 )
             if data.comm_kbytes < 0:
                 raise CTGError(f"negative communication volume on {src!r}→{dst!r}")
+        branch_set = set()
         for branch in self.branch_nodes():
+            branch_set.add(branch)
             if len(self.outcomes_of(branch)) < 2:
                 raise CTGError(f"branch node {branch!r} has fewer than 2 outcomes")
         if self.deadline < 0:
             raise CTGError("deadline must be non-negative")
+        for branch, distribution in self.default_probabilities.items():
+            if branch not in branch_set:
+                raise CTGError(
+                    f"default probabilities given for {branch!r}, which is "
+                    "not a branch fork node"
+                )
+            outcomes = set(self.outcomes_of(branch))
+            for label, probability in distribution.items():
+                if label not in outcomes:
+                    raise CTGError(
+                        f"probability for undeclared outcome {label!r} of "
+                        f"branch {branch!r} (declared: {sorted(outcomes)})"
+                    )
+                if not -PROB_EPS <= probability <= 1.0 + PROB_EPS:
+                    raise CTGError(
+                        f"probability {probability!r} of outcome {label!r} "
+                        f"on branch {branch!r} is outside [0, 1]"
+                    )
+            total = sum(distribution.values())
+            if abs(total - 1.0) > PROB_EPS:
+                raise CTGError(
+                    f"probabilities of branch {branch!r} sum to {total!r}, "
+                    "not 1"
+                )
 
     def copy(self) -> "ConditionalTaskGraph":
         """Deep-enough copy (structure and payloads are immutable)."""

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..check.tolerances import EXACT_EPS
+
 
 @dataclass(frozen=True)
 class DvfsModel:
@@ -37,13 +39,13 @@ class DvfsModel:
 
     def energy_at_speed(self, nominal_energy: float, speed: float) -> float:
         """Task energy when run at relative speed ``ρ = speed``."""
-        if not 0.0 < speed <= 1.0 + 1e-12:
+        if not 0.0 < speed <= 1.0 + EXACT_EPS:
             raise ValueError(f"relative speed must be in (0, 1], got {speed}")
         return nominal_energy * speed ** self.exponent
 
     def time_at_speed(self, wcet: float, speed: float) -> float:
         """Task execution time when run at relative speed ``speed``."""
-        if not 0.0 < speed <= 1.0 + 1e-12:
+        if not 0.0 < speed <= 1.0 + EXACT_EPS:
             raise ValueError(f"relative speed must be in (0, 1], got {speed}")
         return wcet / speed
 

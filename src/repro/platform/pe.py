@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from ..check.tolerances import EXACT_EPS
+
 
 @dataclass(frozen=True)
 class ProcessingElement:
@@ -48,7 +50,7 @@ class ProcessingElement:
                 raise ValueError("speed levels must lie in [min_speed, 1.0]")
             if list(levels) != sorted(levels):
                 raise ValueError("speed levels must be sorted ascending")
-            if levels[-1] != 1.0:
+            if abs(levels[-1] - 1.0) > EXACT_EPS:
                 raise ValueError("the nominal speed 1.0 must be a level")
 
     def clamp_speed(self, speed: float) -> float:
@@ -62,6 +64,6 @@ class ProcessingElement:
         if self.speed_levels is None:
             return clamped
         for level in self.speed_levels:
-            if level >= clamped - 1e-12:
+            if level >= clamped - EXACT_EPS:
                 return level
         return self.speed_levels[-1]

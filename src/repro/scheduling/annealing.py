@@ -102,7 +102,7 @@ def anneal_mapping(
     ctg: ConditionalTaskGraph,
     platform: Platform,
     probabilities: Optional[BranchProbabilities] = None,
-    config: AnnealingConfig = AnnealingConfig(),
+    config: Optional[AnnealingConfig] = None,
     initial_mapping: Optional[Mapping[str, str]] = None,
 ) -> AnnealingResult:
     """Optimise the task→PE mapping by simulated annealing.
@@ -114,6 +114,8 @@ def anneal_mapping(
     """
     if probabilities is None:
         probabilities = ctg.default_probabilities
+    if config is None:
+        config = AnnealingConfig()
     if ctg.deadline <= 0:
         raise SchedulingError("annealing needs a graph with a deadline")
     analysis = CtgAnalysis.of(ctg)

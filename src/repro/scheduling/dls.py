@@ -34,6 +34,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import networkx as nx
 
+from ..check.tolerances import EXACT_EPS
 from ..ctg.graph import ConditionalTaskGraph
 from ..ctg.minterms import (
     BranchProbabilities,
@@ -116,35 +117,46 @@ class _DlsState:
         )
         start = ready
         for interval_start, interval_finish in busy:
-            if start + duration <= interval_start + 1e-12:
+            if start + duration <= interval_start + EXACT_EPS:
                 break
             start = max(start, interval_finish)
         return start
 
     # -- link booking ------------------------------------------------------
     def earliest_link_slot(
-        self, src_task: str, src_pe: str, dst_pe: str, ready: float, duration: float
+        self,
+        src_task: str,
+        src_pe: str,
+        dst_pe: str,
+        ready: float,
+        duration: float,
+        pending: Tuple[Tuple[float, float, str], ...] = (),
     ) -> float:
         """Earliest transfer start ≥ ready on the (src_pe, dst_pe) link.
 
         Transfers whose source tasks are mutually exclusive may overlap
         (they can never both happen); everything else serialises on the
-        dedicated point-to-point link.
+        dedicated point-to-point link.  ``pending`` carries intervals
+        tentatively claimed on this link by the candidate under
+        evaluation but not yet committed — a task pulling several
+        inputs over one link must serialise them against each other,
+        not only against booked transfers.
         """
-        if duration == 0.0:
+        if duration <= 0.0:
             return ready
         key = frozenset((src_pe, dst_pe))
         booking = self.link_bookings.get(key)
-        if booking is None:
+        intervals = booking.intervals if booking is not None else []
+        if not intervals and not pending:
             return ready
         busy = sorted(
             (s, f)
-            for s, f, other_src in booking.intervals
+            for s, f, other_src in [*intervals, *pending]
             if not self.are_exclusive(src_task, other_src)
         )
         start = ready
         for interval_start, interval_finish in busy:
-            if start + duration <= interval_start + 1e-12:
+            if start + duration <= interval_start + EXACT_EPS:
                 break
             start = max(start, interval_finish)
         return start
@@ -154,7 +166,7 @@ class _DlsState:
         start: float, duration: float, kbytes: float,
     ) -> None:
         """Commit a transfer to the link and the schedule record."""
-        if duration == 0.0:
+        if duration <= 0.0:
             return
         key = frozenset((src_pe, dst_pe))
         self.link_bookings.setdefault(key, _LinkBooking([])).intervals.append(
@@ -184,12 +196,17 @@ def _arrival_time(
     """
     ready = 0.0
     transfers: List[Tuple[str, float, float, float]] = []
+    pending: Dict[frozenset, List[Tuple[float, float, str]]] = {}
     for src, _dst, data in ctg.in_edges(task, include_pseudo=False):
         src_pe = state.schedule.pe_of(src)
         finish = state.times[src][1]
         duration = platform.comm_time(src_pe, pe, data.comm_kbytes)
         if duration > 0.0:
-            start = state.earliest_link_slot(src, src_pe, pe, finish, duration)
+            claimed = pending.setdefault(frozenset((src_pe, pe)), [])
+            start = state.earliest_link_slot(
+                src, src_pe, pe, finish, duration, pending=tuple(claimed)
+            )
+            claimed.append((start, start + duration, src))
             transfers.append((src, start, duration, data.comm_kbytes))
             ready = max(ready, start + duration)
         else:
@@ -323,10 +340,10 @@ def _commit(
         if other == task or state.are_exclusive(task, other):
             continue
         o_start, o_finish = state.times[other]
-        if o_finish <= start + 1e-12:
+        if o_finish <= start + EXACT_EPS:
             if not nx.has_path(graph, other, task):
                 working.add_pseudo_edge(other, task)
-        elif finish <= o_start + 1e-12:
+        elif finish <= o_start + EXACT_EPS:
             if not nx.has_path(graph, task, other):
                 working.add_pseudo_edge(task, other)
         else:  # pragma: no cover - earliest_pe_slot prevents overlap

@@ -32,7 +32,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
+from ..check.tolerances import TIME_EPS
+from ..ctg.graph import CTGError
 from ..ctg.minterms import BranchProbabilities, CtgAnalysis, Scenario
+from ..profiling import StageProfiler, as_profiler
 from .schedule import Schedule
 from .stretching import stretch_schedule
 
@@ -84,11 +87,14 @@ def build_modal_table(
     schedule: Schedule,
     probabilities: Optional[BranchProbabilities] = None,
     analysis: Optional[CtgAnalysis] = None,
+    profiler: Optional[StageProfiler] = None,
 ) -> ModalSpeedTable:
     """Compute θ_s(τ) for every scenario of a locked schedule.
 
     The schedule's own speeds are left untouched; each scenario's
     stretch runs on a throwaway copy sharing the mapping/ordering.
+    ``profiler`` (optional) counts the implied-edge injections the
+    clone step skips (``modal.pseudo_edge_skips``).
     """
     ctg = schedule.ctg
     if probabilities is None:
@@ -117,7 +123,7 @@ def build_modal_table(
                 degenerate[branch] = {
                     label: 1.0 if label == chosen else 0.0 for label in outcomes
                 }
-        clone = _clone_with_nominal_speeds(schedule)
+        clone = _clone_with_nominal_speeds(schedule, profiler)
         stretch_schedule(
             clone,
             degenerate,
@@ -129,7 +135,9 @@ def build_modal_table(
     return table
 
 
-def _clone_with_nominal_speeds(schedule: Schedule) -> Schedule:
+def _clone_with_nominal_speeds(
+    schedule: Schedule, profiler: Optional[StageProfiler] = None
+) -> Schedule:
     """Copy a schedule's mapping/ordering with speeds reset to 1.0.
 
     The clone additionally materialises the *implied* or-node
@@ -147,6 +155,7 @@ def _clone_with_nominal_speeds(schedule: Schedule) -> Schedule:
     for booking in schedule.comm_bookings:
         clone.book_comm(booking)
     clone.ctg.deadline = schedule.ctg.deadline
+    prof = as_profiler(profiler)
     real = schedule.ctg.without_pseudo_edges()
     for task in real.tasks():
         if real.kind(task).value != "or":
@@ -154,8 +163,11 @@ def _clone_with_nominal_speeds(schedule: Schedule) -> Schedule:
         for branch in real.deciding_branches(task):
             try:
                 clone.ctg.add_pseudo_edge(branch, task)
-            except Exception:
-                pass  # already ordered or would cycle through the arm
+            except CTGError:
+                # the fork already reaches the or-node through the arm,
+                # so the edge would close a cycle — the ordering it
+                # would enforce already holds
+                prof.count("modal.pseudo_edge_skips")
     return clone
 
 
@@ -223,4 +235,4 @@ def modal_instance_energy(
                 schedule.pe_of(src), schedule.pe_of(dst), data.comm_kbytes
             )
     deadline = ctg.deadline
-    return energy, finish_time, deadline <= 0 or finish_time <= deadline + 1e-6
+    return energy, finish_time, deadline <= 0 or finish_time <= deadline + TIME_EPS

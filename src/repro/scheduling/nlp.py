@@ -24,6 +24,7 @@ from typing import List, Optional
 import numpy as np
 from scipy import optimize
 
+from ..check.tolerances import TIME_EPS
 from ..ctg.minterms import BranchProbabilities, activation_probability
 from ..ctg.paths import enumerate_paths
 from .schedule import Schedule, SchedulingError
@@ -115,7 +116,7 @@ def nlp_stretch_schedule(
     offsets = np.array(comm_offsets)
 
     nominal_delays = matrix @ wcet + offsets
-    if np.any(nominal_delays > limit + 1e-6):
+    if np.any(nominal_delays > limit + TIME_EPS):
         raise SchedulingError(
             "nominal schedule infeasible: a path exceeds the deadline by "
             f"{float(np.max(nominal_delays - limit)):.3f}"
@@ -150,7 +151,7 @@ def nlp_stretch_schedule(
     # Project back into the feasible region if SLSQP overshot: shrink
     # any violated path uniformly (rarely needed, tiny violations).
     violations = matrix @ times + offsets - limit
-    if np.any(violations > 1e-6):
+    if np.any(violations > TIME_EPS):
         scale = np.min((limit - offsets) / (matrix @ times))
         if scale <= 0:
             raise SchedulingError("NLP solver returned an irrecoverable point")

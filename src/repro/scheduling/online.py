@@ -55,6 +55,7 @@ def schedule_online(
     vectorized: bool = True,
     use_cache: bool = True,
     profiler: Optional[StageProfiler] = None,
+    check: bool = False,
 ) -> OnlineResult:
     """Run the complete online algorithm.
 
@@ -89,6 +90,13 @@ def schedule_online(
     profiler:
         Optional stage profiler; timings/counters accumulate into it
         and it is attached to the result as ``profile``.
+    check:
+        Debug hook: statically verify the produced schedule with
+        :func:`repro.check.verify_schedule` (structure, per-minterm
+        deadline feasibility, path-cache consistency) and raise
+        :class:`repro.check.CheckError` on any error-severity finding.
+        Off by default — the verification enumerates every scenario and
+        would dominate the re-scheduling hot path.
 
     Returns
     -------
@@ -119,6 +127,15 @@ def schedule_online(
             use_cache=use_cache,
             profiler=profiler,
         )
+    if check:
+        # local import: repro.check.api imports this package back
+        from ..check import assert_clean, verify_schedule
+
+        with prof.stage("check"):
+            assert_clean(
+                verify_schedule(schedule, analysis), "schedule_online --check"
+            )
+        prof.count("check.passes")
     return OnlineResult(schedule=schedule, stretch=stretch, profile=profiler)
 
 

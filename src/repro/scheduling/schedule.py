@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
+from ..check.tolerances import TIME_EPS
 from ..ctg.graph import ConditionalTaskGraph
 from ..ctg.minterms import BranchProbabilities, Scenario, enumerate_scenarios
 from ..platform.mpsoc import Platform
@@ -216,7 +217,9 @@ class Schedule:
         times = self.worst_case_times()
         return max((finish for _start, finish in times.values()), default=0.0)
 
-    def meets_deadline(self, deadline: Optional[float] = None, tol: float = 1e-6) -> bool:
+    def meets_deadline(
+        self, deadline: Optional[float] = None, tol: float = TIME_EPS
+    ) -> bool:
         """Whether the worst-case makespan meets the (graph's) deadline."""
         limit = self.ctg.deadline if deadline is None else deadline
         return self.makespan() <= limit + tol
@@ -266,7 +269,7 @@ class Schedule:
     # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
-    def validate(self, tol: float = 1e-6) -> None:
+    def validate(self, tol: float = TIME_EPS) -> None:
         """Check structural soundness of the schedule.
 
         * every CTG task is placed exactly once on a PE that supports it;

@@ -69,12 +69,13 @@ from ..ctg.minterms import (
     activation_probability,
     enumerate_scenarios,
 )
+from ..check.tolerances import EXACT_EPS, TIME_EPS
 from ..ctg.paths import CTGPath, enumerate_paths, path_delay
 from ..profiling import StageProfiler, as_profiler
 from .pathcache import PathStructure, structure_for
 from .schedule import Schedule, SchedulingError
 
-_CERTAIN_TOL = 1e-12
+_CERTAIN_TOL = EXACT_EPS
 
 #: message raised when the scheduled graph genuinely has no paths
 _NO_PATHS = "schedule has no paths to stretch along"
@@ -326,7 +327,7 @@ def _stretch_vectorized(
             keep = np.ones(structure.path_count, dtype=bool)
 
         worst = float(slack[keep].min())
-        if worst < -1e-6:
+        if worst < -TIME_EPS:
             raise SchedulingError(
                 f"nominal schedule infeasible: most critical path exceeds the "
                 f"deadline by {-worst:.3f}"
@@ -507,7 +508,7 @@ def _stretch_scalar(
         state.scenario_mask = masks[j]
         states.append(state)
     worst = min(state.slack for state in states)
-    if worst < -1e-6:
+    if worst < -TIME_EPS:
         raise SchedulingError(
             f"nominal schedule infeasible: most critical path exceeds the "
             f"deadline by {-worst:.3f}"

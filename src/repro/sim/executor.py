@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
+from ..check.tolerances import TIME_EPS
 from ..ctg.minterms import Scenario
 from ..profiling import StageProfiler, as_profiler
 from ..scheduling.schedule import Schedule
@@ -125,7 +126,7 @@ class InstanceExecutor:
         return InstanceResult(
             energy=energy,
             finish_time=finish_time,
-            deadline_met=(deadline <= 0 or finish_time <= deadline + 1e-6),
+            deadline_met=(deadline <= 0 or finish_time <= deadline + TIME_EPS),
             scenario=scenario,
             start_times=starts,
             finish_times=finishes,

@@ -1,0 +1,189 @@
+"""Tests for the repository AST lint (AST101/AST102/AST103)."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.check.astlint import lint_paths, lint_source, main
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+TESTS = Path(__file__).resolve().parent
+
+
+def codes(source, **kwargs):
+    return [d.code for d in lint_source(textwrap.dedent(source), **kwargs)]
+
+
+class TestMutableDefaults:
+    def test_list_literal_default(self):
+        assert codes("def f(x=[]):\n    pass\n") == ["AST101"]
+
+    def test_dict_set_and_comprehension_defaults(self):
+        source = """
+        def f(a={}, b=set(), c=[i for i in range(3)]):
+            pass
+        """
+        assert codes(source) == ["AST101", "AST101", "AST101"]
+
+    def test_keyword_only_default(self):
+        assert codes("def f(*, x=list()):\n    pass\n") == ["AST101"]
+
+    def test_constructor_call_default(self):
+        source = """
+        def f(config=AnnealingConfig()):
+            pass
+        """
+        assert codes(source) == ["AST101"]
+
+    def test_immutable_defaults_pass(self):
+        source = """
+        _SENTINEL = object()
+        def f(a=None, b=1, c=(), d=frozenset(), e="x", g=_SENTINEL):
+            pass
+        """
+        assert codes(source) == []
+
+    def test_lambda_default(self):
+        assert codes("f = lambda x=[]: x\n") == ["AST101"]
+
+    def test_dataclass_field_call_default(self):
+        source = """
+        @dataclass
+        class C:
+            items: list = field(default=[])
+        """
+        assert codes(source) == ["AST101"]
+
+    def test_dataclass_instance_default(self):
+        source = """
+        @dataclasses.dataclass
+        class C:
+            config: AdaptiveConfig = AdaptiveConfig()
+        """
+        assert codes(source) == ["AST101"]
+
+    def test_dataclass_default_factory_passes(self):
+        source = """
+        @dataclass
+        class C:
+            items: list = field(default_factory=list)
+            n: int = 3
+        """
+        assert codes(source) == []
+
+    def test_plain_class_attributes_not_flagged(self):
+        # shared class-level registries are an accepted idiom outside
+        # dataclasses — the rule targets per-instance default state
+        source = """
+        class C:
+            registry: dict = {}
+        """
+        assert codes(source) == []
+
+
+class TestBlindExcept:
+    def test_bare_except(self):
+        source = """
+        try:
+            risky()
+        except:
+            handle()
+        """
+        assert codes(source) == ["AST102"]
+
+    def test_except_exception_pass(self):
+        source = """
+        try:
+            risky()
+        except Exception:
+            pass
+        """
+        assert codes(source) == ["AST102"]
+
+    def test_except_tuple_with_exception_ellipsis(self):
+        source = """
+        try:
+            risky()
+        except (ValueError, Exception):
+            ...
+        """
+        assert codes(source) == ["AST102"]
+
+    def test_handled_exception_passes(self):
+        source = """
+        try:
+            risky()
+        except Exception as exc:
+            log(exc)
+        """
+        assert codes(source) == []
+
+    def test_narrow_silent_handler_passes(self):
+        source = """
+        try:
+            risky()
+        except KeyError:
+            pass
+        """
+        assert codes(source) == []
+
+
+class TestFloatEquality:
+    def test_eq_against_float_literal(self):
+        assert codes("ok = t == 1.5\n") == ["AST103"]
+
+    def test_ne_against_float_literal(self):
+        assert codes("ok = 0.0 != energy\n") == ["AST103"]
+
+    def test_int_equality_passes(self):
+        assert codes("ok = n == 3\n") == []
+
+    def test_float_inequality_passes(self):
+        assert codes("ok = t <= 1.5\n") == []
+
+    def test_exempt_files_skip_the_rule(self):
+        assert codes("assert t == 1.5\n", float_eq_exempt=True) == []
+
+
+class TestSuppression:
+    def test_targeted_suppression(self):
+        source = "def f(x=[]):  # lint: ignore[AST101]\n    pass\n"
+        assert codes(source) == []
+
+    def test_blanket_suppression(self):
+        source = "def f(x=[]):  # lint: ignore\n    pass\n"
+        assert codes(source) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        source = "def f(x=[]):  # lint: ignore[AST103]\n    pass\n"
+        assert codes(source) == ["AST101"]
+
+    def test_finding_carries_file_and_line(self):
+        findings = lint_source("def f(x=[]):\n    pass\n", filename="m.py")
+        assert findings[0].subject == "m.py:1"
+
+
+class TestTreeAndCli:
+    def test_repo_tree_is_clean(self):
+        report = lint_paths([SRC, TESTS])
+        assert report.ok, report.render_text()
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    pass\n")
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "AST101" in out and "check FAILED" in out
+        good = tmp_path / "good.py"
+        good.write_text("def f(x=None):\n    pass\n")
+        assert main([str(good)]) == 0
+
+    def test_main_missing_path(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+
+    def test_main_json_output(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("try:\n    f()\nexcept:\n    pass\n")
+        assert main([str(bad), "--json"]) == 1
+        assert '"AST102"' in capsys.readouterr().out

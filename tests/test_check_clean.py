@@ -1,0 +1,102 @@
+"""Known-good instances must pass static verification clean.
+
+The workload checks pin the CI contract (``python -m repro check mpeg
+cruise wlan`` exits 0); the hypothesis test generalises it: whatever
+graph the generator produces, the online algorithm's output satisfies
+every invariant the checkers can express.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import CheckError, assert_clean, check_instance, verify_schedule
+from repro.ctg import GeneratorConfig, generate_ctg
+from repro.ctg.minterms import CtgAnalysis
+from repro.platform import PlatformConfig, generate_platform
+from repro.scheduling import schedule_online, set_deadline_from_makespan
+from repro.workloads import (
+    cruise_ctg,
+    cruise_platform,
+    mpeg_ctg,
+    mpeg_platform,
+    wlan_ctg,
+    wlan_platform,
+)
+
+WORKLOADS = {
+    "mpeg": (mpeg_ctg, mpeg_platform, 1.3),
+    "cruise": (cruise_ctg, cruise_platform, 2.0),
+    "wlan": (wlan_ctg, wlan_platform, 1.5),
+}
+
+
+def build(name):
+    make_ctg, make_platform, factor = WORKLOADS[name]
+    ctg, platform = make_ctg(), make_platform()
+    set_deadline_from_makespan(ctg, platform, factor)
+    analysis = CtgAnalysis.of(ctg)
+    schedule = schedule_online(ctg, platform, analysis=analysis).schedule
+    return ctg, platform, schedule, analysis
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workload_checks_clean(name):
+    ctg, platform, schedule, analysis = build(name)
+    report = check_instance(ctg, platform, schedule, analysis=analysis)
+    assert report.ok, report.render_text(header=name)
+    assert report.checks_run == [
+        "ctg",
+        "platform",
+        "schedule",
+        "feasibility",
+        "pathcache",
+    ]
+
+
+def test_verify_schedule_clean_and_assert_clean_returns_report():
+    _ctg, _platform, schedule, analysis = build("cruise")
+    report = verify_schedule(schedule, analysis)
+    assert assert_clean(report, "unit") is report
+
+
+def test_assert_clean_raises_with_codes_and_report():
+    ctg, platform, schedule, _analysis = build("cruise")
+    schedule.ctg.deadline = schedule.makespan() / 2.0
+    report = verify_schedule(schedule)
+    with pytest.raises(CheckError, match="SCHED030") as err:
+        assert_clean(report, "unit")
+    assert err.value.report is report
+
+
+def test_online_check_flag_passes_on_clean_instance():
+    ctg, platform = cruise_ctg(), cruise_platform()
+    set_deadline_from_makespan(ctg, platform, 2.0)
+    result = schedule_online(ctg, platform, check=True)
+    assert result.schedule.meets_deadline()
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    nodes=st.integers(10, 24),
+    branches=st.integers(1, 3),
+    category=st.sampled_from([1, 2]),
+    pes=st.integers(2, 4),
+    seed=st.integers(0, 300),
+    factor=st.floats(1.1, 2.0),
+)
+def test_generated_instances_check_clean(nodes, branches, category, pes, seed, factor):
+    """Property: schedule_online output passes the full static check."""
+    try:
+        cfg = GeneratorConfig(
+            nodes=nodes, branch_nodes=branches, category=category, seed=seed
+        )
+        ctg = generate_ctg(cfg)
+    except ValueError:
+        return  # generator rejected the parameter combination
+    platform = generate_platform(ctg.tasks(), PlatformConfig(pes=pes, seed=seed))
+    set_deadline_from_makespan(ctg, platform, factor)
+    analysis = CtgAnalysis.of(ctg)
+    schedule = schedule_online(ctg, platform, analysis=analysis).schedule
+    report = check_instance(ctg, platform, schedule, analysis=analysis)
+    assert report.ok, report.render_text(header=f"seed={seed}")

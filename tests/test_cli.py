@@ -44,3 +44,48 @@ class TestCli:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCheckVerb:
+    def test_check_workload_by_name(self, capsys):
+        assert main(["check", "cruise", "--deadline-factor", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "cruise" in out
+        assert "check passed" in out
+
+    def test_check_saved_instance(self, tmp_path, capsys):
+        ctg = figure1_ctg()
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=5))
+        path = tmp_path / "instance.json"
+        save_instance(path, ctg, platform)
+        assert main(["check", str(path), "--deadline-factor", "1.5"]) == 0
+        assert "check passed" in capsys.readouterr().out
+
+    def test_check_no_schedule_skips_building_one(self, capsys):
+        assert main(["check", "cruise", "--no-schedule"]) == 0
+        assert "check passed" in capsys.readouterr().out
+
+    def test_check_json_output(self, capsys):
+        assert main(["check", "cruise", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert '"ok": true' in out
+        assert '"checks_run"' in out
+
+    def test_check_unloadable_target_reports_and_continues(self, tmp_path, capsys):
+        ctg = figure1_ctg()
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=5))
+        path = tmp_path / "instance.json"
+        save_instance(path, ctg, platform)
+        bad = tmp_path / "missing.json"
+        assert main(["check", str(bad), str(path), "--deadline-factor", "1.5"]) == 1
+        captured = capsys.readouterr()
+        assert "cannot load target" in captured.err
+        assert "check passed" in captured.out  # the good target still ran
+
+    def test_schedule_with_check_flag(self, tmp_path, capsys):
+        ctg = figure1_ctg()
+        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=5))
+        path = tmp_path / "instance.json"
+        save_instance(path, ctg, platform)
+        assert main(["schedule", str(path), "--check"]) == 0
+        assert "expected energy" in capsys.readouterr().out

@@ -172,6 +172,50 @@ class TestValidation:
             ctg.add_edge("a", "b", comm_kbytes=-1.0)
             ctg.validate()
 
+    def test_valid_default_probabilities_accepted(self):
+        ctg = figure1_ctg()
+        assert ctg.default_probabilities  # the example ships a table
+        ctg.validate()
+
+    def test_probabilities_for_non_branch_rejected(self):
+        ctg = figure1_ctg()
+        ctg.default_probabilities["t2"] = {"a1": 0.5, "a2": 0.5}
+        with pytest.raises(CTGError, match="not a branch"):
+            ctg.validate()
+
+    def test_probability_for_undeclared_outcome_rejected(self):
+        ctg = figure1_ctg()
+        branch = ctg.branch_nodes()[0]
+        ctg.default_probabilities[branch]["bogus"] = 0.0
+        with pytest.raises(CTGError, match="undeclared outcome"):
+            ctg.validate()
+
+    def test_probability_outside_unit_interval_rejected(self):
+        ctg = figure1_ctg()
+        branch = ctg.branch_nodes()[0]
+        labels = ctg.outcomes_of(branch)
+        ctg.default_probabilities[branch] = {labels[0]: 1.3, labels[1]: -0.3}
+        with pytest.raises(CTGError, match="outside"):
+            ctg.validate()
+
+    def test_probability_sum_must_be_one(self):
+        ctg = figure1_ctg()
+        branch = ctg.branch_nodes()[0]
+        labels = ctg.outcomes_of(branch)
+        ctg.default_probabilities[branch] = {labels[0]: 0.6, labels[1]: 0.6}
+        with pytest.raises(CTGError, match="sum"):
+            ctg.validate()
+
+    def test_probability_sum_tolerates_rounding(self):
+        ctg = figure1_ctg()
+        branch = ctg.branch_nodes()[0]
+        labels = ctg.outcomes_of(branch)
+        ctg.default_probabilities[branch] = {
+            labels[0]: 1.0 / 3.0,
+            labels[1]: 2.0 / 3.0,
+        }
+        ctg.validate()
+
 
 class TestCopy:
     def test_copy_is_independent(self):

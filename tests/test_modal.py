@@ -105,3 +105,43 @@ class TestModalExecution:
             decisions = decisions_of(scenario, ctg)
             _e, _f, met = modal_instance_energy(schedule, table, decisions)
             assert met
+
+
+class TestPseudoEdgeSkips:
+    """The implied-edge injection must skip narrowly and observably."""
+
+    def test_clean_graph_counts_no_skips(self):
+        from repro.profiling import StageProfiler
+
+        _ctg, _platform, schedule = build()
+        prof = StageProfiler()
+        build_modal_table(schedule, profiler=prof)
+        assert prof.counter("modal.pseudo_edge_skips") == 0
+
+    def test_ctg_error_is_counted_not_swallowed_silently(self, monkeypatch):
+        from repro.ctg.graph import CTGError, ConditionalTaskGraph
+        from repro.profiling import StageProfiler
+
+        _ctg, _platform, schedule = build()
+
+        def refuse(self, src, dst):
+            raise CTGError("injected")
+
+        monkeypatch.setattr(ConditionalTaskGraph, "add_pseudo_edge", refuse)
+        prof = StageProfiler()
+        table = build_modal_table(schedule, profiler=prof)
+        assert len(table.speeds) == len(table.scenarios)
+        assert prof.counter("modal.pseudo_edge_skips") > 0
+
+    def test_unrelated_errors_propagate(self, monkeypatch):
+        """Regression: the handler used to be `except Exception: pass`."""
+        from repro.ctg.graph import ConditionalTaskGraph
+
+        _ctg, _platform, schedule = build()
+
+        def explode(self, src, dst):
+            raise RuntimeError("not a CTG problem")
+
+        monkeypatch.setattr(ConditionalTaskGraph, "add_pseudo_edge", explode)
+        with pytest.raises(RuntimeError, match="not a CTG problem"):
+            build_modal_table(schedule)
