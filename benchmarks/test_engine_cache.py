@@ -1,0 +1,57 @@
+"""Bench: the engine's warm cache must beat cold execution ≥5×.
+
+Runs ``repro run all``-style workloads (a representative subset at
+reduced length) twice against one cache directory: the first run
+computes and stores every cell, the second must serve them from disk.
+The asserted speed-up is deliberately conservative — warm runs are
+typically two orders of magnitude faster, since a warm cell is one
+small JSON read instead of a schedule-and-replay simulation.
+"""
+
+import time
+
+from repro.experiments import (
+    CellCache,
+    mpeg_spec,
+    robustness_spec,
+    run_spec,
+    sweep_spec,
+)
+
+
+def _specs():
+    return [
+        mpeg_spec(movies=("Airwolf", "Bike"), length=400),
+        robustness_spec(seeds=(20, 21, 22), length=400),
+        sweep_spec(windows=(20,), thresholds=(0.5, 0.1), length=400),
+    ]
+
+
+def test_warm_cache_is_at_least_5x_faster(tmp_path, benchmark):
+    cache = CellCache(tmp_path / "cache")
+
+    def cold():
+        return [run_spec(spec, jobs=1, cache=cache) for spec in _specs()]
+
+    started = time.perf_counter()
+    cold_reports = cold()
+    cold_seconds = time.perf_counter() - started
+    assert all(r.stats.hits == 0 for r in cold_reports)
+
+    def warm():
+        return [run_spec(spec, jobs=1, cache=cache) for spec in _specs()]
+
+    warm_reports = benchmark.pedantic(warm, rounds=1, iterations=1)
+    warm_seconds = sum(r.stats.seconds for r in warm_reports)
+
+    for cold_report, warm_report in zip(cold_reports, warm_reports):
+        assert warm_report.stats.hit_rate == 1.0
+        assert warm_report.result == cold_report.result
+
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 3)
+    benchmark.extra_info["warm_seconds"] = round(warm_seconds, 4)
+    benchmark.extra_info["speedup"] = round(cold_seconds / warm_seconds, 1)
+    assert cold_seconds >= 5.0 * warm_seconds, (
+        f"warm cache only {cold_seconds / warm_seconds:.1f}x faster "
+        f"(cold {cold_seconds:.2f}s, warm {warm_seconds:.2f}s)"
+    )

@@ -4,11 +4,20 @@ Usage
 -----
     python -m repro list
     python -m repro run table1 [table3 figure4 ...] | all
+        [--jobs N] [--cache-dir DIR] [--format text|json]
+        [--artifacts-dir DIR] [--smoke]
     python -m repro schedule INSTANCE.json [--deadline-factor 1.3] [--check]
     python -m repro check INSTANCE.json|mpeg|cruise|wlan ... [--json]
     python -m repro demo
 
-``run`` regenerates the requested tables/figures and prints them;
+``run`` regenerates the requested tables/figures through the
+experiment engine (:mod:`repro.experiments.engine`): cells fan out
+over ``--jobs`` worker processes, ``--cache-dir`` memoizes cell
+results on disk (a warm cache replays instantly), ``--format json``
+prints the structured artifact instead of the rendered table,
+``--artifacts-dir`` additionally writes one ``<experiment>.json``
+artifact per run, and ``--smoke`` shrinks every experiment to a
+seconds-scale configuration (for CI and quick sanity runs);
 ``schedule`` loads a problem instance saved with
 :func:`repro.io.save_instance`, runs the online algorithm and prints
 the Gantt chart; ``check`` statically verifies instances (saved JSON
@@ -21,37 +30,153 @@ on any error-severity diagnostic (see ``docs/diagnostics.md``);
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
+from pathlib import Path
 from typing import Callable, Dict
 
 from . import experiments
+from .experiments import ExperimentSpec
 from .io import load_instance
 from .scheduling import render_gantt, render_listing, schedule_online, set_deadline_from_makespan
 
-EXPERIMENTS: Dict[str, Callable[[], str]] = {
-    "table1": lambda: experiments.run_table1().format(),
-    "figure4": lambda: experiments.run_figure4().format(),
-    "figure5": lambda: experiments.run_mpeg_energy().format(),
-    "table3": lambda: experiments.run_table3().format(),
-    "table4": lambda: experiments.run_table4().format(
+#: Cells kept per experiment under ``--smoke``.
+SMOKE_CELLS = 2
+#: Trace length used by trace-driven experiments under ``--smoke``.
+SMOKE_LENGTH = 200
+
+
+def _subset(spec: ExperimentSpec, count: int = SMOKE_CELLS) -> ExperimentSpec:
+    """The same spec restricted to its first ``count`` cells."""
+    return dataclasses.replace(spec, cells=spec.cells[:count])
+
+
+def _subset_bias(spec: ExperimentSpec) -> ExperimentSpec:
+    """One graph per CTG category (the bias summaries average both)."""
+    return dataclasses.replace(spec, cells=(spec.cells[0], spec.cells[5]))
+
+
+def _titled(spec: ExperimentSpec, title: str, note: str) -> ExperimentSpec:
+    """Attach a render closure for results whose format() takes a title."""
+    spec.render = lambda result: result.format(title, note)
+    return spec
+
+
+def _spec_table1(smoke: bool) -> ExperimentSpec:
+    spec = experiments.table1_spec()
+    return _subset(spec) if smoke else spec
+
+
+def _spec_figure4(smoke: bool) -> ExperimentSpec:
+    return experiments.figure4_spec(length=SMOKE_LENGTH if smoke else 1000)
+
+
+def _spec_figure5(smoke: bool) -> ExperimentSpec:
+    if smoke:
+        return experiments.mpeg_spec(
+            movies=("Airwolf", "Bike"), length=SMOKE_LENGTH
+        )
+    return experiments.mpeg_spec()
+
+
+def _spec_table3(smoke: bool) -> ExperimentSpec:
+    spec = experiments.table3_spec(length=SMOKE_LENGTH if smoke else 1000)
+    return _subset(spec) if smoke else spec
+
+
+def _spec_table4(smoke: bool) -> ExperimentSpec:
+    spec = experiments.bias_spec("lowest", trace_length=100 if smoke else 1000)
+    if smoke:
+        spec = _subset_bias(spec)
+    return _titled(
+        spec,
         "Table 4 — online profiled for lowest-energy minterm",
         "(paper: adaptive saves ~22-23% on average)",
-    ),
-    "table5": lambda: experiments.run_table5().format(
+    )
+
+
+def _spec_table5(smoke: bool) -> ExperimentSpec:
+    spec = experiments.bias_spec("highest", trace_length=100 if smoke else 1000)
+    if smoke:
+        spec = _subset_bias(spec)
+    return _titled(
+        spec,
         "Table 5 — online profiled for highest-energy minterm",
         "(paper: adaptive saves only ~3-5% on average)",
-    ),
-    "figure6": lambda: experiments.run_figure6().format(
+    )
+
+
+def _spec_figure6(smoke: bool) -> ExperimentSpec:
+    spec = experiments.bias_spec(
+        "ideal", thresholds=(0.5,), trace_length=100 if smoke else 1000
+    )
+    if smoke:
+        spec = _subset_bias(spec)
+    return _titled(
+        spec,
         "Figure 6 — ideal profiling vs adaptive T=0.5",
         "(paper: adaptive ~10% better overall)",
-    ),
-    "runtime": lambda: experiments.run_runtime().format(),
-    "ablation-window": lambda: experiments.run_window_threshold_sweep().format(),
-    "ablation-weighting": lambda: experiments.run_weighting_ablation().format(),
-    "ext-predictors": lambda: experiments.run_predictor_comparison().format(),
-    "ext-overhead": lambda: experiments.run_overhead_breakeven().format(),
-    "ext-discrete-dvfs": lambda: experiments.run_discrete_dvfs().format(),
-    "ext-robustness": lambda: experiments.run_seed_robustness().format(),
+    )
+
+
+def _spec_runtime(smoke: bool) -> ExperimentSpec:
+    spec = experiments.runtime_spec(repeats=1 if smoke else 3)
+    return _subset(spec) if smoke else spec
+
+
+def _spec_ablation_window(smoke: bool) -> ExperimentSpec:
+    if smoke:
+        return experiments.sweep_spec(
+            windows=(20,), thresholds=(0.5, 0.1), length=SMOKE_LENGTH
+        )
+    return experiments.sweep_spec()
+
+
+def _spec_ablation_weighting(smoke: bool) -> ExperimentSpec:
+    spec = experiments.weighting_spec()
+    return _subset(spec) if smoke else spec
+
+
+def _spec_ext_predictors(smoke: bool) -> ExperimentSpec:
+    if smoke:
+        return experiments.predictor_spec(movies=("Airwolf",), length=SMOKE_LENGTH)
+    return experiments.predictor_spec()
+
+
+def _spec_ext_overhead(smoke: bool) -> ExperimentSpec:
+    if smoke:
+        return experiments.overhead_spec(thresholds=(0.5, 0.1), length=SMOKE_LENGTH)
+    return experiments.overhead_spec()
+
+
+def _spec_ext_discrete(smoke: bool) -> ExperimentSpec:
+    spec = experiments.discrete_spec()
+    return _subset(spec) if smoke else spec
+
+
+def _spec_ext_robustness(smoke: bool) -> ExperimentSpec:
+    if smoke:
+        return experiments.robustness_spec(seeds=(20, 21), length=SMOKE_LENGTH)
+    return experiments.robustness_spec()
+
+
+#: Experiment registry: CLI name → spec factory taking the smoke flag.
+EXPERIMENTS: Dict[str, Callable[[bool], ExperimentSpec]] = {
+    "table1": _spec_table1,
+    "figure4": _spec_figure4,
+    "figure5": _spec_figure5,
+    "table3": _spec_table3,
+    "table4": _spec_table4,
+    "table5": _spec_table5,
+    "figure6": _spec_figure6,
+    "runtime": _spec_runtime,
+    "ablation-window": _spec_ablation_window,
+    "ablation-weighting": _spec_ablation_weighting,
+    "ext-predictors": _spec_ext_predictors,
+    "ext-overhead": _spec_ext_overhead,
+    "ext-discrete-dvfs": _spec_ext_discrete,
+    "ext-robustness": _spec_ext_robustness,
 }
 
 
@@ -68,10 +193,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
+    cache = experiments.resolve_cache(args.cache_dir)
+    artifacts_dir = Path(args.artifacts_dir) if args.artifacts_dir else None
     for name in names:
-        print(f"=== {name} ===")
-        print(EXPERIMENTS[name]())
-        print()
+        spec = EXPERIMENTS[name](args.smoke)
+        report = experiments.run_spec(spec, jobs=args.jobs, cache=cache)
+        if artifacts_dir is not None:
+            write_artifact_path = experiments.write_artifact(artifacts_dir, report)
+            print(f"[artifact written: {write_artifact_path}]", file=sys.stderr)
+        if args.format == "json":
+            print(json.dumps(experiments.artifact_payload(report), indent=2))
+        else:
+            print(f"=== {name} ===")
+            print(report.format())
+            print()
     return 0
 
 
@@ -161,6 +296,39 @@ def main(argv=None) -> int:
 
     run = sub.add_parser("run", help="run experiments by name (or 'all')")
     run.add_argument("names", nargs="+", metavar="EXPERIMENT")
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for independent cells "
+        "(default: os.cpu_count(); 1 = inline, no pool)",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed cell cache directory (e.g. .repro-cache); "
+        "omit to disable caching",
+    )
+    run.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format: rendered tables (text) or the structured "
+        "artifact payload (json)",
+    )
+    run.add_argument(
+        "--artifacts-dir",
+        default=None,
+        metavar="DIR",
+        help="also write one <experiment>.json artifact per run",
+    )
+    run.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink every experiment to a seconds-scale configuration",
+    )
     run.set_defaults(func=_cmd_run)
 
     sched = sub.add_parser("schedule", help="schedule a saved problem instance")

@@ -1,53 +1,111 @@
 """Experiment harnesses — one per table/figure of the paper plus
-ablations.  Both the benchmark suite and the examples drive these."""
+ablations, all declared as :class:`~repro.experiments.spec.
+ExperimentSpec` and executed by the parallel, cached engine in
+:mod:`repro.experiments.engine`.  Both the benchmark suite and the
+examples drive these."""
 
 from .ablations import (
     SweepResult,
     WeightingResult,
     run_weighting_ablation,
     run_window_threshold_sweep,
+    sweep_spec,
+    weighting_spec,
 )
+from .artifacts import (
+    ARTIFACT_SCHEMA,
+    ArtifactError,
+    artifact_payload,
+    load_artifact,
+    validate_artifact,
+    write_artifact,
+)
+from .cache import CacheStats, CellCache, resolve_cache
+from .engine import EngineError, EngineStats, ExperimentReport, run_spec
 from .extensions import (
     DiscreteResult,
     OverheadResult,
     PredictorResult,
     RobustnessResult,
+    discrete_spec,
+    overhead_spec,
+    predictor_spec,
+    robustness_spec,
     run_discrete_dvfs,
     run_overhead_breakeven,
     run_predictor_comparison,
     run_seed_robustness,
 )
-from .figure4 import Figure4Result, run_figure4
-from .mpeg_energy import MpegResult, run_mpeg_energy
-from .runtime import RuntimeResult, run_runtime
-from .table1 import Table1Result, run_table1
-from .table3 import Table3Result, run_table3
-from .table45 import BiasResult, run_figure6, run_table4, run_table5
+from .figure4 import Figure4Result, figure4_spec, run_figure4
+from .mpeg_energy import MpegResult, mpeg_spec, run_mpeg_energy
+from .runtime import RuntimeResult, run_runtime, runtime_spec
+from .spec import Cell, CellResult, ExperimentSpec, SpecError, derive_cell_seeds
+from .table1 import Table1Result, run_table1, table1_spec
+from .table3 import Table3Result, run_table3, table3_spec
+from .table45 import (
+    BiasResult,
+    bias_spec,
+    run_bias_experiment,
+    run_figure6,
+    run_table4,
+    run_table5,
+)
 
 __all__ = [
+    "ARTIFACT_SCHEMA",
+    "ArtifactError",
+    "artifact_payload",
+    "load_artifact",
+    "validate_artifact",
+    "write_artifact",
+    "Cell",
+    "CellResult",
+    "ExperimentSpec",
+    "SpecError",
+    "derive_cell_seeds",
+    "CacheStats",
+    "CellCache",
+    "resolve_cache",
+    "EngineError",
+    "EngineStats",
+    "ExperimentReport",
+    "run_spec",
     "SweepResult",
     "WeightingResult",
     "run_weighting_ablation",
     "run_window_threshold_sweep",
+    "sweep_spec",
+    "weighting_spec",
     "DiscreteResult",
     "OverheadResult",
     "PredictorResult",
+    "RobustnessResult",
+    "discrete_spec",
+    "overhead_spec",
+    "predictor_spec",
+    "robustness_spec",
     "run_discrete_dvfs",
     "run_overhead_breakeven",
     "run_predictor_comparison",
-    "RobustnessResult",
     "run_seed_robustness",
     "Figure4Result",
+    "figure4_spec",
     "run_figure4",
     "MpegResult",
+    "mpeg_spec",
     "run_mpeg_energy",
     "RuntimeResult",
     "run_runtime",
+    "runtime_spec",
     "Table1Result",
     "run_table1",
+    "table1_spec",
     "Table3Result",
     "run_table3",
+    "table3_spec",
     "BiasResult",
+    "bias_spec",
+    "run_bias_experiment",
     "run_figure6",
     "run_table4",
     "run_table5",

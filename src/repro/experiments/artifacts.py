@@ -1,0 +1,177 @@
+"""Structured JSON artifacts of engine runs.
+
+Benchmarks, CI and downstream tooling used to scrape the formatted
+text tables; artifacts give them a stable machine-readable schema
+instead.  One artifact = one experiment run:
+
+.. code-block:: text
+
+    {
+      "schema": "repro.experiment/1",
+      "experiment": "table3",
+      "package_version": "1.0.0",
+      "jobs": 8,
+      "seconds": 1.93,
+      "cache": {"enabled": true, "hits": 3, "misses": 0,
+                "corrupt": 0, "hit_rate": 1.0},
+      "cells": [
+        {"key": "seq1", "params": {...}, "fingerprint": "ab12...",
+         "cached": true, "seconds": 0.61, "values": {...}}
+      ],
+      "profile": {"timings": {...}, "calls": {...}, "counters": {...}},
+      "result": {...}          # the reduced dataclass, JSON-coerced
+    }
+
+``cells[*].values`` are the raw per-cell numbers (energies, call
+counts, runtimes); ``result`` is the reduced experiment dataclass with
+tuples rendered as lists and non-string mapping keys stringified
+(thresholds ``0.5`` → ``"0.5"``).  The schema string is bumped on any
+incompatible change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+from .. import __version__
+from .engine import ExperimentReport
+
+#: Artifact schema identifier; rev on incompatible layout changes.
+ARTIFACT_SCHEMA = "repro.experiment/1"
+
+#: Top-level keys every artifact must carry.
+_REQUIRED_KEYS = (
+    "schema",
+    "experiment",
+    "package_version",
+    "jobs",
+    "seconds",
+    "cache",
+    "cells",
+    "profile",
+    "result",
+)
+
+_REQUIRED_CELL_KEYS = ("key", "params", "fingerprint", "cached", "seconds", "values")
+
+_REQUIRED_CACHE_KEYS = ("enabled", "hits", "misses", "corrupt", "hit_rate")
+
+
+class ArtifactError(ValueError):
+    """An artifact payload does not match the schema."""
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively coerce a result object into JSON-ready data.
+
+    Dataclasses become dicts, tuples/sequences become lists, mapping
+    keys are stringified (``0.5`` → ``"0.5"``); scalars pass through.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [jsonable(v) for v in items]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def artifact_payload(report: ExperimentReport) -> Dict[str, Any]:
+    """Build the artifact dict for one engine run."""
+    stats = report.stats
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "experiment": report.name,
+        "package_version": __version__,
+        "jobs": stats.jobs,
+        "seconds": stats.seconds,
+        "cache": {
+            "enabled": stats.cache_enabled,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "corrupt": stats.corrupt,
+            "hit_rate": stats.hit_rate,
+        },
+        "cells": [
+            {
+                "key": cell.key,
+                "params": jsonable(cell.params),
+                "fingerprint": cell.fingerprint,
+                "cached": cell.cached,
+                "seconds": cell.seconds,
+                "values": jsonable(cell.values),
+            }
+            for cell in report.cells
+        ],
+        "profile": report.profile.to_dict(),
+        "result": jsonable(report.result),
+    }
+
+
+def validate_artifact(payload: Any) -> Dict[str, Any]:
+    """Check a payload against the artifact schema; returns it.
+
+    Raises
+    ------
+    ArtifactError
+        Naming every violated schema rule.
+    """
+    problems = []
+    if not isinstance(payload, dict):
+        raise ArtifactError("artifact must be a JSON object")
+    for key in _REQUIRED_KEYS:
+        if key not in payload:
+            problems.append(f"missing top-level key {key!r}")
+    if payload.get("schema") != ARTIFACT_SCHEMA:
+        problems.append(
+            f"schema is {payload.get('schema')!r}, expected {ARTIFACT_SCHEMA!r}"
+        )
+    cache = payload.get("cache")
+    if not isinstance(cache, dict):
+        problems.append("'cache' must be an object")
+    else:
+        for key in _REQUIRED_CACHE_KEYS:
+            if key not in cache:
+                problems.append(f"missing cache key {key!r}")
+    cells = payload.get("cells")
+    if not isinstance(cells, list):
+        problems.append("'cells' must be a list")
+    else:
+        for index, cell in enumerate(cells):
+            if not isinstance(cell, dict):
+                problems.append(f"cells[{index}] must be an object")
+                continue
+            for key in _REQUIRED_CELL_KEYS:
+                if key not in cell:
+                    problems.append(f"cells[{index}] missing key {key!r}")
+    if problems:
+        raise ArtifactError("; ".join(problems))
+    return payload
+
+
+def write_artifact(
+    directory: Union[str, Path], report: ExperimentReport
+) -> Path:
+    """Write one run's artifact as ``<directory>/<experiment>.json``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{report.name}.json"
+    path.write_text(
+        json.dumps(artifact_payload(report), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_artifact(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate an artifact file."""
+    return validate_artifact(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,116 @@
+"""Content-addressed on-disk cache of experiment cell results.
+
+A cell's fingerprint (see :meth:`repro.experiments.spec.ExperimentSpec.
+fingerprint_of`) covers everything that determines its outcome: the
+experiment name, the serialised workload context, the cell parameters
+and the package version.  The cache therefore needs no invalidation
+protocol — a changed input simply addresses a different entry, and
+stale entries are garbage that never gets read.
+
+Entries are one JSON file each under ``<root>/<fp[:2]>/<fp>.json``
+(two-level fan-out keeps directories small), written atomically
+(temp file + :func:`os.replace`) so a killed run never leaves a
+half-written entry behind.  Reads are defensive: an unreadable,
+unparsable or schema-mismatched entry counts as ``corrupt`` and is
+treated as a miss — the engine recomputes the cell and overwrites the
+entry; corruption can never crash or poison a run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+#: Schema version of one cache entry; bumped on incompatible layout
+#: changes so old trees read as corrupt (→ recompute), not as garbage.
+ENTRY_VERSION = 1
+
+#: Keys every well-formed entry must carry.
+_REQUIRED_KEYS = ("entry_version", "fingerprint", "experiment", "key", "values")
+
+
+@dataclass
+class CacheStats:
+    """Lookup outcomes accumulated over a cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+
+
+class CellCache:
+    """Filesystem-backed store of :class:`CellResult` payloads.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first write).
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def path_for(self, fp: str) -> Path:
+        """On-disk location of one fingerprint's entry."""
+        return self.root / fp[:2] / f"{fp}.json"
+
+    def get(self, fp: str) -> Optional[Dict[str, Any]]:
+        """The entry payload for a fingerprint, or ``None`` on miss.
+
+        Corrupted entries (unreadable file, invalid JSON, missing
+        schema keys, version or fingerprint mismatch) are counted on
+        ``stats.corrupt`` and reported as a miss — never raised.
+        """
+        path = self.path_for(fp)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        if not self._well_formed(payload, fp):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, fp: str, payload: Dict[str, Any]) -> Path:
+        """Atomically persist one entry; returns its path."""
+        entry = dict(payload)
+        entry["entry_version"] = ENTRY_VERSION
+        entry["fingerprint"] = fp
+        path = self.path_for(fp)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    @staticmethod
+    def _well_formed(payload: Any, fp: str) -> bool:
+        if not isinstance(payload, dict):
+            return False
+        if any(key not in payload for key in _REQUIRED_KEYS):
+            return False
+        if payload["entry_version"] != ENTRY_VERSION:
+            return False
+        if payload["fingerprint"] != fp:
+            return False
+        return isinstance(payload["values"], dict)
+
+
+def resolve_cache(
+    cache: Union[None, str, Path, CellCache],
+) -> Optional[CellCache]:
+    """Normalise the engine's ``cache`` argument (path or instance)."""
+    if cache is None or isinstance(cache, CellCache):
+        return cache
+    return CellCache(cache)

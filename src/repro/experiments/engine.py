@@ -1,0 +1,251 @@
+"""The parallel, cached experiment engine.
+
+:func:`run_spec` executes one :class:`~repro.experiments.spec.
+ExperimentSpec`:
+
+1. every cell is fingerprinted and looked up in the (optional)
+   content-addressed :class:`~repro.experiments.cache.CellCache`;
+2. the missing cells are computed — inline for ``jobs == 1`` (or a
+   single miss), otherwise fanned out over a
+   :class:`concurrent.futures.ProcessPoolExecutor`;
+3. results are reassembled **in declaration order** (regardless of
+   completion order), newly computed cells are written back to the
+   cache, each cell's :class:`~repro.profiling.StageProfiler` snapshot
+   is merged into a run-level aggregate, and the spec's reducer folds
+   the cell results into the experiment's table/figure dataclass.
+
+Cells are pure functions of their parameters (see ``spec.py``), so the
+reduced result is bit-identical at any ``jobs`` value and on warm or
+cold caches; only the wall-clock changes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..profiling import StageProfiler
+from .cache import CellCache, resolve_cache
+from .spec import CellFunction, CellResult, ExperimentSpec
+
+
+class EngineError(RuntimeError):
+    """The engine cannot execute a spec as requested."""
+
+
+@dataclass
+class EngineStats:
+    """Execution accounting of one :func:`run_spec` call."""
+
+    cells: int = 0
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    jobs: int = 1
+    seconds: float = 0.0
+    cache_enabled: bool = False
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cells served from cache (0.0 for an empty run)."""
+        return self.hits / self.cells if self.cells else 0.0
+
+
+@dataclass
+class ExperimentReport:
+    """Everything one engine run produced.
+
+    Attributes
+    ----------
+    name:
+        The spec's experiment name.
+    result:
+        The reducer's output — the experiment's table/figure dataclass.
+    cells:
+        Per-cell results in declaration order.
+    profile:
+        Aggregate of every cell's stage timings/counters (cached cells
+        contribute their snapshot from compute time).
+    stats:
+        Cache and parallelism accounting for this run.
+    spec:
+        The executed spec (for re-runs and rendering).
+    """
+
+    name: str
+    result: Any
+    cells: List[CellResult] = field(default_factory=list)
+    profile: StageProfiler = field(default_factory=StageProfiler)
+    stats: EngineStats = field(default_factory=EngineStats)
+    spec: Optional[ExperimentSpec] = None
+
+    def format(self) -> str:
+        """The experiment's own rendering plus one engine status line."""
+        if self.spec is not None and self.spec.render is not None:
+            text = self.spec.render(self.result)
+        else:
+            text = self.result.format()
+        return f"{text}\n{self.engine_line()}"
+
+    def engine_line(self) -> str:
+        """One-line engine summary (cells, cache outcome, wall-clock)."""
+        stats = self.stats
+        cache = (
+            f"{stats.hits}/{stats.cells} cached"
+            if stats.cache_enabled
+            else "cache off"
+        )
+        return (
+            f"[engine: {stats.cells} cells, {cache}, "
+            f"jobs={stats.jobs}, {stats.seconds:.2f}s]"
+        )
+
+
+def _execute_cell(cell_function: CellFunction, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one cell function and normalise its payload (worker entry)."""
+    started = time.perf_counter()
+    payload = cell_function(dict(params))
+    elapsed = time.perf_counter() - started
+    if not isinstance(payload, dict) or "values" not in payload:
+        raise EngineError(
+            f"cell function {getattr(cell_function, '__name__', cell_function)!r} "
+            "must return a dict with a 'values' key"
+        )
+    out = dict(payload)
+    out.setdefault("profile", {})
+    out["seconds"] = elapsed
+    return out
+
+
+def _require_parallelisable(cell_function: CellFunction) -> None:
+    """Fail early (and clearly) on cell functions workers cannot import."""
+    qualname = getattr(cell_function, "__qualname__", "")
+    if getattr(cell_function, "__name__", "") == "<lambda>" or "<locals>" in qualname:
+        raise EngineError(
+            f"cell function {qualname or cell_function!r} must be a "
+            "module-level function to run with jobs > 1 (worker processes "
+            "import it by name)"
+        )
+
+
+def run_spec(
+    spec: ExperimentSpec,
+    jobs: Optional[int] = None,
+    cache: Union[None, str, Path, CellCache] = None,
+) -> ExperimentReport:
+    """Execute a spec; see the module docstring for the pipeline.
+
+    Parameters
+    ----------
+    spec:
+        The declarative experiment.
+    jobs:
+        Worker processes for cache-missing cells; ``None`` means
+        ``os.cpu_count()``.  ``1`` computes inline (no pool), which is
+        also used when at most one cell misses.
+    cache:
+        ``None`` (no caching), a directory path, or a ready
+        :class:`CellCache`.
+    """
+    started = time.perf_counter()
+    effective_jobs = os.cpu_count() or 1 if jobs is None else int(jobs)
+    if effective_jobs < 1:
+        raise EngineError(f"jobs must be >= 1, got {effective_jobs}")
+    store = resolve_cache(cache)
+
+    fingerprints = [spec.fingerprint_of(cell) for cell in spec.cells]
+    results: List[Optional[CellResult]] = [None] * len(spec.cells)
+    corrupt_before = store.stats.corrupt if store else 0
+
+    pending: List[int] = []
+    for i, (cell, fp) in enumerate(zip(spec.cells, fingerprints)):
+        entry = store.get(fp) if store else None
+        if entry is None:
+            pending.append(i)
+            continue
+        results[i] = CellResult(
+            key=cell.key,
+            params=dict(cell.params),
+            values=entry["values"],
+            profile=entry.get("profile") or {},
+            seconds=float(entry.get("seconds", 0.0)),
+            fingerprint=fp,
+            cached=True,
+        )
+
+    if pending:
+        payloads = _compute_cells(spec, pending, effective_jobs)
+        for i, payload in zip(pending, payloads):
+            cell = spec.cells[i]
+            result = CellResult(
+                key=cell.key,
+                params=dict(cell.params),
+                values=payload["values"],
+                profile=payload.get("profile") or {},
+                seconds=payload["seconds"],
+                fingerprint=fingerprints[i],
+                cached=False,
+            )
+            results[i] = result
+            if store is not None:
+                store.put(
+                    fingerprints[i],
+                    {
+                        "experiment": spec.name,
+                        "key": result.key,
+                        "values": result.values,
+                        "profile": result.profile,
+                        "seconds": result.seconds,
+                    },
+                )
+
+    cell_results = [r for r in results if r is not None]
+    aggregate = StageProfiler()
+    for result in cell_results:
+        aggregate.merge(StageProfiler.from_dict(result.profile))
+
+    reduced = spec.reducer(cell_results)
+    stats = EngineStats(
+        cells=len(spec.cells),
+        hits=len(spec.cells) - len(pending),
+        misses=len(pending),
+        corrupt=(store.stats.corrupt - corrupt_before) if store else 0,
+        jobs=effective_jobs,
+        seconds=time.perf_counter() - started,
+        cache_enabled=store is not None,
+    )
+    return ExperimentReport(
+        name=spec.name,
+        result=reduced,
+        cells=cell_results,
+        profile=aggregate,
+        stats=stats,
+        spec=spec,
+    )
+
+
+def _compute_cells(
+    spec: ExperimentSpec, pending: List[int], jobs: int
+) -> List[Dict[str, Any]]:
+    """Compute the cache-missing cells, inline or on a process pool.
+
+    Returns payloads in ``pending`` order — submission order, not
+    completion order — so downstream reduction is deterministic.
+    """
+    if jobs <= 1 or len(pending) <= 1:
+        return [
+            _execute_cell(spec.cell_function, dict(spec.cells[i].params))
+            for i in pending
+        ]
+    _require_parallelisable(spec.cell_function)
+    workers = min(jobs, len(pending))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_execute_cell, spec.cell_function, dict(spec.cells[i].params))
+            for i in pending
+        ]
+        return [future.result() for future in futures]

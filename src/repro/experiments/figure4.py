@@ -9,15 +9,20 @@
   uses: it holds until the windowed estimate drifts more than the
   threshold (0.1 in the paper's illustration), then snaps; each snap
   is one re-scheduling call.
+
+Declared as a single-cell :class:`~repro.experiments.spec.
+ExperimentSpec` — the cheapest experiment, but uniform declaration
+means it caches and emits artifacts like every other one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Any, Dict, List, Optional
 
 from ..analysis import format_series, sliding_window_series, threshold_filter_series
 from ..workloads import movie_trace, mpeg_ctg
+from .spec import Cell, CellResult, ExperimentSpec
 
 FIGURE4_WINDOW = 50
 FIGURE4_THRESHOLD = 0.1
@@ -69,6 +74,66 @@ class Figure4Result:
         )
 
 
+def figure4_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Decode one clip and derive the three Figure-4 series."""
+    ctg = mpeg_ctg()
+    trace = movie_trace(ctg, params["movie"], length=params["length"])
+    selections = [
+        1 if vector[params["branch"]] == params["positive_label"] else 0
+        for vector in trace
+    ]
+    windowed = sliding_window_series(selections, params["window"])
+    filtered = threshold_filter_series(
+        windowed, params["threshold"], initial=windowed[0]
+    )
+    return {
+        "values": {
+            "selections": selections,
+            "windowed": windowed,
+            "filtered": filtered,
+        }
+    }
+
+
+def _reduce_figure4(cells: List[CellResult]) -> Figure4Result:
+    cell = cells[0]
+    return Figure4Result(
+        movie=cell.params["movie"],
+        branch=cell.params["branch"],
+        selections=list(cell.values["selections"]),
+        windowed=list(cell.values["windowed"]),
+        filtered=list(cell.values["filtered"]),
+    )
+
+
+def figure4_spec(
+    movie: str = "Airwolf",
+    length: int = 1000,
+    window: int = FIGURE4_WINDOW,
+    threshold: float = FIGURE4_THRESHOLD,
+    branch: str = "classify",
+    positive_label: str = "b1",
+) -> ExperimentSpec:
+    """Figure 4 as a (single-cell) declarative spec."""
+    cell = Cell(
+        key=movie,
+        params={
+            "movie": movie,
+            "length": length,
+            "window": window,
+            "threshold": threshold,
+            "branch": branch,
+            "positive_label": positive_label,
+        },
+    )
+    return ExperimentSpec(
+        name="figure4",
+        cells=(cell,),
+        cell_function=figure4_cell,
+        reducer=_reduce_figure4,
+    )
+
+
 def run_figure4(
     movie: str = "Airwolf",
     length: int = 1000,
@@ -76,17 +141,11 @@ def run_figure4(
     threshold: float = FIGURE4_THRESHOLD,
     branch: str = "classify",
     positive_label: str = "b1",
+    jobs: int = 1,
+    cache: Optional[object] = None,
 ) -> Figure4Result:
     """Regenerate Figure 4's three series for one movie clip."""
-    ctg = mpeg_ctg()
-    trace = movie_trace(ctg, movie, length=length)
-    selections = [1 if vector[branch] == positive_label else 0 for vector in trace]
-    windowed = sliding_window_series(selections, window)
-    filtered = threshold_filter_series(windowed, threshold, initial=windowed[0])
-    return Figure4Result(
-        movie=movie,
-        branch=branch,
-        selections=selections,
-        windowed=windowed,
-        filtered=filtered,
-    )
+    from .engine import run_spec
+
+    spec = figure4_spec(movie, length, window, threshold, branch, positive_label)
+    return run_spec(spec, jobs=jobs, cache=cache).result

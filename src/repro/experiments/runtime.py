@@ -12,19 +12,24 @@ ran compiled code on 2008 hardware; this is pure Python), so the
 reproducible shape is the *ratio*: the heuristic must be orders of
 magnitude faster than the NLP on the same mapped schedule, with the
 gap widening with graph size.
+
+Declared as an :class:`~repro.experiments.spec.ExperimentSpec` (one
+cell per graph).  Timing cells parallelise and cache like any other —
+a cached timing is the measurement from when the cell actually ran.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List
+from typing import Any, Dict, List, Optional
 
 from ..analysis import format_table, geometric_mean
 from ..ctg import CtgAnalysis, generate_ctg, paper_table1_configs
 from ..platform import PlatformConfig, generate_platform
 from ..scheduling import dls_schedule, nlp_stretch_schedule, set_deadline_from_makespan, stretch_schedule
-from .table1 import TABLE1_DEADLINE_FACTOR, TABLE1_PE_COUNTS
+from .spec import Cell, CellResult, ExperimentSpec
+from .table1 import TABLE1_DEADLINE_FACTOR, TABLE1_PE_COUNTS, config_from_params, generator_params
 
 
 @dataclass
@@ -70,34 +75,80 @@ class RuntimeResult:
         )
 
 
-def run_runtime(repeats: int = 3) -> RuntimeResult:
-    """Time both stretching stages on the Table-1 graphs."""
+def runtime_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Time both stretching stages on one graph (best of ``repeats``)."""
+    config = config_from_params(params["config"])
+    pes = params["pes"]
+    repeats = params["repeats"]
+    ctg = generate_ctg(config)
+    platform = generate_platform(ctg.tasks(), PlatformConfig(pes=pes, seed=config.seed))
+    set_deadline_from_makespan(ctg, platform, params["deadline_factor"])
+    analysis = CtgAnalysis.of(ctg)
+
+    heuristic_time = float("inf")
+    for _ in range(repeats):
+        schedule = dls_schedule(ctg, platform, analysis=analysis)
+        started = time.perf_counter()
+        stretch_schedule(schedule, analysis=analysis)
+        heuristic_time = min(heuristic_time, time.perf_counter() - started)
+
+    nlp_time = float("inf")
+    for _ in range(repeats):
+        schedule = dls_schedule(ctg, platform, analysis=analysis)
+        started = time.perf_counter()
+        nlp_stretch_schedule(schedule)
+        nlp_time = min(nlp_time, time.perf_counter() - started)
+
+    return {
+        "values": {
+            "triplet": f"{config.nodes}/{pes}/{config.branch_nodes}",
+            "heuristic_seconds": heuristic_time,
+            "nlp_seconds": nlp_time,
+        }
+    }
+
+
+def _reduce_runtime(cells: List[CellResult]) -> RuntimeResult:
     result = RuntimeResult()
-    for config, pes in zip(paper_table1_configs(), TABLE1_PE_COUNTS):
-        ctg = generate_ctg(config)
-        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=pes, seed=config.seed))
-        set_deadline_from_makespan(ctg, platform, TABLE1_DEADLINE_FACTOR)
-        analysis = CtgAnalysis.of(ctg)
-
-        heuristic_time = float("inf")
-        for _ in range(repeats):
-            schedule = dls_schedule(ctg, platform, analysis=analysis)
-            started = time.perf_counter()
-            stretch_schedule(schedule, analysis=analysis)
-            heuristic_time = min(heuristic_time, time.perf_counter() - started)
-
-        nlp_time = float("inf")
-        for _ in range(repeats):
-            schedule = dls_schedule(ctg, platform, analysis=analysis)
-            started = time.perf_counter()
-            nlp_stretch_schedule(schedule)
-            nlp_time = min(nlp_time, time.perf_counter() - started)
-
+    for cell in cells:
         result.rows.append(
             RuntimeRow(
-                triplet=f"{config.nodes}/{pes}/{config.branch_nodes}",
-                heuristic_seconds=heuristic_time,
-                nlp_seconds=nlp_time,
+                triplet=cell.values["triplet"],
+                heuristic_seconds=cell.values["heuristic_seconds"],
+                nlp_seconds=cell.values["nlp_seconds"],
             )
         )
     return result
+
+
+def runtime_spec(repeats: int = 3) -> ExperimentSpec:
+    """The runtime comparison as a declarative spec."""
+    cells = tuple(
+        Cell(
+            key=f"ctg{index}",
+            params={
+                "config": generator_params(config),
+                "pes": pes,
+                "repeats": repeats,
+                "deadline_factor": TABLE1_DEADLINE_FACTOR,
+            },
+        )
+        for index, (config, pes) in enumerate(
+            zip(paper_table1_configs(), TABLE1_PE_COUNTS), start=1
+        )
+    )
+    return ExperimentSpec(
+        name="runtime",
+        cells=cells,
+        cell_function=runtime_cell,
+        reducer=_reduce_runtime,
+    )
+
+
+def run_runtime(
+    repeats: int = 3, jobs: int = 1, cache: Optional[object] = None
+) -> RuntimeResult:
+    """Time both stretching stages on the Table-1 graphs."""
+    from .engine import run_spec
+
+    return run_spec(runtime_spec(repeats), jobs=jobs, cache=cache).result

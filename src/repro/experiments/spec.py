@@ -1,0 +1,167 @@
+"""Declarative experiment model for the parallel experiment engine.
+
+Every experiment of the paper's §IV evaluation (and the ablations and
+extensions beyond it) decomposes the same way:
+
+* a list of independent **cells** — one (graph, seed, threshold, …)
+  work unit each, described entirely by JSON-serialisable parameters;
+* a module-level **cell function** that computes one cell from its
+  parameters alone (no closure state, no process-global RNG), returning
+  plain JSON values plus an optional :class:`~repro.profiling.StageProfiler`
+  snapshot;
+* a **reducer** folding the per-cell results, in declaration order,
+  back into the experiment's table/figure dataclass.
+
+Because a cell is a pure function of its parameters, the engine
+(:mod:`repro.experiments.engine`) may execute cells in any order, on
+any number of worker processes, or not at all (serving them from the
+content-addressed cache in :mod:`repro.experiments.cache`) — the
+reduced result is identical in every case.
+
+The **fingerprint** of a cell covers the experiment name, the spec's
+``context`` payload (serialised workload instances or generator
+configurations, via :mod:`repro.io`), the cell parameters and the
+package version, so any change to the inputs or the code release
+invalidates exactly the affected cache entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy
+
+from .. import __version__
+from ..io import fingerprint
+
+#: A cell function: JSON parameters in, ``{"values": {...}}`` payload
+#: out (optionally plus ``{"profile": StageProfiler.to_dict()}``).
+#: Must be a module-level function so worker processes can import it.
+CellFunction = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+
+class SpecError(ValueError):
+    """An experiment spec is malformed."""
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent work unit of an experiment.
+
+    Attributes
+    ----------
+    key:
+        Name unique within the experiment (``"seq1"``, ``"Airwolf"``);
+        used in artifacts and progress reporting.
+    params:
+        JSON-serialisable parameters that fully determine the cell's
+        outcome.  The cell function receives a plain-dict copy.
+    """
+
+    key: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell, whether computed or served from cache.
+
+    Attributes
+    ----------
+    key / params:
+        Echoed from the :class:`Cell`.
+    values:
+        The cell function's JSON values.
+    profile:
+        :meth:`StageProfiler.to_dict` snapshot of the cell's stage
+        timings/counters (empty dict when the cell recorded none).
+    seconds:
+        Wall-clock seconds the cell function took when it was actually
+        computed (the *original* cost when served from cache).
+    fingerprint:
+        Content address of the cell (see module docstring).
+    cached:
+        Whether this result came from the on-disk cache.
+    """
+
+    key: str
+    params: Dict[str, Any]
+    values: Dict[str, Any]
+    profile: Dict[str, Any] = field(default_factory=dict)
+    seconds: float = 0.0
+    fingerprint: str = ""
+    cached: bool = False
+
+
+@dataclass
+class ExperimentSpec:
+    """A complete declarative experiment.
+
+    Attributes
+    ----------
+    name:
+        Experiment name (``"table3"``); artifact files and cache
+        entries carry it.
+    cells:
+        The independent work units, in reduction order.
+    cell_function:
+        Module-level function computing one cell (see module docstring).
+    reducer:
+        ``List[CellResult] → result`` fold, called with results in
+        ``cells`` order; returns the experiment's result dataclass.
+    context:
+        JSON payload folded into every cell fingerprint — serialised
+        workload instances (:func:`repro.io.instance_fingerprint`),
+        generator configurations, or anything else the cells depend on
+        beyond their own parameters.
+    render:
+        Optional ``result → str`` override used by reports when the
+        result's own ``format()`` needs extra arguments (Tables 4/5).
+    """
+
+    name: str
+    cells: Tuple[Cell, ...]
+    cell_function: CellFunction
+    reducer: Callable[[List[CellResult]], Any]
+    context: Dict[str, Any] = field(default_factory=dict)
+    render: Optional[Callable[[Any], str]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("experiment spec needs a name")
+        if not self.cells:
+            raise SpecError(f"spec {self.name!r} declares no cells")
+        keys = [cell.key for cell in self.cells]
+        if len(set(keys)) != len(keys):
+            duplicates = sorted({k for k in keys if keys.count(k) > 1})
+            raise SpecError(
+                f"spec {self.name!r} has duplicate cell keys: {duplicates}"
+            )
+
+    def fingerprint_of(self, cell: Cell) -> str:
+        """Content address of one cell (inputs + code release)."""
+        return fingerprint(
+            {
+                "experiment": self.name,
+                "package_version": __version__,
+                "context": self.context,
+                "key": cell.key,
+                "params": dict(cell.params),
+            }
+        )
+
+
+def derive_cell_seeds(base_seed: int, count: int) -> Tuple[int, ...]:
+    """``count`` independent per-cell seeds from one base seed.
+
+    Uses :func:`numpy.random.default_rng` (PCG64) as the deriving
+    generator — an explicit, local source of entropy; nothing touches
+    the process-global :mod:`random` state, so the derived seeds (and
+    everything downstream of them) are identical at any ``--jobs``
+    value and on every platform.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = numpy.random.default_rng(base_seed)
+    return tuple(int(s) for s in rng.integers(0, 2**31 - 1, size=count))

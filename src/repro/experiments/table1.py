@@ -6,23 +6,29 @@ Five TGFF-style Category-1 CTGs (triplets 25/3/3, 16/3/1, 15/4/2,
 algorithm, all given the accurate profiled branch probabilities (no
 adaptive behaviour, as §IV specifies for this comparison).  Energies
 are normalised with the online algorithm at 100.
+
+Declared as an :class:`~repro.experiments.spec.ExperimentSpec`: one
+cell per CTG, executed by the engine (parallel + cached); the reducer
+reassembles the rows in paper order.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis import format_table, normalise
-from ..ctg import generate_ctg, paper_table1_configs
+from ..ctg import GeneratorConfig, generate_ctg, paper_table1_configs
 from ..platform import PlatformConfig, generate_platform
+from ..profiling import StageProfiler
 from ..scheduling import (
     reference_algorithm_1,
     reference_algorithm_2,
     schedule_online,
     set_deadline_from_makespan,
 )
+from .spec import Cell, CellResult, ExperimentSpec
 
 #: PE counts (the *b* of the paper's a/b/c triplets).
 TABLE1_PE_COUNTS: Tuple[int, ...] = (3, 3, 4, 4, 4)
@@ -78,42 +84,116 @@ class Table1Result:
         return table + summary
 
 
-def run_table1(deadline_factor: float = TABLE1_DEADLINE_FACTOR) -> Table1Result:
-    """Regenerate Table 1; see module docstring."""
+def generator_params(config: GeneratorConfig) -> Dict[str, Any]:
+    """JSON parameters that reconstruct a :class:`GeneratorConfig`."""
+    return {
+        "nodes": config.nodes,
+        "branch_nodes": config.branch_nodes,
+        "category": config.category,
+        "comm_range": list(config.comm_range),
+        "seed": config.seed,
+        "outcomes_per_branch": config.outcomes_per_branch,
+    }
+
+
+def config_from_params(params: Dict[str, Any]) -> GeneratorConfig:
+    """Inverse of :func:`generator_params`."""
+    return GeneratorConfig(
+        nodes=params["nodes"],
+        branch_nodes=params["branch_nodes"],
+        category=params["category"],
+        comm_range=tuple(params["comm_range"]),
+        seed=params["seed"],
+        outcomes_per_branch=params["outcomes_per_branch"],
+    )
+
+
+def table1_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One Table-1 CTG: all three algorithms, normalised energies."""
+    config = config_from_params(params["config"])
+    pes = params["pes"]
+    ctg = generate_ctg(config)
+    platform = generate_platform(ctg.tasks(), PlatformConfig(pes=pes, seed=config.seed))
+    set_deadline_from_makespan(ctg, platform, params["deadline_factor"])
+    probabilities = ctg.default_probabilities
+    profiler = StageProfiler()
+
+    started = time.perf_counter()
+    online = schedule_online(ctg, platform, profiler=profiler)
+    online_runtime = time.perf_counter() - started
+
+    ref1 = reference_algorithm_1(ctg, platform)
+    started = time.perf_counter()
+    ref2 = reference_algorithm_2(ctg, platform)
+    ref2_runtime = time.perf_counter() - started
+
+    energies = normalise(
+        {
+            "online": online.schedule.expected_energy(probabilities),
+            "ref1": ref1.schedule.expected_energy(probabilities),
+            "ref2": ref2.schedule.expected_energy(probabilities),
+        },
+        reference="online",
+    )
+    return {
+        "values": {
+            "triplet": f"{config.nodes}/{pes}/{config.branch_nodes}",
+            "reference_1": energies["ref1"],
+            "reference_2": energies["ref2"],
+            "online_runtime": online_runtime,
+            "reference_2_runtime": ref2_runtime,
+        },
+        "profile": profiler.to_dict(),
+    }
+
+
+def _reduce_table1(cells: List[CellResult]) -> Table1Result:
     result = Table1Result()
-    for index, (config, pes) in enumerate(
-        zip(paper_table1_configs(), TABLE1_PE_COUNTS), start=1
-    ):
-        ctg = generate_ctg(config)
-        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=pes, seed=config.seed))
-        set_deadline_from_makespan(ctg, platform, deadline_factor)
-        probabilities = ctg.default_probabilities
-
-        started = time.perf_counter()
-        online = schedule_online(ctg, platform)
-        online_runtime = time.perf_counter() - started
-
-        ref1 = reference_algorithm_1(ctg, platform)
-        started = time.perf_counter()
-        ref2 = reference_algorithm_2(ctg, platform)
-        ref2_runtime = time.perf_counter() - started
-
-        energies = normalise(
-            {
-                "online": online.schedule.expected_energy(probabilities),
-                "ref1": ref1.schedule.expected_energy(probabilities),
-                "ref2": ref2.schedule.expected_energy(probabilities),
-            },
-            reference="online",
-        )
+    for cell in cells:
+        values = cell.values
         result.rows.append(
             Table1Row(
-                index=index,
-                triplet=f"{config.nodes}/{pes}/{config.branch_nodes}",
-                reference_1=energies["ref1"],
-                reference_2=energies["ref2"],
-                online_runtime=online_runtime,
-                reference_2_runtime=ref2_runtime,
+                index=cell.params["index"],
+                triplet=values["triplet"],
+                reference_1=values["reference_1"],
+                reference_2=values["reference_2"],
+                online_runtime=values["online_runtime"],
+                reference_2_runtime=values["reference_2_runtime"],
             )
         )
     return result
+
+
+def table1_spec(deadline_factor: float = TABLE1_DEADLINE_FACTOR) -> ExperimentSpec:
+    """Table 1 as a declarative spec: one cell per paper CTG."""
+    cells = tuple(
+        Cell(
+            key=f"ctg{index}",
+            params={
+                "index": index,
+                "config": generator_params(config),
+                "pes": pes,
+                "deadline_factor": deadline_factor,
+            },
+        )
+        for index, (config, pes) in enumerate(
+            zip(paper_table1_configs(), TABLE1_PE_COUNTS), start=1
+        )
+    )
+    return ExperimentSpec(
+        name="table1",
+        cells=cells,
+        cell_function=table1_cell,
+        reducer=_reduce_table1,
+    )
+
+
+def run_table1(
+    deadline_factor: float = TABLE1_DEADLINE_FACTOR,
+    jobs: int = 1,
+    cache: Optional[object] = None,
+) -> Table1Result:
+    """Regenerate Table 1 through the engine; see module docstring."""
+    from .engine import run_spec
+
+    return run_spec(table1_spec(deadline_factor), jobs=jobs, cache=cache).result

@@ -12,20 +12,27 @@ on MPEG).  The non-adaptive online algorithm is profiled three ways:
 The adaptive framework (window 20) runs with thresholds 0.5 and 0.1;
 as in the paper its initial probabilities equal the online profile of
 the case under study.
+
+Declared as an :class:`~repro.experiments.spec.ExperimentSpec`: one
+cell per graph (each cell runs the online baseline plus every
+threshold), so the ten graphs fan out over worker processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..adaptive import AdaptiveConfig
 from ..analysis import format_table, percent_savings
 from ..ctg import enumerate_scenarios, generate_ctg, paper_table4_configs
 from ..platform import PlatformConfig, generate_platform
+from ..profiling import StageProfiler
 from ..scheduling import set_deadline_from_makespan
 from ..sim import run_adaptive, run_non_adaptive, empirical_distribution
 from ..workloads import biased_profile, fluctuating_trace
+from .spec import Cell, CellResult, ExperimentSpec
+from .table1 import config_from_params, generator_params
 
 TABLE45_PE_COUNTS: Tuple[int, ...] = (3, 3, 4, 4, 4, 3, 3, 4, 4, 4)
 TABLE45_DEADLINE_FACTOR = 1.6
@@ -33,6 +40,9 @@ TABLE45_WINDOW = 20
 TABLE45_THRESHOLDS: Tuple[float, ...] = (0.5, 0.1)
 TABLE45_BIAS = 0.9
 TABLE45_TRACE_LENGTH = 1000
+
+#: The three profiling modes of §IV's random-CTG study.
+BIAS_MODES: Tuple[str, ...] = ("lowest", "highest", "ideal")
 
 
 @dataclass
@@ -93,57 +103,136 @@ def _scenario_cost(platform, scenario) -> float:
     return sum(platform.average_wcet(task) for task in scenario.active)
 
 
+def bias_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One random CTG: biased/ideal online baseline + adaptive runs."""
+    mode = params["mode"]
+    config = config_from_params(params["config"])
+    pes = params["pes"]
+    ctg = generate_ctg(config)
+    platform = generate_platform(ctg.tasks(), PlatformConfig(pes=pes, seed=config.seed))
+    set_deadline_from_makespan(ctg, platform, params["deadline_factor"])
+    trace = fluctuating_trace(ctg, params["trace_length"], seed=config.seed)
+
+    if mode == "ideal":
+        profile = empirical_distribution(ctg, trace)
+    else:
+        scenarios = enumerate_scenarios(ctg)
+        extreme = (min if mode == "lowest" else max)(
+            scenarios, key=lambda s: _scenario_cost(platform, s)
+        )
+        profile = biased_profile(ctg, extreme.product.assignment, bias=params["bias"])
+
+    online = run_non_adaptive(ctg, platform, trace, profile)
+    stages = StageProfiler()
+    if online.profile is not None:
+        stages.merge(online.profile)
+    adaptive_energy: Dict[str, float] = {}
+    calls: Dict[str, int] = {}
+    for threshold in params["thresholds"]:
+        adaptive = run_adaptive(
+            ctg,
+            platform,
+            trace,
+            profile,
+            AdaptiveConfig(window_size=params["window"], threshold=threshold),
+        )
+        adaptive_energy[str(threshold)] = adaptive.total_energy
+        calls[str(threshold)] = adaptive.reschedule_calls
+        if adaptive.profile is not None:
+            stages.merge(adaptive.profile)
+    return {
+        "values": {
+            "triplet": f"{config.nodes}/{pes}/{config.branch_nodes}",
+            "category": config.category,
+            "online_energy": online.total_energy,
+            "adaptive_energy": adaptive_energy,
+            "calls": calls,
+        },
+        "profile": stages.to_dict(),
+    }
+
+
+def _reduce_bias(cells: List[CellResult]) -> BiasResult:
+    mode = cells[0].params["mode"]
+    thresholds = tuple(cells[0].params["thresholds"])
+    result = BiasResult(mode=mode, thresholds=thresholds)
+    for cell in cells:
+        values = cell.values
+        row = BiasRow(
+            index=cell.params["index"],
+            triplet=values["triplet"],
+            category=values["category"],
+            online_energy=values["online_energy"],
+        )
+        for threshold in thresholds:
+            row.adaptive_energy[threshold] = values["adaptive_energy"][str(threshold)]
+            row.calls[threshold] = values["calls"][str(threshold)]
+        result.rows.append(row)
+    return result
+
+
+def bias_spec(
+    mode: str,
+    thresholds: Sequence[float] = TABLE45_THRESHOLDS,
+    deadline_factor: float = TABLE45_DEADLINE_FACTOR,
+    bias: float = TABLE45_BIAS,
+    trace_length: int = TABLE45_TRACE_LENGTH,
+    name: Optional[str] = None,
+) -> ExperimentSpec:
+    """One profiling mode over the ten Tables-4/5 graphs as a spec.
+
+    ``mode`` is ``"lowest"`` (Table 4), ``"highest"`` (Table 5) or
+    ``"ideal"`` (Figure 6's accurate profile).
+    """
+    if mode not in BIAS_MODES:
+        raise ValueError(f"unknown profiling mode {mode!r}")
+    cells = tuple(
+        Cell(
+            key=f"ctg{index}",
+            params={
+                "index": index,
+                "mode": mode,
+                "config": generator_params(config),
+                "pes": pes,
+                "thresholds": [float(t) for t in thresholds],
+                "deadline_factor": deadline_factor,
+                "bias": bias,
+                "trace_length": trace_length,
+                "window": TABLE45_WINDOW,
+            },
+        )
+        for index, (config, pes) in enumerate(
+            zip(paper_table4_configs(), TABLE45_PE_COUNTS), start=1
+        )
+    )
+    return ExperimentSpec(
+        name=name or f"bias-{mode}",
+        cells=cells,
+        cell_function=bias_cell,
+        reducer=_reduce_bias,
+    )
+
+
 def run_bias_experiment(
     mode: str,
     thresholds: Sequence[float] = TABLE45_THRESHOLDS,
     deadline_factor: float = TABLE45_DEADLINE_FACTOR,
     bias: float = TABLE45_BIAS,
     trace_length: int = TABLE45_TRACE_LENGTH,
+    jobs: int = 1,
+    cache: Optional[object] = None,
 ) -> BiasResult:
-    """Run one profiling mode over the ten Tables-4/5 graphs.
+    """Run one profiling mode over the ten Tables-4/5 graphs."""
+    from .engine import run_spec
 
-    ``mode`` is ``"lowest"`` (Table 4), ``"highest"`` (Table 5) or
-    ``"ideal"`` (Figure 6's accurate profile).
-    """
-    if mode not in ("lowest", "highest", "ideal"):
-        raise ValueError(f"unknown profiling mode {mode!r}")
-    result = BiasResult(mode=mode, thresholds=tuple(thresholds))
-    for index, (config, pes) in enumerate(
-        zip(paper_table4_configs(), TABLE45_PE_COUNTS), start=1
-    ):
-        ctg = generate_ctg(config)
-        platform = generate_platform(ctg.tasks(), PlatformConfig(pes=pes, seed=config.seed))
-        set_deadline_from_makespan(ctg, platform, deadline_factor)
-        trace = fluctuating_trace(ctg, trace_length, seed=config.seed)
-
-        if mode == "ideal":
-            profile = empirical_distribution(ctg, trace)
-        else:
-            scenarios = enumerate_scenarios(ctg)
-            extreme = (min if mode == "lowest" else max)(
-                scenarios, key=lambda s: _scenario_cost(platform, s)
-            )
-            profile = biased_profile(ctg, extreme.product.assignment, bias=bias)
-
-        online = run_non_adaptive(ctg, platform, trace, profile)
-        row = BiasRow(
-            index=index,
-            triplet=f"{config.nodes}/{pes}/{config.branch_nodes}",
-            category=config.category,
-            online_energy=online.total_energy,
-        )
-        for threshold in thresholds:
-            adaptive = run_adaptive(
-                ctg,
-                platform,
-                trace,
-                profile,
-                AdaptiveConfig(window_size=TABLE45_WINDOW, threshold=threshold),
-            )
-            row.adaptive_energy[threshold] = adaptive.total_energy
-            row.calls[threshold] = adaptive.reschedule_calls
-        result.rows.append(row)
-    return result
+    spec = bias_spec(
+        mode,
+        thresholds=thresholds,
+        deadline_factor=deadline_factor,
+        bias=bias,
+        trace_length=trace_length,
+    )
+    return run_spec(spec, jobs=jobs, cache=cache).result
 
 
 def run_table4(**kwargs) -> BiasResult:

@@ -9,6 +9,9 @@ JSON representation:
 * :func:`platform_to_dict` / :func:`platform_from_dict`
 * :func:`save_instance` / :func:`load_instance` — a bundle of one CTG,
   one platform and (optionally) a trace, round-tripping through a file.
+* :func:`canonical_json` / :func:`fingerprint` /
+  :func:`instance_fingerprint` — stable content hashes over the same
+  representation, used as cache keys by the experiment engine.
 
 Pseudo edges are never serialised: they are scheduler artifacts, and a
 schedule should be rebuilt from the (deterministic) algorithms rather
@@ -17,6 +20,7 @@ than persisted.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
@@ -202,6 +206,45 @@ def load_instance(
     if trace is not None:
         validate_trace(ctg, trace)
     return ctg, platform, trace
+
+
+# ----------------------------------------------------------------------
+# Content fingerprints
+# ----------------------------------------------------------------------
+def canonical_json(payload: Any) -> str:
+    """A canonical JSON rendering: sorted keys, no whitespace, tuples as
+    lists.  Equal payloads (up to tuple/list) render identically, so the
+    rendering is a stable hashing substrate."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=_coerce_json
+    )
+
+
+def _coerce_json(value: Any) -> Any:
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, Path):
+        return str(value)
+    raise TypeError(f"{type(value).__name__} is not fingerprintable")
+
+
+def fingerprint(payload: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` — the content-address
+    the experiment cache keys cells by."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def instance_fingerprint(ctg: ConditionalTaskGraph, platform: Platform) -> str:
+    """Content hash of one (CTG, platform) problem instance.
+
+    Built on the serialised forms, so any change that survives a
+    save/load round-trip — structure, deadline, probabilities, WCET or
+    energy tables, links, DVFS exponent — changes the fingerprint, and
+    cosmetic in-memory differences do not.
+    """
+    return fingerprint(
+        {"ctg": ctg_to_dict(ctg), "platform": platform_to_dict(platform)}
+    )
 
 
 def _check_version(payload: Dict[str, Any]) -> None:

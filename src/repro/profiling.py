@@ -91,6 +91,28 @@ class StageProfiler:
         for name, value in other.counters.items():
             self.counters[name] = self.counters.get(name, 0) + value
 
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        """Plain-dict snapshot (JSON-ready) of timings/calls/counters.
+
+        The experiment engine ships these across process boundaries and
+        into on-disk cache entries; :meth:`from_dict` restores them.
+        """
+        return {
+            "timings": dict(self.timings),
+            "calls": dict(self.calls),
+            "counters": dict(self.counters),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Dict[str, Dict[str, float]]]) -> "StageProfiler":
+        """Rebuild a profiler from :meth:`to_dict` output (``None`` → empty)."""
+        payload = payload or {}
+        return cls(
+            timings={str(k): float(v) for k, v in (payload.get("timings") or {}).items()},
+            calls={str(k): int(v) for k, v in (payload.get("calls") or {}).items()},
+            counters={str(k): int(v) for k, v in (payload.get("counters") or {}).items()},
+        )
+
     def timing(self, name: str) -> float:
         """Total seconds recorded for a stage (0.0 if never entered)."""
         return self.timings.get(name, 0.0)

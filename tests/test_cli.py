@@ -1,8 +1,11 @@
 """Tests for the command-line interface (python -m repro)."""
 
+import json
+
 import pytest
 
 from repro.__main__ import EXPERIMENTS, main
+from repro.experiments import ARTIFACT_SCHEMA, load_artifact, validate_artifact
 from repro.ctg import figure1_ctg
 from repro.io import save_instance
 from repro.platform import PlatformConfig, generate_platform
@@ -44,6 +47,63 @@ class TestCli:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestRunEngineFlags:
+    def test_table3_parallel_json_round_trips_schema(self, capsys):
+        assert main(["run", "table3", "--jobs", "2", "--smoke", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_artifact(payload)
+        assert payload["schema"] == ARTIFACT_SCHEMA
+        assert payload["experiment"] == "table3"
+        assert payload["jobs"] == 2
+        assert payload["cells"]
+        for cell in payload["cells"]:
+            assert cell["fingerprint"]
+            assert cell["values"]
+
+    def test_run_all_smoke_exits_zero(self, capsys):
+        assert main(["run", "all", "--smoke", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert f"=== {name} ===" in out
+        assert "[engine:" in out
+
+    def test_cache_dir_hits_on_second_run(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        args = ["run", "figure4", "--smoke", "--cache-dir", str(cache), "--format", "json"]
+        assert main(args) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["cache"]["hits"] == 0
+        assert main(args) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["cache"]["hits"] == warm["cache"]["misses"] + warm["cache"]["hits"]
+        assert warm["cache"]["hit_rate"] == 1.0
+        assert warm["result"] == cold["result"]
+
+    def test_artifacts_dir_writes_one_file_per_experiment(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        assert (
+            main(
+                ["run", "figure4", "table3", "--smoke", "--artifacts-dir", str(out_dir)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        for name in ("figure4", "table3"):
+            payload = load_artifact(out_dir / f"{name}.json")
+            assert payload["experiment"] == name
+
+    def test_jobs_do_not_change_stdout(self, capsys):
+        assert main(["run", "table3", "--smoke", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["run", "table3", "--smoke", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # engine line differs only in the jobs/time fields
+        strip = lambda text: [
+            line for line in text.splitlines() if not line.startswith("[engine:")
+        ]
+        assert strip(parallel) == strip(serial)
 
 
 class TestCheckVerb:

@@ -1,0 +1,186 @@
+"""Tests for the content-addressed cell cache and its engine wiring."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    Cell,
+    CellCache,
+    ExperimentSpec,
+    resolve_cache,
+    run_spec,
+)
+from repro.experiments.cache import ENTRY_VERSION
+
+
+def double_cell(params):
+    """Module-level toy cell for cache tests."""
+    return {"values": {"double": params["x"] * 2}}
+
+
+def _collect(cells):
+    return [(c.key, c.values["double"]) for c in cells]
+
+
+def _spec(xs=(1, 2, 3), context=None, name="doubles"):
+    return ExperimentSpec(
+        name=name,
+        cells=tuple(Cell(key=f"x{x}", params={"x": x}) for x in xs),
+        cell_function=double_cell,
+        reducer=_collect,
+        context=context or {},
+    )
+
+
+class TestCellCache:
+    def test_miss_then_put_then_hit(self, tmp_path):
+        cache = CellCache(tmp_path)
+        assert cache.get("ab" * 32) is None
+        assert cache.stats.misses == 1
+        cache.put("ab" * 32, {"experiment": "x", "key": "a", "values": {"v": 1}})
+        entry = cache.get("ab" * 32)
+        assert entry is not None
+        assert entry["values"] == {"v": 1}
+        assert cache.stats.hits == 1
+
+    def test_two_level_fanout_layout(self, tmp_path):
+        cache = CellCache(tmp_path)
+        fp = "cd" * 32
+        path = cache.put(fp, {"experiment": "x", "key": "a", "values": {}})
+        assert path == tmp_path / "cd" / f"{fp}.json"
+        assert path.exists()
+
+    def test_corrupt_json_is_a_counted_miss(self, tmp_path):
+        cache = CellCache(tmp_path)
+        fp = "ef" * 32
+        path = cache.path_for(fp)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(fp) is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+
+    def test_schema_mismatch_is_corrupt(self, tmp_path):
+        cache = CellCache(tmp_path)
+        fp = "01" * 32
+        cache.put(fp, {"experiment": "x", "key": "a", "values": {}})
+        payload = json.loads(cache.path_for(fp).read_text())
+
+        payload["entry_version"] = ENTRY_VERSION + 1
+        cache.path_for(fp).write_text(json.dumps(payload))
+        assert cache.get(fp) is None
+
+        payload["entry_version"] = ENTRY_VERSION
+        payload["fingerprint"] = "f" * 64
+        cache.path_for(fp).write_text(json.dumps(payload))
+        assert cache.get(fp) is None
+
+        del payload["fingerprint"]
+        cache.path_for(fp).write_text(json.dumps(payload))
+        assert cache.get(fp) is None
+        assert cache.stats.corrupt == 3
+
+    def test_resolve_cache_forms(self, tmp_path):
+        assert resolve_cache(None) is None
+        cache = CellCache(tmp_path)
+        assert resolve_cache(cache) is cache
+        resolved = resolve_cache(str(tmp_path))
+        assert isinstance(resolved, CellCache)
+        assert resolved.root == tmp_path
+
+
+class TestEngineCaching:
+    def test_cold_then_warm(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cold = run_spec(_spec(), jobs=1, cache=cache)
+        assert cold.stats.misses == 3
+        assert cold.stats.hits == 0
+        warm = run_spec(_spec(), jobs=1, cache=cache)
+        assert warm.stats.hits == 3
+        assert warm.stats.misses == 0
+        assert warm.stats.hit_rate == 1.0
+        assert warm.result == cold.result
+        assert all(cell.cached for cell in warm.cells)
+
+    def test_warm_cache_matches_at_any_jobs(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cold = run_spec(_spec(), jobs=2, cache=cache)
+        warm = run_spec(_spec(), jobs=2, cache=cache)
+        assert warm.result == cold.result
+        assert warm.stats.hits == 3
+
+    def test_param_change_invalidates_only_that_cell(self, tmp_path):
+        cache = CellCache(tmp_path)
+        run_spec(_spec((1, 2, 3)), jobs=1, cache=cache)
+        partial = run_spec(_spec((1, 2, 9)), jobs=1, cache=cache)
+        assert partial.stats.hits == 2
+        assert partial.stats.misses == 1
+        assert partial.result[-1] == ("x9", 18)
+
+    def test_context_change_invalidates_everything(self, tmp_path):
+        cache = CellCache(tmp_path)
+        run_spec(_spec(context={"instance": "a"}), jobs=1, cache=cache)
+        changed = run_spec(_spec(context={"instance": "b"}), jobs=1, cache=cache)
+        assert changed.stats.hits == 0
+        assert changed.stats.misses == 3
+
+    def test_package_version_change_invalidates_everything(self, tmp_path, monkeypatch):
+        cache = CellCache(tmp_path)
+        run_spec(_spec(), jobs=1, cache=cache)
+        monkeypatch.setattr("repro.experiments.spec.__version__", "0.0.0-test")
+        bumped = run_spec(_spec(), jobs=1, cache=cache)
+        assert bumped.stats.hits == 0
+        assert bumped.stats.misses == 3
+
+    def test_corrupted_entry_recovers_by_recomputing(self, tmp_path):
+        cache = CellCache(tmp_path)
+        first = run_spec(_spec(), jobs=1, cache=cache)
+        # vandalise one entry on disk
+        victim = cache.path_for(first.cells[0].fingerprint)
+        victim.write_text("garbage", encoding="utf-8")
+        recovered = run_spec(_spec(), jobs=1, cache=cache)
+        assert recovered.result == first.result
+        assert recovered.stats.corrupt == 1
+        assert recovered.stats.hits == 2
+        assert recovered.stats.misses == 1
+        # the recompute healed the entry
+        healed = run_spec(_spec(), jobs=1, cache=cache)
+        assert healed.stats.hits == 3
+
+    def test_cached_cells_keep_profile_and_seconds(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cold = run_spec(_profiled_spec(), jobs=1, cache=cache)
+        warm = run_spec(_profiled_spec(), jobs=1, cache=cache)
+        assert warm.profile.counters == cold.profile.counters
+        for cell in warm.cells:
+            assert cell.cached
+            assert cell.seconds >= 0.0
+
+
+def profiled_cell(params):
+    return {
+        "values": {"double": params["x"] * 2},
+        "profile": {"counters": {"work": params["x"]}},
+    }
+
+
+def _profiled_spec():
+    return ExperimentSpec(
+        name="profiled",
+        cells=tuple(Cell(key=f"x{x}", params={"x": x}) for x in (1, 2)),
+        cell_function=profiled_cell,
+        reducer=_collect,
+    )
+
+
+class TestRealExperimentCaching:
+    def test_figure4_round_trips_through_cache(self, tmp_path):
+        from repro.experiments import figure4_spec
+
+        cold = run_spec(figure4_spec(length=150), jobs=1, cache=str(tmp_path))
+        warm = run_spec(figure4_spec(length=150), jobs=1, cache=str(tmp_path))
+        assert warm.stats.hits == 1
+        assert warm.result.selections == cold.result.selections
+        assert warm.result.windowed == cold.result.windowed
+        assert warm.result.filtered == cold.result.filtered

@@ -69,6 +69,69 @@ class TestStageProfiler:
         assert as_profiler(real) is real
 
 
+class TestProfilerSerialization:
+    """Snapshots and pickling — what worker processes rely on."""
+
+    def _loaded(self):
+        prof = StageProfiler()
+        with prof.stage("schedule"):
+            pass
+        with prof.stage("replay"):
+            pass
+        prof.count("reschedules", 7)
+        return prof
+
+    def test_to_dict_from_dict_round_trip(self):
+        prof = self._loaded()
+        clone = StageProfiler.from_dict(prof.to_dict())
+        assert clone.timings == prof.timings
+        assert clone.calls == prof.calls
+        assert clone.counters == prof.counters
+
+    def test_from_dict_tolerates_empty_and_none(self):
+        assert StageProfiler.from_dict(None).timings == {}
+        assert StageProfiler.from_dict({}).counters == {}
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        prof = self._loaded()
+        clone = pickle.loads(pickle.dumps(prof))
+        assert clone.timings == prof.timings
+        assert clone.calls == prof.calls
+        assert clone.counters == prof.counters
+
+    def test_merge_of_partitions_equals_serial_accumulation(self):
+        """Satellite: folding per-worker snapshots must equal the
+        single-process profiler over the same work, exactly."""
+        serial = StageProfiler()
+        parts = [StageProfiler() for _ in range(3)]
+        for i in range(9):
+            for target in (serial, parts[i % 3]):
+                with target.stage("work"):
+                    pass
+                target.count("items", i)
+        merged = StageProfiler()
+        for part in parts:
+            merged.merge(StageProfiler.from_dict(part.to_dict()))
+        assert merged.calls == serial.calls
+        assert merged.counters == serial.counters
+        assert set(merged.timings) == set(serial.timings)
+
+    def test_merge_order_does_not_change_counters(self):
+        parts = []
+        for i in range(3):
+            p = StageProfiler()
+            p.count("c", i + 1)
+            parts.append(p)
+        forward, backward = StageProfiler(), StageProfiler()
+        for p in parts:
+            forward.merge(p)
+        for p in reversed(parts):
+            backward.merge(p)
+        assert forward.counters == backward.counters
+
+
 class TestRunResultProfile:
     def _setup(self):
         ctg = two_sided_branch_ctg()
