@@ -1,0 +1,116 @@
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+Usage::
+
+    python benchmarks/compare_baseline.py BENCH_ci.json \
+        benchmarks/baselines/bench_quick.json [--factor 2.0]
+    python benchmarks/compare_baseline.py BENCH_ci.json \
+        benchmarks/baselines/bench_quick.json --update
+
+Raw wall-clock numbers are not portable across machines, so the
+baseline stores a *calibration* measurement — the best-of-N time of a
+fixed pure-Python workload on the machine that produced it.  At compare
+time the same workload is re-timed and every baseline mean is scaled by
+``current_calibration / baseline_calibration`` before the regression
+factor is applied: a machine that runs the calibration loop 2× slower
+is allowed 2× slower benchmarks.
+
+Exit status: 0 when every benchmark is within ``factor`` of its scaled
+baseline, 1 on any regression, 2 when a baselined benchmark is missing
+from the run (a silently-dropped bench must not pass CI).
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+#: iterations of the calibration loop — ~100 ms of pure-Python integer
+#: arithmetic, long enough to swamp timer noise, short enough to rerun
+CALIBRATION_ITERATIONS = 2_000_000
+CALIBRATION_REPEATS = 5
+
+
+def calibrate() -> float:
+    """Best-of-N time of a fixed CPU-bound loop on this machine."""
+    best = float("inf")
+    for _ in range(CALIBRATION_REPEATS):
+        started = time.perf_counter()
+        acc = 0
+        for i in range(CALIBRATION_ITERATIONS):
+            acc += i * i % 7
+        best = min(best, time.perf_counter() - started)
+    assert acc >= 0
+    return best
+
+
+def load_run(path: Path) -> dict:
+    """``{short name: mean seconds}`` from a pytest-benchmark JSON."""
+    payload = json.loads(path.read_text())
+    return {
+        bench["name"]: bench["stats"]["mean"] for bench in payload["benchmarks"]
+    }
+
+
+def update_baseline(run: dict, baseline_path: Path) -> int:
+    payload = {
+        "calibration_seconds": round(calibrate(), 6),
+        "benchmarks": {name: round(mean, 6) for name, mean in sorted(run.items())},
+    }
+    baseline_path.parent.mkdir(parents=True, exist_ok=True)
+    baseline_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"baseline written: {baseline_path} ({len(run)} benchmarks)")
+    return 0
+
+
+def compare(run: dict, baseline_path: Path, factor: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    scale = calibrate() / baseline["calibration_seconds"]
+    print(f"machine-speed scale vs baseline: {scale:.2f}x")
+    print(f"{'benchmark':<42} {'baseline':>10} {'allowed':>10} {'now':>10}")
+
+    status = 0
+    for name, base_mean in sorted(baseline["benchmarks"].items()):
+        if name not in run:
+            print(f"{name:<42} MISSING from this run")
+            status = 2
+            continue
+        allowed = base_mean * scale * factor
+        mean = run[name]
+        verdict = "ok" if mean <= allowed else "REGRESSION"
+        print(
+            f"{name:<42} {base_mean:>9.3f}s {allowed:>9.3f}s {mean:>9.3f}s"
+            f"  {verdict}"
+        )
+        if mean > allowed:
+            status = max(status, 1)
+    for name in sorted(set(run) - set(baseline["benchmarks"])):
+        print(f"{name:<42} not in baseline (skipped)")
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("run", type=Path, help="pytest-benchmark JSON output")
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="fail when a mean exceeds this multiple of the scaled baseline",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from this run instead of comparing",
+    )
+    args = parser.parse_args(argv)
+    run = load_run(args.run)
+    if args.update:
+        return update_baseline(run, args.baseline)
+    return compare(run, args.baseline, args.factor)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,12 @@ computes and stores every cell, the second must serve them from disk.
 The asserted speed-up is deliberately conservative — warm runs are
 typically two orders of magnitude faster, since a warm cell is one
 small JSON read instead of a schedule-and-replay simulation.
+
+Setting ``REPRO_BENCH_QUICK=1`` shrinks the matrix (fewer cells,
+shorter traces) for CI regression runs; the 5× assertion is unchanged.
 """
 
+import os
 import time
 
 from repro.experiments import (
@@ -18,12 +22,21 @@ from repro.experiments import (
     sweep_spec,
 )
 
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+LENGTH = 150 if QUICK else 400
+
 
 def _specs():
+    if QUICK:
+        return [
+            mpeg_spec(movies=("Airwolf",), length=LENGTH),
+            robustness_spec(seeds=(20, 21), length=LENGTH),
+            sweep_spec(windows=(20,), thresholds=(0.1,), length=LENGTH),
+        ]
     return [
-        mpeg_spec(movies=("Airwolf", "Bike"), length=400),
-        robustness_spec(seeds=(20, 21, 22), length=400),
-        sweep_spec(windows=(20,), thresholds=(0.5, 0.1), length=400),
+        mpeg_spec(movies=("Airwolf", "Bike"), length=LENGTH),
+        robustness_spec(seeds=(20, 21, 22), length=LENGTH),
+        sweep_spec(windows=(20,), thresholds=(0.5, 0.1), length=LENGTH),
     ]
 
 

@@ -1,0 +1,88 @@
+"""Bench: faulted replay must stay cheap relative to the plain loop.
+
+``run_faulted`` runs a dual-arm replay (baseline no-reaction arm plus
+the policy arm) with per-instance fault resolution, watchdog checks,
+and structured logging.  The chaos CI matrix leans on it being roughly
+"two adaptive runs plus bookkeeping" — if the fault plumbing ever grows
+a super-linear cost the chaos job's wall-clock explodes quietly.  This
+bench times the plain adaptive loop and the faulted replay on the same
+MPEG trace and asserts the overhead factor stays below 4×, archiving
+the fault-log summary alongside the timings.
+
+Setting ``REPRO_BENCH_QUICK=1`` shortens the trace for CI regression
+runs; the overhead assertion is unchanged.
+"""
+
+import os
+import time
+
+from repro.adaptive.controller import AdaptiveConfig
+from repro.experiments.chaos import fault_plan_catalogue
+from repro.scheduling import set_deadline_from_makespan
+from repro.sim.runner import run_adaptive, run_faulted
+from repro.workloads.mpeg import mpeg_ctg, mpeg_platform
+from repro.workloads.traces import drifting_trace
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+TRACE_LENGTH = 120 if QUICK else 400
+
+#: upper bound on faulted-replay wall-clock relative to the plain loop;
+#: the dual arm alone accounts for ~2x, leaving headroom for injection
+#: and logging but not for anything super-linear
+MAX_OVERHEAD = 4.0
+
+
+def run_fault_bench():
+    ctg, platform = mpeg_ctg(), mpeg_platform()
+    deadline = set_deadline_from_makespan(ctg, platform, 1.6)
+    trace = drifting_trace(ctg, TRACE_LENGTH, seed=71)
+    config = AdaptiveConfig(window_size=20, threshold=0.1)
+    plan = fault_plan_catalogue()["overrun-drop"]
+
+    started = time.perf_counter()
+    plain = run_adaptive(
+        ctg, platform, trace, ctg.default_probabilities, config, deadline=deadline
+    )
+    plain_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    faulted = run_faulted(
+        ctg,
+        platform,
+        trace,
+        ctg.default_probabilities,
+        plan,
+        config=config,
+        deadline=deadline,
+    )
+    faulted_seconds = time.perf_counter() - started
+
+    overhead = faulted_seconds / plain_seconds
+    log = faulted.fault_log
+    lines = [
+        f"faulted replay overhead — {TRACE_LENGTH}-instance MPEG trace, "
+        f"plan '{plan.name}'",
+        f"  plain adaptive loop  : {plain_seconds * 1e3:8.1f} ms",
+        f"  faulted (dual arm)   : {faulted_seconds * 1e3:8.1f} ms",
+        f"  overhead             : {overhead:8.2f}x",
+        f"  faults injected      : {log.fault_count}",
+        f"  threatened/recovered : {log.threatened}/{log.recovered}",
+        f"  recovery energy cost : {log.energy_cost_of_recovery():8.1f}",
+    ]
+    return plain, faulted, overhead, "\n".join(lines)
+
+
+def test_faulted_replay_overhead(benchmark, archive):
+    plain, faulted, overhead, report = benchmark.pedantic(
+        run_fault_bench, rounds=1, iterations=1
+    )
+    archive("fault_injection_overhead", report)
+    benchmark.extra_info["overhead"] = round(overhead, 2)
+    log = faulted.fault_log
+    assert log.fault_count > 0, "plan injected nothing — bench is vacuous"
+    assert log.recovered + log.unrecovered == log.threatened
+    assert len(faulted.energies) == len(plain.energies)
+    assert overhead < MAX_OVERHEAD, (
+        f"faulted replay {overhead:.2f}x slower than the plain loop "
+        f"(limit {MAX_OVERHEAD}x)"
+    )

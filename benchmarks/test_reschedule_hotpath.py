@@ -30,8 +30,13 @@ is asserted, not assumed.
 Acceptance: ≥ 3× wall-clock on the repeated re-invocations on the
 40-task MPEG CTG.  A second scenario runs the cruise-controller
 adaptive trace end to end and archives the profiler's stage report.
+
+Setting ``REPRO_BENCH_QUICK=1`` shrinks the workload (fewer regime
+cycles, shorter trace) for CI regression runs; the speedup and
+correctness assertions are unchanged.
 """
 
+import os
 import time
 
 from repro.adaptive.controller import AdaptiveConfig
@@ -47,6 +52,11 @@ from repro.workloads.traces import drifting_trace
 #: drift magnitude of the regime pair — the controller's re-scheduling
 #: threshold, i.e. the smallest drift that triggers a call
 DRIFT = 0.1
+
+#: CI regression mode: same benches, smaller workload
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+HOTPATH_CYCLES = 2 if QUICK else 6
+CRUISE_TRACE_LENGTH = 100 if QUICK else 300
 
 
 def _shifted(base, branches, delta):
@@ -104,7 +114,7 @@ def _replay(ctg, platform, analysis, snapshots, **kwargs):
     return time.perf_counter() - start, results
 
 
-def run_hotpath_bench(cycles: int = 6):
+def run_hotpath_bench(cycles: int = HOTPATH_CYCLES):
     """Time the alternating-regime re-scheduling sequence on MPEG."""
     ctg, platform = mpeg_ctg(), mpeg_platform()
     set_deadline_from_makespan(ctg, platform, 1.5)
@@ -168,7 +178,7 @@ def test_cruise_adaptive_trace_profile(benchmark, archive):
     def run():
         ctg, platform = cruise_ctg(), cruise_platform()
         deadline = set_deadline_from_makespan(ctg, platform, 2.0)
-        trace = drifting_trace(ctg, 300, seed=31)
+        trace = drifting_trace(ctg, CRUISE_TRACE_LENGTH, seed=31)
         return run_adaptive(
             ctg,
             platform,
@@ -181,7 +191,7 @@ def test_cruise_adaptive_trace_profile(benchmark, archive):
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     prof = result.profile
     lines = [
-        "cruise-controller adaptive trace (300 instances)",
+        f"cruise-controller adaptive trace ({CRUISE_TRACE_LENGTH} instances)",
         f"  re-scheduling calls : {result.reschedule_calls}",
         f"  deadline misses     : {result.deadline_misses}",
         "",
@@ -189,7 +199,7 @@ def test_cruise_adaptive_trace_profile(benchmark, archive):
     ]
     archive("cruise_adaptive_profile", "\n".join(lines))
     assert result.deadline_misses == 0
-    assert prof.counter("executor.instances") == 300
+    assert prof.counter("executor.instances") == CRUISE_TRACE_LENGTH
     assert prof.counter("path_cache.hit") + prof.counter("path_cache.miss") == (
         result.reschedule_calls + 1
     )

@@ -6,6 +6,10 @@ Usage
     python -m repro run table1 [table3 figure4 ...] | all
         [--jobs N] [--cache-dir DIR] [--format text|json]
         [--artifacts-dir DIR] [--smoke]
+    python -m repro chaos [--smoke] [--gate] [--workloads mpeg ...]
+        [--plans overrun ...] [--policies default none] [--length N]
+        [--jobs N] [--cache-dir DIR] [--format text|json]
+        [--artifacts-dir DIR]
     python -m repro schedule INSTANCE.json [--deadline-factor 1.3] [--check]
     python -m repro check INSTANCE.json|mpeg|cruise|wlan ... [--json]
     python -m repro demo
@@ -18,7 +22,13 @@ prints the structured artifact instead of the rendered table,
 ``--artifacts-dir`` additionally writes one ``<experiment>.json``
 artifact per run, and ``--smoke`` shrinks every experiment to a
 seconds-scale configuration (for CI and quick sanity runs);
-``schedule`` loads a problem instance saved with
+``chaos`` replays the fault-injection matrix of
+:mod:`repro.experiments.chaos` — seeded fault plans against the
+built-in workloads under each degradation policy — writing
+byte-stable *canonical* artifacts (volatile timings zeroed) so CI can
+diff two runs, with ``--gate`` turning the acceptance thresholds
+(default-policy recovery rate and unrecovered misses) into the exit
+code; ``schedule`` loads a problem instance saved with
 :func:`repro.io.save_instance`, runs the online algorithm and prints
 the Gantt chart; ``check`` statically verifies instances (saved JSON
 files or the built-in workloads by name) end to end — graph, platform,
@@ -210,6 +220,68 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Smoke-mode chaos matrix: one workload, the gated plans, both the
+#: default policy and the no-reaction baseline, a seconds-scale trace.
+CHAOS_SMOKE_WORKLOADS = ("mpeg",)
+CHAOS_SMOKE_LENGTH = 150
+CHAOS_SMOKE_TRAIN = 30
+
+#: ``--gate`` threshold on the pooled default-policy recovery rate.
+CHAOS_RECOVERY_GATE = 0.90
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .experiments import chaos as chaos_mod
+
+    if args.smoke:
+        workloads = tuple(args.workloads or CHAOS_SMOKE_WORKLOADS)
+        plans = tuple(args.plans or chaos_mod.SMOKE_PLANS)
+        policies = tuple(args.policies or ("default", "none"))
+        length = args.length or CHAOS_SMOKE_LENGTH
+        train = CHAOS_SMOKE_TRAIN
+    else:
+        workloads = tuple(args.workloads or chaos_mod.CHAOS_WORKLOADS)
+        plans = tuple(args.plans) if args.plans else None
+        policies = tuple(args.policies or ("default", "none"))
+        length = args.length or chaos_mod.CHAOS_LENGTH
+        train = chaos_mod.CHAOS_TRAIN
+    try:
+        spec = chaos_mod.chaos_spec(
+            workloads, plans, policies, length=length, train=train
+        )
+    except ValueError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+    cache = experiments.resolve_cache(args.cache_dir)
+    report = experiments.run_spec(spec, jobs=args.jobs, cache=cache)
+    if args.artifacts_dir is not None:
+        path = experiments.write_artifact(
+            args.artifacts_dir, report, canonical=True
+        )
+        print(f"[canonical artifact written: {path}]", file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps(experiments.canonical_artifact_payload(report), indent=2))
+    else:
+        print(report.result.format())
+    if args.gate:
+        rate = report.result.overall_recovery_rate()
+        unrecovered = report.result.unrecovered_misses()
+        if rate < CHAOS_RECOVERY_GATE or unrecovered > 0:
+            print(
+                f"chaos gate FAILED: recovery rate {rate:.2f} "
+                f"(threshold {CHAOS_RECOVERY_GATE:.2f}), "
+                f"{unrecovered} unrecovered miss(es)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"chaos gate passed: recovery rate {rate:.2f}, "
+            f"0 unrecovered misses",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_schedule(args: argparse.Namespace) -> int:
     ctg, platform, _trace = load_instance(args.instance)
     if ctg.deadline <= 0:
@@ -330,6 +402,67 @@ def main(argv=None) -> int:
         help="shrink every experiment to a seconds-scale configuration",
     )
     run.set_defaults(func=_cmd_run)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection matrix under degradation policies",
+    )
+    chaos.add_argument(
+        "--workloads",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="workloads to fault (default: mpeg cruise; smoke: mpeg)",
+    )
+    chaos.add_argument(
+        "--plans",
+        nargs="+",
+        default=None,
+        metavar="PLAN",
+        help="named fault plans from the catalogue "
+        "(default: all; smoke: the gated subset)",
+    )
+    chaos.add_argument(
+        "--policies",
+        nargs="+",
+        default=None,
+        metavar="POLICY",
+        help="degradation policies to compare (default: default none)",
+    )
+    chaos.add_argument(
+        "--length",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trace length per cell (default: full 400, smoke 150)",
+    )
+    chaos.add_argument("--jobs", type=int, default=None, metavar="N")
+    chaos.add_argument("--cache-dir", default=None, metavar="DIR")
+    chaos.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format: rendered matrix (text) or the canonical "
+        "artifact payload (json)",
+    )
+    chaos.add_argument(
+        "--artifacts-dir",
+        default=None,
+        metavar="DIR",
+        help="write the byte-stable canonical chaos.json artifact",
+    )
+    chaos.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-scale matrix for CI (mpeg, gated plans only)",
+    )
+    chaos.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero unless the default policy recovers >=90%% "
+        "of threatened instances with zero unrecovered misses",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     sched = sub.add_parser("schedule", help="schedule a saved problem instance")
     sched.add_argument("instance", help="JSON file from repro.io.save_instance")

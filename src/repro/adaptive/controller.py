@@ -28,7 +28,8 @@ from ..ctg.graph import ConditionalTaskGraph
 from ..ctg.minterms import CtgAnalysis
 from ..platform.mpsoc import Platform
 from ..profiling import StageProfiler
-from ..scheduling.online import OnlineResult, schedule_online
+from ..scheduling.online import OnlineResult, full_speed_schedule, schedule_online
+from ..scheduling.schedule import SchedulingError
 from .window import WindowProfiler
 
 
@@ -146,29 +147,84 @@ class AdaptiveController:
 
         Returns ``True`` when the drift crossed the threshold and the
         online algorithm was re-invoked (subsequent instances run under
-        the new schedule).
+        the new schedule).  Equivalent to :meth:`record` +
+        :meth:`wants_reschedule` + :meth:`reschedule`; the faulted
+        runner drives those pieces separately so dropped/delayed
+        invocations can intervene between the decision and the call.
         """
+        self.record(decisions)
+        if not self.wants_reschedule():
+            return False
+        self.reschedule()
+        return True
+
+    # -- the observe() pipeline, exposed piecewise ----------------------
+    def record(self, decisions: Mapping[str, str]) -> None:
+        """Advance the instance clock and shift decisions into the
+        windows (no re-scheduling decision is taken here)."""
         self._instance += 1
         self.profiler.observe(decisions)
-        if (
+
+    def drift(self) -> float:
+        """Current worst-branch deviation of the windowed estimate from
+        the distribution the running schedule was built with."""
+        return self.profiler.max_deviation(self.in_use)
+
+    def cooldown_active(self) -> bool:
+        """Whether the rate limiter currently vetoes re-scheduling."""
+        return bool(
             self.config.cooldown
             and self.call_log
             and self._instance - self.call_log[-1] < self.config.cooldown
-        ):
-            return False
-        deviation = self.profiler.max_deviation(self.in_use)
-        if deviation <= self.config.threshold:
-            return False
-        self.in_use = self.profiler.distributions()
-        self.current = schedule_online(
-            self.ctg,
-            self.platform,
-            self.in_use,
-            analysis=self._analysis,
-            profiler=self.stats,
-            check=self.config.check,
         )
+
+    def wants_reschedule(self) -> bool:
+        """Whether the threshold policy calls for re-scheduling now."""
+        if self.cooldown_active():
+            return False
+        return self.drift() > self.config.threshold
+
+    def reschedule(self, emergency: bool = False, on_error: str = "raise") -> bool:
+        """Re-invoke the online algorithm with the windowed estimate.
+
+        ``emergency`` marks an out-of-band invocation (a degradation
+        policy reacting to a deadline miss rather than the drift
+        threshold) — it is counted separately (``reschedule.emergency``)
+        but otherwise identical.  ``on_error`` selects what a
+        :class:`~repro.scheduling.schedule.SchedulingError` does:
+        ``"raise"`` propagates it (the drift-loop default),
+        ``"fallback"`` installs the full-speed DLS fallback schedule so
+        a chaos run keeps going.  Returns ``True`` when the fallback
+        was installed.
+        """
+        if on_error not in ("raise", "fallback"):
+            raise ValueError(f"unknown on_error mode {on_error!r}")
+        self.in_use = self.profiler.distributions()
+        used_fallback = False
+        try:
+            self.current = schedule_online(
+                self.ctg,
+                self.platform,
+                self.in_use,
+                analysis=self._analysis,
+                profiler=self.stats,
+                check=self.config.check,
+            )
+        except SchedulingError:
+            if on_error == "raise":
+                raise
+            self.current = full_speed_schedule(
+                self.ctg,
+                self.platform,
+                self.in_use,
+                analysis=self._analysis,
+                profiler=self.stats,
+            )
+            self.stats.count("reschedule.fallback")
+            used_fallback = True
         self.calls += 1
         self.stats.count("reschedule.calls")
+        if emergency:
+            self.stats.count("reschedule.emergency")
         self.call_log.append(self._instance)
-        return True
+        return used_fallback

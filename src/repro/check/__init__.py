@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis aid only
     from .api import CheckError, assert_clean, check_instance, verify_schedule
     from .cache_checks import check_pathcache
     from .ctg_checks import check_ctg, check_probability_table
+    from .fault_checks import check_fault_plan
     from .feasibility import check_scenario_feasibility, scenario_finish_time
     from .platform_checks import check_platform
     from .schedule_checks import check_schedule
@@ -48,6 +49,7 @@ _LAZY = {
     "check_scenario_feasibility": "feasibility",
     "scenario_finish_time": "feasibility",
     "check_pathcache": "cache_checks",
+    "check_fault_plan": "fault_checks",
 }
 
 __all__ = [

@@ -14,7 +14,8 @@ Design rules for codes:
 * the prefix names the layer that owns the invariant (``CTG`` graph
   structure, ``PLAT`` platform spec, ``SCHED`` schedule soundness and
   feasibility, ``LINK`` communication bookings, ``CACHE`` path-cache
-  consistency, ``AST`` repository source lint);
+  consistency, ``AST`` repository source lint, ``FAULT`` fault-plan
+  validity);
 * the numeric part groups related checks in decades (e.g. ``SCHED02x``
   are placement-exclusivity checks, ``SCHED03x`` deadline feasibility).
 
@@ -95,6 +96,13 @@ CODE_TABLE: Tuple[CodeInfo, ...] = (
     CodeInfo("AST101", "mutable default argument", Severity.ERROR),
     CodeInfo("AST102", "blind exception handler", Severity.ERROR),
     CodeInfo("AST103", "float equality comparison", Severity.ERROR),
+    # -- fault plans -----------------------------------------------------
+    CodeInfo("FAULT001", "unknown injector kind", Severity.ERROR),
+    CodeInfo("FAULT002", "firing rate outside [0, 1]", Severity.ERROR),
+    CodeInfo("FAULT003", "magnitude out of range for the injector kind", Severity.ERROR),
+    CodeInfo("FAULT004", "empty or negative activation window", Severity.ERROR),
+    CodeInfo("FAULT005", "injector target does not resolve", Severity.ERROR),
+    CodeInfo("FAULT006", "fault plan declares no injectors", Severity.WARNING),
 )
 
 #: Code → registry entry, derived from :data:`CODE_TABLE`.

@@ -1,0 +1,43 @@
+"""Checker for fault plans (FAULT diagnostic codes).
+
+Semantic validation lives on :meth:`repro.faults.plan.FaultPlan.diagnose`
+(the faults package owns its own invariants); this module adapts it to
+the ``repro.check`` conventions — accept either a plan object or a raw
+JSON payload, wrap the findings in a :class:`CheckReport`, and turn
+structural :class:`~repro.faults.plan.FaultPlanError` problems into
+FAULT001 findings instead of exceptions so CI gets a report either way.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Union
+
+from .diagnostics import CheckReport, Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis aid only
+    from ..faults.plan import FaultPlan
+
+
+def check_fault_plan(
+    plan: Union["FaultPlan", Mapping[str, Any]],
+    ctg: Optional[Any] = None,
+    platform: Optional[Any] = None,
+) -> CheckReport:
+    """Verify a fault plan (object or raw ``to_dict`` payload).
+
+    With a ``ctg``/``platform``, injector targets are resolved against
+    the instance; without them only instance-independent rules run.
+    """
+    from ..faults.plan import FaultPlan, FaultPlanError
+
+    report = CheckReport(checks_run=["fault_plan"])
+    if not isinstance(plan, FaultPlan):
+        try:
+            plan = FaultPlan.from_dict(plan)
+        except FaultPlanError as exc:
+            report.add(
+                Diagnostic("FAULT001", f"malformed fault plan payload: {exc}")
+            )
+            return report
+    report.extend(plan.diagnose(ctg=ctg, platform=platform))
+    return report

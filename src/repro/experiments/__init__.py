@@ -16,11 +16,19 @@ from .artifacts import (
     ARTIFACT_SCHEMA,
     ArtifactError,
     artifact_payload,
+    canonical_artifact_payload,
     load_artifact,
     validate_artifact,
     write_artifact,
 )
 from .cache import CacheStats, CellCache, resolve_cache
+from .chaos import (
+    ChaosResult,
+    ChaosRow,
+    chaos_spec,
+    fault_plan_catalogue,
+    run_chaos,
+)
 from .engine import EngineError, EngineStats, ExperimentReport, run_spec
 from .extensions import (
     DiscreteResult,
@@ -55,9 +63,15 @@ __all__ = [
     "ARTIFACT_SCHEMA",
     "ArtifactError",
     "artifact_payload",
+    "canonical_artifact_payload",
     "load_artifact",
     "validate_artifact",
     "write_artifact",
+    "ChaosResult",
+    "ChaosRow",
+    "chaos_spec",
+    "fault_plan_catalogue",
+    "run_chaos",
     "Cell",
     "CellResult",
     "ExperimentSpec",

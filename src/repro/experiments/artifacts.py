@@ -117,6 +117,35 @@ def artifact_payload(report: ExperimentReport) -> Dict[str, Any]:
     }
 
 
+def canonical_artifact_payload(report: ExperimentReport) -> Dict[str, Any]:
+    """Artifact payload with every volatile field zeroed.
+
+    Wall-clock timings, job counts and cache-hit statistics vary run to
+    run even when the experiment's data is bit-identical; the chaos CI
+    job diffs two artifacts byte for byte, so the canonical form zeroes
+    ``seconds`` (top-level and per-cell), ``jobs``, every profile
+    timing (call/counter totals are deterministic and kept) and the
+    cache statistics, and marks every cell uncached.  Everything the
+    experiment actually computed is untouched.
+    """
+    payload = artifact_payload(report)
+    payload["jobs"] = 0
+    payload["seconds"] = 0.0
+    payload["cache"] = {
+        "enabled": payload["cache"]["enabled"],
+        "hits": 0,
+        "misses": 0,
+        "corrupt": 0,
+        "hit_rate": 0.0,
+    }
+    for cell in payload["cells"]:
+        cell["seconds"] = 0.0
+        cell["cached"] = False
+    profile = payload["profile"]
+    profile["timings"] = {name: 0.0 for name in profile.get("timings", {})}
+    return payload
+
+
 def validate_artifact(payload: Any) -> Dict[str, Any]:
     """Check a payload against the artifact schema; returns it.
 
@@ -159,14 +188,22 @@ def validate_artifact(payload: Any) -> Dict[str, Any]:
 
 
 def write_artifact(
-    directory: Union[str, Path], report: ExperimentReport
+    directory: Union[str, Path],
+    report: ExperimentReport,
+    canonical: bool = False,
 ) -> Path:
-    """Write one run's artifact as ``<directory>/<experiment>.json``."""
+    """Write one run's artifact as ``<directory>/<experiment>.json``.
+
+    With ``canonical=True`` the volatile fields are zeroed first (see
+    :func:`canonical_artifact_payload`), making the file byte-stable
+    across repeated runs of a deterministic experiment.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{report.name}.json"
+    build = canonical_artifact_payload if canonical else artifact_payload
     path.write_text(
-        json.dumps(artifact_payload(report), indent=2, sort_keys=True) + "\n",
+        json.dumps(build(report), indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
     return path

@@ -1,0 +1,51 @@
+"""Deterministic fault injection and graceful degradation.
+
+The paper's premise is a *non-deterministic workload*, yet the rest of
+the simulator perturbs only branch outcomes — execution times, PE
+behaviour, link latencies and the re-scheduling path itself are assumed
+perfect.  This package makes every one of those assumptions breakable,
+deterministically:
+
+* :mod:`repro.faults.plan` — the declarative :class:`FaultPlan`: a
+  seeded, canonical-JSON-fingerprintable composition of
+  :class:`InjectorSpec` records (execution-time overruns, PE slowdown
+  and transient freezes, link-latency jitter, dropped/delayed
+  re-schedule invocations, corrupted branch observations);
+* :mod:`repro.faults.injectors` — the runtime that resolves a plan
+  into per-instance :class:`InstanceFaults` (random-access seeded, so
+  the same plan replays bit-identically regardless of policy, process
+  count or iteration order);
+* :mod:`repro.faults.policy` — :class:`DegradationPolicy`: what the
+  adaptive loop does *about* faults (max-speed escalation of the
+  remaining tasks, emergency re-scheduling with retry/backoff, the
+  full-speed fallback schedule);
+* :mod:`repro.faults.log` — the structured :class:`FaultLog` of every
+  injected fault and every recovery action, with the miss-rate /
+  recovery-rate / energy-cost-of-recovery summary the artifacts expose.
+
+Everything here sits *below* :mod:`repro.sim`: the executor and runner
+import these types, never the other way around.
+"""
+
+from .injectors import FaultInjector, InstanceFaults
+from .log import FaultEvent, FaultLog, RecoveryAction
+from .plan import (
+    INJECTOR_KINDS,
+    FaultPlanError,
+    FaultPlan,
+    InjectorSpec,
+)
+from .policy import DegradationPolicy
+
+__all__ = [
+    "INJECTOR_KINDS",
+    "FaultPlan",
+    "FaultPlanError",
+    "InjectorSpec",
+    "FaultInjector",
+    "InstanceFaults",
+    "FaultEvent",
+    "FaultLog",
+    "RecoveryAction",
+    "DegradationPolicy",
+]

@@ -1,0 +1,230 @@
+"""Runtime that resolves a :class:`FaultPlan` into per-instance faults.
+
+:class:`FaultInjector` is a pure function of ``(plan, ctg, platform)``:
+:meth:`~FaultInjector.faults_at` maps a graph-instance index to the
+:class:`InstanceFaults` the executor and runner consume.  Two
+determinism properties make the chaos harness reproducible:
+
+* **random access** — the RNG for injector *k* at instance *i* is
+  seeded from the string ``"{seed}:{k}:{i}"`` (CPython hashes string
+  seeds with SHA-512, independent of ``PYTHONHASHSEED``), so a draw
+  depends only on the plan, never on which instances ran before, in
+  what order, or in which worker process;
+* **fixed draw protocol** — every injector consumes exactly three
+  draws per instance (firing roll, target pick, severity), whether or
+  not it fires, so adding consumers can never shift later draws.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from .log import FaultEvent
+from .plan import FaultPlan, FaultPlanError, InjectorSpec
+
+#: Draws consumed per injector per instance (see the module docstring).
+_DRAWS = 3
+
+
+@dataclass(frozen=True)
+class InstanceFaults:
+    """Resolved faults for one graph instance (executor/runner view).
+
+    All mappings are already *combined* across injectors: WCET factors
+    multiply, additions sum, PE/edge factors multiply, freezes take the
+    max, re-schedule drops OR together, delays take the max, and branch
+    rotations add.
+    """
+
+    instance: int
+    #: task → multiplicative WCET factor (≥ 1)
+    wcet_factors: Dict[str, float] = field(default_factory=dict)
+    #: task → additive WCET surplus in time units (≥ 0)
+    wcet_additions: Dict[str, float] = field(default_factory=dict)
+    #: PE → duration factor for every task on it (≥ 1)
+    pe_factors: Dict[str, float] = field(default_factory=dict)
+    #: PE → no task starts before this fraction of the deadline
+    pe_freezes: Dict[str, float] = field(default_factory=dict)
+    #: (src, dst) → cross-PE transfer-delay factor (≥ 1)
+    edge_factors: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    #: any re-schedule invocation issued at this instance is lost
+    drop_reschedule: bool = False
+    #: re-schedule invocations are deferred by this many instances
+    delay_reschedule: int = 0
+    #: branch → outcome-rotation applied to the *observed* label
+    branch_rotations: Dict[str, int] = field(default_factory=dict)
+    #: the injected faults, for the log
+    events: Tuple[FaultEvent, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        """Whether nothing fired at this instance."""
+        return not self.events
+
+    @property
+    def perturbs_timing(self) -> bool:
+        """Whether any fault changes task/transfer timing."""
+        return bool(
+            self.wcet_factors
+            or self.wcet_additions
+            or self.pe_factors
+            or self.pe_freezes
+            or self.edge_factors
+        )
+
+
+#: The no-fault instance, shared (InstanceFaults is immutable).
+def no_faults(instance: int) -> InstanceFaults:
+    """An empty :class:`InstanceFaults` for ``instance``."""
+    return InstanceFaults(instance=instance)
+
+
+def _parse_edge(name: str) -> Tuple[str, str]:
+    """Split an ``"src->dst"`` edge name."""
+    src, sep, dst = name.partition("->")
+    if not sep or not src or not dst:
+        raise FaultPlanError(f"edge target {name!r} is not of the form 'src->dst'")
+    return src, dst
+
+
+class FaultInjector:
+    """Deterministic plan → per-instance fault resolver."""
+
+    def __init__(self, plan: FaultPlan, ctg=None, platform=None) -> None:
+        from .plan import _eligible_targets
+
+        self.plan = plan
+        #: per-injector eligible targets, frozen at construction so the
+        #: uniform pick is independent of runtime state
+        self._eligible: List[Sequence[str]] = []
+        for spec in plan.injectors:
+            if spec.targets:
+                self._eligible.append(tuple(spec.targets))
+            else:
+                eligible = _eligible_targets(spec.kind, ctg, platform)
+                self._eligible.append(tuple(eligible) if eligible else ())
+
+    # -- the deterministic core -----------------------------------------
+    def _draws(self, index: int, instance: int) -> Tuple[float, float, float]:
+        rng = random.Random(f"{self.plan.seed}:{index}:{instance}")
+        return tuple(rng.random() for _ in range(_DRAWS))
+
+    def fires_at(self, index: int, instance: int) -> bool:
+        """Whether injector ``index`` fires at ``instance``."""
+        spec = self.plan.injectors[index]
+        if not spec.active_at(instance):
+            return False
+        roll, _, _ = self._draws(index, instance)
+        return roll < spec.rate
+
+    def faults_at(self, instance: int) -> InstanceFaults:
+        """Resolve and combine every firing injector at ``instance``."""
+        wcet_factors: Dict[str, float] = {}
+        wcet_additions: Dict[str, float] = {}
+        pe_factors: Dict[str, float] = {}
+        pe_freezes: Dict[str, float] = {}
+        edge_factors: Dict[Tuple[str, str], float] = {}
+        branch_rotations: Dict[str, int] = {}
+        drop = False
+        delay = 0
+        events: List[FaultEvent] = []
+
+        for index, spec in enumerate(self.plan.injectors):
+            if not spec.active_at(instance):
+                continue
+            roll, pick, sev_draw = self._draws(index, instance)
+            if roll >= spec.rate:
+                continue
+            targets = self._chosen_targets(index, spec, pick)
+            severity = self._severity(spec, sev_draw)
+            if spec.kind == "task_overrun":
+                for task in targets:
+                    if spec.mode == "additive":
+                        wcet_additions[task] = wcet_additions.get(task, 0.0) + severity
+                    else:
+                        wcet_factors[task] = wcet_factors.get(task, 1.0) * severity
+            elif spec.kind == "pe_slowdown":
+                for pe in targets:
+                    pe_factors[pe] = pe_factors.get(pe, 1.0) * severity
+            elif spec.kind == "pe_freeze":
+                for pe in targets:
+                    pe_freezes[pe] = max(pe_freezes.get(pe, 0.0), severity)
+            elif spec.kind == "link_jitter":
+                for name in targets:
+                    edge = _parse_edge(name)
+                    edge_factors[edge] = edge_factors.get(edge, 1.0) * severity
+            elif spec.kind == "reschedule_drop":
+                drop = True
+            elif spec.kind == "reschedule_delay":
+                delay = max(delay, int(severity))
+            elif spec.kind == "branch_corruption":
+                for branch in targets:
+                    branch_rotations[branch] = branch_rotations.get(branch, 0) + 1
+            else:
+                raise FaultPlanError(f"unknown injector kind {spec.kind!r}")
+            if spec.kind in ("reschedule_drop", "reschedule_delay"):
+                events.append(
+                    FaultEvent(instance, index, spec.kind, "", severity)
+                )
+            else:
+                events.extend(
+                    FaultEvent(instance, index, spec.kind, target, severity)
+                    for target in targets
+                )
+
+        return InstanceFaults(
+            instance=instance,
+            wcet_factors=wcet_factors,
+            wcet_additions=wcet_additions,
+            pe_factors=pe_factors,
+            pe_freezes=pe_freezes,
+            edge_factors=edge_factors,
+            drop_reschedule=drop,
+            delay_reschedule=delay,
+            branch_rotations=branch_rotations,
+            events=tuple(sorted(events)),
+        )
+
+    def timeline(self, length: int) -> List[InstanceFaults]:
+        """Resolved faults for instances ``0..length-1``."""
+        return [self.faults_at(i) for i in range(length)]
+
+    # -- helpers ---------------------------------------------------------
+    def _chosen_targets(
+        self, index: int, spec: InjectorSpec, pick: float
+    ) -> Tuple[str, ...]:
+        from .plan import _TARGET_DOMAIN
+
+        if _TARGET_DOMAIN.get(spec.kind) == "none":
+            return ()
+        if spec.targets:
+            return spec.targets
+        eligible = self._eligible[index]
+        if not eligible:
+            return ()
+        return (eligible[int(pick * len(eligible)) % len(eligible)],)
+
+    @staticmethod
+    def _severity(spec: InjectorSpec, sev_draw: float) -> float:
+        if spec.kind == "link_jitter":
+            return 1.0 + (spec.magnitude - 1.0) * sev_draw
+        if spec.kind == "reschedule_delay":
+            return float(math.ceil(spec.magnitude))
+        return spec.magnitude
+
+
+def rotate_label(outcomes: Sequence[str], label: str, rotation: int) -> str:
+    """The declared outcome ``rotation`` steps after ``label``.
+
+    Corruption must stay inside the declared label set —
+    :class:`~repro.adaptive.window.BranchWindow` rejects undeclared
+    labels, which is exactly why corrupted observations are modelled as
+    a rotation rather than arbitrary strings.
+    """
+    if not outcomes or label not in outcomes:
+        return label
+    position = list(outcomes).index(label)
+    return list(outcomes)[(position + rotation) % len(outcomes)]

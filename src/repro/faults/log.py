@@ -1,0 +1,242 @@
+"""Structured record of injected faults and recovery actions.
+
+Every fault the runtime injects and every action a
+:class:`~repro.faults.policy.DegradationPolicy` takes in response is
+appended to a :class:`FaultLog` as a :class:`FaultEvent` /
+:class:`RecoveryAction` pair of streams.  The log is plain data —
+sortable, JSON-serialisable, and mergeable — so two replays of the same
+seeded plan can be compared for equality byte-by-byte, and the chaos
+artifacts can expose per-policy miss/recovery/energy summaries without
+re-running anything.
+
+Ordering contract: events are kept sorted by ``(instance, injector,
+kind, target)`` and actions by ``(instance, action, detail)``, so the
+serialised form is independent of append order (parallel cells may
+interleave differently yet must fingerprint identically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One injected fault at one graph instance.
+
+    ``injector`` is the index of the originating
+    :class:`~repro.faults.plan.InjectorSpec` inside its plan;
+    ``severity`` is the resolved magnitude (after any per-firing draw);
+    ``target`` is the concrete task/PE/edge/branch hit, or ``""`` for
+    kinds without targets.
+    """
+
+    instance: int
+    injector: int
+    kind: str
+    target: str = ""
+    severity: float = 1.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "instance": self.instance,
+            "injector": self.injector,
+            "kind": self.kind,
+            "target": self.target,
+            "severity": self.severity,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultEvent":
+        """Rebuild an event from :meth:`to_dict` output."""
+        return cls(
+            instance=int(payload["instance"]),
+            injector=int(payload["injector"]),
+            kind=str(payload["kind"]),
+            target=str(payload.get("target", "")),
+            severity=float(payload.get("severity", 1.0)),
+        )
+
+
+@dataclass(frozen=True, order=True)
+class RecoveryAction:
+    """One degradation-policy reaction at one graph instance.
+
+    ``action`` is a small closed vocabulary:
+
+    ``escalate``
+        Remaining tasks of the instance were forced to max speed.
+    ``emergency_reschedule``
+        The policy invoked an out-of-band re-schedule.
+    ``reschedule_retry``
+        A dropped/failed invocation was retried after backoff.
+    ``fallback_schedule``
+        Re-scheduling failed; the full-speed fallback schedule was
+        installed.
+    ``recovered`` / ``unrecovered``
+        Verdict for one deadline-threatening fault: the policy did /
+        did not bring the instance back under the deadline.
+    """
+
+    instance: int
+    action: str
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "instance": self.instance,
+            "action": self.action,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RecoveryAction":
+        """Rebuild an action from :meth:`to_dict` output."""
+        return cls(
+            instance=int(payload["instance"]),
+            action=str(payload["action"]),
+            detail=str(payload.get("detail", "")),
+        )
+
+
+@dataclass
+class FaultLog:
+    """Append-mostly log of faults and recoveries for one run.
+
+    The energy fields accumulate the *baseline* (no-policy) and
+    *policy* energies of faulted instances, so
+    :meth:`energy_cost_of_recovery` is the extra energy the policy
+    spent to recover — the quantity the chaos artifacts report.
+    """
+
+    events: List[FaultEvent] = field(default_factory=list)
+    actions: List[RecoveryAction] = field(default_factory=list)
+    #: instances whose *baseline* (policy-off) arm missed the deadline
+    threatened: int = 0
+    #: threatened instances the policy brought back under the deadline
+    recovered: int = 0
+    #: instances that missed the deadline even with the policy active
+    unrecovered: int = 0
+    #: summed policy-arm energy of faulted instances
+    policy_energy: float = 0.0
+    #: summed baseline-arm energy of the same instances
+    baseline_energy: float = 0.0
+
+    # -- recording -------------------------------------------------------
+    def record(self, event: FaultEvent) -> None:
+        """Append one injected fault."""
+        self.events.append(event)
+
+    def act(self, action: RecoveryAction) -> None:
+        """Append one recovery action."""
+        self.actions.append(action)
+
+    def merge(self, other: "FaultLog") -> "FaultLog":
+        """Fold another log into this one (returns ``self``)."""
+        self.events.extend(other.events)
+        self.actions.extend(other.actions)
+        self.threatened += other.threatened
+        self.recovered += other.recovered
+        self.unrecovered += other.unrecovered
+        self.policy_energy += other.policy_energy
+        self.baseline_energy += other.baseline_energy
+        return self
+
+    # -- summaries -------------------------------------------------------
+    @property
+    def fault_count(self) -> int:
+        """Total injected faults."""
+        return len(self.events)
+
+    def recovery_rate(self) -> float:
+        """Recovered / threatened (1.0 when nothing was threatened)."""
+        if self.threatened == 0:
+            return 1.0
+        return self.recovered / self.threatened
+
+    def energy_cost_of_recovery(self) -> float:
+        """Extra energy the policy spent on faulted instances."""
+        return self.policy_energy - self.baseline_energy
+
+    def events_by_kind(self) -> Dict[str, int]:
+        """Injected-fault histogram keyed by injector kind."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def actions_by_kind(self) -> Dict[str, int]:
+        """Recovery-action histogram keyed by action name."""
+        counts: Dict[str, int] = {}
+        for action in self.actions:
+            counts[action.action] = counts.get(action.action, 0) + 1
+        return dict(sorted(counts.items()))
+
+    # -- serialisation ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-ready form (sorted, append-order independent)."""
+        return {
+            "events": [e.to_dict() for e in sorted(self.events)],
+            "actions": [a.to_dict() for a in sorted(self.actions)],
+            "threatened": self.threatened,
+            "recovered": self.recovered,
+            "unrecovered": self.unrecovered,
+            "policy_energy": self.policy_energy,
+            "baseline_energy": self.baseline_energy,
+            "summary": self.summary(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultLog":
+        """Rebuild a log from :meth:`to_dict` output."""
+        log = cls(
+            events=[FaultEvent.from_dict(e) for e in payload.get("events", ())],
+            actions=[RecoveryAction.from_dict(a) for a in payload.get("actions", ())],
+            threatened=int(payload.get("threatened", 0)),
+            recovered=int(payload.get("recovered", 0)),
+            unrecovered=int(payload.get("unrecovered", 0)),
+            policy_energy=float(payload.get("policy_energy", 0.0)),
+            baseline_energy=float(payload.get("baseline_energy", 0.0)),
+        )
+        return log
+
+    def summary(self) -> Dict[str, Any]:
+        """The headline numbers the artifacts expose."""
+        return {
+            "faults": self.fault_count,
+            "by_kind": self.events_by_kind(),
+            "threatened": self.threatened,
+            "recovered": self.recovered,
+            "unrecovered": self.unrecovered,
+            "recovery_rate": self.recovery_rate(),
+            "energy_cost_of_recovery": self.energy_cost_of_recovery(),
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultLog):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def canonical(self) -> Tuple[Any, ...]:
+        """Order-independent comparison key (sorted event/action streams)."""
+        return (
+            tuple(sorted(self.events)),
+            tuple(sorted(self.actions)),
+            self.threatened,
+            self.recovered,
+            self.unrecovered,
+            self.policy_energy,
+            self.baseline_energy,
+        )
+
+
+def merge_logs(logs: Iterable[Optional[FaultLog]]) -> FaultLog:
+    """Fold many (possibly ``None``) logs into one fresh log."""
+    merged = FaultLog()
+    for log in logs:
+        if log is not None:
+            merged.merge(log)
+    return merged

@@ -1,0 +1,339 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is to the chaos harness what
+:class:`~repro.experiments.spec.ExperimentSpec` is to the experiment
+engine: a fully JSON-serialisable description of *what to break*, from
+which everything downstream is a deterministic function.  The plan's
+:meth:`~FaultPlan.fingerprint` covers the seed and every injector
+field, so chaos cells are content-addressed exactly like experiment
+cells.
+
+An :class:`InjectorSpec` names one fault process.  Its fields mean:
+
+``kind``
+    One of :data:`INJECTOR_KINDS` (semantics below).
+``rate``
+    Per-instance firing probability in ``[0, 1]``.
+``magnitude``
+    Severity of one firing; the unit depends on the kind:
+
+    =====================  ============================================
+    ``task_overrun``       multiplicative: effective WCET = WCET × m
+                           (m > 1); additive: effective WCET = WCET + m
+                           time units (m > 0) — the ``mode`` field picks
+    ``pe_slowdown``        every task on the PE runs m× slower for the
+                           instance (m > 1, a frequency drop)
+    ``pe_freeze``          the PE starts no task before m × deadline
+                           time units into the instance (0 < m ≤ 1)
+    ``link_jitter``        cross-PE transfer delays on the targeted
+                           edges scale by a factor drawn uniformly in
+                           [1, m] (m > 1)
+    ``reschedule_drop``    unused (any re-schedule invocation issued at
+                           a firing instance is silently lost)
+    ``reschedule_delay``   the invocation is deferred by ⌈m⌉ instances
+                           (m ≥ 1)
+    ``branch_corruption``  unused (the observed label of the targeted
+                           branch is rotated to the next declared
+                           outcome before it reaches the profiler)
+    =====================  ============================================
+``targets``
+    Entities the firing affects — task names for ``task_overrun``, PE
+    names for ``pe_slowdown``/``pe_freeze``, ``"src->dst"`` edge names
+    for ``link_jitter``, branch fork names for ``branch_corruption``.
+    Empty means: draw **one** eligible entity uniformly per firing.
+``start`` / ``stop``
+    Half-open activation window in instance indices (``stop=None`` =
+    until the end of the trace).
+
+Determinism contract: whether an injector fires at instance *i*, and
+what it picks, depends only on ``(plan.seed, injector index, i)`` —
+never on the schedule, the policy, or what other injectors did.  The
+same plan therefore replays bit-identically under any policy, at any
+``--jobs`` value, and when instances are re-executed out of order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..check.diagnostics import Diagnostic
+
+#: Every injector kind the runtime implements.
+INJECTOR_KINDS: Tuple[str, ...] = (
+    "task_overrun",
+    "pe_slowdown",
+    "pe_freeze",
+    "link_jitter",
+    "reschedule_drop",
+    "reschedule_delay",
+    "branch_corruption",
+)
+
+#: Kinds whose ``targets`` name tasks / PEs / edges / branches.
+_TARGET_DOMAIN: Dict[str, str] = {
+    "task_overrun": "task",
+    "pe_slowdown": "pe",
+    "pe_freeze": "pe",
+    "link_jitter": "edge",
+    "reschedule_drop": "none",
+    "reschedule_delay": "none",
+    "branch_corruption": "branch",
+}
+
+#: ``task_overrun`` modes.
+OVERRUN_MODES: Tuple[str, ...] = ("multiplicative", "additive")
+
+
+class FaultPlanError(ValueError):
+    """A fault plan payload is structurally malformed."""
+
+
+@dataclass(frozen=True)
+class InjectorSpec:
+    """One declarative fault process (see the module docstring)."""
+
+    kind: str
+    rate: float
+    magnitude: float = 1.0
+    mode: str = "multiplicative"
+    targets: Tuple[str, ...] = ()
+    start: int = 0
+    stop: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (stable key order)."""
+        return {
+            "kind": self.kind,
+            "rate": self.rate,
+            "magnitude": self.magnitude,
+            "mode": self.mode,
+            "targets": list(self.targets),
+            "start": self.start,
+            "stop": self.stop,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "InjectorSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Structural problems (missing ``kind``, non-numeric fields) raise
+        :class:`FaultPlanError`; *semantic* problems (unknown kind,
+        out-of-range rate) are left for :meth:`FaultPlan.diagnose`, so
+        the checker can report them with stable codes instead.
+        """
+        if not isinstance(payload, Mapping):
+            raise FaultPlanError(f"injector must be an object, got {type(payload).__name__}")
+        if "kind" not in payload:
+            raise FaultPlanError("injector is missing the 'kind' field")
+        known = {"kind", "rate", "magnitude", "mode", "targets", "start", "stop"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise FaultPlanError(f"injector has unknown field(s): {', '.join(unknown)}")
+        try:
+            stop = payload.get("stop")
+            return cls(
+                kind=str(payload["kind"]),
+                rate=float(payload.get("rate", 0.0)),
+                magnitude=float(payload.get("magnitude", 1.0)),
+                mode=str(payload.get("mode", "multiplicative")),
+                targets=tuple(str(t) for t in payload.get("targets", ())),
+                start=int(payload.get("start", 0)),
+                stop=None if stop is None else int(stop),
+            )
+        except (TypeError, ValueError) as exc:
+            raise FaultPlanError(f"injector field has the wrong type: {exc}") from exc
+
+    def active_at(self, instance: int) -> bool:
+        """Whether the activation window contains ``instance``."""
+        if instance < self.start:
+            return False
+        return self.stop is None or instance < self.stop
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded composition of injectors."""
+
+    name: str
+    seed: int
+    injectors: Tuple[InjectorSpec, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "injectors": [spec.to_dict() for spec in self.injectors],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output.
+
+        Raises :class:`FaultPlanError` on structural problems; use
+        :meth:`diagnose` (or :func:`repro.check.check_fault_plan`) for
+        semantic validation with stable diagnostic codes.
+        """
+        if not isinstance(payload, Mapping):
+            raise FaultPlanError(f"fault plan must be an object, got {type(payload).__name__}")
+        known = {"name", "seed", "injectors"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise FaultPlanError(f"fault plan has unknown field(s): {', '.join(unknown)}")
+        injectors = payload.get("injectors", ())
+        if not isinstance(injectors, (list, tuple)):
+            raise FaultPlanError("'injectors' must be a list")
+        try:
+            seed = int(payload.get("seed", 0))
+        except (TypeError, ValueError) as exc:
+            raise FaultPlanError(f"'seed' must be an integer: {exc}") from exc
+        return cls(
+            name=str(payload.get("name", "plan")),
+            seed=seed,
+            injectors=tuple(InjectorSpec.from_dict(spec) for spec in injectors),
+        )
+
+    def fingerprint(self) -> str:
+        """Content address of the plan (canonical JSON, SHA-256)."""
+        from ..io import fingerprint
+
+        return fingerprint({"fault_plan": self.to_dict()})
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same plan under a different seed."""
+        return replace(self, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Semantic validation (FAULT diagnostic codes)
+    # ------------------------------------------------------------------
+    def diagnose(self, ctg=None, platform=None) -> List[Diagnostic]:
+        """Semantic findings as FAULT-coded diagnostics.
+
+        With a ``ctg``/``platform``, injector targets are additionally
+        resolved against the instance (FAULT005); without them only the
+        instance-independent rules run.
+        """
+        findings: List[Diagnostic] = []
+        if not self.injectors:
+            findings.append(
+                Diagnostic(
+                    "FAULT006",
+                    f"fault plan {self.name!r} declares no injectors — "
+                    "a chaos run under it is a plain run",
+                    subject=self.name,
+                )
+            )
+        for index, spec in enumerate(self.injectors):
+            subject = f"{self.name}[{index}]"
+            findings.extend(_diagnose_injector(spec, subject, ctg, platform))
+        return findings
+
+
+def _eligible_targets(kind: str, ctg, platform) -> Optional[List[str]]:
+    """Valid target names for a kind (``None`` when unresolvable)."""
+    domain = _TARGET_DOMAIN.get(kind)
+    if domain == "task" and ctg is not None:
+        return list(ctg.tasks())
+    if domain == "pe" and platform is not None:
+        return list(platform.pe_names)
+    if domain == "branch" and ctg is not None:
+        return list(ctg.branch_nodes())
+    if domain == "edge" and ctg is not None:
+        return [
+            f"{src}->{dst}" for src, dst, _ in ctg.edges(include_pseudo=False)
+        ]
+    return None
+
+
+def _diagnose_injector(spec: InjectorSpec, subject: str, ctg, platform) -> List[Diagnostic]:
+    findings: List[Diagnostic] = []
+    if spec.kind not in INJECTOR_KINDS:
+        findings.append(
+            Diagnostic(
+                "FAULT001",
+                f"unknown injector kind {spec.kind!r} "
+                f"(known: {', '.join(INJECTOR_KINDS)})",
+                subject=subject,
+            )
+        )
+        return findings  # the remaining rules are kind-specific
+    if not 0.0 <= spec.rate <= 1.0:
+        findings.append(
+            Diagnostic(
+                "FAULT002",
+                f"injector rate {spec.rate!r} is outside [0, 1]",
+                subject=subject,
+            )
+        )
+    findings.extend(_diagnose_magnitude(spec, subject))
+    if spec.start < 0 or (spec.stop is not None and spec.stop <= spec.start):
+        findings.append(
+            Diagnostic(
+                "FAULT004",
+                f"activation window [{spec.start}, {spec.stop}) is empty "
+                "or starts before instance 0",
+                subject=subject,
+            )
+        )
+    if spec.kind == "task_overrun" and spec.mode not in OVERRUN_MODES:
+        findings.append(
+            Diagnostic(
+                "FAULT003",
+                f"unknown overrun mode {spec.mode!r} "
+                f"(known: {', '.join(OVERRUN_MODES)})",
+                subject=subject,
+            )
+        )
+    if _TARGET_DOMAIN[spec.kind] == "none" and spec.targets:
+        findings.append(
+            Diagnostic(
+                "FAULT005",
+                f"{spec.kind} injectors take no targets, got "
+                f"{list(spec.targets)}",
+                subject=subject,
+            )
+        )
+    else:
+        eligible = _eligible_targets(spec.kind, ctg, platform)
+        if eligible is not None:
+            domain = _TARGET_DOMAIN[spec.kind]
+            unknown = sorted(set(spec.targets) - set(eligible))
+            if unknown:
+                findings.append(
+                    Diagnostic(
+                        "FAULT005",
+                        f"targets name unknown {domain}(s): {', '.join(unknown)}",
+                        subject=subject,
+                    )
+                )
+    return findings
+
+
+def _diagnose_magnitude(spec: InjectorSpec, subject: str) -> List[Diagnostic]:
+    """Kind-specific magnitude range rules (FAULT003)."""
+    kind, m = spec.kind, spec.magnitude
+    problem: Optional[str] = None
+    if kind == "task_overrun":
+        if spec.mode == "multiplicative" and m <= 1.0:
+            problem = "a multiplicative overrun needs magnitude > 1"
+        elif spec.mode == "additive" and m <= 0.0:
+            problem = "an additive overrun needs magnitude > 0 time units"
+    elif kind in ("pe_slowdown", "link_jitter"):
+        if m <= 1.0:
+            problem = f"a {kind} needs a factor magnitude > 1"
+    elif kind == "pe_freeze":
+        if not 0.0 < m <= 1.0:
+            problem = "a freeze needs magnitude in (0, 1] (fraction of the deadline)"
+    elif kind == "reschedule_delay":
+        if m < 1.0:
+            problem = "a delay needs magnitude >= 1 instance"
+    if problem is None:
+        return []
+    return [
+        Diagnostic(
+            "FAULT003",
+            f"magnitude {m!r} out of range: {problem}",
+            subject=subject,
+        )
+    ]

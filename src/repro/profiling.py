@@ -33,7 +33,17 @@ related entries; nothing enforces the vocabulary):
 ``stretch.refresh``        probability-dependent table refresh
 ``stretch.sweep``          the per-task CalculateSlack sweep
 ``executor.replay``        per-instance schedule replay in the simulator
+``executor.replay_faulted``  dual-arm replay of a fault-injected instance
 ``reschedule.calls``       adaptive re-invocations of the online algorithm
+``reschedule.emergency``   out-of-band invocations after an unrecovered miss
+``reschedule.dropped``     invocations lost to an injected drop fault
+``reschedule.delayed``     invocations deferred by an injected delay fault
+``reschedule.fallback``    full-speed fallback schedules installed on failure
+``fault.injected``         faults resolved from the plan and applied
+``fault.threatened``       instances whose no-policy arm missed the deadline
+``fault.escalations``      overrun detections that escalated remaining tasks
+``fault.corrupted_observations``  branch labels rotated before the estimator
+``online.fallback``        full-speed DLS fallback scheduling stage
 ``path_cache.hit/miss``    structural path-analytics cache outcomes
 ``prob_cache.hit/miss``    probability-tier (prob_after) cache outcomes
 ``paths.enumerated``       paths enumerated on structural cache misses

@@ -139,6 +139,36 @@ def schedule_online(
     return OnlineResult(schedule=schedule, stretch=stretch, profile=profiler)
 
 
+def full_speed_schedule(
+    ctg: ConditionalTaskGraph,
+    platform: Platform,
+    probabilities: Optional[BranchProbabilities] = None,
+    analysis: Optional[CtgAnalysis] = None,
+    profiler: Optional[StageProfiler] = None,
+) -> OnlineResult:
+    """Plain DLS schedule with no voltage scaling (every speed 1.0).
+
+    This is the graceful-degradation fallback: when a re-scheduling
+    attempt itself fails (:class:`~repro.scheduling.schedule.SchedulingError`),
+    the adaptive controller installs this schedule instead of crashing
+    the loop — it maximises the deadline slack the framework can offer
+    at the price of nominal energy.  The result mirrors
+    :class:`OnlineResult` so callers can swap it in transparently; its
+    stretch report records the all-ones speed assignment.
+    """
+    prof = as_profiler(profiler)
+    with prof.stage("online.fallback"):
+        if probabilities is None:
+            probabilities = ctg.default_probabilities
+        if analysis is None:
+            analysis = CtgAnalysis.of(ctg)
+        schedule = dls_schedule(
+            ctg, platform, probabilities, analysis=analysis, profiler=profiler
+        )
+    report = StretchReport(speeds={task: 1.0 for task in schedule.placements})
+    return OnlineResult(schedule=schedule, stretch=report, profile=profiler)
+
+
 def minimal_makespan(ctg: ConditionalTaskGraph, platform: Platform) -> float:
     """Worst-case makespan of the nominal-speed DLS schedule.
 

@@ -250,7 +250,10 @@ class Schedule:
         """Energy of one period when branches resolve as ``scenario``."""
         exponent = self.platform.dvfs.exponent
         energy = 0.0
-        for task in scenario.active:
+        # sorted: set-order summation would make the float total depend
+        # on PYTHONHASHSEED, breaking byte-stable artifacts across
+        # worker processes
+        for task in sorted(scenario.active):
             if task in self.placements:
                 energy += self.placements[task].energy(exponent)
         for src, dst, data in self.ctg.edges(include_pseudo=False):

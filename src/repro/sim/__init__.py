@@ -1,7 +1,13 @@
 """Execution simulator: per-instance replay and trace-driven runners."""
 
 from .executor import InstanceExecutor, InstanceResult, execute_instance
-from .runner import RunResult, energy_savings, run_adaptive, run_non_adaptive
+from .runner import (
+    RunResult,
+    energy_savings,
+    run_adaptive,
+    run_faulted,
+    run_non_adaptive,
+)
 from .vectors import (
     DecisionVector,
     Trace,
@@ -18,6 +24,7 @@ __all__ = [
     "RunResult",
     "energy_savings",
     "run_adaptive",
+    "run_faulted",
     "run_non_adaptive",
     "DecisionVector",
     "Trace",

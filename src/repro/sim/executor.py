@@ -24,11 +24,13 @@ schedules produced by this package that is guaranteed by construction
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Mapping, Optional, Tuple
 
 from ..check.tolerances import TIME_EPS
 from ..ctg.minterms import Scenario
+from ..faults.injectors import InstanceFaults
+from ..faults.policy import DegradationPolicy
 from ..profiling import StageProfiler, as_profiler
 from ..scheduling.schedule import Schedule
 from .vectors import DecisionVector, scenario_from_decisions
@@ -46,11 +48,19 @@ class InstanceResult:
         Completion time of the last activated task.
     deadline_met:
         ``finish_time ≤ deadline`` (always true for schedules built by
-        this package).
+        this package **in the absence of injected faults**).
     scenario:
         The resolved scenario (executed branches + activated tasks).
     start_times / finish_times:
         Per activated task timing, for inspection and tests.
+    overrun_detected / escalated:
+        Faulted runs only: whether the degradation policy detected an
+        overrun-in-progress, and which tasks it escalated to max speed.
+    baseline_finish_time / baseline_energy / baseline_deadline_met:
+        Faulted runs only: the same instance re-timed with the
+        degradation policy switched off (the no-policy arm the
+        recovery-rate and energy-cost-of-recovery metrics compare
+        against).  ``None`` when the instance ran fault-free.
     """
 
     energy: float
@@ -59,6 +69,11 @@ class InstanceResult:
     scenario: Scenario
     start_times: Mapping[str, float]
     finish_times: Mapping[str, float]
+    overrun_detected: bool = False
+    escalated: Tuple[str, ...] = ()
+    baseline_finish_time: Optional[float] = None
+    baseline_energy: Optional[float] = None
+    baseline_deadline_met: Optional[bool] = None
 
 
 class InstanceExecutor:
@@ -84,6 +99,7 @@ class InstanceExecutor:
             if ctg.kind(task).value == "or"
         }
         self._edge_delays = schedule.edge_delays()
+        self._worst_case: Optional[Dict[str, Tuple[float, float]]] = None
 
     def run(self, decisions: DecisionVector) -> InstanceResult:
         """Execute one instance under a concrete decision vector."""
@@ -130,6 +146,209 @@ class InstanceExecutor:
             scenario=scenario,
             start_times=starts,
             finish_times=finishes,
+        )
+
+
+    # ------------------------------------------------------------------
+    # Fault-injected replay with graceful degradation
+    # ------------------------------------------------------------------
+    def run_faulted(
+        self,
+        decisions: DecisionVector,
+        faults: InstanceFaults,
+        policy: Optional[DegradationPolicy] = None,
+    ) -> InstanceResult:
+        """Execute one instance with ``faults`` applied.
+
+        The replay times **two arms in one pass** over the same
+        activated scenario:
+
+        * the *baseline* arm runs the faulted instance exactly as
+          scheduled (no reaction) — this is what the recovery metrics
+          compare against;
+        * the *policy* arm runs a per-task watchdog: once a task is
+          still executing ``policy.overrun_margin`` (relative) past its
+          scheduled duration, its remainder — and every task after it in
+          topological order — escalates to max speed (the
+          paper-consistent fallback: the DVFS slow-down is exactly the
+          slack the stretching heuristic inserted, so undoing it buys
+          that slack back at nominal-energy price).  A start-lateness
+          backup detector (``overrun_margin × deadline``) catches
+          freezes and link jitter, which delay starts without ever
+          extending a task's duration.
+
+        Fault semantics: WCET factors/additions extend the task's work
+        (so its energy scales with the extra cycles), PE slowdown
+        factors stretch durations, PE freezes forbid task starts before
+        a fraction of the deadline, and link jitter stretches cross-PE
+        transfer delays.  Escalation can only *raise* speeds, so the
+        policy arm never finishes later than the baseline arm.
+        """
+        if policy is None:
+            policy = DegradationPolicy.none()
+        if not faults.perturbs_timing:
+            # only control-plane faults (drops/corruption): timing and
+            # energy are exactly the nominal replay, both arms alike
+            result = self.run(decisions)
+            return replace(
+                result,
+                baseline_finish_time=result.finish_time,
+                baseline_energy=result.energy,
+                baseline_deadline_met=result.deadline_met,
+            )
+        with self._prof.stage("executor.replay_faulted"):
+            result = self._run_faulted(decisions, faults, policy)
+        self._prof.count("executor.instances")
+        self._prof.count("executor.faulted_instances")
+        return result
+
+    def _run_faulted(
+        self,
+        decisions: DecisionVector,
+        faults: InstanceFaults,
+        policy: DegradationPolicy,
+    ) -> InstanceResult:
+        schedule = self.schedule
+        ctg = schedule.ctg
+        deadline = ctg.deadline
+        exponent = schedule.platform.dvfs.exponent
+        scenario = scenario_from_decisions(self._real_ctg, decisions)
+        active = scenario.active
+        if self._worst_case is None:
+            self._worst_case = schedule.worst_case_times()
+
+        freezes = {
+            pe: fraction * deadline for pe, fraction in faults.pe_freezes.items()
+        }
+        escalate = policy.escalate_on_overrun
+        # Stretching fills the slack, so the worst-case finish sits on
+        # the deadline and even small overruns threaten it; the watchdog
+        # margin is therefore relative to each task's own scheduled
+        # duration (5% default), not the deadline.  The start-lateness
+        # backup detector — which catches freezes and link jitter that
+        # never extend a task's duration — keeps the deadline scale.
+        lateness_margin = policy.overrun_margin * deadline
+
+        starts_b: Dict[str, float] = {}
+        finishes_b: Dict[str, float] = {}
+        starts_p: Dict[str, float] = {}
+        finishes_p: Dict[str, float] = {}
+        escalated: list = []
+        comp_extra_b = 0.0  # faulted-minus-nominal computation energy
+        comp_extra_p = 0.0
+        escalating = False
+        overrun_detected = False
+
+        for task in self._order:
+            if task not in active:
+                continue
+            start_b = start_p = 0.0
+            for src, _dst, data in ctg.in_edges(task, include_pseudo=True):
+                if src not in active:
+                    continue
+                if data.pseudo:
+                    start_b = max(start_b, finishes_b[src])
+                    start_p = max(start_p, finishes_p[src])
+                    continue
+                if data.condition is not None and (
+                    decisions.get(data.condition.branch) != data.condition.label
+                ):
+                    continue
+                delay = self._edge_delays.get((src, task), 0.0)
+                if delay > 0.0:
+                    delay *= faults.edge_factors.get((src, task), 1.0)
+                start_b = max(start_b, finishes_b[src] + delay)
+                start_p = max(start_p, finishes_p[src] + delay)
+            for branch in self._deciders.get(task, ()):
+                if branch in active:
+                    start_b = max(start_b, finishes_b[branch])
+                    start_p = max(start_p, finishes_p[branch])
+
+            placement = schedule.placement(task)
+            freeze = freezes.get(placement.pe, 0.0)
+            if freeze > 0.0:
+                start_b = max(start_b, freeze)
+                start_p = max(start_p, freeze)
+
+            pe_factor = faults.pe_factors.get(placement.pe, 1.0)
+            effective_wcet = (
+                placement.wcet * faults.wcet_factors.get(task, 1.0)
+                + faults.wcet_additions.get(task, 0.0)
+            )
+            work_ratio = (
+                effective_wcet / placement.wcet if placement.wcet > 0 else 1.0
+            )
+            nominal = placement.energy(exponent)
+            faulted_duration = effective_wcet / placement.speed * pe_factor
+
+            starts_b[task] = start_b
+            finishes_b[task] = start_b + faulted_duration
+
+            # Policy arm.  Two detectors feed the escalation latch:
+            # a start later than the schedule's worst-case start (the
+            # instance is already behind), and a per-task watchdog that
+            # fires when the task is still running past its scheduled
+            # duration budget — the rest of that task then executes at
+            # max speed (the runtime notices the overrun mid-task, not
+            # after the fact).
+            if escalate and not escalating:
+                wc_start = self._worst_case[task][0]
+                if start_p > wc_start + lateness_margin + TIME_EPS:
+                    escalating = True
+                    overrun_detected = True
+            energy_p = nominal * work_ratio
+            if escalating and escalate:
+                # task runs entirely at max speed
+                duration_p = effective_wcet * pe_factor
+                energy_p = placement.nominal_energy * work_ratio
+                if placement.speed < 1.0:
+                    escalated.append(task)
+            else:
+                budget = placement.duration * (1.0 + policy.overrun_margin)
+                if escalate and faulted_duration > budget + TIME_EPS:
+                    escalating = True
+                    overrun_detected = True
+                    if placement.speed < 1.0 and placement.wcet > 0:
+                        # watchdog fires mid-task: the work done inside
+                        # the budget ran at the assigned speed, the
+                        # remainder runs at max speed
+                        work_done = budget * placement.speed / pe_factor
+                        work_left = effective_wcet - work_done
+                        duration_p = budget + work_left * pe_factor
+                        energy_p = placement.nominal_energy * (
+                            work_done / placement.wcet * placement.speed ** exponent
+                            + work_left / placement.wcet
+                        )
+                        escalated.append(task)
+                    else:
+                        duration_p = faulted_duration
+                        energy_p = nominal * work_ratio
+                else:
+                    duration_p = faulted_duration
+                    energy_p = nominal * work_ratio
+            starts_p[task] = start_p
+            finishes_p[task] = start_p + duration_p
+
+            comp_extra_b += nominal * (work_ratio - 1.0)
+            comp_extra_p += energy_p - nominal
+
+        finish_b = max(finishes_b.values(), default=0.0)
+        finish_p = max(finishes_p.values(), default=0.0)
+        base_energy = schedule.scenario_energy(scenario)
+        met = deadline <= 0 or finish_p <= deadline + TIME_EPS
+        met_b = deadline <= 0 or finish_b <= deadline + TIME_EPS
+        return InstanceResult(
+            energy=base_energy + comp_extra_p,
+            finish_time=finish_p,
+            deadline_met=met,
+            scenario=scenario,
+            start_times=starts_p,
+            finish_times=finishes_p,
+            overrun_detected=overrun_detected,
+            escalated=tuple(escalated),
+            baseline_finish_time=finish_b,
+            baseline_energy=base_energy + comp_extra_b,
+            baseline_deadline_met=met_b,
         )
 
 

@@ -20,6 +20,10 @@ from typing import List, Mapping, Optional
 
 from ..adaptive.controller import AdaptiveConfig, AdaptiveController
 from ..ctg.graph import ConditionalTaskGraph
+from ..faults.injectors import FaultInjector, rotate_label
+from ..faults.log import FaultLog, RecoveryAction
+from ..faults.plan import FaultPlan
+from ..faults.policy import DegradationPolicy
 from ..platform.mpsoc import Platform
 from ..profiling import StageProfiler
 from ..scheduling.online import schedule_online
@@ -48,6 +52,10 @@ class RunResult:
         (``dls``, ``stretch``, cache hit/miss counters), instance
         replay (``executor.replay`` / ``executor.instances``) and, for
         the adaptive policy, ``reschedule.calls``.
+    fault_log:
+        Faulted runs only (:func:`run_faulted`): the structured record
+        of every injected fault and recovery action, with the
+        miss/recovery/energy-cost summary the chaos artifacts expose.
     """
 
     energies: List[float] = field(default_factory=list)
@@ -55,6 +63,7 @@ class RunResult:
     call_instances: List[int] = field(default_factory=list)
     deadline_misses: int = 0
     profile: Optional[StageProfiler] = None
+    fault_log: Optional[FaultLog] = None
 
     @property
     def total_energy(self) -> float:
@@ -95,11 +104,15 @@ def run_non_adaptive(
 
     ``probabilities`` is the profiled training distribution (the paper's
     "online"/"non-adaptive" rows); it is *not* updated during the run.
+    A ``deadline`` override is applied to a private copy of the graph —
+    the caller's CTG object is never mutated (same contract as
+    :func:`run_adaptive`).
     """
+    if deadline is not None:
+        ctg = ctg.copy()
+        ctg.deadline = deadline
     stats = StageProfiler()
-    online = schedule_online(
-        ctg, platform, probabilities, deadline=deadline, profiler=stats
-    )
+    online = schedule_online(ctg, platform, probabilities, profiler=stats)
     executor = InstanceExecutor(online.schedule, profiler=stats)
     result = RunResult(profile=stats)
     for vector in trace:
@@ -155,6 +168,163 @@ def run_adaptive(
         }
         if controller.observe(executed):
             executor = InstanceExecutor(controller.schedule, profiler=stats)
+    result.reschedule_calls = controller.calls
+    result.call_instances = list(controller.call_log)
+    return result
+
+
+def run_faulted(
+    ctg: ConditionalTaskGraph,
+    platform: Platform,
+    trace: Trace,
+    initial_probabilities: Mapping[str, Mapping[str, float]],
+    plan: FaultPlan,
+    policy: Optional[DegradationPolicy] = None,
+    config: Optional[AdaptiveConfig] = None,
+    deadline: Optional[float] = None,
+    profiler=None,
+) -> RunResult:
+    """Replay a trace under the adaptive policy with faults injected.
+
+    The loop is :func:`run_adaptive` with three interception points:
+
+    * each instance executes through
+      :meth:`~repro.sim.executor.InstanceExecutor.run_faulted`, which
+      times a *baseline* (no-reaction) arm alongside the *policy* arm —
+      an instance counts as **threatened** when the baseline arm misses
+      the deadline, **recovered** when the policy arm then meets it,
+      and **unrecovered** when even the policy arm misses;
+    * branch observations pass through the plan's corruption faults
+      *before* reaching the controller's windows (execution itself uses
+      the true decisions — it is the estimator that is lied to);
+    * re-schedule invocations pass through the drop/delay faults: a
+      dropped or deferred invocation is retried ``policy.retry_backoff``
+      instances later, doubling the backoff per failed retry up to
+      ``policy.max_retries`` attempts; an unrecovered miss triggers an
+      emergency re-schedule (when the policy allows), and a
+      re-scheduling *failure* installs the full-speed fallback
+      schedule rather than crashing the run.
+
+    Every fault and every reaction lands in ``result.fault_log``; the
+    run's :class:`~repro.profiling.StageProfiler` picks up the matching
+    counters (``fault.*``, ``reschedule.dropped`` / ``.emergency`` /
+    ``.fallback``).
+    """
+    if policy is None:
+        policy = DegradationPolicy.default()
+    if deadline is not None:
+        ctg = ctg.copy()
+        ctg.deadline = deadline
+    stats = StageProfiler()
+    controller = AdaptiveController(
+        ctg,
+        platform,
+        initial_probabilities,
+        config,
+        profiler=profiler,
+        stage_profiler=stats,
+    )
+    injector = FaultInjector(plan, ctg=ctg, platform=platform)
+    executor = InstanceExecutor(controller.schedule, profiler=stats)
+    branches = ctg.branch_nodes()
+    outcomes = {b: ctg.outcomes_of(b) for b in branches}
+    log = FaultLog()
+    result = RunResult(profile=stats, fault_log=log)
+    # one pending (dropped/delayed) re-schedule incident at a time:
+    # [due_instance, attempts_left, current_backoff]
+    pending: Optional[List[int]] = None
+
+    for index, vector in enumerate(trace):
+        faults = injector.faults_at(index)
+        for event in faults.events:
+            log.record(event)
+        if not faults.empty:
+            stats.count("fault.injected", len(faults.events))
+
+        outcome = executor.run_faulted(vector, faults, policy)
+        result.energies.append(outcome.energy)
+        if not outcome.deadline_met:
+            result.deadline_misses += 1
+            log.unrecovered += 1
+        threatened = outcome.baseline_deadline_met is False
+        if threatened:
+            log.threatened += 1
+            stats.count("fault.threatened")
+            if outcome.deadline_met:
+                log.recovered += 1
+                log.act(RecoveryAction(index, "recovered"))
+            else:
+                log.act(RecoveryAction(index, "unrecovered"))
+        if outcome.baseline_energy is not None:
+            log.policy_energy += outcome.energy
+            log.baseline_energy += outcome.baseline_energy
+        if outcome.overrun_detected:
+            log.act(
+                RecoveryAction(
+                    index, "escalate", f"{len(outcome.escalated)} tasks to max speed"
+                )
+            )
+            stats.count("fault.escalations")
+
+        # estimator sees the (possibly corrupted) observations
+        observed: dict = {}
+        for branch in branches:
+            if branch not in outcome.scenario.active:
+                continue
+            label = vector[branch]
+            rotation = faults.branch_rotations.get(branch, 0)
+            if rotation:
+                label = rotate_label(outcomes[branch], label, rotation)
+                stats.count("fault.corrupted_observations")
+            observed[branch] = label
+        controller.record(observed)
+
+        wants = controller.wants_reschedule()
+        retry_due = pending is not None and index >= pending[0]
+        emergency = bool(policy.emergency_reschedule and not outcome.deadline_met)
+        if not (wants or retry_due or emergency):
+            continue
+        if faults.drop_reschedule or faults.delay_reschedule:
+            # the invocation is lost (drop) or deferred (delay)
+            if faults.drop_reschedule:
+                stats.count("reschedule.dropped")
+                defer = policy.retry_backoff
+            else:
+                stats.count("reschedule.delayed")
+                defer = faults.delay_reschedule
+            if pending is None:
+                pending = [index + defer, policy.max_retries, defer]
+                log.act(
+                    RecoveryAction(
+                        index, "reschedule_retry", f"retry at instance {pending[0]}"
+                    )
+                )
+            else:
+                pending[1] -= 1
+                if pending[1] <= 0:
+                    log.act(
+                        RecoveryAction(index, "reschedule_retry", "retries exhausted")
+                    )
+                    pending = None
+                else:
+                    pending[2] *= 2
+                    pending[0] = index + pending[2]
+                    log.act(
+                        RecoveryAction(
+                            index,
+                            "reschedule_retry",
+                            f"retry at instance {pending[0]}",
+                        )
+                    )
+            continue
+        if emergency and not wants:
+            log.act(RecoveryAction(index, "emergency_reschedule"))
+        used_fallback = controller.reschedule(emergency=emergency, on_error="fallback")
+        if used_fallback:
+            log.act(RecoveryAction(index, "fallback_schedule"))
+        executor = InstanceExecutor(controller.schedule, profiler=stats)
+        pending = None
+
     result.reschedule_calls = controller.calls
     result.call_instances = list(controller.call_log)
     return result

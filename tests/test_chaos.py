@@ -1,0 +1,133 @@
+"""The chaos experiment: spec construction, canonical artifacts, and
+the ``repro chaos`` CLI verb."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments import (
+    canonical_artifact_payload,
+    chaos_spec,
+    fault_plan_catalogue,
+    load_artifact,
+    run_spec,
+    validate_artifact,
+    write_artifact,
+)
+from repro.experiments.chaos import SMOKE_PLANS
+
+SMALL = dict(
+    workloads=("mpeg",),
+    plans=("overrun",),
+    policies=("default", "none"),
+    length=60,
+    train=20,
+)
+
+SMALL_ARGS = [
+    "chaos",
+    "--workloads", "mpeg",
+    "--plans", "overrun",
+    "--policies", "default", "none",
+    "--length", "60",
+]
+
+
+class TestCatalogue:
+    def test_plans_are_valid_and_distinctly_seeded(self):
+        catalogue = fault_plan_catalogue()
+        assert set(SMOKE_PLANS) <= set(catalogue)
+        seeds = [plan.seed for plan in catalogue.values()]
+        assert len(set(seeds)) == len(seeds)
+        for name, plan in catalogue.items():
+            assert plan.name == name
+            assert plan.diagnose() == []
+
+    def test_seed_parameter_shifts_every_plan(self):
+        a, b = fault_plan_catalogue(1), fault_plan_catalogue(2)
+        for name in a:
+            assert a[name].seed != b[name].seed
+
+
+class TestChaosSpec:
+    def test_cells_cover_the_product(self):
+        spec = chaos_spec(**SMALL)
+        assert [cell.key for cell in spec.cells] == [
+            "mpeg:overrun:default",
+            "mpeg:overrun:none",
+        ]
+        assert "instances" in spec.context
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan"):
+            chaos_spec(("mpeg",), plans=("nonsense",))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown degradation policy"):
+            chaos_spec(("mpeg",), policies=("yolo",))
+
+    def test_rows_and_summary(self):
+        report = run_spec(chaos_spec(**SMALL), jobs=1)
+        result = report.result
+        assert len(result.rows) == 2
+        by_policy = {row.policy: row for row in result.rows}
+        assert by_policy["default"].faults == by_policy["none"].faults
+        assert 0.0 <= result.overall_recovery_rate() <= 1.0
+        assert "recovery rate" in result.format()
+
+
+class TestCanonicalArtifacts:
+    def test_volatile_fields_zeroed_data_kept(self):
+        report = run_spec(chaos_spec(**SMALL), jobs=2)
+        payload = canonical_artifact_payload(report)
+        validate_artifact(payload)
+        assert payload["jobs"] == 0
+        assert payload["seconds"] == 0.0
+        assert payload["cache"]["hits"] == 0
+        assert all(cell["seconds"] == 0.0 for cell in payload["cells"])
+        assert all(not cell["cached"] for cell in payload["cells"])
+        assert all(t == 0.0 for t in payload["profile"]["timings"].values())
+        # the deterministic content survives
+        assert payload["result"]["rows"]
+        assert payload["profile"]["counters"]
+
+    def test_byte_stable_across_jobs(self, tmp_path):
+        serial = run_spec(chaos_spec(**SMALL), jobs=1)
+        parallel = run_spec(chaos_spec(**SMALL), jobs=2)
+        a = write_artifact(tmp_path / "a", serial, canonical=True)
+        b = write_artifact(tmp_path / "b", parallel, canonical=True)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestChaosVerb:
+    def test_text_output_and_exit_code(self, capsys):
+        assert main(SMALL_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Chaos matrix" in out
+        assert "recovery rate" in out
+
+    def test_json_output_is_canonical(self, capsys):
+        assert main(SMALL_ARGS + ["--format", "json", "--jobs", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_artifact(payload)
+        assert payload["experiment"] == "chaos"
+        assert payload["jobs"] == 0
+        assert payload["seconds"] == 0.0
+
+    def test_artifact_byte_stable_across_runs(self, tmp_path, capsys):
+        assert main(SMALL_ARGS + ["--artifacts-dir", str(tmp_path / "x")]) == 0
+        assert main(SMALL_ARGS + ["--artifacts-dir", str(tmp_path / "y")]) == 0
+        capsys.readouterr()
+        first = (tmp_path / "x" / "chaos.json").read_bytes()
+        second = (tmp_path / "y" / "chaos.json").read_bytes()
+        assert first == second
+        validate_artifact(load_artifact(tmp_path / "x" / "chaos.json"))
+
+    def test_gate_passes_on_small_matrix(self, capsys):
+        assert main(SMALL_ARGS + ["--gate"]) == 0
+        assert "chaos gate passed" in capsys.readouterr().err
+
+    def test_unknown_plan_exits_2(self, capsys):
+        assert main(["chaos", "--plans", "nonsense"]) == 2
+        assert "unknown fault plan" in capsys.readouterr().err

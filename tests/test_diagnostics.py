@@ -17,7 +17,7 @@ from repro.check import (
 
 DOCS = Path(__file__).resolve().parent.parent / "docs" / "diagnostics.md"
 
-_PREFIXES = ("CTG", "PLAT", "SCHED", "LINK", "CACHE", "AST")
+_PREFIXES = ("CTG", "PLAT", "SCHED", "LINK", "CACHE", "AST", "FAULT")
 
 
 class TestRegistry:

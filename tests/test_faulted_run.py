@@ -1,0 +1,270 @@
+"""Faulted replay and graceful degradation: executor dual arms, the
+faulted trace runner, and the replay-determinism / escalation-
+monotonicity properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adaptive import AdaptiveConfig
+from repro.ctg import GeneratorConfig, generate_ctg
+from repro.ctg.examples import two_sided_branch_ctg
+from repro.faults import DegradationPolicy, FaultInjector, FaultPlan, InjectorSpec
+from repro.platform import Platform, PlatformConfig, ProcessingElement, generate_platform
+from repro.scheduling import schedule_online, set_deadline_from_makespan
+from repro.sim import InstanceExecutor, run_adaptive, run_faulted
+
+
+def heavy_light_setup(factor=1.6):
+    ctg = two_sided_branch_ctg()
+    platform = Platform(
+        [ProcessingElement("pe0", min_speed=0.2), ProcessingElement("pe1", min_speed=0.2)]
+    )
+    platform.connect_all(bandwidth=2.0, energy_per_kbyte=0.05)
+    weights = {"entry": 5, "fork": 5, "heavy": 40, "light": 10, "join": 5}
+    for task, wcet in weights.items():
+        for pe in platform.pe_names:
+            platform.set_task_profile(task, pe, wcet=wcet, energy=float(wcet))
+    set_deadline_from_makespan(ctg, platform, factor)
+    return ctg, platform
+
+
+def mixed_trace(length):
+    return [{"fork": "h" if i % 3 else "l"} for i in range(length)]
+
+
+UNIFORM = {"fork": {"h": 0.5, "l": 0.5}}
+
+
+class TestExecutorFaulted:
+    def executor(self):
+        ctg, platform = heavy_light_setup()
+        schedule = schedule_online(ctg, platform, UNIFORM).schedule
+        return InstanceExecutor(schedule), ctg
+
+    def test_control_plane_faults_match_plain_run(self):
+        executor, _ctg = self.executor()
+        ctg, platform = heavy_light_setup()
+        plan = FaultPlan("drops", 1, (InjectorSpec("reschedule_drop", 1.0),))
+        faults = FaultInjector(plan, ctg=ctg, platform=platform).faults_at(0)
+        plain = executor.run({"fork": "h"})
+        faulted = executor.run_faulted({"fork": "h"}, faults)
+        assert faulted.energy == plain.energy
+        assert faulted.finish_time == plain.finish_time
+        assert faulted.baseline_finish_time == plain.finish_time
+        assert faulted.baseline_deadline_met == plain.deadline_met
+
+    def overrun_faults(self, magnitude, task="heavy"):
+        ctg, platform = heavy_light_setup()
+        plan = FaultPlan(
+            "big", 1, (InjectorSpec("task_overrun", 1.0, magnitude, targets=(task,)),)
+        )
+        return FaultInjector(plan, ctg=ctg, platform=platform).faults_at(0)
+
+    def test_overrun_slows_and_costs_energy(self):
+        executor, _ = self.executor()
+        plain = executor.run({"fork": "h"})
+        faulted = executor.run_faulted(
+            {"fork": "h"}, self.overrun_faults(1.5), DegradationPolicy.none()
+        )
+        assert faulted.baseline_finish_time > plain.finish_time
+        assert faulted.baseline_energy > plain.energy
+
+    def test_watchdog_escalates_and_recovers(self):
+        executor, ctg = self.executor()
+        faults = self.overrun_faults(2.0)
+        unmanaged = executor.run_faulted(
+            {"fork": "h"}, faults, DegradationPolicy.none()
+        )
+        managed = executor.run_faulted(
+            {"fork": "h"}, faults, DegradationPolicy.default()
+        )
+        # baseline arms agree: same faults, same schedule
+        assert managed.baseline_finish_time == unmanaged.baseline_finish_time
+        assert not unmanaged.overrun_detected  # policy off: no detection
+        assert managed.overrun_detected
+        assert managed.escalated
+        assert managed.finish_time < managed.baseline_finish_time
+        # recovery is not free
+        assert managed.energy > unmanaged.baseline_energy
+
+    def test_pe_freeze_delays_starts(self):
+        executor, ctg = self.executor()
+        ctg2, platform = heavy_light_setup()
+        plan = FaultPlan("ice", 1, (InjectorSpec("pe_freeze", 1.0, 0.4),))
+        faults = FaultInjector(plan, ctg=ctg2, platform=platform).faults_at(0)
+        plain = executor.run({"fork": "h"})
+        frozen = executor.run_faulted({"fork": "h"}, faults, DegradationPolicy.none())
+        assert frozen.baseline_finish_time >= plain.finish_time
+        frozen_pe = next(iter(faults.pe_freezes))
+        floor = faults.pe_freezes[frozen_pe] * ctg.deadline
+        for task, start in frozen.start_times.items():
+            if executor.schedule.pe_of(task) == frozen_pe:
+                assert start >= floor - 1e-9
+
+
+def drop_plan(seed=21):
+    return FaultPlan(
+        "dropper",
+        seed,
+        (
+            InjectorSpec("task_overrun", 0.3, 1.8),
+            InjectorSpec("reschedule_drop", 0.5),
+        ),
+    )
+
+
+class TestRunFaulted:
+    def run(self, plan, policy=None, length=60, config=None):
+        ctg, platform = heavy_light_setup()
+        return run_faulted(
+            ctg,
+            platform,
+            mixed_trace(length),
+            UNIFORM,
+            plan,
+            policy=policy,
+            config=config or AdaptiveConfig(window_size=10, threshold=0.3),
+        )
+
+    def test_replay_is_deterministic(self):
+        first = self.run(drop_plan())
+        second = self.run(drop_plan())
+        assert first.fault_log == second.fault_log
+        assert first.energies == second.energies
+        assert first.call_instances == second.call_instances
+
+    def test_empty_plan_matches_run_adaptive(self):
+        ctg, platform = heavy_light_setup()
+        config = AdaptiveConfig(window_size=10, threshold=0.3)
+        trace = mixed_trace(60)
+        plain = run_adaptive(ctg, platform, trace, UNIFORM, config)
+        faulted = self.run(FaultPlan("empty", 1), length=60)
+        assert faulted.fault_log.fault_count == 0
+        assert faulted.energies == plain.energies
+        assert faulted.call_instances == plain.call_instances
+
+    def test_dropped_invocations_are_counted_and_retried(self):
+        result = self.run(drop_plan())
+        counters = result.profile.counters
+        assert counters.get("reschedule.dropped", 0) > 0
+        kinds = result.fault_log.actions_by_kind()
+        assert kinds.get("reschedule_retry", 0) > 0
+
+    def test_corrupted_observations_counted(self):
+        plan = FaultPlan("liar", 5, (InjectorSpec("branch_corruption", 0.5),))
+        result = self.run(plan)
+        assert result.profile.counters.get("fault.corrupted_observations", 0) > 0
+        assert result.fault_log.events_by_kind() == {
+            "branch_corruption": result.fault_log.fault_count
+        }
+
+    def test_policy_never_misses_more_than_no_policy(self):
+        plan = FaultPlan("hot", 31, (InjectorSpec("task_overrun", 0.4, 2.0),))
+        managed = self.run(plan, policy=DegradationPolicy.default())
+        unmanaged = self.run(plan, policy=DegradationPolicy.none())
+        assert managed.deadline_misses <= unmanaged.deadline_misses
+        # injection is policy-independent (the determinism contract) —
+        # threat counts may differ because the policies install
+        # different schedules as the run unfolds
+        assert sorted(managed.fault_log.events) == sorted(unmanaged.fault_log.events)
+
+    def test_threat_accounting_consistent(self):
+        log = self.run(drop_plan(), policy=DegradationPolicy.default()).fault_log
+        assert log.recovered + log.unrecovered == log.threatened
+        kinds = log.actions_by_kind()
+        assert kinds.get("recovered", 0) == log.recovered
+        assert kinds.get("unrecovered", 0) == log.unrecovered
+
+    def test_deadline_override_leaves_graph_untouched(self):
+        ctg, platform = heavy_light_setup()
+        original = ctg.deadline
+        run_faulted(
+            ctg,
+            platform,
+            mixed_trace(5),
+            UNIFORM,
+            FaultPlan("empty", 1),
+            deadline=original * 2,
+        )
+        assert ctg.deadline == original
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants
+# ----------------------------------------------------------------------
+
+KIND_STRATEGY = st.sampled_from(
+    ["task_overrun", "pe_slowdown", "reschedule_drop", "branch_corruption"]
+)
+
+
+def spec_for(kind, rate, magnitude):
+    if kind in ("reschedule_drop", "branch_corruption"):
+        return InjectorSpec(kind, rate)
+    return InjectorSpec(kind, rate, magnitude)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10 ** 6),
+    kinds=st.lists(KIND_STRATEGY, min_size=1, max_size=3),
+    rate=st.floats(0.05, 0.9),
+    magnitude=st.floats(1.1, 2.5),
+)
+def test_property_seeded_plan_replays_identically(seed, kinds, rate, magnitude):
+    """The tentpole determinism contract: the same seeded plan replayed
+    twice produces byte-identical fault logs and energies."""
+    ctg, platform = heavy_light_setup()
+    plan = FaultPlan("p", seed, tuple(spec_for(k, rate, magnitude) for k in kinds))
+    config = AdaptiveConfig(window_size=8, threshold=0.3)
+    trace = mixed_trace(30)
+    first = run_faulted(ctg, platform, trace, UNIFORM, plan, config=config)
+    second = run_faulted(ctg, platform, trace, UNIFORM, plan, config=config)
+    assert first.fault_log == second.fault_log
+    assert first.energies == second.energies
+    assert first.fault_log.to_dict() == second.fault_log.to_dict()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nodes=st.integers(10, 20),
+    branches=st.integers(1, 2),
+    pes=st.integers(2, 3),
+    seed=st.integers(0, 300),
+    fault_seed=st.integers(0, 10 ** 4),
+    magnitude=st.floats(1.1, 3.0),
+)
+def test_property_escalation_never_finishes_later(
+    nodes, branches, pes, seed, fault_seed, magnitude
+):
+    """Max-speed escalation can only raise speeds, so the policy arm
+    never finishes later than the same faults left unmanaged."""
+    try:
+        cfg = GeneratorConfig(
+            nodes=nodes, branch_nodes=branches, category=1, seed=seed
+        )
+        ctg = generate_ctg(cfg)
+    except ValueError:
+        return
+    platform = generate_platform(ctg.tasks(), PlatformConfig(pes=pes, seed=seed))
+    set_deadline_from_makespan(ctg, platform, 1.5)
+    schedule = schedule_online(ctg, platform).schedule
+    executor = InstanceExecutor(schedule)
+    plan = FaultPlan(
+        "stress",
+        fault_seed,
+        (
+            InjectorSpec("task_overrun", 0.7, magnitude),
+            InjectorSpec("pe_slowdown", 0.4, 1.0 + (magnitude - 1.0) / 2),
+        ),
+    )
+    injector = FaultInjector(plan, ctg=ctg, platform=platform)
+    decisions = {b: ctg.outcomes_of(b)[0] for b in ctg.branch_nodes()}
+    for instance in range(8):
+        faults = injector.faults_at(instance)
+        outcome = executor.run_faulted(decisions, faults, DegradationPolicy.default())
+        assert outcome.finish_time <= outcome.baseline_finish_time + 1e-9
+        if outcome.baseline_deadline_met and faults.perturbs_timing:
+            # the policy arm cannot un-meet a met deadline
+            assert outcome.deadline_met

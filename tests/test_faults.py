@@ -1,0 +1,305 @@
+"""Unit tests for the fault-injection subsystem (plans, injectors,
+logs, policies, and the FAULT checker)."""
+
+import pytest
+
+from repro.check import check_fault_plan
+from repro.faults import (
+    INJECTOR_KINDS,
+    DegradationPolicy,
+    FaultEvent,
+    FaultInjector,
+    FaultLog,
+    FaultPlan,
+    FaultPlanError,
+    InjectorSpec,
+    RecoveryAction,
+)
+from repro.faults.injectors import no_faults, rotate_label
+from repro.faults.policy import POLICIES
+from repro.ctg.examples import two_sided_branch_ctg
+from repro.platform import PlatformConfig, generate_platform
+
+
+def toy_instance():
+    ctg = two_sided_branch_ctg()
+    platform = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=7))
+    return ctg, platform
+
+
+def overrun_plan(seed=11, rate=0.5, magnitude=1.5, **kwargs):
+    return FaultPlan(
+        "t", seed, (InjectorSpec("task_overrun", rate, magnitude, **kwargs),)
+    )
+
+
+class TestInjectorSpec:
+    def test_round_trip(self):
+        spec = InjectorSpec(
+            "link_jitter", 0.25, 3.0, targets=("a->b",), start=5, stop=50
+        )
+        assert InjectorSpec.from_dict(spec.to_dict()) == spec
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="kind"):
+            InjectorSpec.from_dict({"rate": 0.5})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown field"):
+            InjectorSpec.from_dict({"kind": "task_overrun", "severity": 2.0})
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(FaultPlanError, match="wrong type"):
+            InjectorSpec.from_dict({"kind": "task_overrun", "rate": "often"})
+
+    def test_activation_window(self):
+        spec = InjectorSpec("task_overrun", 1.0, 2.0, start=3, stop=6)
+        assert [spec.active_at(i) for i in range(8)] == [
+            False, False, False, True, True, True, False, False,
+        ]
+        open_ended = InjectorSpec("task_overrun", 1.0, 2.0, start=2)
+        assert open_ended.active_at(10 ** 9)
+
+
+class TestFaultPlan:
+    def test_round_trip_and_fingerprint_stability(self):
+        plan = overrun_plan()
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone == plan
+        assert clone.fingerprint() == plan.fingerprint()
+
+    def test_seed_changes_fingerprint(self):
+        plan = overrun_plan(seed=1)
+        assert plan.with_seed(2).fingerprint() != plan.fingerprint()
+        assert plan.with_seed(2).injectors == plan.injectors
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(FaultPlanError, match="must be an object"):
+            FaultPlan.from_dict(["not", "a", "plan"])
+
+    def test_unknown_plan_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown field"):
+            FaultPlan.from_dict({"name": "x", "seed": 1, "faults": []})
+
+
+class TestDiagnose:
+    def codes(self, plan, with_instance=False):
+        ctg, platform = toy_instance() if with_instance else (None, None)
+        return [d.code for d in plan.diagnose(ctg, platform)]
+
+    def test_valid_plan_is_clean(self):
+        assert self.codes(overrun_plan()) == []
+
+    def test_unknown_kind(self):
+        plan = FaultPlan("t", 1, (InjectorSpec("cosmic_ray", 0.5),))
+        assert self.codes(plan) == ["FAULT001"]
+
+    def test_rate_out_of_range(self):
+        assert self.codes(overrun_plan(rate=1.5)) == ["FAULT002"]
+
+    def test_magnitude_rules_per_kind(self):
+        assert self.codes(overrun_plan(magnitude=0.9)) == ["FAULT003"]
+        additive = overrun_plan(magnitude=-1.0, mode="additive")
+        assert self.codes(additive) == ["FAULT003"]
+        freeze = FaultPlan("t", 1, (InjectorSpec("pe_freeze", 0.5, 1.5),))
+        assert self.codes(freeze) == ["FAULT003"]
+
+    def test_unknown_overrun_mode(self):
+        assert self.codes(overrun_plan(mode="sideways")) == ["FAULT003"]
+
+    def test_empty_window(self):
+        assert self.codes(overrun_plan(start=5, stop=5)) == ["FAULT004"]
+
+    def test_targets_resolved_against_instance(self):
+        plan = overrun_plan(targets=("heavy",))
+        assert self.codes(plan, with_instance=True) == []
+        bad = overrun_plan(targets=("nonexistent",))
+        assert self.codes(bad, with_instance=True) == ["FAULT005"]
+
+    def test_targets_on_untargeted_kind(self):
+        plan = FaultPlan(
+            "t", 1, (InjectorSpec("reschedule_drop", 0.5, targets=("x",)),)
+        )
+        assert self.codes(plan) == ["FAULT005"]
+
+    def test_no_injectors_warns(self):
+        findings = FaultPlan("empty", 1).diagnose()
+        assert [d.code for d in findings] == ["FAULT006"]
+        assert findings[0].severity.label == "warning"
+
+
+class TestCheckFaultPlan:
+    def test_accepts_plan_object_and_payload(self):
+        ctg, platform = toy_instance()
+        plan = overrun_plan()
+        for target in (plan, plan.to_dict()):
+            report = check_fault_plan(target, ctg=ctg, platform=platform)
+            assert report.ok
+            assert report.checks_run == ["fault_plan"]
+
+    def test_malformed_payload_reports_instead_of_raising(self):
+        report = check_fault_plan({"kind": "not-a-plan"})
+        assert not report.ok
+        assert report.codes() == ["FAULT001"]
+
+
+class TestFaultInjector:
+    def test_deterministic_and_order_independent(self):
+        ctg, platform = toy_instance()
+        plan = FaultPlan(
+            "mix",
+            99,
+            (
+                InjectorSpec("task_overrun", 0.4, 1.5),
+                InjectorSpec("pe_slowdown", 0.3, 1.2),
+                InjectorSpec("reschedule_drop", 0.2),
+                InjectorSpec("branch_corruption", 0.3),
+            ),
+        )
+        forward = FaultInjector(plan, ctg=ctg, platform=platform).timeline(40)
+        backward = [
+            FaultInjector(plan, ctg=ctg, platform=platform).faults_at(i)
+            for i in reversed(range(40))
+        ]
+        assert forward == list(reversed(backward))
+        assert any(not f.empty for f in forward)
+
+    def test_draws_are_random_access(self):
+        ctg, platform = toy_instance()
+        injector = FaultInjector(overrun_plan(seed=5), ctg=ctg, platform=platform)
+        # the same instance resolves identically no matter what ran before
+        first = injector.faults_at(17)
+        injector.timeline(30)
+        assert injector.faults_at(17) == first
+
+    def test_targets_stay_eligible(self):
+        ctg, platform = toy_instance()
+        plan = FaultPlan(
+            "p",
+            3,
+            (
+                InjectorSpec("task_overrun", 1.0, 2.0),
+                InjectorSpec("pe_slowdown", 1.0, 1.5),
+            ),
+        )
+        injector = FaultInjector(plan, ctg=ctg, platform=platform)
+        tasks, pes = set(ctg.tasks()), set(platform.pe_names)
+        for faults in injector.timeline(25):
+            assert set(faults.wcet_factors) <= tasks
+            assert set(faults.pe_factors) <= pes
+
+    def test_explicit_targets_hit_every_firing(self):
+        ctg, platform = toy_instance()
+        plan = overrun_plan(rate=1.0, targets=("heavy", "light"))
+        faults = FaultInjector(plan, ctg=ctg, platform=platform).faults_at(0)
+        assert set(faults.wcet_factors) == {"heavy", "light"}
+
+    def test_combination_rules(self):
+        ctg, platform = toy_instance()
+        plan = FaultPlan(
+            "stack",
+            8,
+            (
+                InjectorSpec("task_overrun", 1.0, 1.5, targets=("heavy",)),
+                InjectorSpec("task_overrun", 1.0, 2.0, targets=("heavy",)),
+                InjectorSpec("task_overrun", 1.0, 3.0, mode="additive", targets=("heavy",)),
+                InjectorSpec("reschedule_delay", 1.0, 2.0),
+                InjectorSpec("reschedule_delay", 1.0, 4.0),
+            ),
+        )
+        faults = FaultInjector(plan, ctg=ctg, platform=platform).faults_at(0)
+        assert faults.wcet_factors["heavy"] == pytest.approx(3.0)
+        assert faults.wcet_additions["heavy"] == pytest.approx(3.0)
+        assert faults.delay_reschedule == 4
+        assert faults.perturbs_timing
+
+    def test_link_jitter_severity_in_declared_range(self):
+        ctg, platform = toy_instance()
+        plan = FaultPlan("j", 4, (InjectorSpec("link_jitter", 1.0, 3.0),))
+        injector = FaultInjector(plan, ctg=ctg, platform=platform)
+        severities = [
+            factor
+            for faults in injector.timeline(30)
+            for factor in faults.edge_factors.values()
+        ]
+        assert severities
+        assert all(1.0 <= s <= 3.0 for s in severities)
+        assert len(set(severities)) > 1  # per-firing draw, not a constant
+
+    def test_no_faults_helper(self):
+        faults = no_faults(7)
+        assert faults.empty
+        assert not faults.perturbs_timing
+        assert faults.instance == 7
+
+
+class TestRotateLabel:
+    def test_rotates_within_declared_outcomes(self):
+        assert rotate_label(("a", "b", "c"), "a", 1) == "b"
+        assert rotate_label(("a", "b", "c"), "c", 2) == "b"
+
+    def test_unknown_label_passes_through(self):
+        assert rotate_label(("a", "b"), "z", 1) == "z"
+        assert rotate_label((), "a", 1) == "a"
+
+
+class TestFaultLog:
+    def sample(self, order=1):
+        log = FaultLog()
+        events = [
+            FaultEvent(0, 0, "task_overrun", "t1", 1.5),
+            FaultEvent(2, 1, "pe_slowdown", "pe0", 1.2),
+        ]
+        actions = [
+            RecoveryAction(0, "escalate", "2 tasks to max speed"),
+            RecoveryAction(2, "recovered"),
+        ]
+        for event in events[::order]:
+            log.record(event)
+        for action in actions[::order]:
+            log.act(action)
+        log.threatened, log.recovered = 2, 2
+        log.policy_energy, log.baseline_energy = 110.0, 100.0
+        return log
+
+    def test_equality_is_append_order_independent(self):
+        assert self.sample(order=1) == self.sample(order=-1)
+
+    def test_round_trip(self):
+        log = self.sample()
+        assert FaultLog.from_dict(log.to_dict()) == log
+
+    def test_summary_and_rates(self):
+        log = self.sample()
+        summary = log.summary()
+        assert summary["faults"] == 2
+        assert summary["by_kind"] == {"pe_slowdown": 1, "task_overrun": 1}
+        assert summary["recovery_rate"] == pytest.approx(1.0)
+        assert summary["energy_cost_of_recovery"] == pytest.approx(10.0)
+
+    def test_empty_log_recovery_rate_is_one(self):
+        assert FaultLog().recovery_rate() == 1.0
+
+    def test_merge_accumulates(self):
+        merged = FaultLog().merge(self.sample()).merge(self.sample())
+        assert merged.fault_count == 4
+        assert merged.threatened == 4
+        assert merged.energy_cost_of_recovery() == pytest.approx(20.0)
+
+
+class TestDegradationPolicy:
+    def test_named_policies_cover_cli_names(self):
+        assert set(POLICIES) == {"default", "none", "escalate-only"}
+        assert POLICIES["none"].is_none
+        assert not POLICIES["default"].is_none
+        assert not POLICIES["escalate-only"].emergency_reschedule
+
+    def test_round_trip(self):
+        policy = DegradationPolicy(overrun_margin=0.1, max_retries=5)
+        assert DegradationPolicy.from_dict(policy.to_dict()) == policy
+
+
+def test_injector_kinds_all_have_target_domains():
+    from repro.faults.plan import _TARGET_DOMAIN
+
+    assert set(_TARGET_DOMAIN) == set(INJECTOR_KINDS)

@@ -74,6 +74,22 @@ class TestNonAdaptive:
         )
         assert loose.total_energy <= tight.total_energy
 
+    def test_deadline_override_leaves_graph_untouched(self):
+        """Regression: the override used to be threaded straight into
+        scheduling while the caller's graph kept its old deadline in
+        some paths and was mutated in others; the runner now always
+        applies it to a private copy."""
+        ctg, platform = heavy_light_setup()
+        original = ctg.deadline
+        run_non_adaptive(
+            ctg,
+            platform,
+            [{"fork": "h"}],
+            {"fork": {"h": 0.5, "l": 0.5}},
+            deadline=original * 2,
+        )
+        assert ctg.deadline == original
+
 
 class TestAdaptive:
     def test_rescheduling_happens_on_regime_change(self):
