@@ -1,0 +1,107 @@
+"""Bench: tracing must be free when off and cheap when on.
+
+The observability layer threads a tracer through the re-scheduling hot
+path (controller, runners, executor).  Two promises keep it honest:
+
+* **disabled** — call sites given no tracer share ``NULL_TRACER`` and
+  guard every span/event emission behind its ``enabled`` flag, so the
+  untraced adaptive loop must stay at its pre-tracing cost.  The
+  benchmark below times exactly that loop; CI's bench-regression job
+  compares it (machine-calibrated) against the committed baseline in
+  ``benchmarks/baselines/bench_quick.json``;
+* **enabled** — full tracing (stage spans, per-task simulated spans,
+  link spans, events) may cost at most :data:`MAX_TRACING_OVERHEAD`
+  relative to the untraced run on the same MPEG trace, and must not
+  change the results (energies and profile are asserted identical).
+
+Setting ``REPRO_BENCH_QUICK=1`` shortens the trace for CI runs; the
+overhead assertions are unchanged.
+"""
+
+import os
+import time
+
+from repro.adaptive.controller import AdaptiveConfig
+from repro.obs import Tracer
+from repro.scheduling import set_deadline_from_makespan
+from repro.sim.runner import run_adaptive
+from repro.workloads.mpeg import mpeg_ctg, mpeg_platform
+from repro.workloads.traces import drifting_trace
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+TRACE_LENGTH = 120 if QUICK else 400
+
+#: upper bound on fully-traced wall-clock relative to the untraced run;
+#: a span is two perf_counter calls and one dataclass append, so 25%
+#: leaves room for the per-task simulated spans without tolerating
+#: anything super-linear
+MAX_TRACING_OVERHEAD = 1.25
+
+
+def _problem():
+    ctg, platform = mpeg_ctg(), mpeg_platform()
+    deadline = set_deadline_from_makespan(ctg, platform, 1.6)
+    trace = drifting_trace(ctg, TRACE_LENGTH, seed=71)
+    config = AdaptiveConfig(window_size=20, threshold=0.1)
+    return ctg, platform, trace, config, deadline
+
+
+def _run(tracer=None):
+    ctg, platform, trace, config, deadline = _problem()
+    started = time.perf_counter()
+    result = run_adaptive(
+        ctg,
+        platform,
+        trace,
+        ctg.default_probabilities,
+        config,
+        deadline=deadline,
+        tracer=tracer,
+    )
+    return result, time.perf_counter() - started
+
+
+def run_overhead_bench():
+    untraced, null_seconds = _run(tracer=None)
+    tracer = Tracer()
+    traced, traced_seconds = _run(tracer=tracer)
+    overhead = traced_seconds / null_seconds
+    lines = [
+        f"tracing overhead — {TRACE_LENGTH}-instance MPEG adaptive trace",
+        f"  untraced (NULL_TRACER) : {null_seconds * 1e3:8.1f} ms",
+        f"  fully traced           : {traced_seconds * 1e3:8.1f} ms",
+        f"  overhead               : {overhead:8.2f}x  (bound {MAX_TRACING_OVERHEAD}x)",
+        f"  spans recorded         : {len(tracer.spans)}",
+        f"  events recorded        : {len(tracer.events)}",
+    ]
+    return untraced, traced, overhead, "\n".join(lines)
+
+
+def test_adaptive_untraced_hotpath(benchmark, archive):
+    """The NULL_TRACER hot path — the number the baseline compare pins."""
+
+    def run_untraced():
+        return _run(tracer=None)
+
+    result, _seconds = benchmark.pedantic(run_untraced, rounds=1, iterations=1)
+    assert len(result.energies) == TRACE_LENGTH
+    archive(
+        "obs_untraced_hotpath",
+        f"untraced adaptive hot path — {TRACE_LENGTH} instances, "
+        f"{result.reschedule_calls} re-schedules",
+    )
+
+
+def test_full_tracing_overhead(benchmark, archive):
+    untraced, traced, overhead, report = benchmark.pedantic(
+        run_overhead_bench, rounds=1, iterations=1
+    )
+    archive("obs_tracing_overhead", report)
+    benchmark.extra_info["overhead"] = round(overhead, 2)
+    # tracing must not change the run
+    assert traced.energies == untraced.energies
+    assert traced.profile.counters == untraced.profile.counters
+    assert traced.profile.calls == untraced.profile.calls
+    assert overhead <= MAX_TRACING_OVERHEAD, (
+        f"full tracing costs {overhead:.2f}x, bound is {MAX_TRACING_OVERHEAD}x"
+    )

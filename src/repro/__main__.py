@@ -11,7 +11,12 @@ Usage
         [--jobs N] [--cache-dir DIR] [--format text|json]
         [--artifacts-dir DIR]
     python -m repro schedule INSTANCE.json [--deadline-factor 1.3] [--check]
+        [--profile]
     python -m repro check INSTANCE.json|mpeg|cruise|wlan ... [--json]
+    python -m repro trace mpeg|cruise|wlan [--out RUN.trace.json]
+        [--metrics-out RUN.metrics.json] [--plan overrun|...|none]
+        [--length N] [--timeline]
+    python -m repro report FILE.json [--json]
     python -m repro demo
 
 ``run`` regenerates the requested tables/figures through the
@@ -34,6 +39,15 @@ the Gantt chart; ``check`` statically verifies instances (saved JSON
 files or the built-in workloads by name) end to end — graph, platform,
 online schedule, per-minterm deadline feasibility — and exits non-zero
 on any error-severity diagnostic (see ``docs/diagnostics.md``);
+``trace`` replays one seeded run of a built-in workload with the
+tracer attached (:mod:`repro.obs`) and writes a Perfetto-loadable
+Chrome trace plus a byte-stable canonical metrics snapshot;
+``report`` renders a human-readable summary of any JSON file the
+package writes — a Chrome trace, an experiment artifact or a metrics
+snapshot (see ``docs/observability.md``); ``run``/``chaos`` accept
+``--trace-dir DIR`` to trace the engine run itself (one span per
+cell), and ``run``/``schedule`` accept ``--profile`` to print the
+stage-timing/counter table that previously was silently discarded;
 ``demo`` schedules the paper's Figure-1 example.
 """
 
@@ -197,6 +211,26 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_engine_trace(trace_dir, name: str, report, tracer) -> None:
+    """Write the Chrome trace + canonical metrics snapshot of one
+    traced engine run into ``trace_dir`` (see ``--trace-dir``)."""
+    from .obs import metrics_snapshot, write_chrome_trace, write_metrics_snapshot
+
+    trace_dir = Path(trace_dir)
+    trace_path = write_chrome_trace(
+        trace_dir / f"{name}.trace.json", tracer, run_name=name
+    )
+    snapshot = metrics_snapshot(
+        profile=report.profile, tracer=tracer, canonical=True, source=f"run {name}"
+    )
+    metrics_path = write_metrics_snapshot(
+        trace_dir / f"{name}.metrics.json", snapshot
+    )
+    print(
+        f"[trace written: {trace_path}; metrics: {metrics_path}]", file=sys.stderr
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names = list(EXPERIMENTS) if "all" in args.names else args.names
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -207,15 +241,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     artifacts_dir = Path(args.artifacts_dir) if args.artifacts_dir else None
     for name in names:
         spec = EXPERIMENTS[name](args.smoke)
-        report = experiments.run_spec(spec, jobs=args.jobs, cache=cache)
+        tracer = None
+        if args.trace_dir is not None:
+            from .obs import Tracer
+
+            tracer = Tracer()
+        report = experiments.run_spec(spec, jobs=args.jobs, cache=cache, tracer=tracer)
         if artifacts_dir is not None:
             write_artifact_path = experiments.write_artifact(artifacts_dir, report)
             print(f"[artifact written: {write_artifact_path}]", file=sys.stderr)
+        if tracer is not None:
+            _write_engine_trace(args.trace_dir, name, report, tracer)
         if args.format == "json":
             print(json.dumps(experiments.artifact_payload(report), indent=2))
         else:
             print(f"=== {name} ===")
             print(report.format())
+            print()
+        if args.profile:
+            print(f"--- {name} profile ---")
+            print(report.profile.format())
             print()
     return 0
 
@@ -253,12 +298,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"chaos: {exc}", file=sys.stderr)
         return 2
     cache = experiments.resolve_cache(args.cache_dir)
-    report = experiments.run_spec(spec, jobs=args.jobs, cache=cache)
+    tracer = None
+    if args.trace_dir is not None:
+        from .obs import Tracer
+
+        tracer = Tracer()
+    report = experiments.run_spec(spec, jobs=args.jobs, cache=cache, tracer=tracer)
     if args.artifacts_dir is not None:
         path = experiments.write_artifact(
             args.artifacts_dir, report, canonical=True
         )
         print(f"[canonical artifact written: {path}]", file=sys.stderr)
+    if tracer is not None:
+        _write_engine_trace(args.trace_dir, "chaos", report, tracer)
     if args.format == "json":
         print(json.dumps(experiments.canonical_artifact_payload(report), indent=2))
     else:
@@ -283,16 +335,22 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
+    from .profiling import StageProfiler
+
     ctg, platform, _trace = load_instance(args.instance)
     if ctg.deadline <= 0:
         set_deadline_from_makespan(ctg, platform, args.deadline_factor)
-    result = schedule_online(ctg, platform, check=args.check)
+    profiler = StageProfiler() if args.profile else None
+    result = schedule_online(ctg, platform, profiler=profiler, check=args.check)
     result.schedule.validate()
     print(render_gantt(result.schedule))
     print()
     print(render_listing(result.schedule))
     energy = result.schedule.expected_energy(ctg.default_probabilities)
     print(f"\nexpected energy per period: {energy:.2f}")
+    if result.profile is not None:
+        print()
+        print(result.profile.format())
     return 0
 
 
@@ -340,6 +398,100 @@ def _cmd_check(args: argparse.Namespace) -> int:
         if not report.ok:
             worst = 1
     return worst
+
+
+#: Defaults of the ``trace`` verb: a seconds-scale seeded run whose
+#: canonical metrics snapshot is byte-identical across invocations.
+TRACE_LENGTH = 150
+TRACE_TRAIN = 30
+TRACE_DEADLINE_FACTOR = 1.6
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from . import workloads as workloads_mod
+    from .experiments.chaos import fault_plan_catalogue
+    from .obs import (
+        Tracer,
+        derive_run_metrics,
+        metrics_snapshot,
+        render_timeline,
+        write_chrome_trace,
+        write_metrics_snapshot,
+    )
+    from .sim import empirical_distribution, run_adaptive, run_faulted
+    from .workloads import drifting_trace
+
+    name = args.workload
+    ctg = getattr(workloads_mod, f"{name}_ctg")()
+    platform = getattr(workloads_mod, f"{name}_platform")()
+    set_deadline_from_makespan(ctg, platform, args.deadline_factor)
+    trace = drifting_trace(ctg, args.length, seed=args.seed)
+    probabilities = empirical_distribution(ctg, trace[: args.train])
+    tracer = Tracer()
+    if args.plan == "none":
+        result = run_adaptive(
+            ctg, platform, trace[args.train :], probabilities, tracer=tracer
+        )
+    else:
+        catalogue = fault_plan_catalogue()
+        if args.plan not in catalogue:
+            known = ", ".join(sorted(catalogue) + ["none"])
+            print(f"unknown fault plan {args.plan!r} (known: {known})", file=sys.stderr)
+            return 2
+        result = run_faulted(
+            ctg,
+            platform,
+            trace[args.train :],
+            probabilities,
+            catalogue[args.plan],
+            tracer=tracer,
+        )
+
+    out = Path(args.out) if args.out else Path(f"{name}.trace.json")
+    if args.metrics_out:
+        metrics_out = Path(args.metrics_out)
+    elif out.name.endswith(".trace.json"):
+        metrics_out = out.with_name(out.name[: -len(".trace.json")] + ".metrics.json")
+    else:
+        metrics_out = out.with_suffix(".metrics.json")
+    write_chrome_trace(out, tracer, run_name=f"{name}:{args.plan}")
+    derived = derive_run_metrics(result, tracer=tracer)
+    snapshot = metrics_snapshot(
+        profile=result.profile,
+        tracer=tracer,
+        derived=derived,
+        canonical=True,
+        source=f"trace {name}",
+    )
+    write_metrics_snapshot(metrics_out, snapshot)
+    instances = len(result.energies)
+    print(
+        f"traced {name} ({args.plan}): {instances} instances, "
+        f"{result.reschedule_calls} re-schedules, "
+        f"{len(tracer.spans)} spans, {len(tracer.events)} events"
+    )
+    print(f"chrome trace:     {out}  (open in https://ui.perfetto.dev)")
+    print(f"metrics snapshot: {metrics_out}  (canonical, byte-stable)")
+    if args.timeline:
+        print()
+        print(render_timeline(tracer))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obs import load_report_payload, render_report
+    from .obs.report import ReportError
+
+    try:
+        kind, payload = load_report_payload(args.file)
+    except OSError as exc:
+        print(f"report: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    except ReportError as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(kind, payload, as_json=args.json))
+    return 0
 
 
 def _cmd_demo(_args: argparse.Namespace) -> int:
@@ -400,6 +552,19 @@ def main(argv=None) -> int:
         "--smoke",
         action="store_true",
         help="shrink every experiment to a seconds-scale configuration",
+    )
+    run.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="write a Chrome trace (<experiment>.trace.json) and a "
+        "canonical metrics snapshot (<experiment>.metrics.json) of "
+        "each engine run",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="print each experiment's aggregated stage-timing/counter table",
     )
     run.set_defaults(func=_cmd_run)
 
@@ -462,6 +627,13 @@ def main(argv=None) -> int:
         help="exit non-zero unless the default policy recovers >=90%% "
         "of threatened instances with zero unrecovered misses",
     )
+    chaos.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="write a Chrome trace and canonical metrics snapshot of "
+        "the chaos engine run",
+    )
     chaos.set_defaults(func=_cmd_chaos)
 
     sched = sub.add_parser("schedule", help="schedule a saved problem instance")
@@ -472,6 +644,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="statically verify the schedule before printing it "
         "(raises on any error-severity diagnostic)",
+    )
+    sched.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the invocation's stage-timing/counter table",
     )
     sched.set_defaults(func=_cmd_schedule)
 
@@ -493,6 +670,60 @@ def main(argv=None) -> int:
     )
     check.add_argument("--json", action="store_true", help="emit reports as JSON")
     check.set_defaults(func=_cmd_check)
+
+    trace = sub.add_parser(
+        "trace",
+        help="trace one seeded run: Chrome trace + canonical metrics snapshot",
+    )
+    trace.add_argument("workload", choices=_WORKLOADS)
+    trace.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="Chrome trace output path (default: <workload>.trace.json)",
+    )
+    trace.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="canonical metrics snapshot path "
+        "(default: derived from --out, .metrics.json)",
+    )
+    trace.add_argument(
+        "--plan",
+        default="overrun",
+        metavar="PLAN",
+        help="fault plan from the chaos catalogue, or 'none' for a "
+        "fault-free adaptive run (default: overrun)",
+    )
+    trace.add_argument("--length", type=int, default=TRACE_LENGTH, metavar="N")
+    trace.add_argument("--train", type=int, default=TRACE_TRAIN, metavar="N")
+    trace.add_argument("--seed", type=int, default=7, metavar="SEED")
+    trace.add_argument(
+        "--deadline-factor", type=float, default=TRACE_DEADLINE_FACTOR
+    )
+    trace.add_argument(
+        "--timeline",
+        action="store_true",
+        help="also print the plain-text span/event timeline",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    report = sub.add_parser(
+        "report",
+        help="summarise a trace, experiment artifact or metrics snapshot",
+    )
+    report.add_argument(
+        "file",
+        help="JSON file written by repro: a Chrome trace, an "
+        "experiment artifact or a metrics snapshot",
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured summary as JSON instead of text",
+    )
+    report.set_defaults(func=_cmd_report)
 
     sub.add_parser("demo", help="schedule the paper's Figure-1 example").set_defaults(
         func=_cmd_demo

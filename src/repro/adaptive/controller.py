@@ -182,7 +182,16 @@ class AdaptiveController:
         """Whether the threshold policy calls for re-scheduling now."""
         if self.cooldown_active():
             return False
-        return self.drift() > self.config.threshold
+        drift = self.drift()
+        if drift <= self.config.threshold:
+            return False
+        self.stats.event(
+            "drift.detected",
+            drift=round(drift, 6),
+            threshold=self.config.threshold,
+            instance=self._instance,
+        )
+        return True
 
     def reschedule(self, emergency: bool = False, on_error: str = "raise") -> bool:
         """Re-invoke the online algorithm with the windowed estimate.
@@ -227,4 +236,11 @@ class AdaptiveController:
         if emergency:
             self.stats.count("reschedule.emergency")
         self.call_log.append(self._instance)
+        self.stats.event(
+            "reschedule.invoked",
+            call=self.calls,
+            instance=self._instance,
+            emergency=emergency,
+            fallback=used_fallback,
+        )
         return used_fallback

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from ..obs.trace import Tracer, as_tracer
 from ..profiling import StageProfiler
 from .cache import CellCache, resolve_cache
 from .spec import CellFunction, CellResult, ExperimentSpec
@@ -136,6 +137,7 @@ def run_spec(
     spec: ExperimentSpec,
     jobs: Optional[int] = None,
     cache: Union[None, str, Path, CellCache] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ExperimentReport:
     """Execute a spec; see the module docstring for the pipeline.
 
@@ -150,6 +152,14 @@ def run_spec(
     cache:
         ``None`` (no caching), a directory path, or a ready
         :class:`CellCache`.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`: the engine records
+        one ``cell`` span per cell on the ``engine`` track, *in
+        declaration order* with prefix-summed start times (cells may
+        really have run concurrently or come from cache) — so the
+        rendered timeline and the canonical metrics snapshot are
+        identical at every ``jobs`` value, exactly like the reduced
+        result.
     """
     started = time.perf_counter()
     effective_jobs = os.cpu_count() or 1 if jobs is None else int(jobs)
@@ -207,6 +217,21 @@ def run_spec(
     aggregate = StageProfiler()
     for result in cell_results:
         aggregate.merge(StageProfiler.from_dict(result.profile))
+
+    trc = as_tracer(tracer)
+    if trc.enabled:
+        cursor = 0.0
+        for result in cell_results:
+            trc.add_span(
+                result.key,
+                cursor,
+                cursor + result.seconds,
+                category="cell",
+                track="engine",
+                experiment=spec.name,
+                cached=result.cached,
+            )
+            cursor += result.seconds
 
     reduced = spec.reducer(cell_results)
     stats = EngineStats(

@@ -1,0 +1,94 @@
+"""Unified observability layer: tracing, typed metrics, exporters.
+
+Three modules, one contract:
+
+* :mod:`repro.obs.trace` — :class:`Tracer` (nested spans + point
+  events), :data:`NULL_TRACER`, and :class:`TracingProfiler`, the
+  drop-in :class:`~repro.profiling.StageProfiler` that feeds a tracer
+  while keeping the aggregate ``profile`` dicts bit-for-bit identical;
+* :mod:`repro.obs.metrics` — the declared metric vocabulary
+  (:data:`VOCABULARY`), :class:`MetricsRegistry` with typed
+  counter/gauge/histogram instruments, and the drift-test helpers
+  (:func:`vocabulary_table`, :func:`emitted_names`);
+* :mod:`repro.obs.export` / :mod:`repro.obs.report` — Chrome
+  trace-event JSON for Perfetto, byte-stable canonical metrics
+  snapshots for CI ``cmp``, and the ``repro report`` renderers.
+
+See ``docs/observability.md`` for the span model and export formats.
+"""
+
+from .export import (
+    METRICS_SCHEMA,
+    chrome_trace,
+    metrics_snapshot,
+    render_timeline,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_snapshot,
+)
+from .metrics import (
+    VOCABULARY,
+    MetricError,
+    MetricKind,
+    MetricSpec,
+    MetricsRegistry,
+    declared_names,
+    default_registry,
+    derive_run_metrics,
+    emitted_names,
+    vocabulary_table,
+)
+from .report import (
+    ReportError,
+    detect_kind,
+    load_report_payload,
+    render_report,
+    summarise_artifact,
+    summarise_trace,
+)
+from .trace import (
+    EVENT_COUNTERS,
+    NULL_TRACER,
+    SIM_CATEGORIES,
+    WALL_TRACK,
+    Span,
+    TraceEvent,
+    Tracer,
+    TracingProfiler,
+    as_tracer,
+)
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "chrome_trace",
+    "metrics_snapshot",
+    "render_timeline",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_snapshot",
+    "VOCABULARY",
+    "MetricError",
+    "MetricKind",
+    "MetricSpec",
+    "MetricsRegistry",
+    "declared_names",
+    "default_registry",
+    "derive_run_metrics",
+    "emitted_names",
+    "vocabulary_table",
+    "ReportError",
+    "detect_kind",
+    "load_report_payload",
+    "render_report",
+    "summarise_artifact",
+    "summarise_trace",
+    "EVENT_COUNTERS",
+    "NULL_TRACER",
+    "SIM_CATEGORIES",
+    "WALL_TRACK",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "TracingProfiler",
+    "as_tracer",
+]

@@ -22,33 +22,59 @@ Design constraints:
 * **plain data** — timings/counters are ordinary dicts, trivially
   serialisable for experiment reports.
 
-Conventional stage/counter names used across the package (dots group
-related entries; nothing enforces the vocabulary):
+The stage/counter/event vocabulary is *declared* in
+:data:`repro.obs.metrics.VOCABULARY`; the table below is generated
+by :func:`repro.obs.metrics.vocabulary_table` and drift-tested
+(``tests/test_obs_vocabulary.py``) — edit the declaration, then
+re-render, never the table text:
 
-========================  =====================================================
-``online``                 one full ``schedule_online`` invocation
-``dls``                    mapping/ordering stage
-``stretch``                slack-distribution stage (total)
-``stretch.structure``      path enumeration + scenario-mask construction
-``stretch.refresh``        probability-dependent table refresh
-``stretch.sweep``          the per-task CalculateSlack sweep
-``executor.replay``        per-instance schedule replay in the simulator
-``executor.replay_faulted``  dual-arm replay of a fault-injected instance
-``reschedule.calls``       adaptive re-invocations of the online algorithm
-``reschedule.emergency``   out-of-band invocations after an unrecovered miss
-``reschedule.dropped``     invocations lost to an injected drop fault
-``reschedule.delayed``     invocations deferred by an injected delay fault
-``reschedule.fallback``    full-speed fallback schedules installed on failure
-``fault.injected``         faults resolved from the plan and applied
-``fault.threatened``       instances whose no-policy arm missed the deadline
-``fault.escalations``      overrun detections that escalated remaining tasks
-``fault.corrupted_observations``  branch labels rotated before the estimator
-``online.fallback``        full-speed DLS fallback scheduling stage
-``path_cache.hit/miss``    structural path-analytics cache outcomes
-``prob_cache.hit/miss``    probability-tier (prob_after) cache outcomes
-``paths.enumerated``       paths enumerated on structural cache misses
-``stretch.prune_fallback`` all-paths-pruned fallbacks to unpruned stretching
-========================  =====================================================
+================================  =========  ================================================
+``online``                        timer      one full ``schedule_online`` invocation
+``online.fallback``               timer      full-speed DLS fallback scheduling stage
+``dls``                           timer      mapping/ordering stage
+``dls.levels``                    timer      static-level computation inside DLS
+``stretch``                       timer      slack-distribution stage (total)
+``stretch.structure``             timer      path enumeration + scenario-mask construction
+``stretch.refresh``               timer      probability-dependent table refresh
+``stretch.sweep``                 timer      the per-task CalculateSlack sweep
+``executor.replay``               timer      per-instance schedule replay in the simulator
+``executor.replay_faulted``       timer      dual-arm replay of a fault-injected instance
+``check``                         timer      static verification inside ``schedule_online(check=True)``
+``dls.tasks_placed``              counter    tasks placed by the DLS mapping stage
+``paths.enumerated``              counter    paths enumerated on structural cache misses
+``path_cache.hit``                counter    structural path-analytics cache hits
+``path_cache.miss``               counter    structural path-analytics cache misses
+``prob_cache.hit``                counter    probability-tier (prob_after) cache hits
+``prob_cache.miss``               counter    probability-tier (prob_after) cache misses
+``stretch.prune_fallback``        counter    all-paths-pruned fallbacks to unpruned stretching
+``executor.instances``            counter    CTG instances replayed by the executor
+``executor.faulted_instances``    counter    instances replayed with faults applied
+``reschedule.calls``              counter    adaptive re-invocations of the online algorithm
+``reschedule.emergency``          counter    out-of-band invocations after an unrecovered miss
+``reschedule.dropped``            counter    invocations lost to an injected drop fault
+``reschedule.delayed``            counter    invocations deferred by an injected delay fault
+``reschedule.fallback``           counter    full-speed fallback schedules installed on failure
+``fault.injected``                counter    faults resolved from the plan and applied
+``fault.threatened``              counter    instances whose no-policy arm missed the deadline
+``fault.escalations``             counter    overrun detections that escalated remaining tasks
+``fault.corrupted_observations``  counter    branch labels rotated before the estimator
+``check.passes``                  counter    clean ``schedule_online(check=True)`` verifications
+``modal.pseudo_edge_skips``       counter    implied-edge injections skipped as cycle-closing
+``drift.detected``                event      windowed branch drift crossed the threshold
+``reschedule.invoked``            event      the controller (re)invoked the online algorithm
+``sim.fault``                     event      one injected fault, on its instance's sim timeline
+``sim.reschedule``                event      a new schedule took effect (sim timeline)
+``sim.escalation``                event      the watchdog escalated remaining tasks (sim timeline)
+``sim.recovered``                 event      policy arm recovered a threatened instance
+``sim.unrecovered``               event      policy arm missed the deadline despite recovery
+``run.reschedule_latency``        histogram  per-call ``schedule_online`` wall-clock latency
+``run.energy_per_instance``       histogram  per-instance energy distribution
+``run.total_energy``              gauge      summed instance energy of the run
+``run.instances``                 gauge      replayed CTG instances
+``run.reschedule_calls``          gauge      re-scheduling call count of the run
+``run.deadline_misses``           gauge      instances finishing past the deadline
+``run.recovery_rate``             gauge      recovered / threatened instances (faulted runs)
+================================  =========  ================================================
 """
 
 from __future__ import annotations
@@ -91,6 +117,14 @@ class StageProfiler:
     def count(self, name: str, amount: int = 1) -> None:
         """Bump a named counter."""
         self.counters[name] = self.counters.get(name, 0) + amount
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Record a point event — a no-op on the aggregate profiler.
+
+        Call sites emit drift/re-schedule/fault events unconditionally;
+        only :class:`repro.obs.trace.TracingProfiler` forwards them to a
+        tracer, so events never alter the ``profile`` dicts.
+        """
 
     def merge(self, other: "StageProfiler") -> None:
         """Fold another profiler's data into this one."""

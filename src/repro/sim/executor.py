@@ -31,6 +31,7 @@ from ..check.tolerances import TIME_EPS
 from ..ctg.minterms import Scenario
 from ..faults.injectors import InstanceFaults
 from ..faults.policy import DegradationPolicy
+from ..obs.trace import Tracer, as_tracer
 from ..profiling import StageProfiler, as_profiler
 from ..scheduling.schedule import Schedule
 from .vectors import DecisionVector, scenario_from_decisions
@@ -82,14 +83,23 @@ class InstanceExecutor:
     ``profiler`` (optional) accumulates the ``executor.replay`` stage
     timing and the ``executor.instances`` counter across :meth:`run`
     calls; omitted, the null profiler keeps the replay loop free of
-    instrumentation cost.
+    instrumentation cost.  ``tracer`` (optional) additionally records
+    one simulated-time span per executed task (on its PE's track, with
+    the chosen DVFS speed) and per activated cross-PE transfer — the
+    per-instance timeline the Perfetto export renders; with the default
+    :data:`~repro.obs.trace.NULL_TRACER` the replay loop skips span
+    construction entirely (``enabled`` is checked once per instance).
     """
 
     def __init__(
-        self, schedule: Schedule, profiler: Optional[StageProfiler] = None
+        self,
+        schedule: Schedule,
+        profiler: Optional[StageProfiler] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.schedule = schedule
         self._prof = as_profiler(profiler)
+        self._tracer = as_tracer(tracer)
         ctg = schedule.ctg
         self._real_ctg = ctg.without_pseudo_edges()
         self._order = ctg.topological_order()
@@ -106,7 +116,61 @@ class InstanceExecutor:
         with self._prof.stage("executor.replay"):
             result = self._run(decisions)
         self._prof.count("executor.instances")
+        if self._tracer.enabled:
+            self._emit_instance_spans(result, decisions)
         return result
+
+    def _emit_instance_spans(
+        self,
+        result: InstanceResult,
+        decisions: DecisionVector,
+        edge_factors: Optional[Mapping[Tuple[str, str], float]] = None,
+    ) -> None:
+        """Record the instance's simulated timeline on the tracer.
+
+        One ``sim.task`` span per executed task on its PE's track
+        (attrs: DVFS speed), one ``sim.link`` span per activated
+        cross-PE transfer with non-zero delay (``edge_factors`` scales
+        delays the way the faulted replay did).  Timestamps are
+        instance-local; the tracer's ``sim_offset`` (advanced by the
+        runners) places them on the run-global timeline.
+        """
+        tracer = self._tracer
+        schedule = self.schedule
+        ctg = schedule.ctg
+        finishes = result.finish_times
+        for task, start in result.start_times.items():
+            placement = schedule.placement(task)
+            tracer.add_span(
+                task,
+                start,
+                finishes[task],
+                category="sim.task",
+                track=f"pe:{placement.pe}",
+                speed=round(placement.speed, 4),
+            )
+        for task in result.start_times:
+            for src, _dst, data in ctg.in_edges(task, include_pseudo=False):
+                if src not in finishes:
+                    continue
+                if data.condition is not None and (
+                    decisions.get(data.condition.branch) != data.condition.label
+                ):
+                    continue
+                delay = self._edge_delays.get((src, task), 0.0)
+                if delay <= 0.0:
+                    continue
+                if edge_factors:
+                    delay *= edge_factors.get((src, task), 1.0)
+                src_pe = schedule.placement(src).pe
+                dst_pe = schedule.placement(task).pe
+                tracer.add_span(
+                    f"{src}->{task}",
+                    finishes[src],
+                    finishes[src] + delay,
+                    category="sim.link",
+                    track=f"link:{src_pe}-{dst_pe}",
+                )
 
     def _run(self, decisions: DecisionVector) -> InstanceResult:
         schedule = self.schedule
@@ -200,6 +264,10 @@ class InstanceExecutor:
             result = self._run_faulted(decisions, faults, policy)
         self._prof.count("executor.instances")
         self._prof.count("executor.faulted_instances")
+        if self._tracer.enabled:
+            self._emit_instance_spans(
+                result, decisions, edge_factors=faults.edge_factors
+            )
         return result
 
     def _run_faulted(

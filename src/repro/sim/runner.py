@@ -24,11 +24,28 @@ from ..faults.injectors import FaultInjector, rotate_label
 from ..faults.log import FaultLog, RecoveryAction
 from ..faults.plan import FaultPlan
 from ..faults.policy import DegradationPolicy
+from ..obs.trace import Tracer, TracingProfiler, as_tracer
 from ..platform.mpsoc import Platform
 from ..profiling import StageProfiler
 from ..scheduling.online import schedule_online
 from .executor import InstanceExecutor
 from .vectors import Trace
+
+
+def _run_profiler(tracer: Tracer) -> StageProfiler:
+    """The profiler a runner threads through its layers: a plain
+    :class:`StageProfiler` without tracing (identical dicts either
+    way), a :class:`TracingProfiler` feeding ``tracer`` with it."""
+    return TracingProfiler(tracer) if tracer.enabled else StageProfiler()
+
+
+def _advance_sim_offset(tracer: Tracer, ctg: ConditionalTaskGraph, finish: float) -> None:
+    """Move the simulated-time origin past the instance just executed
+    so successive instances render end to end on the trace timeline
+    (the CTG's period equals its deadline; deadline-free graphs advance
+    by the instance's own finish time)."""
+    period = ctg.deadline if ctg.deadline > 0 else finish
+    tracer.sim_offset += period
 
 
 @dataclass
@@ -99,6 +116,7 @@ def run_non_adaptive(
     trace: Trace,
     probabilities: Mapping[str, Mapping[str, float]],
     deadline: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
 ) -> RunResult:
     """Replay a trace under a single schedule built from ``probabilities``.
 
@@ -106,20 +124,25 @@ def run_non_adaptive(
     "online"/"non-adaptive" rows); it is *not* updated during the run.
     A ``deadline`` override is applied to a private copy of the graph —
     the caller's CTG object is never mutated (same contract as
-    :func:`run_adaptive`).
+    :func:`run_adaptive`).  ``tracer`` (optional) records the span/event
+    timeline of the run (see :mod:`repro.obs.trace`); ``profile``
+    contents are identical with or without it.
     """
     if deadline is not None:
         ctg = ctg.copy()
         ctg.deadline = deadline
-    stats = StageProfiler()
+    trc = as_tracer(tracer)
+    stats = _run_profiler(trc)
     online = schedule_online(ctg, platform, probabilities, profiler=stats)
-    executor = InstanceExecutor(online.schedule, profiler=stats)
+    executor = InstanceExecutor(online.schedule, profiler=stats, tracer=trc)
     result = RunResult(profile=stats)
     for vector in trace:
         outcome = executor.run(vector)
         result.energies.append(outcome.energy)
         if not outcome.deadline_met:
             result.deadline_misses += 1
+        if trc.enabled:
+            _advance_sim_offset(trc, ctg, outcome.finish_time)
     return result
 
 
@@ -131,6 +154,7 @@ def run_adaptive(
     config: Optional[AdaptiveConfig] = None,
     deadline: Optional[float] = None,
     profiler=None,
+    tracer: Optional[Tracer] = None,
 ) -> RunResult:
     """Replay a trace under the window/threshold adaptive policy.
 
@@ -141,12 +165,16 @@ def run_adaptive(
     branch decision is shifted into the buffer").  ``profiler`` swaps
     the estimator (default: the paper's sliding window); ``config``
     defaults to a fresh :class:`AdaptiveConfig` (never a shared
-    instance — the config is mutable).
+    instance — the config is mutable).  ``tracer`` (optional) records
+    the run's span/event timeline — scheduling stages, per-task
+    simulated spans, a ``sim.reschedule`` event at every schedule
+    swap — without changing the ``profile`` dicts.
     """
     if deadline is not None:
         ctg = ctg.copy()
         ctg.deadline = deadline
-    stats = StageProfiler()
+    trc = as_tracer(tracer)
+    stats = _run_profiler(trc)
     controller = AdaptiveController(
         ctg,
         platform,
@@ -155,10 +183,10 @@ def run_adaptive(
         profiler=profiler,
         stage_profiler=stats,
     )
-    executor = InstanceExecutor(controller.schedule, profiler=stats)
+    executor = InstanceExecutor(controller.schedule, profiler=stats, tracer=trc)
     branches = ctg.branch_nodes()
     result = RunResult(profile=stats)
-    for vector in trace:
+    for index, vector in enumerate(trace):
         outcome = executor.run(vector)
         result.energies.append(outcome.energy)
         if not outcome.deadline_met:
@@ -167,7 +195,19 @@ def run_adaptive(
             b: vector[b] for b in branches if b in outcome.scenario.active
         }
         if controller.observe(executed):
-            executor = InstanceExecutor(controller.schedule, profiler=stats)
+            executor = InstanceExecutor(
+                controller.schedule, profiler=stats, tracer=trc
+            )
+            if trc.enabled:
+                trc.event(
+                    "sim.reschedule",
+                    ts=outcome.finish_time,
+                    category="sim.event",
+                    instance=index + 1,
+                    call=controller.calls,
+                )
+        if trc.enabled:
+            _advance_sim_offset(trc, ctg, outcome.finish_time)
     result.reschedule_calls = controller.calls
     result.call_instances = list(controller.call_log)
     return result
@@ -183,6 +223,7 @@ def run_faulted(
     config: Optional[AdaptiveConfig] = None,
     deadline: Optional[float] = None,
     profiler=None,
+    tracer: Optional[Tracer] = None,
 ) -> RunResult:
     """Replay a trace under the adaptive policy with faults injected.
 
@@ -208,14 +249,18 @@ def run_faulted(
     Every fault and every reaction lands in ``result.fault_log``; the
     run's :class:`~repro.profiling.StageProfiler` picks up the matching
     counters (``fault.*``, ``reschedule.dropped`` / ``.emergency`` /
-    ``.fallback``).
+    ``.fallback``).  ``tracer`` (optional) additionally places every
+    injected fault, escalation, recovery outcome and schedule swap on
+    the simulated timeline (``sim.fault`` / ``sim.escalation`` /
+    ``sim.recovered`` / ``sim.unrecovered`` / ``sim.reschedule``).
     """
     if policy is None:
         policy = DegradationPolicy.default()
     if deadline is not None:
         ctg = ctg.copy()
         ctg.deadline = deadline
-    stats = StageProfiler()
+    trc = as_tracer(tracer)
+    stats = _run_profiler(trc)
     controller = AdaptiveController(
         ctg,
         platform,
@@ -225,7 +270,7 @@ def run_faulted(
         stage_profiler=stats,
     )
     injector = FaultInjector(plan, ctg=ctg, platform=platform)
-    executor = InstanceExecutor(controller.schedule, profiler=stats)
+    executor = InstanceExecutor(controller.schedule, profiler=stats, tracer=trc)
     branches = ctg.branch_nodes()
     outcomes = {b: ctg.outcomes_of(b) for b in branches}
     log = FaultLog()
@@ -233,16 +278,31 @@ def run_faulted(
     # one pending (dropped/delayed) re-schedule incident at a time:
     # [due_instance, attempts_left, current_backoff]
     pending: Optional[List[int]] = None
+    sim_cursor = 0.0
 
     for index, vector in enumerate(trace):
+        if trc.enabled:
+            trc.sim_offset = sim_cursor
         faults = injector.faults_at(index)
         for event in faults.events:
             log.record(event)
+            if trc.enabled:
+                trc.event(
+                    "sim.fault",
+                    ts=0.0,
+                    category="sim.event",
+                    instance=index,
+                    kind=event.kind,
+                    target=event.target,
+                    severity=event.severity,
+                )
         if not faults.empty:
             stats.count("fault.injected", len(faults.events))
 
         outcome = executor.run_faulted(vector, faults, policy)
         result.energies.append(outcome.energy)
+        if trc.enabled:
+            sim_cursor += ctg.deadline if ctg.deadline > 0 else outcome.finish_time
         if not outcome.deadline_met:
             result.deadline_misses += 1
             log.unrecovered += 1
@@ -255,6 +315,13 @@ def run_faulted(
                 log.act(RecoveryAction(index, "recovered"))
             else:
                 log.act(RecoveryAction(index, "unrecovered"))
+            if trc.enabled:
+                trc.event(
+                    "sim.recovered" if outcome.deadline_met else "sim.unrecovered",
+                    ts=outcome.finish_time,
+                    category="sim.event",
+                    instance=index,
+                )
         if outcome.baseline_energy is not None:
             log.policy_energy += outcome.energy
             log.baseline_energy += outcome.baseline_energy
@@ -265,6 +332,14 @@ def run_faulted(
                 )
             )
             stats.count("fault.escalations")
+            if trc.enabled:
+                trc.event(
+                    "sim.escalation",
+                    ts=outcome.finish_time,
+                    category="sim.event",
+                    instance=index,
+                    escalated=len(outcome.escalated),
+                )
 
         # estimator sees the (possibly corrupted) observations
         observed: dict = {}
@@ -322,7 +397,17 @@ def run_faulted(
         used_fallback = controller.reschedule(emergency=emergency, on_error="fallback")
         if used_fallback:
             log.act(RecoveryAction(index, "fallback_schedule"))
-        executor = InstanceExecutor(controller.schedule, profiler=stats)
+        executor = InstanceExecutor(controller.schedule, profiler=stats, tracer=trc)
+        if trc.enabled:
+            trc.event(
+                "sim.reschedule",
+                ts=outcome.finish_time,
+                category="sim.event",
+                instance=index,
+                call=controller.calls,
+                emergency=emergency,
+                fallback=used_fallback,
+            )
         pending = None
 
     result.reschedule_calls = controller.calls

@@ -1,0 +1,179 @@
+"""Typed metric registry: declaration, validation, instruments, and
+the derived per-run metrics."""
+
+import pytest
+
+from repro.adaptive.controller import AdaptiveConfig
+from repro.ctg.examples import two_sided_branch_ctg
+from repro.obs import Tracer, derive_run_metrics
+from repro.obs.metrics import (
+    Histogram,
+    MetricError,
+    MetricKind,
+    MetricSpec,
+    MetricsRegistry,
+    declared_names,
+    default_registry,
+    vocabulary_table,
+)
+from repro.sim.runner import run_adaptive
+from repro.workloads.traces import drifting_trace
+
+from .test_stretching_edge_cases import uniform_platform
+
+
+class TestDeclaration:
+    def test_default_registry_knows_the_vocabulary(self):
+        reg = default_registry()
+        assert set(reg.names) == declared_names()
+        assert reg.spec("online").kind is MetricKind.TIMER
+        assert reg.spec("reschedule.calls").kind is MetricKind.COUNTER
+        assert reg.spec("no.such.metric") is None
+
+    def test_redeclaring_same_kind_is_idempotent(self):
+        reg = default_registry()
+        spec = MetricSpec("reschedule.calls", MetricKind.COUNTER, "again")
+        reg.declare(spec)
+        assert reg.spec("reschedule.calls").description == "again"
+
+    def test_redeclaring_different_kind_raises(self):
+        reg = default_registry()
+        with pytest.raises(MetricError, match="re-declared"):
+            reg.declare(MetricSpec("reschedule.calls", MetricKind.GAUGE, "bad"))
+
+
+class TestValidation:
+    def test_known_names_pass_silently(self):
+        reg = default_registry(check=True)
+        assert reg.validate(["online", "dls", "reschedule.calls"]) == []
+
+    def test_unknown_names_raise_under_check(self):
+        reg = default_registry(check=True)
+        with pytest.raises(MetricError, match="path_cache.hti"):
+            reg.validate(["path_cache.hti"], source="test")
+
+    def test_unknown_names_warn_without_check(self):
+        reg = default_registry(check=False)
+        with pytest.warns(UserWarning, match="undeclared"):
+            unknown = reg.validate(["path_cache.hti", "online"])
+        assert unknown == ["path_cache.hti"]
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = default_registry()
+        counter = reg.counter("reschedule.calls")
+        counter.inc()
+        counter.inc(3)
+        assert reg.snapshot()["reschedule.calls"] == 4
+
+    def test_instrument_is_cached_per_name(self):
+        reg = default_registry()
+        assert reg.counter("reschedule.calls") is reg.counter("reschedule.calls")
+
+    def test_kind_mismatch_raises(self):
+        reg = default_registry()
+        with pytest.raises(MetricError, match="declared as a counter"):
+            reg.gauge("reschedule.calls")
+        with pytest.raises(MetricError, match="declared as a gauge"):
+            reg.histogram("run.total_energy")
+
+    def test_undeclared_instrument_raises_under_check(self):
+        reg = default_registry(check=True)
+        with pytest.raises(MetricError, match="undeclared"):
+            reg.counter("made.up")
+
+    def test_undeclared_instrument_is_auto_declared_without_check(self):
+        reg = default_registry(check=False)
+        with pytest.warns(UserWarning):
+            counter = reg.counter("made.up")
+        counter.inc()
+        assert reg.snapshot()["made.up"] == 1
+
+    def test_gauge_is_last_write_wins(self):
+        reg = default_registry()
+        gauge = reg.gauge("run.total_energy")
+        gauge.set(1.0)
+        gauge.set(2.5)
+        assert reg.snapshot()["run.total_energy"] == 2.5
+
+    def test_labelled_series_key_by_sorted_labels(self):
+        reg = default_registry()
+        counter = reg.counter("reschedule.calls")
+        counter.inc(2, policy="default", workload="mpeg")
+        counter.inc(1, workload="mpeg", policy="default")  # same series
+        counter.inc(5, workload="cruise", policy="default")
+        snap = reg.snapshot()["reschedule.calls"]
+        assert snap["policy=default|workload=mpeg"] == 3
+        assert snap["policy=default|workload=cruise"] == 5
+
+    def test_histogram_summary_is_deterministic(self):
+        summary = Histogram.summarise([3.0, 1.0, 2.0, 4.0])
+        assert summary == {"count": 4, "p50": 3.0, "p95": 4.0, "max": 4.0, "sum": 10.0}
+        assert Histogram.summarise([]) == {
+            "count": 0, "p50": 0.0, "p95": 0.0, "max": 0.0, "sum": 0.0,
+        }
+
+    def test_wall_clock_names_are_the_seconds_metrics(self):
+        names = default_registry().wall_clock_names()
+        assert "online" in names
+        assert "run.reschedule_latency" in names
+        assert "run.total_energy" not in names
+        assert "reschedule.calls" not in names
+
+
+class TestVocabularyTable:
+    def test_every_declared_name_appears(self):
+        table = vocabulary_table()
+        for name in declared_names():
+            assert f"``{name}``" in table
+
+    def test_table_is_rst_grid_shaped(self):
+        lines = vocabulary_table().splitlines()
+        assert lines[0] == lines[-1]
+        assert set(lines[0]) == {"=", " "}
+
+
+class TestDerivedRunMetrics:
+    @pytest.fixture(scope="class")
+    def run(self):
+        ctg = two_sided_branch_ctg()
+        ctg.deadline = 60.0
+        platform = uniform_platform(ctg, pes=1)
+        trace = drifting_trace(ctg, 12, seed=3)
+        tracer = Tracer()
+        result = run_adaptive(
+            ctg, platform, trace, ctg.default_probabilities,
+            config=AdaptiveConfig(window_size=4, threshold=0.05),
+            tracer=tracer,
+        )
+        return result, tracer
+
+    def test_gauges_mirror_the_result(self, run):
+        result, tracer = run
+        snap = derive_run_metrics(result, tracer=tracer).snapshot()
+        assert snap["run.total_energy"] == pytest.approx(result.total_energy)
+        assert snap["run.instances"] == len(result.energies)
+        assert snap["run.reschedule_calls"] == result.reschedule_calls
+        assert snap["run.deadline_misses"] == result.deadline_misses
+
+    def test_energy_histogram_covers_every_instance(self, run):
+        result, tracer = run
+        snap = derive_run_metrics(result, tracer=tracer).snapshot()
+        hist = snap["run.energy_per_instance"]
+        assert hist["count"] == len(result.energies)
+        assert hist["sum"] == pytest.approx(result.total_energy)
+
+    def test_latency_histogram_needs_an_enabled_tracer(self, run):
+        result, tracer = run
+        with_tracer = derive_run_metrics(result, tracer=tracer).snapshot()
+        without = derive_run_metrics(result).snapshot()
+        assert with_tracer["run.reschedule_latency"]["count"] == (
+            result.profile.calls["online"]
+        )
+        assert "run.reschedule_latency" not in without
+
+    def test_recovery_rate_only_on_faulted_results(self, run):
+        result, _ = run
+        snap = derive_run_metrics(result).snapshot()
+        assert "run.recovery_rate" not in snap

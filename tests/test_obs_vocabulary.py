@@ -1,0 +1,176 @@
+"""Vocabulary drift tests — the two inclusions that keep the declared
+metric registry honest:
+
+* **emitted ⊆ declared** — a static AST sweep over ``src/repro``
+  collects every metric-name literal and asserts each is declared in
+  :data:`repro.obs.metrics.VOCABULARY`;
+* **declared ⊆ emitted** — a battery of real runs (adaptive, faulted
+  under three plans, scheduling fallback, ``check=True``, degenerate
+  stretching, modal table) must emit every declared runtime name at
+  least once, so the vocabulary cannot accumulate dead entries.
+
+Plus the rendered-table drift checks: the tables embedded in
+``repro/profiling.py``'s docstring and ``docs/observability.md`` must
+be exactly ``vocabulary_table()``'s output.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro.adaptive.controller as controller_mod
+import repro.profiling
+from repro.adaptive.controller import AdaptiveConfig, AdaptiveController
+from repro.ctg import CTGError, figure1_ctg
+from repro.ctg.examples import two_sided_branch_ctg
+from repro.ctg.graph import ConditionalTaskGraph
+from repro.experiments.chaos import fault_plan_catalogue
+from repro.obs import (
+    Tracer,
+    TracingProfiler,
+    declared_names,
+    derive_run_metrics,
+    emitted_names,
+    vocabulary_table,
+)
+from repro.platform import PlatformConfig, generate_platform
+from repro.profiling import StageProfiler
+from repro.scheduling import SchedulingError, dls_schedule, stretch_schedule
+from repro.scheduling.modal import build_modal_table
+from repro.scheduling.online import schedule_online, set_deadline_from_makespan
+from repro.sim import empirical_distribution
+from repro.sim.runner import run_faulted
+from repro.workloads import movie_trace, mpeg_ctg, mpeg_platform
+
+from .test_stretching_edge_cases import uniform_platform
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _names_of(profile, tracer=None):
+    names = set(profile.calls) | set(profile.counters)
+    if tracer is not None:
+        names |= {e.name for e in tracer.events}
+        names |= {s.name for s in tracer.spans if s.category == "stage"}
+    return names
+
+
+@pytest.fixture(scope="module")
+def runtime_names():
+    """Union of every metric name the coverage battery emits."""
+    names = set()
+
+    # -- faulted mpeg runs: three plans cover the fault/reschedule space
+    ctg = mpeg_ctg()
+    platform = mpeg_platform()
+    set_deadline_from_makespan(ctg, platform, 1.6)
+    trace = movie_trace(ctg, "Airwolf", length=200)
+    probabilities = empirical_distribution(ctg, trace[:50])
+    catalogue = fault_plan_catalogue()
+    for plan_name in ("overrun", "overrun-drop", "noisy-links"):
+        tracer = Tracer()
+        result = run_faulted(
+            ctg, platform, trace[50:], probabilities, catalogue[plan_name],
+            config=AdaptiveConfig(window_size=20, threshold=0.1),
+            tracer=tracer,
+        )
+        names |= _names_of(result.profile, tracer)
+        if plan_name == "overrun":
+            names |= set(derive_run_metrics(result, tracer=tracer).snapshot())
+
+    # -- check=True: the verification stage and its pass counter
+    small = figure1_ctg()
+    small_platform = generate_platform(small.tasks(), PlatformConfig(pes=2, seed=5))
+    set_deadline_from_makespan(small, small_platform, 1.5)
+    tracer = Tracer()
+    checked = schedule_online(
+        small, small_platform, check=True, profiler=TracingProfiler(tracer)
+    )
+    names |= _names_of(checked.profile, tracer)
+
+    # -- scheduling failure: fallback schedule + its counter
+    fallback_ctg = two_sided_branch_ctg()
+    fallback_ctg.deadline = 60.0
+    controller = AdaptiveController(
+        fallback_ctg,
+        uniform_platform(fallback_ctg, pes=1),
+        fallback_ctg.default_probabilities,
+    )
+    original = controller_mod.schedule_online
+
+    def refuse(*args, **kwargs):
+        raise SchedulingError("forced failure")
+
+    controller_mod.schedule_online = refuse
+    try:
+        controller.reschedule(on_error="fallback")
+    finally:
+        controller_mod.schedule_online = original
+    names |= _names_of(controller.stats)
+
+    # -- degenerate probabilities: the all-paths-pruned stretch fallback
+    pruned = dls_schedule(
+        fallback_ctg,
+        uniform_platform(fallback_ctg, pes=1),
+        {"fork": {"h": 0.0, "l": 1.0}},
+    )
+    pruned.ctg.deadline = 60.0
+    profiler = StageProfiler()
+    stretch_schedule(
+        pruned, {"fork": {"h": 0.0, "l": 0.0}},
+        prune_zero_probability=True, profiler=profiler,
+    )
+    names |= _names_of(profiler)
+
+    # -- modal table with cycle-closing pseudo-edges: the skip counter
+    modal_result = schedule_online(small, small_platform)
+    profiler = StageProfiler()
+    original_edge = ConditionalTaskGraph.add_pseudo_edge
+
+    def closing(self, *args, **kwargs):
+        raise CTGError("forced cycle")
+
+    ConditionalTaskGraph.add_pseudo_edge = closing
+    try:
+        build_modal_table(modal_result.schedule, profiler=profiler)
+    finally:
+        ConditionalTaskGraph.add_pseudo_edge = original_edge
+    names |= _names_of(profiler)
+
+    return names
+
+
+class TestEmittedSubsetOfDeclared:
+    def test_every_source_literal_is_declared(self):
+        emitted = emitted_names(REPO / "src" / "repro")
+        undeclared = emitted - declared_names()
+        assert not undeclared, (
+            f"metric names emitted in src/ but missing from VOCABULARY: "
+            f"{sorted(undeclared)}"
+        )
+
+    def test_sweep_actually_sees_the_call_sites(self):
+        emitted = emitted_names(REPO / "src" / "repro")
+        # spot-check names emitted from four different modules
+        assert {"online", "dls.tasks_placed", "sim.fault", "run.total_energy"} <= emitted
+
+
+class TestDeclaredSubsetOfEmitted:
+    def test_every_declared_name_is_emitted_by_some_run(self, runtime_names):
+        dead = declared_names() - runtime_names
+        assert not dead, (
+            f"names declared in VOCABULARY but never emitted by the "
+            f"coverage battery: {sorted(dead)}"
+        )
+
+    def test_battery_stays_inside_the_vocabulary(self, runtime_names):
+        assert runtime_names <= declared_names()
+
+
+class TestRenderedTableDrift:
+    def test_profiling_docstring_embeds_the_table(self):
+        assert vocabulary_table() in repro.profiling.__doc__
+
+    def test_observability_doc_embeds_the_table(self):
+        doc = (REPO / "docs" / "observability.md").read_text()
+        assert vocabulary_table() in doc
