@@ -185,6 +185,14 @@ def _spec_ext_robustness(smoke: bool) -> ExperimentSpec:
     return experiments.robustness_spec()
 
 
+def _spec_montecarlo(smoke: bool) -> ExperimentSpec:
+    if smoke:
+        return experiments.montecarlo_spec(
+            workloads=("mpeg", "cruise"), n=256
+        )
+    return experiments.montecarlo_spec()
+
+
 #: Experiment registry: CLI name → spec factory taking the smoke flag.
 EXPERIMENTS: Dict[str, Callable[[bool], ExperimentSpec]] = {
     "table1": _spec_table1,
@@ -201,6 +209,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], ExperimentSpec]] = {
     "ext-overhead": _spec_ext_overhead,
     "ext-discrete-dvfs": _spec_ext_discrete,
     "ext-robustness": _spec_ext_robustness,
+    "montecarlo": _spec_montecarlo,
 }
 
 

@@ -30,6 +30,15 @@ machine-checked rule so none of them regresses:
     benchmarks are exempt — asserting an exactly-constructed value is
     the point of a unit test.
 
+``AST104`` — **private tolerance constant.**
+    A module-level assignment to an uppercase name ending in ``_TOL``
+    or ``_EPS`` outside ``repro/check/tolerances.py`` re-grows exactly
+    the scattered-epsilon drift the PR-2 unification removed (the
+    stretching stage's ``_CERTAIN_TOL`` slipped through it and went
+    stale against the shared module).  Import the constant from
+    :mod:`repro.check.tolerances` instead — and if no shared constant
+    fits, add one there so every layer sees the same value.
+
 Suppression: append ``# lint: ignore[AST103]`` (or a bare
 ``# lint: ignore``) to the offending line when a finding is a
 deliberate exception; the comment documents the waiver in place.
@@ -68,6 +77,14 @@ _IMMUTABLE_CALLS: Set[str] = {
 
 #: Directory names whose files are exempt from the float-equality rule.
 _FLOAT_EQ_EXEMPT_DIRS: Set[str] = {"tests", "benchmarks"}
+
+
+def _is_tolerance_name(name: str) -> bool:
+    """Whether a binding name looks like a private tolerance constant."""
+    bare = name.lstrip("_")
+    if not bare or not bare.isupper():
+        return False
+    return bare in ("TOL", "EPS") or bare.endswith(("_TOL", "_EPS"))
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
 
@@ -149,9 +166,13 @@ def _body_is_silent(body: Sequence[ast.stmt]) -> bool:
 class _Linter(ast.NodeVisitor):
     """Single-file rule visitor; findings accumulate on ``self.found``."""
 
-    def __init__(self, filename: str, float_eq_exempt: bool) -> None:
+    def __init__(
+        self, filename: str, float_eq_exempt: bool, tolerance_home: bool = False
+    ) -> None:
         self.filename = filename
         self.float_eq_exempt = float_eq_exempt
+        self.tolerance_home = tolerance_home
+        self._scope_depth = 0  # 0 = module level; AST104 only fires there
         self.found: List[Tuple[str, int, str]] = []  # (code, lineno, message)
 
     # -- AST101: function defaults --------------------------------------
@@ -172,17 +193,24 @@ class _Linter(ast.NodeVisitor):
                     )
                 )
 
+    def _visit_scope(self, node) -> None:
+        self._scope_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._scope_depth -= 1
+
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
-        self.generic_visit(node)
+        self._visit_scope(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
-        self.generic_visit(node)
+        self._visit_scope(node)
 
     def visit_Lambda(self, node: ast.Lambda) -> None:
         self._check_defaults(node)
-        self.generic_visit(node)
+        self._visit_scope(node)
 
     # -- AST101: dataclass field defaults --------------------------------
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
@@ -218,6 +246,34 @@ class _Linter(ast.NodeVisitor):
                                 "field(default_factory=...)",
                             )
                         )
+        self._visit_scope(node)
+
+    # -- AST104: private tolerance constants ------------------------------
+    def _check_tolerance_binding(self, target: ast.expr) -> None:
+        if self._scope_depth > 0 or self.tolerance_home:
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_tolerance_binding(element)
+            return
+        if isinstance(target, ast.Name) and _is_tolerance_name(target.id):
+            self.found.append(
+                (
+                    "AST104",
+                    target.lineno,
+                    f"module-level tolerance constant {target.id!r} outside "
+                    "repro.check.tolerances; import the shared value (or add "
+                    "one there) so comparison epsilons cannot drift apart",
+                )
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_tolerance_binding(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_tolerance_binding(node.target)
         self.generic_visit(node)
 
     # -- AST102: blind except --------------------------------------------
@@ -278,12 +334,20 @@ def _float_eq_exempt(path: Path) -> bool:
     )
 
 
+def _is_tolerance_home(path: Path) -> bool:
+    """Whether a path is the shared tolerances module itself."""
+    return path.name == "tolerances.py" and "check" in path.parts
+
+
 def lint_source(
-    source: str, filename: str = "<string>", float_eq_exempt: bool = False
+    source: str,
+    filename: str = "<string>",
+    float_eq_exempt: bool = False,
+    tolerance_home: bool = False,
 ) -> List[Diagnostic]:
     """Lint one source string; returns surviving findings."""
     tree = ast.parse(source, filename=filename)
-    linter = _Linter(filename, float_eq_exempt)
+    linter = _Linter(filename, float_eq_exempt, tolerance_home)
     linter.visit(tree)
     suppressed = _suppressions(source)
     findings: List[Diagnostic] = []
@@ -309,7 +373,12 @@ def lint_paths(paths: Sequence[Path]) -> CheckReport:
     for file in files:
         source = file.read_text(encoding="utf-8")
         report.extend(
-            lint_source(source, filename=str(file), float_eq_exempt=_float_eq_exempt(file))
+            lint_source(
+                source,
+                filename=str(file),
+                float_eq_exempt=_float_eq_exempt(file),
+                tolerance_home=_is_tolerance_home(file),
+            )
         )
     return report
 
@@ -319,7 +388,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.check.astlint",
         description="repo-specific AST lint (AST101 mutable defaults, "
-        "AST102 blind except, AST103 float equality)",
+        "AST102 blind except, AST103 float equality, AST104 private "
+        "tolerance constants)",
     )
     parser.add_argument("paths", nargs="+", type=Path, metavar="PATH")
     parser.add_argument(

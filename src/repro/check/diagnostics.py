@@ -96,6 +96,7 @@ CODE_TABLE: Tuple[CodeInfo, ...] = (
     CodeInfo("AST101", "mutable default argument", Severity.ERROR),
     CodeInfo("AST102", "blind exception handler", Severity.ERROR),
     CodeInfo("AST103", "float equality comparison", Severity.ERROR),
+    CodeInfo("AST104", "private tolerance constant", Severity.ERROR),
     # -- fault plans -----------------------------------------------------
     CodeInfo("FAULT001", "unknown injector kind", Severity.ERROR),
     CodeInfo("FAULT002", "firing rate outside [0, 1]", Severity.ERROR),

@@ -43,3 +43,14 @@ SPEED_EPS = 1e-9
 
 #: Near-representation-level guard for floats expected to be identical.
 EXACT_EPS = 1e-12
+
+#: Margin below 1.0 under which an accumulated probability product is
+#: treated as *certain* — the stretching stage's ``prob(p, τ) = 1`` test
+#: that splits spanning paths into certain/uncertain sets, and the
+#: batched kernels' replica of it.  ``prob(p, τ)`` is a product of a
+#: handful of branch probabilities, so anything within representation
+#: noise of 1.0 is a genuinely unconditional path; the value is
+#: therefore :data:`EXACT_EPS` (it lived in ``scheduling/stretching.py``
+#: as a private ``_CERTAIN_TOL`` until the PR-2 unification caught up
+#: with it).
+CERTAIN_TOL = EXACT_EPS

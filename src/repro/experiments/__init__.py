@@ -45,6 +45,11 @@ from .extensions import (
     run_seed_robustness,
 )
 from .figure4 import Figure4Result, figure4_spec, run_figure4
+from .montecarlo import (
+    MonteCarloSweepResult,
+    montecarlo_spec,
+    run_montecarlo,
+)
 from .mpeg_energy import MpegResult, mpeg_spec, run_mpeg_energy
 from .runtime import RuntimeResult, run_runtime, runtime_spec
 from .spec import Cell, CellResult, ExperimentSpec, SpecError, derive_cell_seeds
@@ -105,6 +110,9 @@ __all__ = [
     "Figure4Result",
     "figure4_spec",
     "run_figure4",
+    "MonteCarloSweepResult",
+    "montecarlo_spec",
+    "run_montecarlo",
     "MpegResult",
     "mpeg_spec",
     "run_mpeg_energy",

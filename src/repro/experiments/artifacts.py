@@ -16,14 +16,19 @@ instead.  One artifact = one experiment run:
                 "corrupt": 0, "hit_rate": 1.0},
       "cells": [
         {"key": "seq1", "params": {...}, "fingerprint": "ab12...",
-         "cached": true, "seconds": 0.61, "values": {...}}
+         "cached": true, "seconds": 0.61, "values": {...},
+         "timing": {...}}
       ],
       "profile": {"timings": {...}, "calls": {...}, "counters": {...}},
       "result": {...}          # the reduced dataclass, JSON-coerced
     }
 
 ``cells[*].values`` are the raw per-cell numbers (energies, call
-counts, runtimes); ``result`` is the reduced experiment dataclass with
+counts); ``cells[*].timing`` is the cell's wall-clock measurements —
+an explicitly non-canonical section (a cached cell replays the timings
+from when it actually computed, flagged by ``cached``, and the
+canonical form zeroes them); ``result`` is the reduced experiment
+dataclass with
 tuples rendered as lists and non-string mapping keys stringified
 (thresholds ``0.5`` → ``"0.5"``).  The schema string is bumped on any
 incompatible change.
@@ -40,7 +45,8 @@ from .. import __version__
 from .engine import ExperimentReport
 
 #: Artifact schema identifier; rev on incompatible layout changes.
-ARTIFACT_SCHEMA = "repro.experiment/1"
+#: /2: cells gained the required non-canonical ``timing`` section.
+ARTIFACT_SCHEMA = "repro.experiment/2"
 
 #: Top-level keys every artifact must carry.
 _REQUIRED_KEYS = (
@@ -55,7 +61,15 @@ _REQUIRED_KEYS = (
     "result",
 )
 
-_REQUIRED_CELL_KEYS = ("key", "params", "fingerprint", "cached", "seconds", "values")
+_REQUIRED_CELL_KEYS = (
+    "key",
+    "params",
+    "fingerprint",
+    "cached",
+    "seconds",
+    "values",
+    "timing",
+)
 
 _REQUIRED_CACHE_KEYS = ("enabled", "hits", "misses", "corrupt", "hit_rate")
 
@@ -109,6 +123,7 @@ def artifact_payload(report: ExperimentReport) -> Dict[str, Any]:
                 "cached": cell.cached,
                 "seconds": cell.seconds,
                 "values": jsonable(cell.values),
+                "timing": jsonable(cell.timing),
             }
             for cell in report.cells
         ],
@@ -121,12 +136,15 @@ def canonical_artifact_payload(report: ExperimentReport) -> Dict[str, Any]:
     """Artifact payload with every volatile field zeroed.
 
     Wall-clock timings, job counts and cache-hit statistics vary run to
-    run even when the experiment's data is bit-identical; the chaos CI
-    job diffs two artifacts byte for byte, so the canonical form zeroes
-    ``seconds`` (top-level and per-cell), ``jobs``, every profile
-    timing (call/counter totals are deterministic and kept) and the
-    cache statistics, and marks every cell uncached.  Everything the
-    experiment actually computed is untouched.
+    run (and machine to machine) even when the experiment's data is
+    bit-identical; the chaos CI job diffs two artifacts byte for byte,
+    so the canonical form zeroes ``seconds`` (top-level and per-cell),
+    ``jobs``, every profile timing (call/counter totals are
+    deterministic and kept), every per-cell ``timing`` measurement, the
+    spec's declared ``timing_keys`` wherever they appear inside
+    ``result``, and the cache statistics, and marks every cell
+    uncached.  Everything the experiment actually computed is
+    untouched.
     """
     payload = artifact_payload(report)
     payload["jobs"] = 0
@@ -141,9 +159,25 @@ def canonical_artifact_payload(report: ExperimentReport) -> Dict[str, Any]:
     for cell in payload["cells"]:
         cell["seconds"] = 0.0
         cell["cached"] = False
+        cell["timing"] = {name: 0.0 for name in cell.get("timing", {})}
     profile = payload["profile"]
     profile["timings"] = {name: 0.0 for name in profile.get("timings", {})}
+    timing_keys = getattr(report.spec, "timing_keys", ()) if report.spec else ()
+    if timing_keys:
+        payload["result"] = _zero_timing_keys(payload["result"], set(timing_keys))
     return payload
+
+
+def _zero_timing_keys(value: Any, keys: set) -> Any:
+    """Recursively zero every ``keys`` entry inside a JSON structure."""
+    if isinstance(value, dict):
+        return {
+            k: 0.0 if k in keys else _zero_timing_keys(v, keys)
+            for k, v in value.items()
+        }
+    if isinstance(value, list):
+        return [_zero_timing_keys(v, keys) for v in value]
+    return value
 
 
 def validate_artifact(payload: Any) -> Dict[str, Any]:

@@ -26,7 +26,10 @@ from typing import Any, Dict, Optional, Union
 
 #: Schema version of one cache entry; bumped on incompatible layout
 #: changes so old trees read as corrupt (→ recompute), not as garbage.
-ENTRY_VERSION = 1
+#: v2: wall-clock measurements moved from ``values`` into a separate
+#: non-canonical ``timing`` section (replaying a v1 ``runtime`` entry
+#: against the v2 reducers would lose the timings silently).
+ENTRY_VERSION = 2
 
 #: Keys every well-formed entry must carry.
 _REQUIRED_KEYS = ("entry_version", "fingerprint", "experiment", "key", "values")

@@ -118,6 +118,7 @@ def _execute_cell(cell_function: CellFunction, params: Dict[str, Any]) -> Dict[s
         )
     out = dict(payload)
     out.setdefault("profile", {})
+    out.setdefault("timing", {})
     out["seconds"] = elapsed
     return out
 
@@ -182,6 +183,10 @@ def run_spec(
             params=dict(cell.params),
             values=entry["values"],
             profile=entry.get("profile") or {},
+            # replayed timings are measurements from compute time on
+            # the machine that computed them; cached=True is the flag
+            # consumers must honour before presenting them as fresh
+            timing=entry.get("timing") or {},
             seconds=float(entry.get("seconds", 0.0)),
             fingerprint=fp,
             cached=True,
@@ -196,6 +201,7 @@ def run_spec(
                 params=dict(cell.params),
                 values=payload["values"],
                 profile=payload.get("profile") or {},
+                timing=payload.get("timing") or {},
                 seconds=payload["seconds"],
                 fingerprint=fingerprints[i],
                 cached=False,
@@ -209,6 +215,7 @@ def run_spec(
                         "key": result.key,
                         "values": result.values,
                         "profile": result.profile,
+                        "timing": result.timing,
                         "seconds": result.seconds,
                     },
                 )

@@ -15,7 +15,10 @@ gap widening with graph size.
 
 Declared as an :class:`~repro.experiments.spec.ExperimentSpec` (one
 cell per graph).  Timing cells parallelise and cache like any other —
-a cached timing is the measurement from when the cell actually ran.
+the measurements live in the cell's non-canonical ``timing`` section,
+so a replayed cell is explicitly flagged ``cached=True`` (its numbers
+are from when it actually ran, on whatever machine ran it) and
+canonical artifacts zero them (``timing_keys``).
 """
 
 from __future__ import annotations
@@ -102,9 +105,11 @@ def runtime_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     return {
         "values": {
             "triplet": f"{config.nodes}/{pes}/{config.branch_nodes}",
+        },
+        "timing": {
             "heuristic_seconds": heuristic_time,
             "nlp_seconds": nlp_time,
-        }
+        },
     }
 
 
@@ -114,8 +119,8 @@ def _reduce_runtime(cells: List[CellResult]) -> RuntimeResult:
         result.rows.append(
             RuntimeRow(
                 triplet=cell.values["triplet"],
-                heuristic_seconds=cell.values["heuristic_seconds"],
-                nlp_seconds=cell.values["nlp_seconds"],
+                heuristic_seconds=cell.timing["heuristic_seconds"],
+                nlp_seconds=cell.timing["nlp_seconds"],
             )
         )
     return result
@@ -142,6 +147,7 @@ def runtime_spec(repeats: int = 3) -> ExperimentSpec:
         cells=cells,
         cell_function=runtime_cell,
         reducer=_reduce_runtime,
+        timing_keys=("heuristic_seconds", "nlp_seconds"),
     )
 
 

@@ -36,8 +36,10 @@ from .. import __version__
 from ..io import fingerprint
 
 #: A cell function: JSON parameters in, ``{"values": {...}}`` payload
-#: out (optionally plus ``{"profile": StageProfiler.to_dict()}``).
-#: Must be a module-level function so worker processes can import it.
+#: out (optionally plus ``{"profile": StageProfiler.to_dict()}`` and a
+#: ``{"timing": {...}}`` section for wall-clock measurements — see
+#: :attr:`CellResult.timing`).  Must be a module-level function so
+#: worker processes can import it.
 CellFunction = Callable[[Dict[str, Any]], Dict[str, Any]]
 
 
@@ -72,10 +74,19 @@ class CellResult:
     key / params:
         Echoed from the :class:`Cell`.
     values:
-        The cell function's JSON values.
+        The cell function's JSON values — machine-independent data
+        only; wall-clock measurements belong in :attr:`timing`.
     profile:
         :meth:`StageProfiler.to_dict` snapshot of the cell's stage
         timings/counters (empty dict when the cell recorded none).
+    timing:
+        Wall-clock measurements the cell made (name → seconds).  This
+        section is explicitly *non-canonical*: it is cached and
+        replayed like ``values``, but a replayed timing is the
+        measurement from when the cell actually ran on whatever
+        machine ran it — :attr:`cached` flags that — and canonical
+        artifacts zero it (see
+        :func:`~repro.experiments.artifacts.canonical_artifact_payload`).
     seconds:
         Wall-clock seconds the cell function took when it was actually
         computed (the *original* cost when served from cache).
@@ -89,6 +100,7 @@ class CellResult:
     params: Dict[str, Any]
     values: Dict[str, Any]
     profile: Dict[str, Any] = field(default_factory=dict)
+    timing: Dict[str, float] = field(default_factory=dict)
     seconds: float = 0.0
     fingerprint: str = ""
     cached: bool = False
@@ -118,6 +130,13 @@ class ExperimentSpec:
     render:
         Optional ``result → str`` override used by reports when the
         result's own ``format()`` needs extra arguments (Tables 4/5).
+    timing_keys:
+        Names of wall-clock fields inside the *reduced result* (at any
+        nesting depth) that derive from the cells' ``timing`` sections.
+        Canonical artifacts zero these keys wherever they appear in
+        ``result`` — they are measurements of the machine, not of the
+        experiment, so they must not participate in byte-for-byte
+        artifact comparisons.
     """
 
     name: str
@@ -126,6 +145,7 @@ class ExperimentSpec:
     reducer: Callable[[List[CellResult]], Any]
     context: Dict[str, Any] = field(default_factory=dict)
     render: Optional[Callable[[Any], str]] = None
+    timing_keys: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -160,8 +180,18 @@ def derive_cell_seeds(base_seed: int, count: int) -> Tuple[int, ...]:
     the process-global :mod:`random` state, so the derived seeds (and
     everything downstream of them) are identical at any ``--jobs``
     value and on every platform.
+
+    Seeds cover the full non-negative 31-bit range ``[0, 2**31 - 1]``
+    (``rng.integers`` takes an *exclusive* high bound, hence ``2**31``;
+    an earlier revision passed ``2**31 - 1`` and silently never emitted
+    the top seed).  The widened bound deliberately changes the derived
+    streams: seeds are cell *params*, so every cell fingerprint changes
+    with them and stale cache entries can never replay against the new
+    streams.  ``tests/test_engine.py`` pins the first few seeds of a
+    known base so any future change to this derivation is equally
+    explicit.
     """
     if count < 0:
         raise ValueError("count must be non-negative")
     rng = numpy.random.default_rng(base_seed)
-    return tuple(int(s) for s in rng.integers(0, 2**31 - 1, size=count))
+    return tuple(int(s) for s in rng.integers(0, 2**31, size=count))

@@ -140,6 +140,8 @@ def table1_cell(params: Dict[str, Any]) -> Dict[str, Any]:
             "triplet": f"{config.nodes}/{pes}/{config.branch_nodes}",
             "reference_1": energies["ref1"],
             "reference_2": energies["ref2"],
+        },
+        "timing": {
             "online_runtime": online_runtime,
             "reference_2_runtime": ref2_runtime,
         },
@@ -157,8 +159,8 @@ def _reduce_table1(cells: List[CellResult]) -> Table1Result:
                 triplet=values["triplet"],
                 reference_1=values["reference_1"],
                 reference_2=values["reference_2"],
-                online_runtime=values["online_runtime"],
-                reference_2_runtime=values["reference_2_runtime"],
+                online_runtime=cell.timing["online_runtime"],
+                reference_2_runtime=cell.timing["reference_2_runtime"],
             )
         )
     return result
@@ -185,6 +187,7 @@ def table1_spec(deadline_factor: float = TABLE1_DEADLINE_FACTOR) -> ExperimentSp
         cells=cells,
         cell_function=table1_cell,
         reducer=_reduce_table1,
+        timing_keys=("online_runtime", "reference_2_runtime"),
     )
 
 

@@ -86,6 +86,7 @@ VOCABULARY: Tuple[MetricSpec, ...] = (
     _spec("stretch.sweep", _T, "the per-task CalculateSlack sweep", "s"),
     _spec("executor.replay", _T, "per-instance schedule replay in the simulator", "s"),
     _spec("executor.replay_faulted", _T, "dual-arm replay of a fault-injected instance", "s"),
+    _spec("batch.sweep", _T, "batched Monte-Carlo sampling + evaluation kernel", "s"),
     _spec("check", _T, "static verification inside ``schedule_online(check=True)``", "s"),
     # -- counters -------------------------------------------------------
     _spec("dls.tasks_placed", _C, "tasks placed by the DLS mapping stage"),
@@ -102,6 +103,8 @@ VOCABULARY: Tuple[MetricSpec, ...] = (
     _spec("reschedule.dropped", _C, "invocations lost to an injected drop fault"),
     _spec("reschedule.delayed", _C, "invocations deferred by an injected delay fault"),
     _spec("reschedule.fallback", _C, "full-speed fallback schedules installed on failure"),
+    _spec("reschedule.prestretched", _C, "re-schedules served from the batched pre-stretch cache"),
+    _spec("batch.instances", _C, "instances evaluated by the batched Monte-Carlo kernel"),
     _spec("fault.injected", _C, "faults resolved from the plan and applied"),
     _spec("fault.threatened", _C, "instances whose no-policy arm missed the deadline"),
     _spec("fault.escalations", _C, "overrun detections that escalated remaining tasks"),

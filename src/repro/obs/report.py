@@ -6,9 +6,9 @@ human-readable (or ``--json`` structured) summary:
 * a **Chrome trace** (``repro trace … --out run.trace.json``) — top
   stages by accumulated wall-clock, the re-schedule timeline, the
   fault/recovery table and per-track span counts;
-* an **experiment artifact** (``repro run … --artifacts-dir``, schema
-  ``repro.experiment/1``) — cell/cache accounting plus the same
-  top-stage table from the aggregated profile;
+* an **experiment artifact** (``repro run … --artifacts-dir``, any
+  ``repro.experiment/*`` schema revision) — cell/cache accounting plus
+  the same top-stage table from the aggregated profile;
 * a **metrics snapshot** (``… --metrics-out``, schema
   ``repro.metrics/1``) — counters, stage calls and derived metrics.
 
@@ -39,13 +39,14 @@ def detect_kind(payload: Any) -> str:
         if isinstance(payload.get("traceEvents"), list):
             return "trace"
         schema = payload.get("schema")
-        if schema == "repro.experiment/1":
+        # any revision: the report only reads fields every revision has
+        if isinstance(schema, str) and schema.startswith("repro.experiment/"):
             return "artifact"
         if schema == METRICS_SCHEMA:
             return "metrics"
     raise ReportError(
         "unrecognised file: expected a Chrome trace (traceEvents), an "
-        "experiment artifact (repro.experiment/1) or a metrics snapshot "
+        "experiment artifact (repro.experiment/*) or a metrics snapshot "
         f"({METRICS_SCHEMA})"
     )
 
@@ -190,7 +191,7 @@ def render_trace_report(payload: Mapping[str, Any]) -> str:
 # Experiment-artifact reports
 # ----------------------------------------------------------------------
 def summarise_artifact(payload: Mapping[str, Any]) -> Dict[str, Any]:
-    """Structured summary of a ``repro.experiment/1`` artifact."""
+    """Structured summary of a ``repro.experiment/*`` artifact."""
     profile = payload.get("profile") or {}
     cells = payload.get("cells") or []
     cache = payload.get("cache") or {}

@@ -39,6 +39,7 @@ re-render, never the table text:
 ``stretch.sweep``                 timer      the per-task CalculateSlack sweep
 ``executor.replay``               timer      per-instance schedule replay in the simulator
 ``executor.replay_faulted``       timer      dual-arm replay of a fault-injected instance
+``batch.sweep``                   timer      batched Monte-Carlo sampling + evaluation kernel
 ``check``                         timer      static verification inside ``schedule_online(check=True)``
 ``dls.tasks_placed``              counter    tasks placed by the DLS mapping stage
 ``paths.enumerated``              counter    paths enumerated on structural cache misses
@@ -54,6 +55,8 @@ re-render, never the table text:
 ``reschedule.dropped``            counter    invocations lost to an injected drop fault
 ``reschedule.delayed``            counter    invocations deferred by an injected delay fault
 ``reschedule.fallback``           counter    full-speed fallback schedules installed on failure
+``reschedule.prestretched``       counter    re-schedules served from the batched pre-stretch cache
+``batch.instances``               counter    instances evaluated by the batched Monte-Carlo kernel
 ``fault.injected``                counter    faults resolved from the plan and applied
 ``fault.threatened``              counter    instances whose no-policy arm missed the deadline
 ``fault.escalations``             counter    overrun detections that escalated remaining tasks

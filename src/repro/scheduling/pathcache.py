@@ -241,6 +241,26 @@ class PathStructure:
         """Per-path total execution time (the stretchable pool)."""
         return np.add.reduceat(exec_values[self.node_gather], self.node_starts)
 
+    def membership_masks(self) -> Tuple[int, ...]:
+        """Per-path scenario membership packed into int bitmasks.
+
+        Bit ``s`` of mask ``p`` is set iff path ``p`` can occur under
+        scenario ``s`` — the flat twin of the scalar reference's
+        ``_PathState.scenario_mask`` and of :attr:`membership`, in
+        arbitrary-width Python ints so any scenario count fits.  Built
+        once per structure and cached (the membership matrix is
+        immutable).
+        """
+        cached = getattr(self, "_membership_masks", None)
+        if cached is None:
+            weights = [1 << s for s in range(self.membership.shape[1])]
+            cached = tuple(
+                sum(w for w, hit in zip(weights, row) if hit)
+                for row in self.membership
+            )
+            self._membership_masks = cached
+        return cached
+
 
 def build_structure(
     schedule: Schedule,

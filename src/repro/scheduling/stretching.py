@@ -69,13 +69,11 @@ from ..ctg.minterms import (
     activation_probability,
     enumerate_scenarios,
 )
-from ..check.tolerances import EXACT_EPS, TIME_EPS
+from ..check.tolerances import CERTAIN_TOL, TIME_EPS
 from ..ctg.paths import CTGPath, enumerate_paths, path_delay
 from ..profiling import StageProfiler, as_profiler
 from .pathcache import PathStructure, structure_for
 from .schedule import Schedule, SchedulingError
-
-_CERTAIN_TOL = EXACT_EPS
 
 #: message raised when the scheduled graph genuinely has no paths
 _NO_PATHS = "schedule has no paths to stretch along"
@@ -426,7 +424,7 @@ def _vector_slack(
     if not probability_weighted:
         return wcet * float(ratio.min())
 
-    uncertain = prob_after < 1.0 - _CERTAIN_TOL
+    uncertain = prob_after < 1.0 - CERTAIN_TOL
 
     slk1: Optional[float] = None
     if uncertain.any():
@@ -632,7 +630,7 @@ def _calculate_slack(
     uncertain: List[_PathState] = []
     certain: List[_PathState] = []
     for state in spanning_states:
-        if state.prob_after[task] >= 1.0 - _CERTAIN_TOL:
+        if state.prob_after[task] >= 1.0 - CERTAIN_TOL:
             certain.append(state)
         else:
             uncertain.append(state)

@@ -1,4 +1,4 @@
-"""Tests for the repository AST lint (AST101/AST102/AST103)."""
+"""Tests for the repository AST lint (AST101–AST104)."""
 
 import textwrap
 from pathlib import Path
@@ -144,6 +144,40 @@ class TestFloatEquality:
 
     def test_exempt_files_skip_the_rule(self):
         assert codes("assert t == 1.5\n", float_eq_exempt=True) == []
+
+
+class TestToleranceConstants:
+    def test_module_level_tol_constant(self):
+        assert codes("_CERTAIN_TOL = 1e-12\n") == ["AST104"]
+
+    def test_module_level_eps_constant(self):
+        assert codes("MY_EPS = 1e-9\n") == ["AST104"]
+
+    def test_bare_and_annotated_forms(self):
+        assert codes("EPS: float = 1e-9\n") == ["AST104"]
+        assert codes("TOL = 0.001\n") == ["AST104"]
+
+    def test_tuple_target(self):
+        assert codes("A_TOL, B_EPS = 1e-6, 1e-9\n") == ["AST104", "AST104"]
+
+    def test_tolerances_module_itself_is_exempt(self):
+        assert codes("TIME_EPS = 1e-6\n", tolerance_home=True) == []
+
+    def test_function_local_names_pass(self):
+        assert codes("def f():\n    MY_EPS = 1e-9\n    return MY_EPS\n") == []
+
+    def test_class_attributes_pass(self):
+        assert codes("class C:\n    MY_TOL = 1e-6\n") == []
+
+    def test_lookalike_names_pass(self):
+        # STEPS ends in EPS without an underscore boundary; lowercase
+        # names and imports are not constants being re-declared.
+        assert codes("STEPS = 5\n") == []
+        assert codes("my_eps = 1e-9\n") == []
+        assert codes("from repro.check.tolerances import TIME_EPS\n") == []
+
+    def test_suppression_applies(self):
+        assert codes("LEGACY_EPS = 1e-3  # lint: ignore[AST104]\n") == []
 
 
 class TestSuppression:

@@ -182,6 +182,29 @@ class TestDerivedSeeds:
         with pytest.raises(ValueError):
             derive_cell_seeds(7, -1)
 
+    def test_pinned_streams(self):
+        """The derivation is part of the cache contract: these values
+        may only change together with a deliberate stream-change note
+        in ``derive_cell_seeds``'s docstring (seeds are cell params, so
+        fingerprints self-invalidate when they move)."""
+        assert derive_cell_seeds(7, 5) == (
+            2029167941,
+            1342382292,
+            1469265226,
+            1926751966,
+            1241873585,
+        )
+
+    def test_full_31_bit_range(self):
+        """The high bound is inclusive of 2**31 - 1 (the documented
+        range) and never exceeded."""
+        seeds = derive_cell_seeds(0, 10_000)
+        assert all(0 <= s <= 2**31 - 1 for s in seeds)
+        # with a 10k draw the top 2**20 band is hit with probability
+        # ~99.3%; the old exclusive-bound bug could never reach it at
+        # any draw count
+        assert max(seeds) > 2**31 - 2**20
+
     def test_robustness_spec_accepts_base_seed(self):
         spec = robustness_spec(base_seed=7, n_seeds=3, length=100)
         assert len(spec.cells) == 3

@@ -35,6 +35,13 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "Normalised expected energy" in result.stdout
 
+    def test_monte_carlo_sweep(self):
+        result = run_example("monte_carlo_sweep.py", "2000")
+        assert result.returncode == 0, result.stderr
+        assert "instances/s" in result.stdout
+        assert "oracle check: executor agrees exactly" in result.stdout
+        assert "miss rate" in result.stdout
+
     def test_schedule_inspection(self, tmp_path):
         result = run_example("schedule_inspection.py", str(tmp_path))
         assert result.returncode == 0, result.stderr

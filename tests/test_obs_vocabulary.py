@@ -21,6 +21,7 @@ import pytest
 import repro.adaptive.controller as controller_mod
 import repro.profiling
 from repro.adaptive.controller import AdaptiveConfig, AdaptiveController
+from repro.batch import monte_carlo
 from repro.ctg import CTGError, figure1_ctg
 from repro.ctg.examples import two_sided_branch_ctg
 from repro.ctg.graph import ConditionalTaskGraph
@@ -87,6 +88,17 @@ def runtime_names():
         small, small_platform, check=True, profiler=TracingProfiler(tracer)
     )
     names |= _names_of(checked.profile, tracer)
+
+    # -- batched Monte-Carlo sweep + pre-stretched re-schedule fast path
+    profiler = StageProfiler()
+    monte_carlo(
+        ctg, platform, 64, seed=1, probabilities=probabilities, profiler=profiler
+    )
+    names |= _names_of(profiler)
+    batched = AdaptiveController(ctg, platform, probabilities)
+    batched.prestretch([batched.profiler.distributions()])
+    batched.reschedule()
+    names |= _names_of(batched.stats)
 
     # -- scheduling failure: fallback schedule + its counter
     fallback_ctg = two_sided_branch_ctg()
