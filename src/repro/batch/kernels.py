@@ -314,7 +314,7 @@ def batched_stretch(
     alive = np.ones(n, dtype=bool)
     epsilon = 1e-9 * limit
     for _ in range(max(1, max_passes)):
-        granted = np.zeros(n)
+        granted = np.zeros(n, dtype=float)
         for col in order_cols:
             task = task_list[col]
             idx = structure.spanning_idx[task]
@@ -412,8 +412,8 @@ def _batched_slack(
 
     n = ratio.shape[0]
     uncertain = prob_after < 1.0 - CERTAIN_TOL
-    num = np.zeros(n)
-    den = np.zeros(n)
+    num = np.zeros(n, dtype=float)
+    den = np.zeros(n, dtype=float)
     for s in np.nonzero(mem_rows.any(axis=0))[0]:
         cols = mem_rows[:, s]
         r = np.where(uncertain[:, cols], ratio[:, cols], np.inf).min(axis=1)

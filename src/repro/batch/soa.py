@@ -182,7 +182,9 @@ class BatchSchedule:
         active = np.zeros((n_scenarios, len(tasks)), dtype=bool)
         assignment = np.full((n_scenarios, len(branches)), -1, dtype=np.intp)
         for s, scenario in enumerate(scenarios):
-            for task in scenario.active:
+            # setting boolean flags is order-independent, so unsorted
+            # set iteration is safe here
+            for task in scenario.active:  # lint: ignore[DET201]
                 idx = task_index.get(task)
                 if idx is not None:
                     active[s, idx] = True

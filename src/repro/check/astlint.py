@@ -89,8 +89,15 @@ def _is_tolerance_name(name: str) -> bool:
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
 
 
-def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
-    """Line → suppressed codes (``None`` = every code) from comments."""
+def suppression_table(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Line → suppressed codes (``None`` = every code) from comments.
+
+    A ``# lint: ignore`` comment suppresses every code on its line; the
+    bracketed form names one or more comma-separated codes
+    (``# lint: ignore[AST101,DET201]``).  The flow-rule engine
+    (:mod:`repro.check.flow`) consumes the same syntax, so one waiver
+    comment can silence findings of both analysers on a line.
+    """
     table: Dict[int, Optional[Set[str]]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = _SUPPRESS_RE.search(line)
@@ -102,6 +109,24 @@ def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
         else:
             table[lineno] = {c.strip() for c in codes.split(",") if c.strip()}
     return table
+
+
+def apply_suppressions(
+    source: str, found: Iterable[Tuple[str, int, int, str]]
+) -> List[Tuple[str, int, int, str]]:
+    """Drop ``(code, lineno, col, message)`` findings waived in ``source``."""
+    suppressed = suppression_table(source)
+    survivors = []
+    for code, lineno, col, message in found:
+        waiver = suppressed.get(lineno, "absent")
+        if waiver is None or (waiver != "absent" and code in waiver):
+            continue
+        survivors.append((code, lineno, col, message))
+    return survivors
+
+
+#: Backwards-compatible alias (pre-column-numbers name).
+_suppressions = suppression_table
 
 
 def _call_name(node: ast.Call) -> Optional[str]:
@@ -173,7 +198,7 @@ class _Linter(ast.NodeVisitor):
         self.float_eq_exempt = float_eq_exempt
         self.tolerance_home = tolerance_home
         self._scope_depth = 0  # 0 = module level; AST104 only fires there
-        self.found: List[Tuple[str, int, str]] = []  # (code, lineno, message)
+        self.found: List[Tuple[str, int, int, str]] = []  # (code, line, col, message)
 
     # -- AST101: function defaults --------------------------------------
     def _check_defaults(self, node) -> None:
@@ -187,6 +212,7 @@ class _Linter(ast.NodeVisitor):
                     (
                         "AST101",
                         default.lineno,
+                        default.col_offset + 1,
                         f"default of an argument of {getattr(node, 'name', '<lambda>')!r} "
                         f"is {reason}; use None + in-body construction or "
                         "field(default_factory=...)",
@@ -229,6 +255,7 @@ class _Linter(ast.NodeVisitor):
                                 (
                                     "AST101",
                                     keyword.value.lineno,
+                                    keyword.value.col_offset + 1,
                                     f"field(default=...) in dataclass "
                                     f"{node.name!r} is {reason}; use "
                                     "default_factory",
@@ -241,6 +268,7 @@ class _Linter(ast.NodeVisitor):
                             (
                                 "AST101",
                                 value.lineno,
+                                value.col_offset + 1,
                                 f"dataclass {node.name!r} field default is "
                                 f"{reason} shared by every instance; use "
                                 "field(default_factory=...)",
@@ -261,6 +289,7 @@ class _Linter(ast.NodeVisitor):
                 (
                     "AST104",
                     target.lineno,
+                    target.col_offset + 1,
                     f"module-level tolerance constant {target.id!r} outside "
                     "repro.check.tolerances; import the shared value (or add "
                     "one there) so comparison epsilons cannot drift apart",
@@ -283,6 +312,7 @@ class _Linter(ast.NodeVisitor):
                 (
                     "AST102",
                     node.lineno,
+                    node.col_offset + 1,
                     "bare 'except:' catches SystemExit/KeyboardInterrupt too; "
                     "name the exceptions this handler is for",
                 )
@@ -297,6 +327,7 @@ class _Linter(ast.NodeVisitor):
                     (
                         "AST102",
                         node.lineno,
+                        node.col_offset + 1,
                         f"'except {'/'.join(names)}: pass' silently swallows "
                         "every failure; narrow the exception type or handle it",
                     )
@@ -317,6 +348,7 @@ class _Linter(ast.NodeVisitor):
                     (
                         "AST103",
                         node.lineno,
+                        node.col_offset + 1,
                         "'==' / '!=' against a float literal; compare with a "
                         "tolerance from repro.check.tolerances instead",
                     )
@@ -349,16 +381,13 @@ def lint_source(
     tree = ast.parse(source, filename=filename)
     linter = _Linter(filename, float_eq_exempt, tolerance_home)
     linter.visit(tree)
-    suppressed = _suppressions(source)
-    findings: List[Diagnostic] = []
-    for code, lineno, message in sorted(linter.found, key=lambda f: (f[1], f[0])):
-        waiver = suppressed.get(lineno, "absent")
-        if waiver is None or (waiver != "absent" and code in waiver):
-            continue
-        findings.append(
-            Diagnostic(code, message, subject=f"{filename}:{lineno}")
-        )
-    return findings
+    survivors = apply_suppressions(
+        source, sorted(linter.found, key=lambda f: (f[1], f[2], f[0]))
+    )
+    return [
+        Diagnostic(code, message, subject=f"{filename}:{lineno}:{col}")
+        for code, lineno, col, message in survivors
+    ]
 
 
 def lint_paths(paths: Sequence[Path]) -> CheckReport:

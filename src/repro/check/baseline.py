@@ -1,0 +1,188 @@
+"""Committed waiver baseline for the repository analysis gate.
+
+The CI gate (``repro check --repo``) fails on any finding that is
+neither suppressed in-line (``# lint: ignore[CODE]``) nor waived here.
+In-line comments are for one-line exceptions; the baseline is for
+*structural* waivers — a whole function whose job is to read the clock,
+a rule that is conservative by design around one idiom — where peppering
+the source with comments would bury the signal.
+
+The file (``lint-baseline.json`` at the repo root) is a JSON object:
+
+.. code-block:: json
+
+    {
+        "version": 1,
+        "waivers": [
+            {
+                "code": "DET202",
+                "file": "src/repro/obs/trace.py",
+                "symbol": "repro.obs.trace:Tracer._now",
+                "reason": "trace timestamps are wall-clock by design"
+            }
+        ]
+    }
+
+A waiver matches a finding when the ``code`` is equal and, where given,
+``file`` equals the finding's path and ``symbol`` equals the finding's
+symbol (the qualified name of the enclosing function).  Matching on
+symbols instead of line numbers keeps waivers stable across unrelated
+edits.  ``reason`` is mandatory — an unexplained waiver is a finding in
+its own right.  Unused waivers are reported so the baseline cannot
+accumulate dead entries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .diagnostics import CODE_REGISTRY, Diagnostic
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed."""
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One baseline entry; empty ``file``/``symbol`` match anything."""
+
+    code: str
+    file: str = ""
+    symbol: str = ""
+    reason: str = ""
+
+    def matches(self, diagnostic: Diagnostic) -> bool:
+        if diagnostic.code != self.code:
+            return False
+        if self.file:
+            path = diagnostic.subject.rsplit(":", 2)[0] if diagnostic.subject else ""
+            if _normalize(path) != _normalize(self.file):
+                return False
+        if self.symbol and diagnostic.symbol != self.symbol:
+            return False
+        return True
+
+    def to_dict(self) -> Dict[str, str]:
+        record = {"code": self.code}
+        if self.file:
+            record["file"] = self.file
+        if self.symbol:
+            record["symbol"] = self.symbol
+        record["reason"] = self.reason
+        return record
+
+
+def _normalize(path: str) -> str:
+    return path.replace("\\", "/").lstrip("./")
+
+
+def load_baseline(path: Path) -> List[Waiver]:
+    """Parse a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise BaselineError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(f"{path}: expected object with version={BASELINE_VERSION}")
+    entries = payload.get("waivers")
+    if not isinstance(entries, list):
+        raise BaselineError(f"{path}: 'waivers' must be an array")
+    waivers: List[Waiver] = []
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise BaselineError(f"{path}: waivers[{index}] is not an object")
+        code = entry.get("code")
+        if not isinstance(code, str) or code not in CODE_REGISTRY:
+            raise BaselineError(
+                f"{path}: waivers[{index}].code {code!r} is not a registered "
+                "diagnostic code"
+            )
+        reason = entry.get("reason")
+        if not isinstance(reason, str) or not reason.strip():
+            raise BaselineError(
+                f"{path}: waivers[{index}] ({code}) has no reason; every "
+                "waiver must say why"
+            )
+        waivers.append(
+            Waiver(
+                code=code,
+                file=str(entry.get("file", "")),
+                symbol=str(entry.get("symbol", "")),
+                reason=reason,
+            )
+        )
+    return waivers
+
+
+def apply_baseline(
+    diagnostics: Sequence[Diagnostic], waivers: Sequence[Waiver]
+) -> Tuple[List[Diagnostic], List[Diagnostic], List[Waiver]]:
+    """Split findings into (unwaived, waived); also return unused waivers."""
+    unwaived: List[Diagnostic] = []
+    waived: List[Diagnostic] = []
+    used = [False] * len(waivers)
+    for diagnostic in diagnostics:
+        hit = False
+        for index, waiver in enumerate(waivers):
+            if waiver.matches(diagnostic):
+                used[index] = True
+                hit = True
+                break
+        (waived if hit else unwaived).append(diagnostic)
+    unused = [w for w, u in zip(waivers, used) if not u]
+    return unwaived, waived, unused
+
+
+def write_baseline(
+    path: Path,
+    diagnostics: Sequence[Diagnostic],
+    reason: str,
+    keep: Sequence[Waiver] = (),
+) -> List[Waiver]:
+    """Write a baseline waiving every finding in ``diagnostics``.
+
+    Intended for ``repro check --repo --update-baseline``: existing
+    entries in ``keep`` (typically the still-matching waivers of the
+    previous baseline) are carried over with their hand-written
+    reasons; findings they already cover get no new entry.  New entries
+    are keyed on (code, file, symbol), deduplicated, and share the
+    placeholder ``reason`` — refine it by hand afterwards.
+    """
+    seen = set()
+    waivers: List[Waiver] = list(keep)
+    for diagnostic in diagnostics:
+        if any(waiver.matches(diagnostic) for waiver in keep):
+            continue
+        file = (
+            diagnostic.subject.rsplit(":", 2)[0] if diagnostic.subject else ""
+        )
+        key = (diagnostic.code, file, diagnostic.symbol)
+        if key in seen:
+            continue
+        seen.add(key)
+        waivers.append(
+            Waiver(
+                code=diagnostic.code,
+                file=file,
+                symbol=diagnostic.symbol,
+                reason=reason,
+            )
+        )
+    waivers.sort(key=lambda w: (w.code, w.file, w.symbol))
+    payload = {
+        "version": BASELINE_VERSION,
+        "waivers": [w.to_dict() for w in waivers],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return waivers

@@ -14,8 +14,9 @@ Design rules for codes:
 * the prefix names the layer that owns the invariant (``CTG`` graph
   structure, ``PLAT`` platform spec, ``SCHED`` schedule soundness and
   feasibility, ``LINK`` communication bookings, ``CACHE`` path-cache
-  consistency, ``AST`` repository source lint, ``FAULT`` fault-plan
-  validity);
+  consistency, ``AST`` repository source lint, ``DET`` determinism
+  flow rules, ``NUM`` numeric hazards, ``ENG`` experiment-engine
+  purity, ``FAULT`` fault-plan validity);
 * the numeric part groups related checks in decades (e.g. ``SCHED02x``
   are placement-exclusivity checks, ``SCHED03x`` deadline feasibility).
 
@@ -97,6 +98,19 @@ CODE_TABLE: Tuple[CodeInfo, ...] = (
     CodeInfo("AST102", "blind exception handler", Severity.ERROR),
     CodeInfo("AST103", "float equality comparison", Severity.ERROR),
     CodeInfo("AST104", "private tolerance constant", Severity.ERROR),
+    # -- determinism flow rules -----------------------------------------
+    CodeInfo("DET201", "unordered set iteration on a canonical path", Severity.ERROR),
+    CodeInfo("DET202", "wall-clock value can reach a canonical output", Severity.ERROR),
+    CodeInfo("DET203", "unseeded global random source", Severity.ERROR),
+    CodeInfo("DET204", "unsorted filesystem enumeration", Severity.ERROR),
+    # -- numeric hazards -------------------------------------------------
+    CodeInfo("NUM301", "bit-shift on a possibly-numpy integer", Severity.ERROR),
+    CodeInfo("NUM302", "float-array equality comparison", Severity.ERROR),
+    CodeInfo("NUM303", "accumulation into a dtype-unspecified array", Severity.ERROR),
+    # -- experiment-engine purity ----------------------------------------
+    CodeInfo("ENG401", "cell function is not module-level picklable", Severity.ERROR),
+    CodeInfo("ENG402", "cell function writes a module global", Severity.ERROR),
+    CodeInfo("ENG403", "cell function mutates its argument", Severity.ERROR),
     # -- fault plans -----------------------------------------------------
     CodeInfo("FAULT001", "unknown injector kind", Severity.ERROR),
     CodeInfo("FAULT002", "firing rate outside [0, 1]", Severity.ERROR),
@@ -128,16 +142,24 @@ class Diagnostic:
     message:
         Human-readable description with the concrete names/numbers.
     subject:
-        The entity the finding is about (task, PE, scenario, file:line)
-        — machine-consumable, used for grouping in reports.
+        The entity the finding is about (task, PE, scenario, or a
+        ``file:line:col`` source location) — machine-consumable, used
+        for grouping in reports.
     severity:
         Defaults to the code's registered severity.
+    symbol:
+        Optional stable symbol the finding anchors to (for source-lint
+        findings: the qualified name of the enclosing function, e.g.
+        ``repro.io:canonical_json``).  Line numbers drift with edits;
+        the waiver baseline (:mod:`repro.check.baseline`) matches on
+        this instead.
     """
 
     code: str
     message: str
     subject: str = ""
     severity: Optional[Severity] = None
+    symbol: str = ""
 
     def __post_init__(self) -> None:
         if self.code not in CODE_REGISTRY:
@@ -155,6 +177,7 @@ class Diagnostic:
             "code": self.code,
             "severity": self.severity.label,
             "subject": self.subject,
+            "symbol": self.symbol,
             "message": self.message,
         }
 

@@ -1,0 +1,893 @@
+"""Flow-rule engine: determinism, numeric and purity diagnostics.
+
+Where :mod:`repro.check.astlint` judges one AST node at a time, this
+engine reasons about *where values can go*.  It walks every function
+scope with a small forward taint analysis (tags: ``set``, ``np``,
+``npfloat``, ``clock``) and combines the local result with the
+module-resolving call graph of :mod:`repro.check.callgraph`, so rules
+can be scoped to functions that are **reachable from a canonical-output
+producer** — the only place where iteration order or wall-clock reads
+stop being style issues and become reproducibility bugs.
+
+Three rule families, all registered in :mod:`repro.check.diagnostics`:
+
+``DET2xx`` — determinism.
+    ``DET201`` order-sensitive iteration over a ``set`` on a canonical
+    path (the PR 4 ``scenario_energy`` hash-seed bug); ``DET202`` a
+    wall-clock read whose value can reach a return value on a canonical
+    path (dict values under a literal ``"timing"`` key are exempt — the
+    engine strips them from fingerprints by contract); ``DET203``
+    unseeded ``random`` / legacy ``np.random`` calls; ``DET204``
+    unsorted filesystem enumeration.
+
+``NUM3xx`` — numeric hazards.
+    ``NUM301`` a bit-shift where an operand can be a numpy integer
+    (the PR 6 ``1 << 63`` intp overflow); ``NUM302`` ``==``/``!=`` on a
+    float array; ``NUM303`` accumulation into an array allocated
+    without an explicit ``dtype``.
+
+``ENG4xx`` — experiment-engine purity.
+    ``ENG401`` a ``cell_function=``/``reducer=`` registration that is
+    not a module-level function (lambdas and closures break pickling
+    and cache keys); ``ENG402`` a cell function writing a mutable
+    module global; ``ENG403`` a cell function mutating one of its
+    arguments (the PR 4 ``ctg.deadline`` in-place bug).
+
+The analysis is deliberately conservative and local: taint does not
+cross call boundaries (the call graph handles cross-function *reach*,
+the taint handles within-function *flow*).  Suppression uses the same
+``# lint: ignore[CODE]`` comments as the AST lint; blanket waivers live
+in the committed baseline (:mod:`repro.check.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .astlint import apply_suppressions
+from .callgraph import (
+    MODULE_SCOPE,
+    CallGraph,
+    ModuleInfo,
+    _is_set_annotation,
+    build_callgraph,
+    parse_module_source,
+)
+from .diagnostics import Diagnostic
+
+# -- external-name tables ------------------------------------------------
+
+#: Wall-clock reads: calling one of these taints the value ``clock``.
+CLOCK_CALLS: FrozenSet[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+#: Global-state ``random`` module functions (the seeded
+#: ``random.Random(seed)`` instance API is the sanctioned alternative).
+RANDOM_NONDET: FrozenSet[str] = frozenset(
+    {
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.uniform",
+        "random.choice",
+        "random.choices",
+        "random.shuffle",
+        "random.sample",
+        "random.gauss",
+        "random.normalvariate",
+        "random.expovariate",
+        "random.betavariate",
+        "random.triangular",
+        "random.vonmisesvariate",
+        "random.getrandbits",
+        "random.seed",
+    }
+)
+
+#: Legacy global-state numpy random API (``default_rng`` is sanctioned).
+NP_LEGACY_RANDOM: FrozenSet[str] = frozenset(
+    {
+        "numpy.random.rand",
+        "numpy.random.randn",
+        "numpy.random.randint",
+        "numpy.random.random",
+        "numpy.random.random_sample",
+        "numpy.random.ranf",
+        "numpy.random.sample",
+        "numpy.random.seed",
+        "numpy.random.choice",
+        "numpy.random.shuffle",
+        "numpy.random.permutation",
+        "numpy.random.uniform",
+        "numpy.random.normal",
+        "numpy.random.standard_normal",
+        "numpy.random.exponential",
+        "numpy.random.poisson",
+    }
+)
+
+#: Filesystem enumeration returning paths in OS order.
+LISTING_CALLS: FrozenSet[str] = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+
+#: Method names enumerating the filesystem (``Path.iterdir()``, ...).
+LISTING_METHODS: FrozenSet[str] = frozenset({"iterdir", "glob", "rglob", "scandir"})
+
+#: Builtins whose result does not depend on argument iteration order;
+#: their arguments are evaluated in a "sorted" context.  ``sum`` is
+#: deliberately absent — float summation IS order-sensitive.
+_ORDER_SAFE_BUILTINS = frozenset(
+    {"sorted", "len", "min", "max", "any", "all", "set", "frozenset", "bool"}
+)
+
+#: Builtins that materialise their argument's iteration order.
+_ORDER_SENSITIVE_BUILTINS = frozenset({"list", "tuple", "sum", "enumerate"})
+
+#: Methods that materialise the iteration order of their argument.
+_ORDER_SENSITIVE_METHODS = frozenset({"join", "writelines", "extend"})
+
+#: Set methods whose result is a set again.
+_SET_RESULT_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+#: Methods that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "add",
+        "update",
+        "insert",
+        "remove",
+        "discard",
+        "clear",
+        "pop",
+        "popitem",
+        "sort",
+        "setdefault",
+        "__setitem__",
+    }
+)
+
+#: numpy constructors that allocate a fresh array; without ``dtype=``
+#: the element type defaults to ``float64``.
+_NP_ALLOC_FLOAT_DEFAULT = frozenset(
+    {"zeros", "ones", "empty", "full", "linspace", "logspace", "geomspace"}
+)
+
+#: numpy alloc calls NUM303 watches for a missing ``dtype=``.
+_NP_ALLOC_DTYPE_REQUIRED = frozenset({"zeros", "ones", "empty", "full"})
+
+#: Annotation tails treated as "this parameter is a numpy array".
+_NP_ANNOTATIONS = frozenset({"ndarray", "NDArray"})
+
+_FLOATISH_DTYPES = frozenset(
+    {"float", "float16", "float32", "float64", "double", "single", "half"}
+)
+
+
+@dataclass(frozen=True)
+class _Finding:
+    code: str
+    path: str
+    lineno: int
+    col: int
+    message: str
+    symbol: str
+
+
+def _annotation_tail(annotation: Optional[ast.expr]) -> Optional[str]:
+    """Trailing identifier of an annotation (``np.ndarray`` → ``ndarray``)."""
+    node = annotation
+    if node is None:
+        return None
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.split("[", 1)[0].split(".")[-1].strip()
+    return None
+
+
+def _root_name(node: ast.expr) -> Optional[str]:
+    """Base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _dtype_keyword(node: ast.Call) -> Optional[ast.expr]:
+    for keyword in node.keywords:
+        if keyword.arg == "dtype":
+            return keyword.value
+    return None
+
+
+def _is_floatish_dtype(node: Optional[ast.expr]) -> bool:
+    if node is None:
+        return True  # numpy's default dtype is float64
+    tail = node.attr if isinstance(node, ast.Attribute) else getattr(node, "id", None)
+    if tail is None and isinstance(node, ast.Constant) and isinstance(node.value, str):
+        tail = node.value
+    return tail in _FLOATISH_DTYPES
+
+
+class _ScopeAnalyzer:
+    """Forward taint pass over one function (or module) scope."""
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        qualname: str,
+        node: ast.AST,
+        *,
+        det_reachable: bool,
+        is_cell: bool,
+        set_attrs: FrozenSet[str],
+        findings: List[_Finding],
+    ) -> None:
+        self.module = module
+        self.qualname = qualname
+        self.node = node
+        self.det_reachable = det_reachable
+        self.is_cell = is_cell
+        self.set_attrs = set_attrs
+        self.findings = findings
+        self.taint: Dict[str, Set[str]] = {}
+        self.live_params: Set[str] = set()
+        self.global_decls: Set[str] = set()
+        #: bare name → alloc Call node for NUM303 candidates
+        self.bare_allocs: Dict[str, ast.Call] = {}
+
+    # -- entry -----------------------------------------------------------
+    def run(self) -> None:
+        body: Sequence[ast.stmt]
+        if isinstance(self.node, ast.Module):
+            body = [
+                stmt
+                for stmt in self.node.body
+                if not isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+            ]
+        else:
+            self._bind_params(self.node)
+            body = self.node.body
+        for stmt in body:
+            self.visit_stmt(stmt)
+
+    def _bind_params(self, node) -> None:
+        args = node.args
+        every = [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]
+        for arg in every:
+            self.live_params.add(arg.arg)
+            tags: Set[str] = set()
+            if arg.annotation is not None and _is_set_annotation(arg.annotation):
+                tags.add("set")
+            if _annotation_tail(arg.annotation) in _NP_ANNOTATIONS:
+                tags.add("np")
+            if tags:
+                self.taint[arg.arg] = tags
+
+    # -- reporting -------------------------------------------------------
+    def report(self, code: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            _Finding(
+                code=code,
+                path=self.module.path,
+                lineno=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+                symbol=self.qualname,
+            )
+        )
+
+    # -- name resolution -------------------------------------------------
+    def dotted(self, node: ast.expr) -> Optional[str]:
+        """Dotted external name of an attribute chain, through imports."""
+        parts: List[str] = []
+        cursor = node
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        base = cursor.id
+        root = self.module.import_aliases.get(base)
+        if root is not None:
+            parts.append(root)
+            return ".".join(reversed(parts))
+        imported = self.module.from_imports.get(base)
+        if imported is not None:
+            target, original = imported
+            parts.append(original)
+            parts.append(target)
+            return ".".join(reversed(parts))
+        return None
+
+    # -- statements ------------------------------------------------------
+    def visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are analysed on their own
+        if isinstance(stmt, ast.Assign):
+            self._assign(stmt.targets, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign([stmt.target], stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            self._aug_assign(stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt)
+        elif isinstance(stmt, ast.While):
+            self.expr_tags(stmt.test)
+            for sub in [*stmt.body, *stmt.orelse]:
+                self.visit_stmt(sub)
+        elif isinstance(stmt, ast.If):
+            self.expr_tags(stmt.test)
+            for sub in [*stmt.body, *stmt.orelse]:
+                self.visit_stmt(sub)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                tags = self.expr_tags(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, tags)
+            for sub in stmt.body:
+                self.visit_stmt(sub)
+        elif isinstance(stmt, ast.Try):
+            for sub in stmt.body:
+                self.visit_stmt(sub)
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    self.visit_stmt(sub)
+            for sub in [*stmt.orelse, *stmt.finalbody]:
+                self.visit_stmt(sub)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                tags = self.expr_tags(stmt.value)
+                if self.det_reachable and "clock" in tags:
+                    self.report(
+                        "DET202",
+                        stmt,
+                        f"{self._where()} returns a wall-clock-derived value on a "
+                        "canonical path; keep timing under a 'timing' key or out "
+                        "of canonical outputs",
+                    )
+        elif isinstance(stmt, ast.Expr):
+            self.expr_tags(stmt.value)
+        elif isinstance(stmt, ast.Global):
+            self.global_decls.update(stmt.names)
+        elif isinstance(stmt, ast.Assert):
+            self.expr_tags(stmt.test)
+            if stmt.msg is not None:
+                self.expr_tags(stmt.msg)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.expr_tags(stmt.exc)
+            if stmt.cause is not None:
+                self.expr_tags(stmt.cause)
+        # Pass / Break / Continue / Import / Delete / Nonlocal: nothing to do
+
+    def _where(self) -> str:
+        name = self.qualname.partition(":")[2]
+        return "module body" if name == MODULE_SCOPE else f"{name}()"
+
+    def _assign(self, targets: Sequence[ast.expr], value: ast.expr) -> None:
+        tags = self.expr_tags(value)
+        alloc = self._num303_candidate(value)
+        for target in targets:
+            self._check_impure_store(target)
+            self._bind_target(target, tags)
+            if alloc is not None and isinstance(target, ast.Name):
+                self.bare_allocs[target.id] = alloc
+
+    def _num303_candidate(self, value: ast.expr) -> Optional[ast.Call]:
+        if not isinstance(value, ast.Call):
+            return None
+        dotted = self.dotted(value.func)
+        if dotted is None or not dotted.startswith("numpy."):
+            return None
+        tail = dotted.rsplit(".", 1)[1]
+        if tail in _NP_ALLOC_DTYPE_REQUIRED and _dtype_keyword(value) is None:
+            return value
+        return None
+
+    def _bind_target(self, target: ast.expr, tags: Set[str]) -> None:
+        if isinstance(target, ast.Name):
+            # rebinding a parameter severs it from the caller's object
+            self.live_params.discard(target.id)
+            self.bare_allocs.pop(target.id, None)
+            if tags:
+                self.taint[target.id] = set(tags)
+            else:
+                self.taint.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, tags)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, tags)
+
+    def _check_impure_store(self, target: ast.expr) -> None:
+        """ENG402/ENG403: attribute/subscript stores inside a cell."""
+        if not self.is_cell:
+            return
+        if isinstance(target, ast.Name):
+            if target.id in self.global_decls:
+                self.report(
+                    "ENG402",
+                    target,
+                    f"cell function {self._where()} rebinds module global "
+                    f"{target.id!r}; cells must be pure (cache keys cannot "
+                    "see module state)",
+                )
+            return
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            root = _root_name(target)
+            if root is None:
+                return
+            if root in self.live_params:
+                self.report(
+                    "ENG403",
+                    target,
+                    f"cell function {self._where()} mutates its argument "
+                    f"{root!r} in place; copy it first "
+                    "(dataclasses.replace / dict(...))",
+                )
+            elif root in self.module.global_mutables:
+                self.report(
+                    "ENG402",
+                    target,
+                    f"cell function {self._where()} writes module global "
+                    f"{root!r}; cells must be pure (cache keys cannot see "
+                    "module state)",
+                )
+
+    def _aug_assign(self, stmt: ast.AugAssign) -> None:
+        value_tags = self.expr_tags(stmt.value)
+        target_tags = self.expr_tags(stmt.target, store=True)
+        if isinstance(stmt.op, (ast.LShift, ast.RShift)):
+            if "np" in value_tags or "np" in target_tags:
+                self.report(
+                    "NUM301",
+                    stmt,
+                    "augmented bit-shift with a possibly-numpy integer "
+                    "operand: numpy fixed-width ints overflow silently at "
+                    "64 bits; convert with int(...) first",
+                )
+        self._check_impure_store(stmt.target)
+        if isinstance(stmt.target, ast.Name):
+            name = stmt.target.id
+            alloc = self.bare_allocs.get(name)
+            if alloc is not None:
+                self.report(
+                    "NUM303",
+                    alloc,
+                    f"array {name!r} is accumulated into but allocated "
+                    "without an explicit dtype; pin it (dtype=float) so the "
+                    "reduction width is platform-independent",
+                )
+                del self.bare_allocs[name]
+            merged = self.taint.get(name, set()) | value_tags
+            if merged:
+                self.taint[name] = merged
+
+    def _for(self, stmt: ast.For) -> None:
+        tags = self.expr_tags(stmt.iter)
+        if self.det_reachable and "set" in tags:
+            self.report(
+                "DET201",
+                stmt.iter,
+                f"iteration over a set in {self._where()} is hash-seed-"
+                "dependent and feeds a canonical output; iterate "
+                "sorted(...) instead",
+            )
+        element: Set[str] = {t for t in tags if t in ("np", "npfloat")}
+        self._bind_target(stmt.target, element)
+        for sub in [*stmt.body, *stmt.orelse]:
+            self.visit_stmt(sub)
+
+    # -- expressions -----------------------------------------------------
+    def expr_tags(
+        self, node: ast.expr, sorted_ctx: bool = False, store: bool = False
+    ) -> Set[str]:
+        """Taint tags of an expression; emits findings as side effects."""
+        if isinstance(node, ast.Name):
+            return set(self.taint.get(node.id, ()))
+        if isinstance(node, ast.Attribute):
+            self.expr_tags(node.value, store=store)
+            if node.attr in self.set_attrs:
+                return {"set"}
+            return set()
+        if isinstance(node, ast.Subscript):
+            base = self.expr_tags(node.value, store=store)
+            self.expr_tags(node.slice)
+            return {t for t in base if t in ("np", "npfloat", "clock")}
+        if isinstance(node, ast.Call):
+            return self._call_tags(node, sorted_ctx)
+        if isinstance(node, ast.BinOp):
+            return self._binop_tags(node)
+        if isinstance(node, ast.BoolOp):
+            tags: Set[str] = set()
+            for value in node.values:
+                tags |= self.expr_tags(value)
+            return tags
+        if isinstance(node, ast.UnaryOp):
+            return self.expr_tags(node.operand)
+        if isinstance(node, ast.Compare):
+            return self._compare_tags(node)
+        if isinstance(node, ast.IfExp):
+            self.expr_tags(node.test)
+            return self.expr_tags(node.body) | self.expr_tags(node.orelse)
+        if isinstance(node, (ast.Set,)):
+            for element in node.elts:
+                self.expr_tags(element)
+            return {"set"}
+        if isinstance(node, ast.SetComp):
+            self._comprehension(node, sorted_ctx=True)
+            return {"set"}
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            self._comprehension(node, sorted_ctx=sorted_ctx)
+            return set()
+        if isinstance(node, ast.DictComp):
+            self._comprehension(node, sorted_ctx=sorted_ctx)
+            return set()
+        if isinstance(node, ast.Dict):
+            clock = False
+            for key, value in zip(node.keys, node.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and key.value == "timing"
+                ):
+                    # timing sections are stripped from canonical payloads
+                    # by contract; clock values may live there
+                    continue
+                if "clock" in self.expr_tags(value):
+                    clock = True
+            return {"clock"} if clock else set()
+        if isinstance(node, (ast.List, ast.Tuple)):
+            tags = set()
+            for element in node.elts:
+                tags |= self.expr_tags(element, sorted_ctx=sorted_ctx)
+            return {t for t in tags if t == "clock"}
+        if isinstance(node, ast.Starred):
+            return self.expr_tags(node.value, sorted_ctx=sorted_ctx)
+        if isinstance(node, ast.NamedExpr):
+            tags = self.expr_tags(node.value)
+            self._bind_target(node.target, tags)
+            return tags
+        if isinstance(node, (ast.JoinedStr,)):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self.expr_tags(value.value)
+            return set()
+        if isinstance(node, ast.Await):
+            return self.expr_tags(node.value)
+        if isinstance(node, ast.Lambda):
+            return set()  # separate (unanalysed) scope
+        return set()
+
+    def _binop_tags(self, node: ast.BinOp) -> Set[str]:
+        left = self.expr_tags(node.left)
+        right = self.expr_tags(node.right)
+        if isinstance(node.op, (ast.LShift, ast.RShift)):
+            if "np" in left or "np" in right:
+                self.report(
+                    "NUM301",
+                    node,
+                    "bit-shift with a possibly-numpy integer operand: numpy "
+                    "fixed-width ints overflow silently at 64 bits (the "
+                    "PR 6 >=63-scenario bug); convert with int(...) first",
+                )
+        if isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.BitXor)) or (
+            isinstance(node.op, ast.Sub) and "set" in left
+        ):
+            if "set" in left or "set" in right:
+                return {"set"}
+        merged = left | right
+        if isinstance(node.op, ast.Div) and "np" in merged:
+            merged.add("npfloat")
+        return {t for t in merged if t != "set"}
+
+    def _compare_tags(self, node: ast.Compare) -> Set[str]:
+        operands = [node.left, *node.comparators]
+        tag_sets = [self.expr_tags(operand) for operand in operands]
+        for op, left_tags, right_tags in zip(
+            node.ops, tag_sets[:-1], tag_sets[1:]
+        ):
+            if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                "npfloat" in left_tags or "npfloat" in right_tags
+            ):
+                self.report(
+                    "NUM302",
+                    node,
+                    "'==' / '!=' on a float array compares for bit-exactness; "
+                    "use numpy.isclose / numpy.allclose with a tolerance from "
+                    "repro.check.tolerances",
+                )
+                break
+        return set()
+
+    def _comprehension(self, node, sorted_ctx: bool) -> None:
+        for generator in node.generators:
+            tags = self.expr_tags(generator.iter)
+            if self.det_reachable and "set" in tags and not sorted_ctx:
+                self.report(
+                    "DET201",
+                    generator.iter,
+                    f"comprehension over a set in {self._where()} is "
+                    "hash-seed-dependent and feeds a canonical output; "
+                    "iterate sorted(...) instead",
+                )
+            element: Set[str] = {t for t in tags if t in ("np", "npfloat")}
+            self._bind_target(generator.target, element)
+            for condition in generator.ifs:
+                self.expr_tags(condition)
+        if isinstance(node, ast.DictComp):
+            self.expr_tags(node.key)
+            self.expr_tags(node.value)
+        else:
+            self.expr_tags(node.elt)
+
+    def _call_tags(self, node: ast.Call, sorted_ctx: bool) -> Set[str]:
+        func = node.func
+        dotted = self.dotted(func) if isinstance(func, ast.Attribute) else None
+        if isinstance(func, ast.Name):
+            dotted = self.dotted(func)
+
+        # -- rule triggers on the callee itself --------------------------
+        if dotted is not None:
+            if dotted in RANDOM_NONDET or dotted in NP_LEGACY_RANDOM:
+                self.report(
+                    "DET203",
+                    node,
+                    f"{dotted}() draws from unseeded global state; use a "
+                    "seeded random.Random(seed) / numpy default_rng(seed) "
+                    "instance instead",
+                )
+            if dotted in LISTING_CALLS and not sorted_ctx:
+                self.report(
+                    "DET204",
+                    node,
+                    f"{dotted}() yields paths in OS order; wrap the call in "
+                    "sorted(...)",
+                )
+        if (
+            dotted is None
+            and isinstance(func, ast.Attribute)
+            and func.attr in LISTING_METHODS
+            and not sorted_ctx
+        ):
+            self.report(
+                "DET204",
+                node,
+                f".{func.attr}() yields paths in OS order; wrap the call in "
+                "sorted(...)",
+            )
+
+        # -- builtins ----------------------------------------------------
+        if isinstance(func, ast.Name) and dotted is None:
+            name = func.id
+            if name in ("set", "frozenset"):
+                self._eval_args(node, sorted_ctx=True)
+                return {"set"}
+            if name in _ORDER_SAFE_BUILTINS:
+                self._eval_args(node, sorted_ctx=True)
+                return set()
+            if name in _ORDER_SENSITIVE_BUILTINS:
+                arg_tags = self._eval_args(node, sorted_ctx=sorted_ctx)
+                if (
+                    self.det_reachable
+                    and not sorted_ctx
+                    and any("set" in tags for tags in arg_tags)
+                ):
+                    self.report(
+                        "DET201",
+                        node,
+                        f"{name}(...) materialises set iteration order in "
+                        f"{self._where()} on a canonical path; sort the set "
+                        "first",
+                    )
+                return set()
+            if name in ("int", "float", "round", "str", "repr"):
+                self._eval_args(node, sorted_ctx=sorted_ctx)
+                return set()  # conversion strips numpy/clock taint
+
+        # -- numpy calls -------------------------------------------------
+        if dotted is not None and dotted.startswith("numpy."):
+            self._eval_args(node)
+            tail = dotted.rsplit(".", 1)[1]
+            tags = {"np"}
+            if tail in _NP_ALLOC_FLOAT_DEFAULT and _is_floatish_dtype(
+                _dtype_keyword(node)
+            ):
+                tags.add("npfloat")
+            return tags
+
+        # -- clock reads -------------------------------------------------
+        if dotted is not None and dotted in CLOCK_CALLS:
+            self._eval_args(node)
+            return {"clock"}
+
+        # -- method calls ------------------------------------------------
+        if isinstance(func, ast.Attribute):
+            base_tags = self.expr_tags(func.value)
+            arg_tags = self._eval_args(node, sorted_ctx=sorted_ctx)
+            if func.attr in _SET_RESULT_METHODS and "set" in base_tags:
+                return {"set"}
+            if (
+                self.det_reachable
+                and func.attr in _ORDER_SENSITIVE_METHODS
+                and not sorted_ctx
+                and any("set" in tags for tags in arg_tags)
+            ):
+                self.report(
+                    "DET201",
+                    node,
+                    f".{func.attr}(...) materialises set iteration order in "
+                    f"{self._where()} on a canonical path; sort the set first",
+                )
+            if func.attr in _MUTATOR_METHODS and self.is_cell:
+                root = _root_name(func.value)
+                if root is not None and root in self.live_params:
+                    self.report(
+                        "ENG403",
+                        node,
+                        f"cell function {self._where()} calls "
+                        f".{func.attr}() on its argument {root!r}; copy "
+                        "before mutating",
+                    )
+                elif root is not None and root in self.module.global_mutables:
+                    self.report(
+                        "ENG402",
+                        node,
+                        f"cell function {self._where()} mutates module "
+                        f"global {root!r} via .{func.attr}(); cells must be "
+                        "pure",
+                    )
+            if func.attr == "astype":
+                out = {"np"}
+                if node.args and _is_floatish_dtype(node.args[0]):
+                    out.add("npfloat")
+                return out
+            # unknown method: propagate only numpy-ness of the receiver
+            return {t for t in base_tags if t in ("np", "npfloat")}
+
+        # -- plain / unknown calls ---------------------------------------
+        self._eval_args(node, sorted_ctx=sorted_ctx)
+        return set()
+
+    def _eval_args(self, node: ast.Call, sorted_ctx: bool = False) -> List[Set[str]]:
+        tags = [self.expr_tags(arg, sorted_ctx=sorted_ctx) for arg in node.args]
+        tags.extend(
+            self.expr_tags(keyword.value, sorted_ctx=sorted_ctx)
+            for keyword in node.keywords
+        )
+        return tags
+
+
+# -- driver --------------------------------------------------------------
+
+def _reachable_scopes(graph: CallGraph) -> FrozenSet[str]:
+    """Canonical-path scopes: call-graph reachable + every module body."""
+    reachable = set(graph.reachable())
+    for qualname, info in graph.functions.items():
+        if info.name == MODULE_SCOPE:
+            reachable.add(qualname)
+    return frozenset(reachable)
+
+
+def _registration_findings(graph: CallGraph) -> List[_Finding]:
+    findings: List[_Finding] = []
+    kind_blame = {
+        "lambda": "a lambda",
+        "nested": "a nested function (closure)",
+        "opaque": "not a resolvable module-level function",
+    }
+    for registration in graph.registrations:
+        if registration.kind == "function":
+            continue
+        blame = kind_blame.get(registration.kind, registration.kind)
+        findings.append(
+            _Finding(
+                code="ENG401",
+                path=registration.path,
+                lineno=registration.lineno,
+                col=registration.col,
+                message=(
+                    f"{registration.role}= registration is {blame}; cells "
+                    "must be module-level functions so they pickle across "
+                    "workers and fingerprint stably"
+                ),
+                symbol="",
+            )
+        )
+    return findings
+
+
+def analyze_modules(
+    modules: Mapping[str, ModuleInfo], graph: CallGraph
+) -> List[Diagnostic]:
+    """Run every flow rule over parsed modules; returns sorted findings.
+
+    ``# lint: ignore[CODE]`` comments suppress findings on their line,
+    exactly as in :mod:`repro.check.astlint`.
+    """
+    det_scopes = _reachable_scopes(graph)
+    cells = set(graph.cell_functions())
+    findings: List[_Finding] = list(_registration_findings(graph))
+    for name in sorted(modules):
+        module = modules[name]
+        for info in module.function_infos:
+            node = module.nodes[info.qualname]
+            _ScopeAnalyzer(
+                module,
+                info.qualname,
+                node,
+                det_reachable=info.qualname in det_scopes,
+                is_cell=info.qualname in cells,
+                set_attrs=graph.set_attrs,
+                findings=findings,
+            ).run()
+    # apply per-line suppressions, per file
+    by_path: Dict[str, List[_Finding]] = {}
+    for finding in findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    sources = {module.path: module.source for module in modules.values()}
+    survivors: List[_Finding] = []
+    for path, batch in by_path.items():
+        source = sources.get(path, "")
+        keep = apply_suppressions(
+            source,
+            [(f.code, f.lineno, f.col, f.message) for f in batch],
+        )
+        kept = {(code, lineno, col) for code, lineno, col, _ in keep}
+        survivors.extend(
+            f for f in batch if (f.code, f.lineno, f.col) in kept
+        )
+    survivors.sort(key=lambda f: (f.path, f.lineno, f.col, f.code))
+    return [
+        Diagnostic(
+            f.code,
+            f.message,
+            subject=f"{f.path}:{f.lineno}:{f.col}",
+            symbol=f.symbol,
+        )
+        for f in survivors
+    ]
+
+
+def analyze_source(
+    source: str, filename: str = "<memory>.py", module: str = "m"
+) -> List[Diagnostic]:
+    """Analyse one in-memory module (test/fixture convenience)."""
+    info = parse_module_source(module, filename, source)
+    modules = {module: info}
+    graph = build_callgraph(modules)
+    return analyze_modules(modules, graph)

@@ -1,0 +1,230 @@
+"""SARIF 2.1.0 rendering of check reports.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format GitHub code scanning ingests: uploading a
+SARIF file from CI turns every finding into an inline PR annotation at
+the exact file/line/column.  :func:`sarif_payload` converts a list of
+:class:`~repro.check.diagnostics.Diagnostic` records into one SARIF
+``run``; the rule metadata comes straight from the central
+:data:`~repro.check.diagnostics.CODE_TABLE`, so the ``rules`` array is
+complete and stable even for codes with no findings in this run.
+
+Subjects of source-lint findings are ``path:line:col`` strings (see
+:class:`Diagnostic`); non-source subjects (task names, scenario ids)
+are carried in the result message and get no physical location.
+
+:func:`validate_sarif` is a self-contained structural validator for the
+subset of SARIF this module emits (CI has no network access to fetch
+the official JSON schema; the checks mirror its required properties).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Optional, Sequence
+
+from .diagnostics import CODE_TABLE, Diagnostic, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+TOOL_NAME = "repro-check"
+TOOL_URI = "https://example.invalid/repro"
+
+#: SARIF ``level`` per diagnostic severity.
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+_LOCATION_RE = re.compile(
+    r"^(?P<path>.+?):(?P<line>\d+)(?::(?P<col>\d+))?$"
+)
+
+
+def _split_subject(subject: str) -> Optional[Dict[str, Any]]:
+    """``path:line[:col]`` subject → SARIF physicalLocation, else None."""
+    match = _LOCATION_RE.match(subject)
+    if match is None:
+        return None
+    path = match.group("path")
+    if not path.endswith(".py"):
+        return None  # task/scenario subjects are not source locations
+    region: Dict[str, Any] = {"startLine": int(match.group("line"))}
+    if match.group("col"):
+        region["startColumn"] = int(match.group("col"))
+    return {
+        "artifactLocation": {"uri": path.replace("\\", "/")},
+        "region": region,
+    }
+
+
+def _rules() -> List[Dict[str, Any]]:
+    rules = []
+    for info in CODE_TABLE:
+        rules.append(
+            {
+                "id": info.code,
+                "name": info.code,
+                "shortDescription": {"text": info.title},
+                "defaultConfiguration": {"level": _LEVELS[info.severity]},
+                "helpUri": f"{TOOL_URI}/docs/diagnostics.md#{info.code.lower()}",
+            }
+        )
+    return rules
+
+
+def sarif_payload(
+    diagnostics: Sequence[Diagnostic],
+    *,
+    tool_version: str = "0",
+) -> Dict[str, Any]:
+    """One-run SARIF 2.1.0 payload for ``diagnostics``."""
+    rule_index = {info.code: i for i, info in enumerate(CODE_TABLE)}
+    results: List[Dict[str, Any]] = []
+    for diagnostic in diagnostics:
+        message = diagnostic.message
+        location = _split_subject(diagnostic.subject)
+        if location is None and diagnostic.subject:
+            message = f"[{diagnostic.subject}] {message}"
+        result: Dict[str, Any] = {
+            "ruleId": diagnostic.code,
+            "ruleIndex": rule_index[diagnostic.code],
+            "level": _LEVELS[diagnostic.severity],
+            "message": {"text": message},
+        }
+        if location is not None:
+            result["locations"] = [{"physicalLocation": location}]
+        if diagnostic.symbol:
+            result["properties"] = {"symbol": diagnostic.symbol}
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": tool_version,
+                        "informationUri": TOOL_URI,
+                        "rules": _rules(),
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    diagnostics: Sequence[Diagnostic], *, tool_version: str = "0"
+) -> str:
+    """Byte-stable JSON text of :func:`sarif_payload`."""
+    return json.dumps(
+        sarif_payload(diagnostics, tool_version=tool_version),
+        indent=2,
+        sort_keys=True,
+    )
+
+
+# -- structural validation ----------------------------------------------
+
+def validate_sarif(payload: Any) -> List[str]:
+    """Problems with a SARIF payload; empty list when structurally valid.
+
+    Covers the required properties of the SARIF 2.1.0 schema for the
+    subset :func:`sarif_payload` emits: top-level ``version``/``runs``,
+    ``tool.driver.name`` per run, and per-result ``ruleId``, ``level``,
+    ``message.text`` plus well-formed physical locations.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("version") != SARIF_VERSION:
+        problems.append(f"version must be {SARIF_VERSION!r}")
+    runs = payload.get("runs")
+    if not isinstance(runs, list) or not runs:
+        problems.append("runs must be a non-empty array")
+        return problems
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        if not isinstance(run, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(
+            run.get("tool"), dict
+        ) else None
+        if not isinstance(driver, dict) or not isinstance(
+            driver.get("name"), str
+        ):
+            problems.append(f"{where}.tool.driver.name missing")
+        rules = (driver or {}).get("rules", [])
+        rule_ids = set()
+        if isinstance(rules, list):
+            for rule in rules:
+                if not isinstance(rule, dict) or "id" not in rule:
+                    problems.append(f"{where} has a rule without an id")
+                else:
+                    rule_ids.add(rule["id"])
+        results = run.get("results")
+        if not isinstance(results, list):
+            problems.append(f"{where}.results must be an array")
+            continue
+        for result_index, result in enumerate(results):
+            rwhere = f"{where}.results[{result_index}]"
+            if not isinstance(result, dict):
+                problems.append(f"{rwhere} is not an object")
+                continue
+            if not isinstance(result.get("ruleId"), str):
+                problems.append(f"{rwhere}.ruleId missing")
+            elif rule_ids and result["ruleId"] not in rule_ids:
+                problems.append(
+                    f"{rwhere}.ruleId {result['ruleId']!r} not in driver rules"
+                )
+            if result.get("level") not in ("error", "warning", "note", "none"):
+                problems.append(f"{rwhere}.level invalid")
+            message = result.get("message")
+            if not isinstance(message, dict) or not isinstance(
+                message.get("text"), str
+            ):
+                problems.append(f"{rwhere}.message.text missing")
+            index = result.get("ruleIndex")
+            if index is not None and (
+                not isinstance(index, int)
+                or isinstance(rules, list)
+                and not 0 <= index < len(rules)
+            ):
+                problems.append(f"{rwhere}.ruleIndex out of range")
+            for loc_index, location in enumerate(result.get("locations", [])):
+                lwhere = f"{rwhere}.locations[{loc_index}]"
+                physical = (
+                    location.get("physicalLocation")
+                    if isinstance(location, dict)
+                    else None
+                )
+                if not isinstance(physical, dict):
+                    problems.append(f"{lwhere}.physicalLocation missing")
+                    continue
+                artifact = physical.get("artifactLocation")
+                if not isinstance(artifact, dict) or not isinstance(
+                    artifact.get("uri"), str
+                ):
+                    problems.append(f"{lwhere} artifactLocation.uri missing")
+                region = physical.get("region")
+                if region is not None:
+                    line = region.get("startLine")
+                    if not isinstance(line, int) or line < 1:
+                        problems.append(f"{lwhere} region.startLine invalid")
+                    col = region.get("startColumn")
+                    if col is not None and (
+                        not isinstance(col, int) or col < 1
+                    ):
+                        problems.append(f"{lwhere} region.startColumn invalid")
+    return problems

@@ -161,7 +161,9 @@ def activation_probability(
     )
     for scenario in scenarios:
         p = scenario.probability(probabilities)
-        for task in scenario.active:
+        # sorted so the returned dict's insertion order (and hence any
+        # non-key-sorting serialisation) is hash-seed-independent
+        for task in sorted(scenario.active):
             probs[task] = probs.get(task, 0.0) + p
     return probs
 
@@ -275,7 +277,7 @@ def exclusion_table(
     tasks = ctg.tasks()
     co_active: Dict[str, set] = {task: set() for task in tasks}
     for scenario in scenarios:
-        for task in scenario.active:
+        for task in sorted(scenario.active):
             co_active[task].update(scenario.active)
     return {
         task: frozenset(t for t in tasks if t != task and t not in co_active[task])

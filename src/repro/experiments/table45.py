@@ -100,7 +100,9 @@ class BiasResult:
 def _scenario_cost(platform, scenario) -> float:
     """Energy proxy of a scenario: total average-WCET of its tasks
     (energy tracks cycles under the unit-capacitance model)."""
-    return sum(platform.average_wcet(task) for task in scenario.active)
+    # sorted: float summation is order-sensitive and set iteration is
+    # hash-seed-dependent; the cell value must be bit-stable (DET201)
+    return sum(platform.average_wcet(task) for task in sorted(scenario.active))
 
 
 def bias_cell(params: Dict[str, Any]) -> Dict[str, Any]:

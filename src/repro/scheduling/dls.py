@@ -276,7 +276,7 @@ def dls_schedule(
     while unscheduled:
         ready = [
             task
-            for task in unscheduled
+            for task in sorted(unscheduled)
             if all(
                 pred in schedule.placements
                 for pred in working.predecessors(task, include_pseudo=False)

@@ -193,9 +193,26 @@ class TestSuppression:
         source = "def f(x=[]):  # lint: ignore[AST103]\n    pass\n"
         assert codes(source) == ["AST101"]
 
-    def test_finding_carries_file_and_line(self):
+    def test_multi_code_suppression(self):
+        source = (
+            "def f(x=[], y=0.1):\n"
+            "    return y == 0.25  # lint: ignore[AST101,AST103]\n"
+        )
+        # AST101 sits on line 1; only AST103 is waived by the comment
+        assert codes(source) == ["AST101"]
+        both = "def f(x=[], z={}):  # lint: ignore[AST101,AST103]\n    pass\n"
+        assert codes(both) == []
+
+    def test_finding_carries_file_line_and_column(self):
         findings = lint_source("def f(x=[]):\n    pass\n", filename="m.py")
-        assert findings[0].subject == "m.py:1"
+        assert findings[0].subject == "m.py:1:9"
+
+    def test_columns_disambiguate_same_line_findings(self):
+        findings = lint_source(
+            "def f(x=[], y={}):\n    pass\n", filename="m.py"
+        )
+        subjects = [f.subject for f in findings]
+        assert subjects == ["m.py:1:9", "m.py:1:15"]
 
 
 class TestTreeAndCli:

@@ -17,7 +17,7 @@ from repro.check import (
 
 DOCS = Path(__file__).resolve().parent.parent / "docs" / "diagnostics.md"
 
-_PREFIXES = ("CTG", "PLAT", "SCHED", "LINK", "CACHE", "AST", "FAULT")
+_PREFIXES = ("CTG", "PLAT", "SCHED", "LINK", "CACHE", "AST", "FAULT", "DET", "NUM", "ENG")
 
 
 class TestRegistry:
@@ -63,8 +63,15 @@ class TestDiagnostic:
             "code": "SCHED001",
             "severity": "error",
             "subject": "a",
+            "symbol": "",
             "message": "task 'a' is not placed",
         }
+
+    def test_symbol_round_trips(self):
+        d = Diagnostic(
+            "DET201", "set iteration", subject="m.py:3:5", symbol="m:f"
+        )
+        assert d.to_dict()["symbol"] == "m:f"
 
 
 class TestCheckReport:

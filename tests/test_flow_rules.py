@@ -1,0 +1,553 @@
+"""Flow-rule engine: one tripping snippet + one clean twin per code.
+
+Mirrors the mutation style of ``test_check_mutations.py``: every
+DET/NUM/ENG code gets a minimal fixture that trips it and a minimally
+different twin that stays clean, so a rule can neither silently die
+nor grow a blanket false positive.  The three reconstructed historical
+bugs (PR 4 ``scenario_energy`` set iteration, PR 6 numpy-intp shift,
+PR 4 ``ctg.deadline`` mutation) anchor the families to the failures
+they encode.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.callgraph import build_callgraph, parse_module_source
+from repro.check.flow import analyze_modules, analyze_source
+
+
+def codes(source: str) -> list:
+    return [d.code for d in analyze_source(source)]
+
+
+#: Wrapper making the body reachable from a canonical producer.
+CANONICAL = "def canonical_json(x):\n    return probe(x)\n\n"
+
+
+class TestDET201SetIteration:
+    def test_for_loop_over_set(self):
+        src = CANONICAL + (
+            "def probe(xs):\n"
+            "    total = 0.0\n"
+            "    for x in set(xs):\n"
+            "        total += x\n"
+            "    return total\n"
+        )
+        assert "DET201" in codes(src)
+
+    def test_sorted_iteration_is_clean(self):
+        src = CANONICAL + (
+            "def probe(xs):\n"
+            "    total = 0.0\n"
+            "    for x in sorted(set(xs)):\n"
+            "        total += x\n"
+            "    return total\n"
+        )
+        assert "DET201" not in codes(src)
+
+    def test_unreachable_function_not_flagged(self):
+        src = (
+            "def probe(xs):\n"
+            "    out = []\n"
+            "    for x in set(xs):\n"
+            "        out.append(x)\n"
+            "    return out\n"
+        )
+        assert "DET201" not in codes(src)
+
+    def test_list_of_set_flagged(self):
+        src = CANONICAL + "def probe(xs):\n    return list(set(xs))\n"
+        assert "DET201" in codes(src)
+
+    def test_join_over_set_flagged(self):
+        src = CANONICAL + "def probe(xs):\n    return ','.join(set(xs))\n"
+        assert "DET201" in codes(src)
+
+    def test_comprehension_over_set_flagged(self):
+        src = CANONICAL + "def probe(xs):\n    return [x for x in set(xs)]\n"
+        assert "DET201" in codes(src)
+
+    def test_set_comprehension_result_is_clean(self):
+        src = CANONICAL + "def probe(xs):\n    return {x for x in set(xs)}\n"
+        assert "DET201" not in codes(src)
+
+    def test_annotated_set_attribute_flagged(self):
+        src = CANONICAL + (
+            "from typing import FrozenSet\n"
+            "class Scenario:\n"
+            "    active: FrozenSet[str]\n"
+            "def probe(scenario):\n"
+            "    return list(scenario.active)\n"
+        )
+        assert "DET201" in codes(src)
+
+    def test_inline_suppression(self):
+        src = CANONICAL + (
+            "def probe(xs):\n"
+            "    return list(set(xs))  # lint: ignore[DET201]\n"
+        )
+        assert "DET201" not in codes(src)
+
+    def test_pr4_scenario_energy_reconstruction(self):
+        """The shipped bug: float sum over a frozenset attribute."""
+        src = (
+            "from typing import FrozenSet\n"
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class Scenario:\n"
+            "    active: FrozenSet[str]\n"
+            "def scenario_energy(scenario, energies):\n"
+            "    total = 0.0\n"
+            "    for name in scenario.active:\n"
+            "        total += energies[name]\n"
+            "    return total\n"
+            "def canonical_json(scenario, energies):\n"
+            "    return scenario_energy(scenario, energies)\n"
+        )
+        findings = analyze_source(src)
+        assert [d.code for d in findings] == ["DET201"]
+        assert findings[0].symbol.endswith(":scenario_energy")
+
+    def test_pr4_fixed_version_is_clean(self):
+        src = (
+            "from typing import FrozenSet\n"
+            "def scenario_energy(scenario, energies):\n"
+            "    total = 0.0\n"
+            "    for name in sorted(scenario.active):\n"
+            "        total += energies[name]\n"
+            "    return total\n"
+            "def canonical_json(scenario, energies):\n"
+            "    return scenario_energy(scenario, energies)\n"
+        )
+        assert codes(src) == []
+
+
+class TestDET202ClockFlow:
+    def test_returned_clock_difference(self):
+        src = CANONICAL + (
+            "import time\n"
+            "def probe(x):\n"
+            "    t0 = time.perf_counter()\n"
+            "    work(x)\n"
+            "    return time.perf_counter() - t0\n"
+        )
+        assert "DET202" in codes(src)
+
+    def test_timing_key_is_exempt(self):
+        src = CANONICAL + (
+            "import time\n"
+            "def probe(x):\n"
+            "    t0 = time.perf_counter()\n"
+            "    values = work(x)\n"
+            "    elapsed = time.perf_counter() - t0\n"
+            "    return {'values': values, 'timing': {'elapsed': elapsed}}\n"
+        )
+        assert "DET202" not in codes(src)
+
+    def test_clock_under_other_key_flagged(self):
+        src = CANONICAL + (
+            "import time\n"
+            "def probe(x):\n"
+            "    return {'values': time.perf_counter()}\n"
+        )
+        assert "DET202" in codes(src)
+
+    def test_unreachable_clock_is_clean(self):
+        src = (
+            "import time\n"
+            "def stopwatch():\n"
+            "    return time.perf_counter()\n"
+        )
+        assert "DET202" not in codes(src)
+
+    def test_datetime_now_flagged(self):
+        src = CANONICAL + (
+            "import datetime\n"
+            "def probe(x):\n"
+            "    return datetime.datetime.now()\n"
+        )
+        assert "DET202" in codes(src)
+
+
+class TestDET203UnseededRandom:
+    def test_global_random_call(self):
+        src = "import random\ndef f():\n    return random.random()\n"
+        assert "DET203" in codes(src)
+
+    def test_from_import_shuffle(self):
+        src = "from random import shuffle\ndef f(xs):\n    shuffle(xs)\n"
+        assert "DET203" in codes(src)
+
+    def test_legacy_np_random(self):
+        src = "import numpy as np\ndef f():\n    return np.random.rand(3)\n"
+        assert "DET203" in codes(src)
+
+    def test_seeded_instance_is_clean(self):
+        src = (
+            "import random\n"
+            "def f(seed):\n"
+            "    rng = random.Random(seed)\n"
+            "    return rng.random()\n"
+        )
+        assert "DET203" not in codes(src)
+
+    def test_default_rng_is_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(seed):\n"
+            "    return np.random.default_rng(seed).random()\n"
+        )
+        assert "DET203" not in codes(src)
+
+
+class TestDET204UnsortedListing:
+    def test_bare_listdir(self):
+        src = "import os\ndef f(d):\n    return [p for p in os.listdir(d)]\n"
+        assert "DET204" in codes(src)
+
+    def test_sorted_listdir_is_clean(self):
+        src = "import os\ndef f(d):\n    return sorted(os.listdir(d))\n"
+        assert "DET204" not in codes(src)
+
+    def test_path_iterdir(self):
+        src = "def f(path):\n    return list(path.iterdir())\n"
+        assert "DET204" in codes(src)
+
+    def test_sorted_glob_is_clean(self):
+        src = "def f(path):\n    return sorted(path.glob('*.json'))\n"
+        assert "DET204" not in codes(src)
+
+    def test_set_of_listing_is_clean(self):
+        src = "import os\ndef f(d):\n    return set(os.listdir(d))\n"
+        assert "DET204" not in codes(src)
+
+
+class TestNUM301NumpyShift:
+    def test_pr6_intp_shift_reconstruction(self):
+        """The shipped bug: ``1 << i`` with ``i`` a flatnonzero index."""
+        src = (
+            "import numpy as np\n"
+            "def scenario_mask(active):\n"
+            "    mask = 0\n"
+            "    for i in np.flatnonzero(active):\n"
+            "        mask |= 1 << i\n"
+            "    return mask\n"
+        )
+        assert "NUM301" in codes(src)
+
+    def test_pr6_fixed_version_is_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def scenario_mask(active):\n"
+            "    mask = 0\n"
+            "    for i in np.flatnonzero(active):\n"
+            "        mask |= 1 << int(i)\n"
+            "    return mask\n"
+        )
+        assert "NUM301" not in codes(src)
+
+    def test_array_element_shift(self):
+        src = (
+            "import numpy as np\n"
+            "def f(idx):\n"
+            "    arr = np.arange(4)\n"
+            "    return 1 << arr[0]\n"
+        )
+        assert "NUM301" in codes(src)
+
+    def test_ndarray_annotation_taints_param(self):
+        src = (
+            "import numpy as np\n"
+            "def f(arr: np.ndarray):\n"
+            "    return 1 << arr[2]\n"
+        )
+        assert "NUM301" in codes(src)
+
+    def test_plain_int_shift_is_clean(self):
+        src = "def f(n):\n    return 1 << n\n"
+        assert "NUM301" not in codes(src)
+
+    def test_augmented_shift(self):
+        src = (
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    mask = 1\n"
+            "    for i in np.nonzero(xs)[0]:\n"
+            "        mask <<= i\n"
+            "    return mask\n"
+        )
+        assert "NUM301" in codes(src)
+
+
+class TestNUM302FloatArrayEquality:
+    def test_float_array_eq(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n):\n"
+            "    a = np.zeros(n)\n"
+            "    b = np.ones(n)\n"
+            "    return a == b\n"
+        )
+        assert "NUM302" in codes(src)
+
+    def test_int_array_eq_is_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n):\n"
+            "    a = np.zeros(n, dtype=int)\n"
+            "    b = np.zeros(n, dtype=int)\n"
+            "    return a == b\n"
+        )
+        assert "NUM302" not in codes(src)
+
+    def test_isclose_is_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n):\n"
+            "    a = np.zeros(n)\n"
+            "    b = np.ones(n)\n"
+            "    return np.isclose(a, b)\n"
+        )
+        assert "NUM302" not in codes(src)
+
+    def test_division_result_eq_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f(a: np.ndarray, b: np.ndarray):\n"
+            "    ratio = a / b\n"
+            "    return ratio != 1\n"
+        )
+        assert "NUM302" in codes(src)
+
+
+class TestNUM303UnpinnedAccumulator:
+    def test_accumulation_without_dtype(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n, xs):\n"
+            "    acc = np.zeros(n)\n"
+            "    for x in xs:\n"
+            "        acc += x\n"
+            "    return acc\n"
+        )
+        assert "NUM303" in codes(src)
+
+    def test_pinned_dtype_is_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n, xs):\n"
+            "    acc = np.zeros(n, dtype=float)\n"
+            "    for x in xs:\n"
+            "        acc += x\n"
+            "    return acc\n"
+        )
+        assert "NUM303" not in codes(src)
+
+    def test_no_accumulation_is_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n):\n"
+            "    scratch = np.zeros(n)\n"
+            "    return scratch\n"
+        )
+        assert "NUM303" not in codes(src)
+
+    def test_finding_points_at_the_allocation(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n, xs):\n"
+            "    acc = np.zeros(n)\n"
+            "    acc += xs\n"
+            "    return acc\n"
+        )
+        (finding,) = [d for d in analyze_source(src) if d.code == "NUM303"]
+        assert finding.subject.endswith(":3:11")
+
+
+class TestENG401Registration:
+    def test_lambda_cell(self):
+        src = "SPEC = ExperimentSpec(name='x', cell_function=lambda p: p)\n"
+        assert "ENG401" in codes(src)
+
+    def test_nested_function_cell(self):
+        src = (
+            "def build():\n"
+            "    def cell(p):\n"
+            "        return p\n"
+            "    return ExperimentSpec(name='x', cell_function=cell)\n"
+        )
+        assert "ENG401" in codes(src)
+
+    def test_module_level_cell_is_clean(self):
+        src = (
+            "def cell(p):\n"
+            "    return p\n"
+            "SPEC = ExperimentSpec(name='x', cell_function=cell)\n"
+        )
+        assert "ENG401" not in codes(src)
+
+    def test_lambda_reducer_flagged_too(self):
+        src = (
+            "def cell(p):\n"
+            "    return p\n"
+            "SPEC = ExperimentSpec(name='x', cell_function=cell,\n"
+            "                      reducer=lambda rows: rows)\n"
+        )
+        assert "ENG401" in codes(src)
+
+
+class TestENG402GlobalWrites:
+    def test_global_statement_write(self):
+        src = (
+            "COUNTER = {}\n"
+            "def cell(p):\n"
+            "    global COUNTER\n"
+            "    COUNTER = {}\n"
+            "    return p\n"
+            "SPEC = ExperimentSpec(name='x', cell_function=cell)\n"
+        )
+        assert "ENG402" in codes(src)
+
+    def test_mutable_global_subscript_write(self):
+        src = (
+            "CACHE = {}\n"
+            "def cell(p):\n"
+            "    CACHE[p] = 1\n"
+            "    return p\n"
+            "SPEC = ExperimentSpec(name='x', cell_function=cell)\n"
+        )
+        assert "ENG402" in codes(src)
+
+    def test_mutable_global_method_call(self):
+        src = (
+            "SEEN = []\n"
+            "def cell(p):\n"
+            "    SEEN.append(p)\n"
+            "    return p\n"
+            "SPEC = ExperimentSpec(name='x', cell_function=cell)\n"
+        )
+        assert "ENG402" in codes(src)
+
+    def test_reading_global_is_clean(self):
+        src = (
+            "TABLE = {'a': 1}\n"
+            "def cell(p):\n"
+            "    return TABLE.get(p)\n"
+            "SPEC = ExperimentSpec(name='x', cell_function=cell)\n"
+        )
+        assert "ENG402" not in codes(src)
+
+    def test_non_cell_function_may_write_globals(self):
+        src = (
+            "REGISTRY = {}\n"
+            "def register(name, value):\n"
+            "    REGISTRY[name] = value\n"
+        )
+        assert "ENG402" not in codes(src)
+
+
+class TestENG403ArgumentMutation:
+    def test_pr4_deadline_mutation_reconstruction(self):
+        """The shipped bug: a cell scaling ``ctg.deadline`` in place."""
+        src = (
+            "def stretch_cell(ctg, factor):\n"
+            "    ctg.deadline = ctg.deadline * factor\n"
+            "    return run(ctg)\n"
+            "SPEC = ExperimentSpec(name='x', cell_function=stretch_cell)\n"
+        )
+        findings = analyze_source(src)
+        assert "ENG403" in [d.code for d in findings]
+
+    def test_pr4_fixed_version_is_clean(self):
+        src = (
+            "import dataclasses\n"
+            "def stretch_cell(ctg, factor):\n"
+            "    ctg = dataclasses.replace(ctg, deadline=ctg.deadline * factor)\n"
+            "    return run(ctg)\n"
+            "SPEC = ExperimentSpec(name='x', cell_function=stretch_cell)\n"
+        )
+        assert "ENG403" not in codes(src)
+
+    def test_mutating_method_on_param(self):
+        src = (
+            "def cell(rows):\n"
+            "    rows.append(1)\n"
+            "    return rows\n"
+            "SPEC = ExperimentSpec(name='x', cell_function=cell)\n"
+        )
+        assert "ENG403" in codes(src)
+
+    def test_param_rebinding_clears_the_rule(self):
+        src = (
+            "def cell(params):\n"
+            "    params = dict(params)\n"
+            "    params['extra'] = 1\n"
+            "    return params\n"
+            "SPEC = ExperimentSpec(name='x', cell_function=cell)\n"
+        )
+        assert "ENG403" not in codes(src)
+
+    def test_subscript_write_to_param(self):
+        src = (
+            "def cell(params):\n"
+            "    params['mode'] = 'hot'\n"
+            "    return params\n"
+            "SPEC = ExperimentSpec(name='x', cell_function=cell)\n"
+        )
+        assert "ENG403" in codes(src)
+
+    def test_non_cell_function_may_mutate(self):
+        src = "def helper(rows):\n    rows.append(1)\n"
+        assert "ENG403" not in codes(src)
+
+
+class TestFindingShape:
+    def test_subject_and_symbol(self):
+        src = CANONICAL + "def probe(xs):\n    return list(set(xs))\n"
+        (finding,) = analyze_source(src, filename="mod.py", module="mod")
+        assert finding.code == "DET201"
+        assert finding.subject.startswith("mod.py:")
+        assert finding.subject.count(":") == 2
+        assert finding.symbol == "mod:probe"
+
+    def test_findings_sorted_by_location(self):
+        src = CANONICAL + (
+            "import os\n"
+            "def probe(xs, d):\n"
+            "    a = list(set(xs))\n"
+            "    b = os.listdir(d)\n"
+            "    return a + b\n"
+        )
+        findings = analyze_source(src)
+        keys = [(d.subject, d.code) for d in findings]
+        assert keys == sorted(keys)
+
+
+@settings(max_examples=20, deadline=None)
+@given(order=st.permutations(["alpha", "beta", "gamma"]))
+def test_rule_output_is_byte_stable_across_module_orderings(order):
+    """Rule output serialises identically however modules are supplied."""
+    sources = {
+        "alpha": "import os\ndef f(d):\n    return list(os.listdir(d))\n",
+        "beta": (
+            "def canonical_json(xs):\n"
+            "    return list(set(xs))\n"
+        ),
+        "gamma": "import random\ndef g():\n    return random.random()\n",
+    }
+    def run(names):
+        modules = {
+            name: parse_module_source(name, f"{name}.py", sources[name])
+            for name in names
+        }
+        graph = build_callgraph(modules)
+        return json.dumps(
+            [d.to_dict() for d in analyze_modules(modules, graph)],
+            sort_keys=True,
+        )
+
+    assert run(list(order)) == run(sorted(sources))

@@ -1,0 +1,124 @@
+"""SARIF 2.1.0 rendering and its structural validator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check.diagnostics import CODE_TABLE, Diagnostic
+from repro.check.sarif import (
+    SARIF_VERSION,
+    render_sarif,
+    sarif_payload,
+    validate_sarif,
+)
+
+
+def sample_diagnostics():
+    return [
+        Diagnostic(
+            "DET201",
+            "iteration over a set",
+            subject="src/repro/x.py:10:5",
+            symbol="repro.x:f",
+        ),
+        Diagnostic("CTG006", "no deadline set", subject="mpeg"),
+        Diagnostic("NUM301", "numpy shift", subject="src/repro/y.py:3:1"),
+    ]
+
+
+class TestPayload:
+    def test_emitted_payload_validates(self):
+        payload = sarif_payload(sample_diagnostics(), tool_version="1.0.0")
+        assert validate_sarif(payload) == []
+
+    def test_version_and_schema(self):
+        payload = sarif_payload([])
+        assert payload["version"] == SARIF_VERSION
+        assert payload["$schema"].endswith("sarif-schema-2.1.0.json")
+
+    def test_every_registered_code_is_a_rule(self):
+        payload = sarif_payload([])
+        rules = payload["runs"][0]["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == [info.code for info in CODE_TABLE]
+
+    def test_source_subject_becomes_physical_location(self):
+        payload = sarif_payload(sample_diagnostics())
+        result = payload["runs"][0]["results"][0]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/x.py"
+        assert location["region"] == {"startLine": 10, "startColumn": 5}
+
+    def test_non_source_subject_folds_into_message(self):
+        payload = sarif_payload(sample_diagnostics())
+        result = payload["runs"][0]["results"][1]
+        assert "locations" not in result
+        assert result["message"]["text"].startswith("[mpeg]")
+
+    def test_levels_map_severities(self):
+        payload = sarif_payload(sample_diagnostics())
+        results = payload["runs"][0]["results"]
+        assert results[0]["level"] == "error"
+        assert results[1]["level"] == "warning"
+
+    def test_symbol_carried_in_properties(self):
+        payload = sarif_payload(sample_diagnostics())
+        assert payload["runs"][0]["results"][0]["properties"] == {
+            "symbol": "repro.x:f"
+        }
+
+    def test_rule_index_consistent(self):
+        payload = sarif_payload(sample_diagnostics())
+        run = payload["runs"][0]
+        for result in run["results"]:
+            rule = run["tool"]["driver"]["rules"][result["ruleIndex"]]
+            assert rule["id"] == result["ruleId"]
+
+    def test_render_is_byte_stable(self):
+        diags = sample_diagnostics()
+        assert render_sarif(diags) == render_sarif(list(diags))
+        json.loads(render_sarif(diags))  # well-formed JSON
+
+
+class TestValidator:
+    def payload(self):
+        return sarif_payload(sample_diagnostics())
+
+    def test_rejects_non_object(self):
+        assert validate_sarif([]) == ["payload is not an object"]
+
+    def test_rejects_wrong_version(self):
+        payload = self.payload()
+        payload["version"] = "2.0.0"
+        assert any("version" in p for p in validate_sarif(payload))
+
+    def test_rejects_empty_runs(self):
+        assert any("runs" in p for p in validate_sarif({"version": SARIF_VERSION}))
+
+    @pytest.mark.parametrize(
+        "mutate, fragment",
+        [
+            (lambda r: r.pop("ruleId"), "ruleId"),
+            (lambda r: r.update(level="fatal"), "level"),
+            (lambda r: r.update(message={}), "message.text"),
+            (lambda r: r.update(ruleIndex=10_000), "ruleIndex"),
+            (lambda r: r.update(ruleId="ZZZ999"), "not in driver rules"),
+        ],
+    )
+    def test_rejects_mutated_results(self, mutate, fragment):
+        payload = self.payload()
+        mutate(payload["runs"][0]["results"][0])
+        problems = validate_sarif(payload)
+        assert any(fragment in p for p in problems), problems
+
+    def test_rejects_bad_region(self):
+        payload = self.payload()
+        location = payload["runs"][0]["results"][0]["locations"][0]
+        location["physicalLocation"]["region"]["startLine"] = 0
+        assert any("startLine" in p for p in validate_sarif(payload))
+
+    def test_rejects_missing_driver_name(self):
+        payload = self.payload()
+        del payload["runs"][0]["tool"]["driver"]["name"]
+        assert any("driver.name" in p for p in validate_sarif(payload))
