@@ -86,6 +86,56 @@ def test_monte_carlo_sweep_speedup(benchmark, archive):
     )
 
 
+def run_discrete_sweep_bench(n: int = SWEEP_INSTANCES):
+    """The same sweep under the discrete speed policy — still one kernel."""
+    from repro.profiling import StageProfiler
+
+    ctg, platform = mpeg_ctg(), mpeg_platform()
+    set_deadline_from_makespan(ctg, platform, 1.3)
+    schedule = schedule_online(ctg, platform, speed_policy="discrete").schedule
+
+    profiler = StageProfiler()
+    start = time.perf_counter()
+    result = monte_carlo(
+        ctg, platform, n, seed=13, schedule=schedule, profiler=profiler
+    )
+    batch_time = time.perf_counter() - start
+    # quantisation happens at schedule build, not per instance: the
+    # sweep itself stays a single batched kernel invocation
+    assert profiler.calls.get("batch.sweep") == 1, profiler.calls
+
+    executor = InstanceExecutor(schedule)
+    decisions = [result.decisions(i) for i in range(n)]
+    start = time.perf_counter()
+    outcomes = [executor.run(d) for d in decisions]
+    loop_time = time.perf_counter() - start
+
+    finishes = np.asarray([o.finish_time for o in outcomes])
+    energies = np.asarray([o.energy for o in outcomes])
+    assert np.allclose(result.finish_times, finishes, atol=1e-9)
+    assert np.allclose(result.energies, energies, rtol=1e-9)
+
+    speedup = loop_time / batch_time
+    lines = [
+        f"Monte-Carlo sweep (discrete policy) — {n} instances, MPEG CTG",
+        f"  loop arm (executor replay)  : {loop_time * 1e3:8.1f} ms",
+        f"  batch arm (one kernel call) : {batch_time * 1e3:8.1f} ms",
+        f"  speedup                     : {speedup:8.2f}x",
+    ]
+    return speedup, "\n".join(lines)
+
+
+def test_monte_carlo_discrete_sweep_speedup(benchmark, archive):
+    speedup, report = benchmark.pedantic(
+        run_discrete_sweep_bench, rounds=1, iterations=1
+    )
+    archive("batch_monte_carlo_discrete_sweep", report)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    assert speedup > 10.0, (
+        f"discrete batched sweep only {speedup:.2f}x faster than the replay loop"
+    )
+
+
 def run_prestretch_bench(calls: int = PRESTRETCH_CALLS):
     """Time prestretched re-schedules against the full pipeline."""
     ctg, platform = mpeg_ctg(), mpeg_platform()

@@ -1,0 +1,109 @@
+"""Bench: the speed-policy layer must be free when absent, cheap when on.
+
+Two promises keep the `SpeedPolicy` protocol honest
+(docs/algorithms.md §6.6):
+
+* **absent** — `speed_policy=None` short-circuits to the historical
+  code paths; the benchmark pins a policy-free `schedule_online` loop
+  so any protocol cost creeping into the default path shows up in the
+  bench-regression compare against
+  ``benchmarks/baselines/bench_quick.json``;
+* **enabled** — the non-continuous families add bounded work on top of
+  continuous stretching: quantisation + refinement for `discrete`
+  (the refinement pass re-times the makespan per candidate move),
+  configuration enumeration for `eaps`.  Each family's wall-clock is
+  asserted within :data:`MAX_POLICY_OVERHEAD` of the continuous run on
+  the same schedule loop, and the continuous *policy object* must be
+  result-identical to `speed_policy=None`.
+
+Setting ``REPRO_BENCH_QUICK=1`` shrinks the loop for CI runs; the
+overhead assertions are unchanged.
+"""
+
+import os
+import time
+
+from repro.scheduling import schedule_online, set_deadline_from_makespan
+from repro.workloads.mpeg import mpeg_ctg, mpeg_platform
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+ROUNDS = 6 if QUICK else 20
+
+#: per-family wall-clock bound relative to the policy-free loop —
+#: discrete refinement re-times the makespan once per candidate
+#: down-move, so the budget is generous but still sub-quadratic
+MAX_POLICY_OVERHEAD = 8.0
+
+
+def _problem():
+    ctg, platform = mpeg_ctg(), mpeg_platform()
+    set_deadline_from_makespan(ctg, platform, 1.4)
+    return ctg, platform
+
+
+def _loop(speed_policy):
+    ctg, platform = _problem()
+    started = time.perf_counter()
+    result = None
+    for _ in range(ROUNDS):
+        result = schedule_online(ctg, platform, speed_policy=speed_policy)
+    return result, time.perf_counter() - started
+
+
+def run_policy_bench():
+    baseline, none_seconds = _loop(None)
+    per_family = {}
+    for family in ("continuous", "discrete", "eaps"):
+        result, seconds = _loop(family)
+        per_family[family] = (result, seconds)
+    lines = [
+        f"speed-policy overhead — {ROUNDS}x MPEG schedule_online",
+        f"  speed_policy=None      : {none_seconds * 1e3:8.1f} ms",
+    ]
+    for family, (_result, seconds) in per_family.items():
+        lines.append(
+            f"  {family:<22} : {seconds * 1e3:8.1f} ms "
+            f"({seconds / none_seconds:5.2f}x)"
+        )
+    return baseline, per_family, none_seconds, "\n".join(lines)
+
+
+def test_policy_free_schedule_loop(benchmark, archive):
+    """The speed_policy=None loop — the number the baseline compare pins."""
+
+    def run_plain():
+        return _loop(None)
+
+    result, _seconds = benchmark.pedantic(run_plain, rounds=1, iterations=1)
+    assert result.schedule.meets_deadline()
+    archive(
+        "policy_free_schedule_loop",
+        f"policy-free schedule_online loop — {ROUNDS} rounds",
+    )
+
+
+def test_policy_families_overhead(benchmark, archive):
+    baseline, per_family, none_seconds, report = benchmark.pedantic(
+        run_policy_bench, rounds=1, iterations=1
+    )
+    archive("policy_overhead", report)
+
+    # the continuous policy object is the same algorithm behind the
+    # protocol: identical speeds, identical energy
+    continuous, cont_seconds = per_family["continuous"]
+    base_speeds = {
+        t: p.speed for t, p in baseline.schedule.placements.items()
+    }
+    cont_speeds = {
+        t: p.speed for t, p in continuous.schedule.placements.items()
+    }
+    assert cont_speeds == base_speeds
+
+    for family, (result, seconds) in per_family.items():
+        overhead = seconds / none_seconds
+        benchmark.extra_info[f"{family}_overhead"] = round(overhead, 2)
+        assert result.schedule.meets_deadline(), family
+        assert overhead <= MAX_POLICY_OVERHEAD, (
+            f"{family} policy costs {overhead:.2f}x the policy-free loop, "
+            f"bound is {MAX_POLICY_OVERHEAD}x"
+        )

@@ -5,17 +5,17 @@ Usage
     python -m repro list
     python -m repro run table1 [table3 figure4 ...] | all
         [--jobs N] [--cache-dir DIR] [--format text|json]
-        [--artifacts-dir DIR] [--smoke]
+        [--artifacts-dir DIR] [--smoke] [--policy continuous|discrete|...]
     python -m repro chaos [--smoke] [--gate] [--workloads mpeg ...]
         [--plans overrun ...] [--policies default none] [--length N]
         [--jobs N] [--cache-dir DIR] [--format text|json]
-        [--artifacts-dir DIR]
+        [--artifacts-dir DIR] [--policy continuous|discrete|...]
     python -m repro schedule INSTANCE.json [--deadline-factor 1.3] [--check]
         [--profile]
     python -m repro check INSTANCE.json|mpeg|cruise|wlan ... [--json]
     python -m repro trace mpeg|cruise|wlan [--out RUN.trace.json]
         [--metrics-out RUN.metrics.json] [--plan overrun|...|none]
-        [--length N] [--timeline]
+        [--length N] [--timeline] [--policy continuous|discrete|...]
     python -m repro report FILE.json [--json]
     python -m repro demo
 
@@ -63,7 +63,13 @@ from typing import Callable, Dict
 from . import experiments
 from .experiments import ExperimentSpec
 from .io import load_instance
-from .scheduling import render_gantt, render_listing, schedule_online, set_deadline_from_makespan
+from .scheduling import (
+    SPEED_POLICIES,
+    render_gantt,
+    render_listing,
+    schedule_online,
+    set_deadline_from_makespan,
+)
 
 #: Cells kept per experiment under ``--smoke``.
 SMOKE_CELLS = 2
@@ -87,8 +93,8 @@ def _titled(spec: ExperimentSpec, title: str, note: str) -> ExperimentSpec:
     return spec
 
 
-def _spec_table1(smoke: bool) -> ExperimentSpec:
-    spec = experiments.table1_spec()
+def _spec_table1(smoke: bool, policy: str = "continuous") -> ExperimentSpec:
+    spec = experiments.table1_spec(speed_policy=policy)
     return _subset(spec) if smoke else spec
 
 
@@ -212,6 +218,13 @@ EXPERIMENTS: Dict[str, Callable[[bool], ExperimentSpec]] = {
     "montecarlo": _spec_montecarlo,
 }
 
+#: Experiments that accept ``--policy`` (a speed-policy axis); the
+#: rest error out under a non-continuous policy instead of silently
+#: ignoring the flag.
+POLICY_EXPERIMENTS: Dict[str, Callable[[bool, str], ExperimentSpec]] = {
+    "table1": _spec_table1,
+}
+
 
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("available experiments:")
@@ -246,10 +259,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
+    if args.policy != "continuous":
+        unsupported = [n for n in names if n not in POLICY_EXPERIMENTS]
+        if unsupported:
+            print(
+                f"--policy {args.policy} is not supported by: "
+                f"{', '.join(unsupported)} "
+                f"(policy-aware: {', '.join(sorted(POLICY_EXPERIMENTS))})",
+                file=sys.stderr,
+            )
+            return 2
     cache = experiments.resolve_cache(args.cache_dir)
     artifacts_dir = Path(args.artifacts_dir) if args.artifacts_dir else None
     for name in names:
-        spec = EXPERIMENTS[name](args.smoke)
+        if args.policy != "continuous":
+            spec = POLICY_EXPERIMENTS[name](args.smoke, args.policy)
+        else:
+            spec = EXPERIMENTS[name](args.smoke)
         tracer = None
         if args.trace_dir is not None:
             from .obs import Tracer
@@ -257,7 +283,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             tracer = Tracer()
         report = experiments.run_spec(spec, jobs=args.jobs, cache=cache, tracer=tracer)
         if artifacts_dir is not None:
-            write_artifact_path = experiments.write_artifact(artifacts_dir, report)
+            write_artifact_path = experiments.write_artifact(
+                artifacts_dir, report, canonical=args.canonical
+            )
             print(f"[artifact written: {write_artifact_path}]", file=sys.stderr)
         if tracer is not None:
             _write_engine_trace(args.trace_dir, name, report, tracer)
@@ -301,7 +329,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         train = chaos_mod.CHAOS_TRAIN
     try:
         spec = chaos_mod.chaos_spec(
-            workloads, plans, policies, length=length, train=train
+            workloads,
+            plans,
+            policies,
+            length=length,
+            train=train,
+            speed_policy=args.policy,
         )
     except ValueError as exc:
         print(f"chaos: {exc}", file=sys.stderr)
@@ -327,17 +360,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.gate:
         rate = report.result.overall_recovery_rate()
         unrecovered = report.result.unrecovered_misses()
+        qloss = report.result.total_quantization_losses()
+        qnote = f" ({qloss} quantization loss(es) excluded)" if qloss else ""
         if rate < CHAOS_RECOVERY_GATE or unrecovered > 0:
             print(
                 f"chaos gate FAILED: recovery rate {rate:.2f} "
                 f"(threshold {CHAOS_RECOVERY_GATE:.2f}), "
-                f"{unrecovered} unrecovered miss(es)",
+                f"{unrecovered} unrecovered miss(es){qnote}",
                 file=sys.stderr,
             )
             return 1
         print(
             f"chaos gate passed: recovery rate {rate:.2f}, "
-            f"0 unrecovered misses",
+            f"0 unrecovered misses{qnote}",
             file=sys.stderr,
         )
     return 0
@@ -499,9 +534,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     trace = drifting_trace(ctg, args.length, seed=args.seed)
     probabilities = empirical_distribution(ctg, trace[: args.train])
     tracer = Tracer()
+    # None = the historical continuous path, byte-for-byte
+    speed_policy = None if args.policy == "continuous" else args.policy
     if args.plan == "none":
         result = run_adaptive(
-            ctg, platform, trace[args.train :], probabilities, tracer=tracer
+            ctg,
+            platform,
+            trace[args.train :],
+            probabilities,
+            tracer=tracer,
+            speed_policy=speed_policy,
         )
     else:
         catalogue = fault_plan_catalogue()
@@ -516,6 +558,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             probabilities,
             catalogue[args.plan],
             tracer=tracer,
+            speed_policy=speed_policy,
         )
 
     out = Path(args.out) if args.out else Path(f"{name}.trace.json")
@@ -620,6 +663,12 @@ def main(argv=None) -> int:
         help="also write one <experiment>.json artifact per run",
     )
     run.add_argument(
+        "--canonical",
+        action="store_true",
+        help="write artifacts in canonical form (volatile timings zeroed, "
+        "byte-stable across runs and --jobs settings)",
+    )
+    run.add_argument(
         "--smoke",
         action="store_true",
         help="shrink every experiment to a seconds-scale configuration",
@@ -636,6 +685,13 @@ def main(argv=None) -> int:
         "--profile",
         action="store_true",
         help="print each experiment's aggregated stage-timing/counter table",
+    )
+    run.add_argument(
+        "--policy",
+        choices=tuple(sorted(SPEED_POLICIES)),
+        default="continuous",
+        help="speed-selection policy for policy-aware experiments "
+        "(default: continuous, the paper's stretching)",
     )
     run.set_defaults(func=_cmd_run)
 
@@ -704,6 +760,13 @@ def main(argv=None) -> int:
         metavar="DIR",
         help="write a Chrome trace and canonical metrics snapshot of "
         "the chaos engine run",
+    )
+    chaos.add_argument(
+        "--policy",
+        choices=tuple(sorted(SPEED_POLICIES)),
+        default="continuous",
+        help="speed-selection policy for every cell "
+        "(default: continuous, the paper's stretching)",
     )
     chaos.set_defaults(func=_cmd_chaos)
 
@@ -818,6 +881,13 @@ def main(argv=None) -> int:
         "--timeline",
         action="store_true",
         help="also print the plain-text span/event timeline",
+    )
+    trace.add_argument(
+        "--policy",
+        choices=tuple(sorted(SPEED_POLICIES)),
+        default="continuous",
+        help="speed-selection policy of the traced run "
+        "(default: continuous, the paper's stretching)",
     )
     trace.set_defaults(func=_cmd_trace)
 

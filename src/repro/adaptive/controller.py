@@ -22,7 +22,7 @@ counters over the whole run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..ctg.graph import ConditionalTaskGraph
 from ..ctg.minterms import CtgAnalysis
@@ -35,6 +35,7 @@ from ..scheduling.pathcache import (
     schedule_fingerprint,
     structure_for,
 )
+from ..scheduling.policies import SpeedPolicy, resolve_speed_policy
 from ..scheduling.schedule import SchedulingError
 from ..scheduling.stretching import StretchReport
 from .window import WindowProfiler
@@ -106,6 +107,12 @@ class AdaptiveController:
         hot-path timings and cache counters across every re-scheduling
         call; the controller creates a private one when not given
         (exposed as :attr:`stats`).
+    speed_policy:
+        A :class:`~repro.scheduling.policies.SpeedPolicy` (or registry
+        name) selecting the speed-selection family for every schedule
+        the controller builds; ``None`` keeps the paper's continuous
+        stretching byte-for-byte.  The prestretch cache is keyed per
+        policy and only consulted when the policy supports it.
     """
 
     def __init__(
@@ -116,10 +123,12 @@ class AdaptiveController:
         config: Optional[AdaptiveConfig] = None,
         profiler=None,
         stage_profiler: Optional[StageProfiler] = None,
+        speed_policy: Union[None, str, SpeedPolicy] = None,
     ) -> None:
         self.ctg = ctg
         self.platform = platform
         self.config = config if config is not None else AdaptiveConfig()
+        self.policy = resolve_speed_policy(speed_policy)
         self.stats = stage_profiler if stage_profiler is not None else StageProfiler()
         self.in_use: Dict[str, Dict[str, float]] = {
             branch: dict(dist) for branch, dist in initial_probabilities.items()
@@ -147,6 +156,7 @@ class AdaptiveController:
             analysis=self._analysis,
             profiler=self.stats,
             check=self.config.check,
+            speed_policy=self.policy,
         )
 
     @property
@@ -225,6 +235,7 @@ class AdaptiveController:
         if (
             self._prestretched
             and not self.config.check
+            and self.policy.supports_prestretch
             and self._install_prestretched()
         ):
             return self._finish_reschedule(emergency, used_fallback)
@@ -236,6 +247,7 @@ class AdaptiveController:
                 analysis=self._analysis,
                 profiler=self.stats,
                 check=self.config.check,
+                speed_policy=self.policy,
             )
         except SchedulingError:
             if on_error == "raise":
@@ -292,6 +304,10 @@ class AdaptiveController:
         # batch package grows adaptive-aware helpers
         from ..batch import BatchSchedule, batched_stretch
 
+        if not self.policy.supports_prestretch:
+            return len(self._prestretched)
+        key = self.policy.cache_key()
+        levels = self.policy.level_table(self.platform)
         groups: Dict[object, Tuple[object, List[Tuple[object, Dict]]]] = {}
         for dist in candidates:
             snapshot = {b: dict(d) for b, d in dist.items()}
@@ -304,7 +320,7 @@ class AdaptiveController:
                 profiler=self.stats,
             )
             fingerprint = schedule_fingerprint(schedule)
-            if (fingerprint, frozen) in self._prestretched:
+            if (key, fingerprint, frozen) in self._prestretched:
                 continue
             entry = groups.setdefault(fingerprint, (schedule, []))
             entry[1].append((frozen, snapshot))
@@ -318,9 +334,11 @@ class AdaptiveController:
                 cache=self._analysis.path_cache,
                 profiler=self.stats,
             )
-            report = batched_stretch(batch, structure, [d for _, d in pairs])
+            report = batched_stretch(
+                batch, structure, [d for _, d in pairs], levels=levels
+            )
             for i, (frozen, _) in enumerate(pairs):
-                self._prestretched[(fingerprint, frozen)] = (
+                self._prestretched[(key, fingerprint, frozen)] = (
                     report.speed_map(i),
                     {
                         task: float(report.slack_given[i, t])
@@ -349,13 +367,19 @@ class AdaptiveController:
                     profiler=self.stats,
                 )
             cached = self._prestretched.get(
-                (schedule_fingerprint(schedule), frozen)
+                (self.policy.cache_key(), schedule_fingerprint(schedule), frozen)
             )
             if cached is None:
                 return False
             speeds, slack_given, path_count = cached
             for task, speed in speeds.items():
                 schedule.set_speed(task, speed)
+            # The kernel applied the policy's quantisation; anything the
+            # scalar apply() does beyond it (e.g. the discrete policy's
+            # greedy refinement) happens here so both paths agree.
+            self.policy.post_install(schedule, None, self.stats)
+            # re-read: post_install may have refined individual levels
+            speeds = {task: schedule.placement(task).speed for task in speeds}
             self.current = OnlineResult(
                 schedule=schedule,
                 stretch=StretchReport(

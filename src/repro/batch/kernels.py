@@ -136,7 +136,10 @@ def instance_finish_times(
     return masked.max(axis=1)
 
 
-def scenario_energies(batch: BatchSchedule) -> np.ndarray:
+def scenario_energies(
+    batch: BatchSchedule,
+    levels: Optional[Dict[str, Tuple[float, ...]]] = None,
+) -> np.ndarray:
     """Per-scenario energy at the captured speeds, ``(S,)``.
 
     Active-task DVFS energies plus the precomputed per-scenario
@@ -144,8 +147,38 @@ def scenario_energies(batch: BatchSchedule) -> np.ndarray:
     <repro.scheduling.schedule.Schedule.scenario_energy>` as one
     matvec (summation order differs, agreement is within float
     accumulation error).
+
+    ``levels`` (pe name → ascending level tuple, e.g. a speed policy's
+    :meth:`~repro.scheduling.policies.SpeedPolicy.level_table`) applies
+    the discrete-DVFS quantisation pass first: every captured speed is
+    rounded up onto its PE's table (bit-identical to the scalar
+    :func:`~repro.scheduling.policies.quantize_speed`) before the
+    energy matvec.  ``None`` evaluates the speeds as captured.
     """
-    return batch.active @ batch.task_energies() + batch.comm_energy
+    energies = (
+        batch.task_energies()
+        if not levels
+        else _quantized_task_energies(batch, levels)
+    )
+    return batch.active @ energies + batch.comm_energy
+
+
+def _quantized_task_energies(
+    batch: BatchSchedule, levels: Dict[str, Tuple[float, ...]]
+) -> np.ndarray:
+    """Per-task energies after rounding speeds up onto per-PE tables."""
+    speed = np.array(batch.speed, dtype=float, copy=True)
+    for p, name in enumerate(batch.pe_names):
+        table = levels.get(name)
+        if table is None:
+            continue
+        pe = batch.platform.pe(name)
+        mask = batch.pe_of == p
+        if mask.any():
+            speed[mask] = _clamp_speeds(
+                speed[mask], pe.min_speed, np.asarray(table, dtype=float)
+            )
+    return batch.nominal_energy * speed ** batch.platform.dvfs.exponent
 
 
 def instance_energies(
@@ -256,6 +289,7 @@ def batched_stretch(
     probability_weighted: bool = True,
     max_passes: int = 1,
     share_exponent: float = 1.0,
+    levels: Optional[Dict[str, Tuple[float, ...]]] = None,
 ) -> BatchStretchReport:
     """Stretch one schedule under ``N`` distributions in one sweep.
 
@@ -264,6 +298,13 @@ def batched_stretch(
     every scalar becomes an ``(N,)`` vector.  Instances converge
     independently — a row whose pass granted less than the epsilon is
     frozen (grants forced to zero) while the others keep going.
+
+    ``levels`` overrides the per-PE frequency tables (pe name →
+    ascending level tuple; PEs absent from the mapping keep their own
+    ``speed_levels``).  This is how a speed policy's
+    :meth:`~repro.scheduling.policies.SpeedPolicy.level_table` reaches
+    the kernel — each clamp then quantises up exactly like the scalar
+    :func:`~repro.scheduling.policies.quantize_speed`.
 
     Zero-probability path pruning is intentionally unsupported here
     (it would give every instance a different spanning set); use the
@@ -287,10 +328,13 @@ def batched_stretch(
     # per-structure-column clamp parameters
     pes = [batch.platform.pe(batch.pe_names[int(batch.pe_of[c])]) for c in batch_col]
     min_speed = np.asarray([pe.min_speed for pe in pes])
-    levels = [
-        None if pe.speed_levels is None else np.asarray(pe.speed_levels, dtype=float)
-        for pe in pes
-    ]
+    overrides = levels or {}
+    level_tables = []
+    for pe in pes:
+        table = overrides.get(pe.name, pe.speed_levels)
+        level_tables.append(
+            None if table is None else np.asarray(table, dtype=float)
+        )
 
     durations = np.tile(exec0, (n, 1))
     delay0 = structure.delay_vector(batch.to_schedule(), exec0)
@@ -347,7 +391,7 @@ def batched_stretch(
             slack_given[:, col] += grant
 
             new_speed = _clamp_speeds(
-                wcet[col] / (duration + grant), min_speed[col], levels[col]
+                wcet[col] / (duration + grant), min_speed[col], level_tables[col]
             )
             new_duration = wcet[col] / new_speed
             speeds[:, col] = new_speed

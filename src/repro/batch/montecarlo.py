@@ -119,6 +119,8 @@ def monte_carlo(
     analysis: Optional[CtgAnalysis] = None,
     batch: Optional[BatchSchedule] = None,
     profiler=None,
+    speed_policy=None,
+    use_execution_profiles: bool = False,
 ) -> MonteCarloResult:
     """Sample and evaluate ``n`` instances of a scheduled CTG at once.
 
@@ -155,6 +157,21 @@ def monte_carlo(
     profiler:
         Optional stage profiler — the sweep runs under the
         ``batch.sweep`` stage and counts ``batch.instances``.
+    speed_policy:
+        A :class:`~repro.scheduling.policies.SpeedPolicy` (or registry
+        name) applied when the sweep builds its own schedule: the
+        policy acts at schedule-build time (e.g. ``"discrete"``
+        quantises and refines the captured speeds), so the sweep itself
+        stays one kernel call regardless of policy.  Ignored when
+        ``schedule``/``batch`` is supplied (those carry their speeds
+        already); ``None`` keeps the paper's continuous stretching.
+    use_execution_profiles:
+        Sample per-(instance, task) work ratios from the platform's
+        per-task execution-time distributions (tasks without a profile
+        run at WCET).  Profile draws happen *after* the branch and
+        ``wcet_range`` draws, so the default (off) leaves the
+        historical draw order untouched; combined with ``wcet_range``
+        the two ratio matrices multiply.
     """
     if n < 1:
         raise ValueError("monte_carlo needs at least one instance")
@@ -164,7 +181,12 @@ def monte_carlo(
     if batch is None:
         if schedule is None:
             schedule = schedule_online(
-                ctg, platform, probabilities, analysis=analysis, profiler=prof
+                ctg,
+                platform,
+                probabilities,
+                analysis=analysis,
+                profiler=prof,
+                speed_policy=speed_policy,
             ).schedule
         batch = BatchSchedule.from_ctg(schedule, analysis)
 
@@ -193,6 +215,18 @@ def monte_carlo(
         if wcet_range is not None:
             lo, hi = wcet_range
             factors = rng.uniform(lo, hi, size=(n, batch.n_tasks))
+        if use_execution_profiles and batch.platform.has_execution_profiles:
+            et = np.ones((n, batch.n_tasks))
+            for task, dist in batch.platform.execution_profiles():
+                t = batch.task_index.get(task)
+                if t is None:
+                    continue
+                ratios = np.asarray(dist.ratios, dtype=float)
+                weights = np.asarray(dist.weights, dtype=float)
+                idx = rng.choice(ratios.size, size=n, p=weights / weights.sum())
+                et[:, t] = ratios[idx]
+            factors = et if factors is None else factors * et
+        if factors is not None:
             finish = instance_finish_times(batch, scn, factors)
             energy = instance_energies(batch, scn, factors)
         else:

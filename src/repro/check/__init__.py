@@ -36,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis aid only
     from .fault_checks import check_fault_plan
     from .feasibility import check_scenario_feasibility, scenario_finish_time
     from .flow import analyze_modules, analyze_source
-    from .platform_checks import check_platform
+    from .platform_checks import check_frequency_tables, check_platform
     from .repo import RepoAnalysis, analyze_repo
     from .sarif import render_sarif, sarif_payload, validate_sarif
     from .schedule_checks import check_schedule
@@ -49,6 +49,7 @@ _LAZY = {
     "verify_schedule": "api",
     "check_ctg": "ctg_checks",
     "check_probability_table": "ctg_checks",
+    "check_frequency_tables": "platform_checks",
     "check_platform": "platform_checks",
     "check_schedule": "schedule_checks",
     "check_scenario_feasibility": "feasibility",

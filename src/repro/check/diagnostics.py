@@ -77,6 +77,9 @@ CODE_TABLE: Tuple[CodeInfo, ...] = (
     CodeInfo("PLAT002", "missing link between communicating PEs", Severity.ERROR),
     CodeInfo("PLAT003", "assigned speed outside the PE envelope", Severity.ERROR),
     CodeInfo("PLAT004", "assigned speed off the discrete level set", Severity.ERROR),
+    CodeInfo("PLAT005", "empty discrete frequency table", Severity.ERROR),
+    CodeInfo("PLAT006", "frequency table unsorted or with duplicate levels", Severity.ERROR),
+    CodeInfo("PLAT007", "frequency level outside the PE envelope", Severity.ERROR),
     # -- schedule structure and feasibility -----------------------------
     CodeInfo("SCHED001", "task not placed", Severity.ERROR),
     CodeInfo("SCHED002", "task placed on an unsupported PE", Severity.ERROR),

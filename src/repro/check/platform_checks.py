@@ -12,8 +12,10 @@ from __future__ import annotations
 from typing import List
 
 from ..ctg.graph import ConditionalTaskGraph
+from ..platform.frequency import DiscreteDvfs
 from ..platform.mpsoc import Platform
 from .diagnostics import Diagnostic
+from .tolerances import EXACT_EPS
 
 
 def check_platform(platform: Platform, ctg: ConditionalTaskGraph) -> List[Diagnostic]:
@@ -27,8 +29,15 @@ def check_platform(platform: Platform, ctg: ConditionalTaskGraph) -> List[Diagno
       so this is an error only when the *actual* mapping uses the pair
       (reported by the schedule checks); at the platform level it flags
       the unlinked pairs that a mapper could need.
+    * ``PLAT005``/``PLAT006``/``PLAT007`` — defective discrete
+      frequency tables (the ``frequency=`` construction path is
+      deliberately lenient; these diagnostics are where defects
+      surface): an empty table, levels not strictly ascending
+      (unsorted or duplicated), and a level outside the PE's
+      ``[min_speed, 1.0]`` envelope.
     """
     findings: List[Diagnostic] = []
+    findings.extend(check_frequency_tables(platform))
     for task in ctg.tasks():
         if not any(platform.supports(task, pe) for pe in platform.pe_names):
             findings.append(
@@ -58,6 +67,59 @@ def check_platform(platform: Platform, ctg: ConditionalTaskGraph) -> List[Diagno
                         f"no link {pe_a!r}↔{pe_b!r}, but edge {src}→{dst} "
                         f"({data.comm_kbytes} KB) could map across the pair",
                         subject=f"{pe_a}↔{pe_b}",
+                    )
+                )
+    return findings
+
+
+def check_frequency_tables(platform: Platform) -> List[Diagnostic]:
+    """Discrete-frequency-table findings, one group per defective PE.
+
+    ``DiscreteDvfs`` is constructed leniently (see its module
+    docstring), so defective tables surface *here*, not as constructor
+    exceptions:
+
+    * ``PLAT005`` — the table declares no levels at all;
+    * ``PLAT006`` — levels are unsorted or duplicated (only the first
+      offending adjacent pair is reported, matching
+      :meth:`~repro.platform.frequency.DiscreteDvfs.validate`);
+    * ``PLAT007`` — a level lies outside ``[min_speed, 1.0]``.
+    """
+    findings: List[Diagnostic] = []
+    for name in platform.pe_names:
+        pe = platform.pe(name)
+        model = pe.frequency_model
+        if not isinstance(model, DiscreteDvfs):
+            continue
+        if not model.levels:
+            findings.append(
+                Diagnostic(
+                    "PLAT005",
+                    f"PE {name!r} declares a discrete frequency table "
+                    f"with no levels",
+                    subject=name,
+                )
+            )
+            continue
+        for previous, current in zip(model.levels, model.levels[1:]):
+            if current <= previous:
+                findings.append(
+                    Diagnostic(
+                        "PLAT006",
+                        f"frequency table of PE {name!r} is not strictly "
+                        f"ascending at {previous!r} -> {current!r}",
+                        subject=name,
+                    )
+                )
+                break
+        for level in model.levels:
+            if not pe.min_speed - EXACT_EPS <= level <= 1.0 + EXACT_EPS:
+                findings.append(
+                    Diagnostic(
+                        "PLAT007",
+                        f"frequency level {level!r} of PE {name!r} outside "
+                        f"[{pe.min_speed}, 1.0]",
+                        subject=name,
                     )
                 )
     return findings

@@ -102,6 +102,18 @@ def fault_plan_catalogue(seed: int = 1033) -> Dict[str, FaultPlan]:
                 InjectorSpec("branch_corruption", 0.05),
             ),
         ),
+        # Aimed at discrete frequency tables (``--policy discrete``):
+        # moderate overruns that a 1.0-ceiling escalation recovers, so
+        # any remaining miss under a capped table is a quantization
+        # loss — which the gate excludes from its accounting.
+        "discrete-dvfs": FaultPlan(
+            "discrete-dvfs",
+            seed + 5,
+            (
+                InjectorSpec("task_overrun", 0.25, 1.5),
+                InjectorSpec("pe_slowdown", 0.10, 1.2),
+            ),
+        ),
     }
 
 
@@ -125,6 +137,7 @@ class ChaosRow:
     reschedule_calls: int
     total_energy: float
     energy_cost_of_recovery: float
+    quantization_losses: int = 0
 
 
 @dataclass
@@ -144,15 +157,24 @@ class ChaosResult:
 
     def overall_recovery_rate(self) -> float:
         """Pooled recovery rate over the gated rows (1.0 when nothing
-        was threatened)."""
-        threatened = sum(r.threatened for r in self.gated_rows())
-        if threatened == 0:
+        recoverable was threatened).  Quantization losses — misses a
+        sub-1.0 discrete frequency ceiling makes unavoidable — are
+        excluded from the denominator, matching
+        :meth:`repro.faults.log.FaultLog.recovery_rate`."""
+        rows = self.gated_rows()
+        denominator = sum(r.threatened - r.quantization_losses for r in rows)
+        if denominator <= 0:
             return 1.0
-        return sum(r.recovered for r in self.gated_rows()) / threatened
+        return sum(r.recovered for r in rows) / denominator
 
     def unrecovered_misses(self) -> int:
-        """Deadline misses surviving the default policy (gated rows)."""
+        """Deadline misses surviving the default policy (gated rows);
+        quantization losses are tracked separately and not counted."""
         return sum(r.unrecovered for r in self.gated_rows())
+
+    def total_quantization_losses(self) -> int:
+        """Quantization losses over the gated rows."""
+        return sum(r.quantization_losses for r in self.gated_rows())
 
     def format(self) -> str:
         """Render the matrix plus the recovery summary line."""
@@ -177,6 +199,9 @@ class ChaosResult:
             f"{100 * self.overall_recovery_rate():.0f}%   "
             f"unrecovered misses: {self.unrecovered_misses()}"
         )
+        qloss = self.total_quantization_losses()
+        if qloss:
+            summary += f"   quantization losses: {qloss}"
         return f"{table}\n{summary}"
 
 
@@ -201,8 +226,15 @@ def chaos_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     trace = drifting_trace(ctg, length, seed=params["trace_seed"])
     train = params["train"]
     probabilities = empirical_distribution(ctg, trace[:train])
+    # absent key = the historical continuous path, byte-for-byte
     result = run_faulted(
-        ctg, platform, trace[train:], probabilities, plan, policy=policy
+        ctg,
+        platform,
+        trace[train:],
+        probabilities,
+        plan,
+        policy=policy,
+        speed_policy=params.get("speed_policy"),
     )
     log = result.fault_log
     values = {
@@ -237,6 +269,7 @@ def _reduce_chaos(cells: List[CellResult]) -> ChaosResult:
                 reschedule_calls=cell.values["reschedule_calls"],
                 total_energy=cell.values["total_energy"],
                 energy_cost_of_recovery=summary["energy_cost_of_recovery"],
+                quantization_losses=summary.get("quantization_losses", 0),
             )
         )
     return result
@@ -251,13 +284,20 @@ def chaos_spec(
     trace_seed: int = 71,
     plan_seed: int = 1033,
     deadline_factor: float = CHAOS_DEADLINE_FACTOR,
+    speed_policy: str = "continuous",
 ) -> ExperimentSpec:
     """The chaos matrix as a declarative spec.
 
     One cell per ``workload × plan × policy``; ``plans`` names entries
     of :func:`fault_plan_catalogue` (default: the full catalogue) and
     ``policies`` names entries of :data:`repro.faults.policy.POLICIES`.
+    ``speed_policy`` names a :data:`repro.scheduling.policies
+    .SPEED_POLICIES` entry applied to every cell; ``"continuous"``
+    (the default) leaves cell keys and parameters untouched so
+    existing cache entries and artifacts stay byte-identical.
     """
+    from ..scheduling.policies import SPEED_POLICIES
+
     catalogue = fault_plan_catalogue(plan_seed)
     plan_names = tuple(catalogue) if plans is None else tuple(plans)
     unknown = [p for p in plan_names if p not in catalogue]
@@ -266,9 +306,14 @@ def chaos_spec(
     unknown = [p for p in policies if p not in POLICIES]
     if unknown:
         raise ValueError(f"unknown degradation policy(ies): {', '.join(unknown)}")
+    if speed_policy not in SPEED_POLICIES:
+        known = ", ".join(sorted(SPEED_POLICIES))
+        raise ValueError(f"unknown speed policy {speed_policy!r} (known: {known})")
+    extra = {} if speed_policy == "continuous" else {"speed_policy": speed_policy}
+    suffix = "" if speed_policy == "continuous" else f":{speed_policy}"
     cells = tuple(
         Cell(
-            key=f"{workload}:{plan_name}:{policy_name}",
+            key=f"{workload}:{plan_name}:{policy_name}{suffix}",
             params={
                 "workload": workload,
                 "plan": catalogue[plan_name].to_dict(),
@@ -278,6 +323,7 @@ def chaos_spec(
                 "train": train,
                 "trace_seed": trace_seed,
                 "deadline_factor": deadline_factor,
+                **extra,
             },
         )
         for workload in workloads
@@ -313,9 +359,12 @@ def run_chaos(
     length: int = CHAOS_LENGTH,
     jobs: int = 1,
     cache: Optional[object] = None,
+    speed_policy: str = "continuous",
 ) -> ChaosResult:
     """Run the chaos matrix through the engine."""
     from .engine import run_spec
 
-    spec = chaos_spec(workloads, plans, policies, length=length)
+    spec = chaos_spec(
+        workloads, plans, policies, length=length, speed_policy=speed_policy
+    )
     return run_spec(spec, jobs=jobs, cache=cache).result

@@ -119,7 +119,10 @@ def table1_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     profiler = StageProfiler()
 
     started = time.perf_counter()
-    online = schedule_online(ctg, platform, profiler=profiler)
+    # absent key = the historical continuous path, byte-for-byte
+    online = schedule_online(
+        ctg, platform, profiler=profiler, speed_policy=params.get("speed_policy")
+    )
     online_runtime = time.perf_counter() - started
 
     ref1 = reference_algorithm_1(ctg, platform)
@@ -166,16 +169,34 @@ def _reduce_table1(cells: List[CellResult]) -> Table1Result:
     return result
 
 
-def table1_spec(deadline_factor: float = TABLE1_DEADLINE_FACTOR) -> ExperimentSpec:
-    """Table 1 as a declarative spec: one cell per paper CTG."""
+def table1_spec(
+    deadline_factor: float = TABLE1_DEADLINE_FACTOR,
+    speed_policy: str = "continuous",
+) -> ExperimentSpec:
+    """Table 1 as a declarative spec: one cell per paper CTG.
+
+    ``speed_policy`` names a :data:`repro.scheduling.policies
+    .SPEED_POLICIES` entry applied to the online algorithm of every
+    cell; ``"continuous"`` (the default) leaves cell keys and
+    parameters untouched so cache entries and artifacts stay
+    byte-identical to the historical behaviour.
+    """
+    from ..scheduling.policies import SPEED_POLICIES
+
+    if speed_policy not in SPEED_POLICIES:
+        known = ", ".join(sorted(SPEED_POLICIES))
+        raise ValueError(f"unknown speed policy {speed_policy!r} (known: {known})")
+    extra = {} if speed_policy == "continuous" else {"speed_policy": speed_policy}
+    suffix = "" if speed_policy == "continuous" else f":{speed_policy}"
     cells = tuple(
         Cell(
-            key=f"ctg{index}",
+            key=f"ctg{index}{suffix}",
             params={
                 "index": index,
                 "config": generator_params(config),
                 "pes": pes,
                 "deadline_factor": deadline_factor,
+                **extra,
             },
         )
         for index, (config, pes) in enumerate(

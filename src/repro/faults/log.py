@@ -78,6 +78,11 @@ class RecoveryAction:
     ``recovered`` / ``unrecovered``
         Verdict for one deadline-threatening fault: the policy did /
         did not bring the instance back under the deadline.
+    ``quantization_loss``
+        The miss is attributable to the discrete frequency table, not
+        the policy: escalating the same decisions at a 1.0 speed
+        ceiling would have met the deadline, but the table tops out
+        below 1.0.
     """
 
     instance: int
@@ -120,6 +125,11 @@ class FaultLog:
     recovered: int = 0
     #: instances that missed the deadline even with the policy active
     unrecovered: int = 0
+    #: misses attributable to a sub-1.0 discrete frequency ceiling (a
+    #: 1.0-ceiling escalation of the same decisions would have met the
+    #: deadline) — kept out of ``unrecovered`` and out of the
+    #: recovery-rate denominator
+    quantization_losses: int = 0
     #: summed policy-arm energy of faulted instances
     policy_energy: float = 0.0
     #: summed baseline-arm energy of the same instances
@@ -141,6 +151,7 @@ class FaultLog:
         self.threatened += other.threatened
         self.recovered += other.recovered
         self.unrecovered += other.unrecovered
+        self.quantization_losses += other.quantization_losses
         self.policy_energy += other.policy_energy
         self.baseline_energy += other.baseline_energy
         return self
@@ -152,10 +163,16 @@ class FaultLog:
         return len(self.events)
 
     def recovery_rate(self) -> float:
-        """Recovered / threatened (1.0 when nothing was threatened)."""
-        if self.threatened == 0:
+        """Recovered over recoverable-threatened.
+
+        Quantization losses are excluded from the denominator — a miss
+        the frequency table makes unavoidable says nothing about the
+        recovery policy (1.0 when nothing recoverable was threatened).
+        """
+        denominator = self.threatened - self.quantization_losses
+        if denominator <= 0:
             return 1.0
-        return self.recovered / self.threatened
+        return self.recovered / denominator
 
     def energy_cost_of_recovery(self) -> float:
         """Extra energy the policy spent on faulted instances."""
@@ -177,8 +194,13 @@ class FaultLog:
 
     # -- serialisation ---------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Canonical JSON-ready form (sorted, append-order independent)."""
-        return {
+        """Canonical JSON-ready form (sorted, append-order independent).
+
+        The ``quantization_losses`` key appears only when nonzero so
+        continuous-policy artifacts stay byte-identical to runs that
+        predate discrete frequency tables.
+        """
+        payload = {
             "events": [e.to_dict() for e in sorted(self.events)],
             "actions": [a.to_dict() for a in sorted(self.actions)],
             "threatened": self.threatened,
@@ -188,6 +210,9 @@ class FaultLog:
             "baseline_energy": self.baseline_energy,
             "summary": self.summary(),
         }
+        if self.quantization_losses:
+            payload["quantization_losses"] = self.quantization_losses
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "FaultLog":
@@ -198,14 +223,19 @@ class FaultLog:
             threatened=int(payload.get("threatened", 0)),
             recovered=int(payload.get("recovered", 0)),
             unrecovered=int(payload.get("unrecovered", 0)),
+            quantization_losses=int(payload.get("quantization_losses", 0)),
             policy_energy=float(payload.get("policy_energy", 0.0)),
             baseline_energy=float(payload.get("baseline_energy", 0.0)),
         )
         return log
 
     def summary(self) -> Dict[str, Any]:
-        """The headline numbers the artifacts expose."""
-        return {
+        """The headline numbers the artifacts expose.
+
+        ``quantization_losses`` appears only when nonzero (see
+        :meth:`to_dict`).
+        """
+        payload = {
             "faults": self.fault_count,
             "by_kind": self.events_by_kind(),
             "threatened": self.threatened,
@@ -214,6 +244,9 @@ class FaultLog:
             "recovery_rate": self.recovery_rate(),
             "energy_cost_of_recovery": self.energy_cost_of_recovery(),
         }
+        if self.quantization_losses:
+            payload["quantization_losses"] = self.quantization_losses
+        return payload
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, FaultLog):
@@ -228,6 +261,7 @@ class FaultLog:
             self.threatened,
             self.recovered,
             self.unrecovered,
+            self.quantization_losses,
             self.policy_energy,
             self.baseline_energy,
         )

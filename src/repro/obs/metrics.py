@@ -109,6 +109,11 @@ VOCABULARY: Tuple[MetricSpec, ...] = (
     _spec("fault.threatened", _C, "instances whose no-policy arm missed the deadline"),
     _spec("fault.escalations", _C, "overrun detections that escalated remaining tasks"),
     _spec("fault.corrupted_observations", _C, "branch labels rotated before the estimator"),
+    _spec("fault.quantization_loss", _C, "misses attributable to a capped frequency table alone"),
+    _spec("policy.quantized", _C, "task speeds rounded up onto a discrete level"),
+    _spec("policy.refined", _C, "discrete levels lowered by the slack-refinement pass"),
+    _spec("policy.eaps_configs", _C, "(frequency, core-count) configurations enumerated by EAPS"),
+    _spec("executor.reclaimed", _C, "tasks whose completion slack was reclaimed at a preemption point"),
     _spec("check.passes", _C, "clean ``schedule_online(check=True)`` verifications"),
     _spec("modal.pseudo_edge_skips", _C, "implied-edge injections skipped as cycle-closing"),
     # -- point events ---------------------------------------------------

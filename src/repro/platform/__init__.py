@@ -1,12 +1,19 @@
 """MPSoC platform substrate: PEs, links, WCET/energy tables, DVFS model."""
 
+from .distributions import ExecutionTimeDistribution, uniform_ratio_levels
 from .energy import PAPER_MODEL, DvfsModel
+from .frequency import CONTINUOUS, ContinuousDvfs, DiscreteDvfs, FrequencyModel
 from .generator import PlatformConfig, generate_platform
 from .link import Link
 from .mpsoc import Platform, PlatformError
 from .pe import ProcessingElement
 
 __all__ = [
+    "CONTINUOUS",
+    "ContinuousDvfs",
+    "DiscreteDvfs",
+    "ExecutionTimeDistribution",
+    "FrequencyModel",
     "PAPER_MODEL",
     "DvfsModel",
     "PlatformConfig",
@@ -15,4 +22,5 @@ __all__ = [
     "Platform",
     "PlatformError",
     "ProcessingElement",
+    "uniform_ratio_levels",
 ]

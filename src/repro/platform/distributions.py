@@ -1,0 +1,96 @@
+"""Per-task execution-time distributions.
+
+The paper models nondeterminism only through conditional branches: a
+task either runs for its full WCET or not at all.  The stochastic
+scheduling literature (Berten et al.; Leung & Tsui) additionally lets
+each task's *actual* execution time vary below its WCET — that is the
+workload variation preemptive slack reclamation exploits.
+
+:class:`ExecutionTimeDistribution` is a small discrete distribution of
+execution time expressed as a **ratio of WCET** in ``(0, 1]``.  Ratios
+rather than absolute times keep one distribution valid across the
+heterogeneous per-PE WCETs of one task.  Platforms carry at most one
+distribution per task (:meth:`repro.platform.mpsoc.Platform
+.set_execution_profile`); samplers draw ratios and multiply into the
+placement WCET.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..check.tolerances import EXACT_EPS
+
+
+@dataclass(frozen=True)
+class ExecutionTimeDistribution:
+    """Discrete execution-time distribution as ratios of WCET.
+
+    Attributes
+    ----------
+    ratios:
+        Support points in ``(0, 1]`` — actual time = ratio · WCET.
+    weights:
+        Unnormalised non-negative weights, one per ratio; at least one
+        must be positive.
+    """
+
+    ratios: Tuple[float, ...]
+    weights: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ratios", tuple(float(r) for r in self.ratios))
+        object.__setattr__(self, "weights", tuple(float(w) for w in self.weights))
+        if not self.ratios:
+            raise ValueError("execution-time distribution needs at least one ratio")
+        if len(self.ratios) != len(self.weights):
+            raise ValueError("ratios and weights must have the same length")
+        for ratio in self.ratios:
+            if not 0.0 < ratio <= 1.0 + EXACT_EPS:
+                raise ValueError(f"execution-time ratio must be in (0, 1], got {ratio}")
+        if any(w < 0.0 for w in self.weights):
+            raise ValueError("weights must be non-negative")
+        if sum(self.weights) <= 0.0:
+            raise ValueError("at least one weight must be positive")
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of the raw weights (the normalisation constant)."""
+        return sum(self.weights)
+
+    def probabilities(self) -> Tuple[float, ...]:
+        """Normalised weights."""
+        total = self.total_weight
+        return tuple(w / total for w in self.weights)
+
+    def mean_ratio(self) -> float:
+        """Expected execution time as a fraction of WCET."""
+        total = self.total_weight
+        return sum(r * w for r, w in zip(self.ratios, self.weights)) / total
+
+    def sample(self, rng) -> float:
+        """Draw one ratio with a ``random.Random``-like generator."""
+        pick = rng.random() * self.total_weight
+        acc = 0.0
+        for ratio, weight in zip(self.ratios, self.weights):
+            acc += weight
+            if pick <= acc:
+                return ratio
+        return self.ratios[-1]
+
+
+def uniform_ratio_levels(points: int, low: float = 0.25) -> ExecutionTimeDistribution:
+    """Equally weighted, equally spaced ratio levels from ``low`` to 1.0.
+
+    A convenient default profile for examples and tests: ``points``
+    support points, the last one exactly 1.0 so the WCET stays in the
+    support (the distribution must dominate nothing above WCET).
+    """
+    if points < 1:
+        raise ValueError("need at least one support point")
+    if points == 1:
+        return ExecutionTimeDistribution((1.0,), (1.0,))
+    step = (1.0 - low) / (points - 1)
+    ratios = tuple(low + i * step for i in range(points - 1)) + (1.0,)
+    return ExecutionTimeDistribution(ratios, tuple(1.0 for _ in ratios))

@@ -16,8 +16,10 @@ takes the model as a parameter and never hard-codes the exponent.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..check.tolerances import EXACT_EPS
+from .frequency import FrequencyModel
 
 
 @dataclass(frozen=True)
@@ -49,19 +51,39 @@ class DvfsModel:
             raise ValueError(f"relative speed must be in (0, 1], got {speed}")
         return wcet / speed
 
-    def speed_for_time(self, wcet: float, target_time: float) -> float:
+    def speed_for_time(
+        self,
+        wcet: float,
+        target_time: float,
+        frequency: Optional[FrequencyModel] = None,
+    ) -> float:
         """Relative speed that makes the task take ``target_time``.
 
         ``target_time`` below WCET is clamped to nominal speed (we never
         overclock); callers clamp the low end against the PE envelope.
+        With a ``frequency`` model the result is additionally rounded
+        onto its realisable set (up, so the task still meets
+        ``target_time``); omitted, the continuous value is returned
+        unchanged — the historical behaviour, bit-identical.
         """
         if target_time <= 0:
             raise ValueError("target time must be positive")
-        return min(1.0, wcet / target_time)
+        speed = min(1.0, wcet / target_time)
+        if frequency is None:
+            return speed
+        return frequency.quantize(speed)
 
-    def energy_for_time(self, nominal_energy: float, wcet: float, target_time: float) -> float:
+    def energy_for_time(
+        self,
+        nominal_energy: float,
+        wcet: float,
+        target_time: float,
+        frequency: Optional[FrequencyModel] = None,
+    ) -> float:
         """Energy of a task stretched from ``wcet`` to ``target_time``."""
-        return self.energy_at_speed(nominal_energy, self.speed_for_time(wcet, target_time))
+        return self.energy_at_speed(
+            nominal_energy, self.speed_for_time(wcet, target_time, frequency)
+        )
 
 
 #: The paper's model: E ∝ ρ².

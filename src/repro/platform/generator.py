@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterable, Tuple
+from typing import Iterable, Optional, Tuple
 
+from .distributions import ExecutionTimeDistribution
 from .energy import DvfsModel, PAPER_MODEL
 from .mpsoc import Platform
 from .pe import ProcessingElement
@@ -48,6 +49,18 @@ class PlatformConfig:
         Transmission energy per KByte of every link.
     min_speed:
         DVFS floor of every PE.
+    speed_levels:
+        Optional discrete frequency table shared by every generated PE
+        (``None`` keeps the paper's continuous scaling).
+    et_levels:
+        When positive, attach a random per-task execution-time
+        distribution (:class:`~repro.platform.distributions
+        .ExecutionTimeDistribution`) with this many support points.
+        ``0`` (the default) generates no distributions and leaves the
+        generator's random stream untouched.
+    et_ratio_range:
+        Range the random support ratios are drawn from (the top point
+        is always exactly 1.0 so WCET stays in the support).
     """
 
     pes: int = 3
@@ -58,12 +71,17 @@ class PlatformConfig:
     bandwidth: float = 1.0
     comm_energy_per_kbyte: float = 0.05
     min_speed: float = 0.25
+    speed_levels: Optional[Tuple[float, ...]] = None
+    et_levels: int = 0
+    et_ratio_range: Tuple[float, float] = (0.3, 0.95)
 
     def __post_init__(self) -> None:
         if self.pes < 1:
             raise ValueError("need at least one PE")
         if self.bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
+        if self.et_levels < 0:
+            raise ValueError("et_levels must be non-negative")
 
 
 def generate_platform(
@@ -75,19 +93,38 @@ def generate_platform(
 
     Deterministic for a given (task list, config) pair.
     """
+    task_list = list(tasks)
     rng = random.Random(config.seed)
     pes = [
-        ProcessingElement(name=f"pe{i}", min_speed=config.min_speed)
+        ProcessingElement(
+            name=f"pe{i}",
+            min_speed=config.min_speed,
+            speed_levels=config.speed_levels,
+        )
         for i in range(config.pes)
     ]
     platform = Platform(pes, dvfs=dvfs)
     platform.connect_all(config.bandwidth, config.comm_energy_per_kbyte)
 
     powers = {pe.name: rng.uniform(*config.power_range) for pe in pes}
-    for task in tasks:
+    for task in task_list:
         base = rng.uniform(*config.base_wcet_range)
         for pe in pes:
             wcet = base * rng.uniform(*config.heterogeneity)
             energy = wcet * powers[pe.name]
             platform.set_task_profile(task, pe.name, wcet=wcet, energy=energy)
+
+    if config.et_levels > 0:
+        # A separate, deterministically derived stream: attaching
+        # distributions must not perturb the WCET/energy draws above.
+        et_rng = random.Random(config.seed * 1_000_003 + 17)
+        lo, hi = config.et_ratio_range
+        for task in task_list:
+            ratios = sorted(
+                et_rng.uniform(lo, hi) for _ in range(config.et_levels - 1)
+            ) + [1.0]
+            weights = [et_rng.uniform(0.5, 1.5) for _ in ratios]
+            platform.set_execution_profile(
+                task, ExecutionTimeDistribution(tuple(ratios), tuple(weights))
+            )
     return platform

@@ -8,8 +8,9 @@ scheduling and simulation layers consume.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .distributions import ExecutionTimeDistribution
 from .energy import DvfsModel, PAPER_MODEL
 from .link import Link
 from .pe import ProcessingElement
@@ -50,6 +51,7 @@ class Platform:
         self._wcet: Dict[Tuple[str, str], float] = {}
         self._energy: Dict[Tuple[str, str], float] = {}
         self._links: Dict[frozenset, Link] = {}
+        self._et_profiles: Dict[str, ExecutionTimeDistribution] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -65,6 +67,16 @@ class Platform:
             raise PlatformError(f"E({task!r}, {pe!r}) must be non-negative")
         self._wcet[(task, pe)] = float(wcet)
         self._energy[(task, pe)] = float(energy)
+
+    def set_execution_profile(
+        self, task: str, distribution: ExecutionTimeDistribution
+    ) -> None:
+        """Attach an execution-time distribution (ratio of WCET) to a task.
+
+        Orthogonal to the per-PE WCET table: the distribution scales the
+        task's WCET on whatever PE it lands on.
+        """
+        self._et_profiles[task] = distribution
 
     def add_link(self, link: Link) -> None:
         """Register a point-to-point link (rejects duplicates)."""
@@ -139,6 +151,46 @@ class Platform:
             (task, pe, wcet, self._energy[(task, pe)])
             for (task, pe), wcet in sorted(self._wcet.items())
         ]
+
+    def execution_profile(self, task: str) -> Optional[ExecutionTimeDistribution]:
+        """The task's execution-time distribution, or ``None`` (= always WCET)."""
+        return self._et_profiles.get(task)
+
+    def execution_profiles(self) -> List[Tuple[str, ExecutionTimeDistribution]]:
+        """All registered distributions as ``(task, distribution)``, sorted."""
+        return sorted(self._et_profiles.items())
+
+    @property
+    def has_execution_profiles(self) -> bool:
+        """Whether any task carries an execution-time distribution."""
+        return bool(self._et_profiles)
+
+    # ------------------------------------------------------------------
+    # Derived platforms
+    # ------------------------------------------------------------------
+    def restricted(self, pe_names: Sequence[str]) -> "Platform":
+        """A copy of this platform restricted to a subset of its PEs.
+
+        Keeps the DVFS model, the task profiles on the surviving PEs,
+        the links between them and the execution-time distributions.
+        Used by configuration-enumerating policies (EAPS) that search
+        over how many cores to power.
+        """
+        keep = list(pe_names)
+        if not keep:
+            raise PlatformError("restricted platform needs at least one PE")
+        sub = Platform((self.pe(name) for name in keep), dvfs=self.dvfs)
+        kept = set(keep)
+        for (task, pe), wcet in sorted(self._wcet.items()):
+            if pe in kept:
+                sub.set_task_profile(task, pe, wcet=wcet, energy=self._energy[(task, pe)])
+        for key in sorted(self._links, key=sorted):
+            link = self._links[key]
+            if link.a in kept and link.b in kept:
+                sub.add_link(link)
+        for task, dist in sorted(self._et_profiles.items()):
+            sub.set_execution_profile(task, dist)
+        return sub
 
     # ------------------------------------------------------------------
     # Communication queries

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..check.tolerances import EXACT_EPS
+from .frequency import CONTINUOUS, DiscreteDvfs, FrequencyModel
 
 
 @dataclass(frozen=True)
@@ -32,12 +33,21 @@ class ProcessingElement:
         Optional discrete relative speed levels, sorted ascending, all
         within ``[min_speed, 1.0]``.  ``None`` models the paper's
         continuous scaling; when present, assigned speeds are rounded
-        *up* to the next level so deadlines stay safe.
+        *up* to the next level so deadlines stay safe.  This is the
+        strictly validated shorthand for attaching a
+        :class:`~repro.platform.frequency.DiscreteDvfs`.
+    frequency:
+        Optional explicit :class:`~repro.platform.frequency
+        .FrequencyModel`, overriding the one derived from
+        ``speed_levels``.  Unlike ``speed_levels`` this path is *not*
+        validated at construction — ``repro check`` diagnoses
+        defective tables (``PLAT005``–``PLAT007``) instead.
     """
 
     name: str
     min_speed: float = 0.25
     speed_levels: Optional[Tuple[float, ...]] = None
+    frequency: Optional[FrequencyModel] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.min_speed <= 1.0:
@@ -52,18 +62,29 @@ class ProcessingElement:
                 raise ValueError("speed levels must be sorted ascending")
             if abs(levels[-1] - 1.0) > EXACT_EPS:
                 raise ValueError("the nominal speed 1.0 must be a level")
+        if self.frequency is not None:
+            model = self.frequency
+        elif self.speed_levels is not None:
+            model = DiscreteDvfs(tuple(self.speed_levels))
+        else:
+            model = CONTINUOUS
+        object.__setattr__(self, "_frequency_model", model)
+
+    @property
+    def frequency_model(self) -> FrequencyModel:
+        """The effective frequency model (explicit, derived, or continuous)."""
+        return self._frequency_model  # type: ignore[attr-defined]
+
+    def max_speed(self) -> float:
+        """Highest realisable speed — the top discrete level, else 1.0."""
+        return self.frequency_model.max_level
 
     def clamp_speed(self, speed: float) -> float:
         """Clamp a requested relative speed into this PE's envelope.
 
         Continuous PEs clamp into ``[min_speed, 1.0]``; discrete PEs
         additionally round *up* to the next available level (never down,
-        so a task can only finish earlier than planned).
+        so a task can only finish earlier than planned).  Routed through
+        the PE's :class:`~repro.platform.frequency.FrequencyModel`.
         """
-        clamped = min(1.0, max(self.min_speed, speed))
-        if self.speed_levels is None:
-            return clamped
-        for level in self.speed_levels:
-            if level >= clamped - EXACT_EPS:
-                return level
-        return self.speed_levels[-1]
+        return self.frequency_model.clamp(speed, self.min_speed)

@@ -61,6 +61,11 @@ re-render, never the table text:
 ``fault.threatened``              counter    instances whose no-policy arm missed the deadline
 ``fault.escalations``             counter    overrun detections that escalated remaining tasks
 ``fault.corrupted_observations``  counter    branch labels rotated before the estimator
+``fault.quantization_loss``       counter    misses attributable to a capped frequency table alone
+``policy.quantized``              counter    task speeds rounded up onto a discrete level
+``policy.refined``                counter    discrete levels lowered by the slack-refinement pass
+``policy.eaps_configs``           counter    (frequency, core-count) configurations enumerated by EAPS
+``executor.reclaimed``            counter    tasks whose completion slack was reclaimed at a preemption point
 ``check.passes``                  counter    clean ``schedule_online(check=True)`` verifications
 ``modal.pseudo_edge_skips``       counter    implied-edge injections skipped as cycle-closing
 ``drift.detected``                event      windowed branch drift crossed the threshold

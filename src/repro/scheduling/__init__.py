@@ -14,6 +14,18 @@ from .online import (
     schedule_online,
     set_deadline_from_makespan,
 )
+from .policies import (
+    CONTINUOUS_POLICY,
+    DEFAULT_SPEED_LEVELS,
+    SPEED_POLICIES,
+    ContinuousSpeedPolicy,
+    DiscreteSpeedPolicy,
+    EapsSpeedPolicy,
+    PreemptiveSpeedPolicy,
+    SpeedPolicy,
+    quantize_speed,
+    resolve_speed_policy,
+)
 from .pathcache import (
     PathStructure,
     build_structure,
@@ -52,6 +64,16 @@ __all__ = [
     "minimal_makespan",
     "schedule_online",
     "set_deadline_from_makespan",
+    "CONTINUOUS_POLICY",
+    "DEFAULT_SPEED_LEVELS",
+    "SPEED_POLICIES",
+    "ContinuousSpeedPolicy",
+    "DiscreteSpeedPolicy",
+    "EapsSpeedPolicy",
+    "PreemptiveSpeedPolicy",
+    "SpeedPolicy",
+    "quantize_speed",
+    "resolve_speed_policy",
     "PathStructure",
     "build_structure",
     "freeze_probabilities",

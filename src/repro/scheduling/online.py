@@ -21,11 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from typing import Union
+
 from ..ctg.graph import ConditionalTaskGraph
 from ..ctg.minterms import BranchProbabilities, CtgAnalysis
 from ..platform.mpsoc import Platform
 from ..profiling import StageProfiler, as_profiler
 from .dls import dls_schedule
+from .policies import SpeedPolicy, resolve_speed_policy
 from .schedule import Schedule
 from .stretching import StretchReport, stretch_schedule
 
@@ -56,6 +59,7 @@ def schedule_online(
     use_cache: bool = True,
     profiler: Optional[StageProfiler] = None,
     check: bool = False,
+    speed_policy: Union[None, str, SpeedPolicy] = None,
 ) -> OnlineResult:
     """Run the complete online algorithm.
 
@@ -97,6 +101,14 @@ def schedule_online(
         :class:`repro.check.CheckError` on any error-severity finding.
         Off by default — the verification enumerates every scenario and
         would dominate the re-scheduling hot path.
+    speed_policy:
+        A :class:`~repro.scheduling.policies.SpeedPolicy` (or its
+        registry name) selecting the speed-selection family.  ``None``
+        or ``"continuous"`` reproduces the paper's stretching
+        byte-for-byte; ``"discrete"`` quantises onto frequency tables,
+        ``"preemptive"`` adds run-time slack reclamation (in the
+        executor), ``"eaps"`` searches (frequency, cores)
+        configurations and builds its own mapping.
 
     Returns
     -------
@@ -104,29 +116,40 @@ def schedule_online(
         The locked schedule plus stretching diagnostics.
     """
     prof = as_profiler(profiler)
+    policy = resolve_speed_policy(speed_policy)
     with prof.stage("online"):
         if probabilities is None:
             probabilities = ctg.default_probabilities
         if analysis is None:
             analysis = CtgAnalysis.of(ctg)
-        with prof.stage("dls"):
-            schedule = dls_schedule(
-                ctg, platform, probabilities, analysis=analysis, profiler=profiler
+        if policy.builds_schedule:
+            schedule, stretch = policy.build(
+                ctg,
+                platform,
+                probabilities,
+                deadline=deadline,
+                analysis=analysis,
+                profiler=profiler,
             )
-        if deadline is not None:
-            schedule.ctg.deadline = deadline
-        stretch = stretch_schedule(
-            schedule,
-            probabilities,
-            deadline=deadline,
-            probability_weighted=probability_weighted,
-            analysis=analysis,
-            max_passes=max_passes,
-            share_exponent=share_exponent,
-            vectorized=vectorized,
-            use_cache=use_cache,
-            profiler=profiler,
-        )
+        else:
+            with prof.stage("dls"):
+                schedule = dls_schedule(
+                    ctg, platform, probabilities, analysis=analysis, profiler=profiler
+                )
+            if deadline is not None:
+                schedule.ctg.deadline = deadline
+            stretch = policy.apply(
+                schedule,
+                probabilities=probabilities,
+                deadline=deadline,
+                probability_weighted=probability_weighted,
+                analysis=analysis,
+                max_passes=max_passes,
+                share_exponent=share_exponent,
+                vectorized=vectorized,
+                use_cache=use_cache,
+                profiler=profiler,
+            )
     if check:
         # local import: repro.check.api imports this package back
         from ..check import assert_clean, verify_schedule

@@ -27,12 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, Mapping, Optional, Tuple
 
-from ..check.tolerances import TIME_EPS
+from ..check.tolerances import EXACT_EPS, TIME_EPS
 from ..ctg.minterms import Scenario
 from ..faults.injectors import InstanceFaults
 from ..faults.policy import DegradationPolicy
 from ..obs.trace import Tracer, as_tracer
 from ..profiling import StageProfiler, as_profiler
+from ..scheduling.policies import SpeedPolicy
 from ..scheduling.schedule import Schedule
 from .vectors import DecisionVector, scenario_from_decisions
 
@@ -75,6 +76,13 @@ class InstanceResult:
     baseline_finish_time: Optional[float] = None
     baseline_energy: Optional[float] = None
     baseline_deadline_met: Optional[bool] = None
+    #: faulted runs under a capped (discrete) escalation ceiling only:
+    #: the instance missed the deadline, but re-timing escalation at
+    #: nominal speed 1.0 would have met it — the miss is quantisation
+    #: loss of the frequency table, not a policy failure
+    quantization_loss: bool = False
+    #: tasks whose speed was re-budgeted at run time (slack reclamation)
+    reclaimed: Tuple[str, ...] = ()
 
 
 class InstanceExecutor:
@@ -96,10 +104,13 @@ class InstanceExecutor:
         schedule: Schedule,
         profiler: Optional[StageProfiler] = None,
         tracer: Optional[Tracer] = None,
+        speed_policy: Optional[SpeedPolicy] = None,
     ) -> None:
         self.schedule = schedule
         self._prof = as_profiler(profiler)
         self._tracer = as_tracer(tracer)
+        self._policy = speed_policy
+        self._esc_speeds: Dict[str, float] = {}
         ctg = schedule.ctg
         self._real_ctg = ctg.without_pseudo_edges()
         self._order = ctg.topological_order()
@@ -111,10 +122,42 @@ class InstanceExecutor:
         self._edge_delays = schedule.edge_delays()
         self._worst_case: Optional[Dict[str, Tuple[float, float]]] = None
 
-    def run(self, decisions: DecisionVector) -> InstanceResult:
-        """Execute one instance under a concrete decision vector."""
+    def _escalation_speed(self, pe_name: str) -> float:
+        """Escalation ceiling of a PE: the policy's (or the PE's) top level."""
+        try:
+            return self._esc_speeds[pe_name]
+        except KeyError:
+            pe = self.schedule.platform.pe(pe_name)
+            if self._policy is not None:
+                speed = self._policy.escalation_speed(pe)
+            else:
+                speed = pe.max_speed()
+            self._esc_speeds[pe_name] = speed
+            return speed
+
+    def run(
+        self,
+        decisions: DecisionVector,
+        work_ratios: Optional[Mapping[str, float]] = None,
+    ) -> InstanceResult:
+        """Execute one instance under a concrete decision vector.
+
+        ``work_ratios`` (optional) gives each task's *actual* execution
+        work as a fraction of WCET in ``(0, 1]`` — sampled from the
+        platform's execution-time distributions.  With ratios, tasks
+        finish early, and a slack-reclaiming speed policy (Leung–Tsui)
+        re-budgets each task's speed at its start so released slack is
+        converted into voltage reduction.  Omitted (the default), the
+        replay is the historical WCET replay, bit-identical.
+        """
+        dynamic = work_ratios is not None or (
+            self._policy is not None and self._policy.reclaims_slack
+        )
         with self._prof.stage("executor.replay"):
-            result = self._run(decisions)
+            if dynamic:
+                result = self._run_dynamic(decisions, work_ratios or {})
+            else:
+                result = self._run(decisions)
         self._prof.count("executor.instances")
         if self._tracer.enabled:
             self._emit_instance_spans(result, decisions)
@@ -213,6 +256,103 @@ class InstanceExecutor:
         )
 
 
+    def _run_dynamic(
+        self, decisions: DecisionVector, work_ratios: Mapping[str, float]
+    ) -> InstanceResult:
+        """Replay with actual execution times and run-time speed plans.
+
+        Same propagation as :meth:`_run`, but each task executes
+        ``work_ratios[task]`` of its WCET following the speed plan its
+        policy chooses at start time (static speed for non-reclaiming
+        policies).  Energy is accumulated per executed work segment —
+        ``fraction · E_nominal · ρ^α`` — plus the scenario's
+        communication energy.
+        """
+        schedule = self.schedule
+        ctg = schedule.ctg
+        platform = schedule.platform
+        exponent = platform.dvfs.exponent
+        policy = self._policy
+        reclaiming = policy is not None and policy.reclaims_slack
+        if reclaiming and self._worst_case is None:
+            self._worst_case = schedule.worst_case_times()
+        scenario = scenario_from_decisions(self._real_ctg, decisions)
+        active = scenario.active
+
+        starts: Dict[str, float] = {}
+        finishes: Dict[str, float] = {}
+        reclaimed: list = []
+        comp_energy = 0.0
+        for task in self._order:
+            if task not in active:
+                continue
+            start = 0.0
+            for src, _dst, data in ctg.in_edges(task, include_pseudo=True):
+                if src not in active:
+                    continue
+                if data.pseudo:
+                    start = max(start, finishes[src])
+                    continue
+                if data.condition is not None and (
+                    decisions.get(data.condition.branch) != data.condition.label
+                ):
+                    continue
+                start = max(start, finishes[src] + self._edge_delays.get((src, task), 0.0))
+            for branch in self._deciders.get(task, ()):
+                if branch in active:
+                    start = max(start, finishes[branch])
+
+            placement = schedule.placement(task)
+            ratio = work_ratios.get(task, 1.0)
+            if reclaiming:
+                budget_finish = self._worst_case[task][1]
+                pe = platform.pe(placement.pe)
+                plan = policy.reclaim_plan(placement, pe, start, budget_finish)
+                if len(plan) > 1 or plan[0][0] < placement.speed - EXACT_EPS:
+                    reclaimed.append(task)
+                    self._prof.count("executor.reclaimed")
+            else:
+                plan = ((placement.speed, 1.0),)
+
+            duration = 0.0
+            remaining = ratio
+            for speed, fraction in plan:
+                if remaining <= 0.0:
+                    break
+                executed = min(remaining, fraction)
+                duration += executed * placement.wcet / speed
+                comp_energy += (
+                    executed * placement.nominal_energy * speed**exponent
+                )
+                remaining -= executed
+            if remaining > 0.0:
+                tail_speed = plan[-1][0]
+                duration += remaining * placement.wcet / tail_speed
+                comp_energy += (
+                    remaining * placement.nominal_energy * tail_speed**exponent
+                )
+            starts[task] = start
+            finishes[task] = start + duration
+
+        finish_time = max(finishes.values(), default=0.0)
+        # scenario_energy at static speeds minus its computation part
+        # leaves exactly the communication energy of the scenario
+        static_comp = 0.0
+        for task in sorted(active):
+            if task in schedule.placements:
+                static_comp += schedule.placements[task].energy(exponent)
+        energy = schedule.scenario_energy(scenario) - static_comp + comp_energy
+        deadline = ctg.deadline
+        return InstanceResult(
+            energy=energy,
+            finish_time=finish_time,
+            deadline_met=(deadline <= 0 or finish_time <= deadline + TIME_EPS),
+            scenario=scenario,
+            start_times=starts,
+            finish_times=finishes,
+            reclaimed=tuple(reclaimed),
+        )
+
     # ------------------------------------------------------------------
     # Fault-injected replay with graceful degradation
     # ------------------------------------------------------------------
@@ -296,11 +436,20 @@ class InstanceExecutor:
         # backup detector — which catches freezes and link jitter that
         # never extend a task's duration — keeps the deadline scale.
         lateness_margin = policy.overrun_margin * deadline
+        # With a capped (discrete) escalation ceiling, a third timing
+        # arm re-times the policy arm at ceiling 1.0: a miss the
+        # uncapped ceiling would have avoided is quantisation loss of
+        # the frequency table, not a degradation-policy failure.
+        track_q = any(
+            self._escalation_speed(name) < 1.0 - EXACT_EPS
+            for name in schedule.platform.pe_names
+        )
 
         starts_b: Dict[str, float] = {}
         finishes_b: Dict[str, float] = {}
         starts_p: Dict[str, float] = {}
         finishes_p: Dict[str, float] = {}
+        finishes_q: Dict[str, float] = {}
         escalated: list = []
         comp_extra_b = 0.0  # faulted-minus-nominal computation energy
         comp_extra_p = 0.0
@@ -310,13 +459,15 @@ class InstanceExecutor:
         for task in self._order:
             if task not in active:
                 continue
-            start_b = start_p = 0.0
+            start_b = start_p = start_q = 0.0
             for src, _dst, data in ctg.in_edges(task, include_pseudo=True):
                 if src not in active:
                     continue
                 if data.pseudo:
                     start_b = max(start_b, finishes_b[src])
                     start_p = max(start_p, finishes_p[src])
+                    if track_q:
+                        start_q = max(start_q, finishes_q[src])
                     continue
                 if data.condition is not None and (
                     decisions.get(data.condition.branch) != data.condition.label
@@ -327,16 +478,21 @@ class InstanceExecutor:
                     delay *= faults.edge_factors.get((src, task), 1.0)
                 start_b = max(start_b, finishes_b[src] + delay)
                 start_p = max(start_p, finishes_p[src] + delay)
+                if track_q:
+                    start_q = max(start_q, finishes_q[src] + delay)
             for branch in self._deciders.get(task, ()):
                 if branch in active:
                     start_b = max(start_b, finishes_b[branch])
                     start_p = max(start_p, finishes_p[branch])
+                    if track_q:
+                        start_q = max(start_q, finishes_q[branch])
 
             placement = schedule.placement(task)
             freeze = freezes.get(placement.pe, 0.0)
             if freeze > 0.0:
                 start_b = max(start_b, freeze)
                 start_p = max(start_p, freeze)
+                start_q = max(start_q, freeze)
 
             pe_factor = faults.pe_factors.get(placement.pe, 1.0)
             effective_wcet = (
@@ -364,19 +520,45 @@ class InstanceExecutor:
                 if start_p > wc_start + lateness_margin + TIME_EPS:
                     escalating = True
                     overrun_detected = True
+            esc = self._escalation_speed(placement.pe)
+            capped = esc < 1.0 - EXACT_EPS
             energy_p = nominal * work_ratio
+            duration_q = faulted_duration
             if escalating and escalate:
-                # task runs entirely at max speed
-                duration_p = effective_wcet * pe_factor
-                energy_p = placement.nominal_energy * work_ratio
-                if placement.speed < 1.0:
-                    escalated.append(task)
+                # task runs entirely at the escalation ceiling — the
+                # top frequency level, 1.0 on continuous platforms
+                if capped:
+                    duration_p = effective_wcet / esc * pe_factor
+                    energy_p = (
+                        placement.nominal_energy * work_ratio * esc ** exponent
+                    )
+                    if placement.speed < esc - EXACT_EPS:
+                        escalated.append(task)
+                else:
+                    duration_p = effective_wcet * pe_factor
+                    energy_p = placement.nominal_energy * work_ratio
+                    if placement.speed < 1.0:
+                        escalated.append(task)
+                duration_q = effective_wcet * pe_factor
             else:
                 budget = placement.duration * (1.0 + policy.overrun_margin)
                 if escalate and faulted_duration > budget + TIME_EPS:
                     escalating = True
                     overrun_detected = True
-                    if placement.speed < 1.0 and placement.wcet > 0:
+                    if capped:
+                        if placement.speed < esc - EXACT_EPS and placement.wcet > 0:
+                            work_done = budget * placement.speed / pe_factor
+                            work_left = effective_wcet - work_done
+                            duration_p = budget + work_left * pe_factor / esc
+                            energy_p = placement.nominal_energy * (
+                                work_done / placement.wcet * placement.speed ** exponent
+                                + work_left / placement.wcet * esc ** exponent
+                            )
+                            escalated.append(task)
+                        else:
+                            duration_p = faulted_duration
+                            energy_p = nominal * work_ratio
+                    elif placement.speed < 1.0 and placement.wcet > 0:
                         # watchdog fires mid-task: the work done inside
                         # the budget ran at the assigned speed, the
                         # remainder runs at max speed
@@ -391,11 +573,16 @@ class InstanceExecutor:
                     else:
                         duration_p = faulted_duration
                         energy_p = nominal * work_ratio
+                    if placement.speed < 1.0 and placement.wcet > 0:
+                        work_done_q = budget * placement.speed / pe_factor
+                        duration_q = budget + (effective_wcet - work_done_q) * pe_factor
                 else:
                     duration_p = faulted_duration
                     energy_p = nominal * work_ratio
             starts_p[task] = start_p
             finishes_p[task] = start_p + duration_p
+            if track_q:
+                finishes_q[task] = start_q + duration_q
 
             comp_extra_b += nominal * (work_ratio - 1.0)
             comp_extra_p += energy_p - nominal
@@ -405,6 +592,10 @@ class InstanceExecutor:
         base_energy = schedule.scenario_energy(scenario)
         met = deadline <= 0 or finish_p <= deadline + TIME_EPS
         met_b = deadline <= 0 or finish_b <= deadline + TIME_EPS
+        quantization_loss = False
+        if track_q and not met:
+            finish_q = max(finishes_q.values(), default=0.0)
+            quantization_loss = finish_q <= deadline + TIME_EPS
         return InstanceResult(
             energy=base_energy + comp_extra_p,
             finish_time=finish_p,
@@ -417,6 +608,7 @@ class InstanceExecutor:
             baseline_finish_time=finish_b,
             baseline_energy=base_energy + comp_extra_b,
             baseline_deadline_met=met_b,
+            quantization_loss=quantization_loss,
         )
 
 

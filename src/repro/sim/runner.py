@@ -15,8 +15,9 @@ and (for the adaptive policy) the number of re-scheduling calls.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Union
 
 from ..adaptive.controller import AdaptiveConfig, AdaptiveController
 from ..ctg.graph import ConditionalTaskGraph
@@ -28,8 +29,41 @@ from ..obs.trace import Tracer, TracingProfiler, as_tracer
 from ..platform.mpsoc import Platform
 from ..profiling import StageProfiler
 from ..scheduling.online import schedule_online
+from ..scheduling.policies import SpeedPolicy, resolve_speed_policy
 from .executor import InstanceExecutor
 from .vectors import Trace
+
+
+def _resolve_policy_arg(
+    speed_policy: Union[None, str, SpeedPolicy]
+) -> Optional[SpeedPolicy]:
+    """``None`` stays ``None`` (the pristine historical path); anything
+    else resolves through the policy registry."""
+    if speed_policy is None:
+        return None
+    return resolve_speed_policy(speed_policy)
+
+
+class _ExecutionTimeSampler:
+    """Per-instance execution-time ratio sampler.
+
+    Draws one WCET ratio per profiled task per instance from the
+    platform's :class:`~repro.platform.distributions
+    .ExecutionTimeDistribution` objects (sorted task order, one seeded
+    stream — deterministic for a given seed).  ``None``-like (inactive)
+    when the platform carries no profiles.
+    """
+
+    def __init__(self, platform: Platform, seed: int) -> None:
+        self._profiles = platform.execution_profiles()
+        self._rng = random.Random(seed)
+
+    @property
+    def active(self) -> bool:
+        return bool(self._profiles)
+
+    def draw(self) -> Dict[str, float]:
+        return {task: dist.sample(self._rng) for task, dist in self._profiles}
 
 
 def _run_profiler(tracer: Tracer) -> StageProfiler:
@@ -117,6 +151,8 @@ def run_non_adaptive(
     probabilities: Mapping[str, Mapping[str, float]],
     deadline: Optional[float] = None,
     tracer: Optional[Tracer] = None,
+    speed_policy: Union[None, str, SpeedPolicy] = None,
+    et_seed: Optional[int] = None,
 ) -> RunResult:
     """Replay a trace under a single schedule built from ``probabilities``.
 
@@ -126,18 +162,36 @@ def run_non_adaptive(
     the caller's CTG object is never mutated (same contract as
     :func:`run_adaptive`).  ``tracer`` (optional) records the span/event
     timeline of the run (see :mod:`repro.obs.trace`); ``profile``
-    contents are identical with or without it.
+    contents are identical with or without it.  ``speed_policy`` selects
+    the speed-selection family (``None`` keeps the paper's continuous
+    stretching byte-for-byte); ``et_seed`` activates stochastic
+    execution times when the platform carries per-task distributions —
+    each instance then replays sampled WCET ratios through the
+    executor's dynamic path.
     """
     if deadline is not None:
         ctg = ctg.copy()
         ctg.deadline = deadline
     trc = as_tracer(tracer)
     stats = _run_profiler(trc)
-    online = schedule_online(ctg, platform, probabilities, profiler=stats)
-    executor = InstanceExecutor(online.schedule, profiler=stats, tracer=trc)
+    pol = _resolve_policy_arg(speed_policy)
+    sampler = (
+        _ExecutionTimeSampler(platform, et_seed) if et_seed is not None else None
+    )
+    if sampler is not None and not sampler.active:
+        sampler = None
+    online = schedule_online(
+        ctg, platform, probabilities, profiler=stats, speed_policy=pol
+    )
+    executor = InstanceExecutor(
+        online.schedule, profiler=stats, tracer=trc, speed_policy=pol
+    )
     result = RunResult(profile=stats)
     for vector in trace:
-        outcome = executor.run(vector)
+        if sampler is not None:
+            outcome = executor.run(vector, work_ratios=sampler.draw())
+        else:
+            outcome = executor.run(vector)
         result.energies.append(outcome.energy)
         if not outcome.deadline_met:
             result.deadline_misses += 1
@@ -155,6 +209,8 @@ def run_adaptive(
     deadline: Optional[float] = None,
     profiler=None,
     tracer: Optional[Tracer] = None,
+    speed_policy: Union[None, str, SpeedPolicy] = None,
+    et_seed: Optional[int] = None,
 ) -> RunResult:
     """Replay a trace under the window/threshold adaptive policy.
 
@@ -175,6 +231,12 @@ def run_adaptive(
         ctg.deadline = deadline
     trc = as_tracer(tracer)
     stats = _run_profiler(trc)
+    pol = _resolve_policy_arg(speed_policy)
+    sampler = (
+        _ExecutionTimeSampler(platform, et_seed) if et_seed is not None else None
+    )
+    if sampler is not None and not sampler.active:
+        sampler = None
     controller = AdaptiveController(
         ctg,
         platform,
@@ -182,12 +244,18 @@ def run_adaptive(
         config,
         profiler=profiler,
         stage_profiler=stats,
+        speed_policy=pol,
     )
-    executor = InstanceExecutor(controller.schedule, profiler=stats, tracer=trc)
+    executor = InstanceExecutor(
+        controller.schedule, profiler=stats, tracer=trc, speed_policy=pol
+    )
     branches = ctg.branch_nodes()
     result = RunResult(profile=stats)
     for index, vector in enumerate(trace):
-        outcome = executor.run(vector)
+        if sampler is not None:
+            outcome = executor.run(vector, work_ratios=sampler.draw())
+        else:
+            outcome = executor.run(vector)
         result.energies.append(outcome.energy)
         if not outcome.deadline_met:
             result.deadline_misses += 1
@@ -196,7 +264,7 @@ def run_adaptive(
         }
         if controller.observe(executed):
             executor = InstanceExecutor(
-                controller.schedule, profiler=stats, tracer=trc
+                controller.schedule, profiler=stats, tracer=trc, speed_policy=pol
             )
             if trc.enabled:
                 trc.event(
@@ -224,6 +292,7 @@ def run_faulted(
     deadline: Optional[float] = None,
     profiler=None,
     tracer: Optional[Tracer] = None,
+    speed_policy: Union[None, str, SpeedPolicy] = None,
 ) -> RunResult:
     """Replay a trace under the adaptive policy with faults injected.
 
@@ -246,6 +315,14 @@ def run_faulted(
       re-scheduling *failure* installs the full-speed fallback
       schedule rather than crashing the run.
 
+    Under a discrete ``speed_policy`` whose frequency table tops out
+    below 1.0, escalation cannot exceed the table's highest level; a
+    miss that even a 1.0-ceiling escalation of the *same* decisions
+    would have avoided is classified as a **quantization loss**
+    (``fault_log.quantization_losses``, counter
+    ``fault.quantization_loss``) rather than an unrecovered miss — it
+    is a property of the frequency table, not of the recovery policy.
+
     Every fault and every reaction lands in ``result.fault_log``; the
     run's :class:`~repro.profiling.StageProfiler` picks up the matching
     counters (``fault.*``, ``reschedule.dropped`` / ``.emergency`` /
@@ -261,6 +338,7 @@ def run_faulted(
         ctg.deadline = deadline
     trc = as_tracer(tracer)
     stats = _run_profiler(trc)
+    pol = _resolve_policy_arg(speed_policy)
     controller = AdaptiveController(
         ctg,
         platform,
@@ -268,9 +346,12 @@ def run_faulted(
         config,
         profiler=profiler,
         stage_profiler=stats,
+        speed_policy=pol,
     )
     injector = FaultInjector(plan, ctg=ctg, platform=platform)
-    executor = InstanceExecutor(controller.schedule, profiler=stats, tracer=trc)
+    executor = InstanceExecutor(
+        controller.schedule, profiler=stats, tracer=trc, speed_policy=pol
+    )
     branches = ctg.branch_nodes()
     outcomes = {b: ctg.outcomes_of(b) for b in branches}
     log = FaultLog()
@@ -305,7 +386,11 @@ def run_faulted(
             sim_cursor += ctg.deadline if ctg.deadline > 0 else outcome.finish_time
         if not outcome.deadline_met:
             result.deadline_misses += 1
-            log.unrecovered += 1
+            if outcome.quantization_loss:
+                log.quantization_losses += 1
+                stats.count("fault.quantization_loss")
+            else:
+                log.unrecovered += 1
         threatened = outcome.baseline_deadline_met is False
         if threatened:
             log.threatened += 1
@@ -313,6 +398,8 @@ def run_faulted(
             if outcome.deadline_met:
                 log.recovered += 1
                 log.act(RecoveryAction(index, "recovered"))
+            elif outcome.quantization_loss:
+                log.act(RecoveryAction(index, "quantization_loss"))
             else:
                 log.act(RecoveryAction(index, "unrecovered"))
             if trc.enabled:
@@ -397,7 +484,9 @@ def run_faulted(
         used_fallback = controller.reschedule(emergency=emergency, on_error="fallback")
         if used_fallback:
             log.act(RecoveryAction(index, "fallback_schedule"))
-        executor = InstanceExecutor(controller.schedule, profiler=stats, tracer=trc)
+        executor = InstanceExecutor(
+            controller.schedule, profiler=stats, tracer=trc, speed_policy=pol
+        )
         if trc.enabled:
             trc.event(
                 "sim.reschedule",

@@ -42,6 +42,13 @@ class TestExamples:
         assert "oracle check: executor agrees exactly" in result.stdout
         assert "miss rate" in result.stdout
 
+    def test_stochastic_execution(self):
+        result = run_example("stochastic_execution.py", "1000")
+        assert result.returncode == 0, result.stderr
+        assert "single kernel call" in result.stdout
+        assert "reclamations" in result.stdout
+        assert "ok: reclamation saved energy" in result.stdout
+
     def test_schedule_inspection(self, tmp_path):
         result = run_example("schedule_inspection.py", str(tmp_path))
         assert result.returncode == 0, result.stderr

@@ -1,0 +1,167 @@
+"""Per-task execution-time distributions: model, generator, consumers.
+
+The stochastic-workload axis (docs/algorithms.md §6.6): distributions
+of actual execution time below the WCET, attached per task on the
+platform, consumed by the trace runner (``et_seed``) and the batched
+Monte-Carlo kernel (``use_execution_profiles``).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.batch import monte_carlo
+from repro.ctg import figure1_ctg
+from repro.platform import (
+    ExecutionTimeDistribution,
+    PlatformConfig,
+    generate_platform,
+)
+from repro.scheduling import set_deadline_from_makespan
+from repro.sim import empirical_distribution
+from repro.sim.runner import run_non_adaptive
+from repro.workloads import movie_trace, mpeg_ctg, mpeg_platform
+
+
+class TestDistribution:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionTimeDistribution((), ())
+        with pytest.raises(ValueError):
+            ExecutionTimeDistribution((0.5, 1.0), (1.0,))
+        with pytest.raises(ValueError):
+            ExecutionTimeDistribution((0.0, 1.0), (1.0, 1.0))
+        with pytest.raises(ValueError):
+            ExecutionTimeDistribution((1.5,), (1.0,))
+        with pytest.raises(ValueError):
+            ExecutionTimeDistribution((0.5, 1.0), (0.0, 0.0))
+
+    def test_mean_and_probabilities(self):
+        dist = ExecutionTimeDistribution((0.5, 1.0), (1.0, 3.0))
+        assert dist.probabilities() == (0.25, 0.75)
+        assert dist.mean_ratio() == pytest.approx(0.875)
+
+    def test_sampling_is_deterministic_and_in_support(self):
+        dist = ExecutionTimeDistribution((0.4, 0.7, 1.0), (2.0, 5.0, 3.0))
+        draws = [dist.sample(random.Random(9)) for _ in range(3)]
+        assert draws[0] == draws[1] == draws[2]
+        rng = random.Random(1)
+        seen = {dist.sample(rng) for _ in range(300)}
+        assert seen == {0.4, 0.7, 1.0}
+
+    def test_sampling_tracks_weights(self):
+        dist = ExecutionTimeDistribution((0.4, 1.0), (9.0, 1.0))
+        rng = random.Random(3)
+        draws = [dist.sample(rng) for _ in range(2000)]
+        assert draws.count(0.4) / len(draws) == pytest.approx(0.9, abs=0.03)
+
+
+class TestPlatformProfiles:
+    def test_default_platform_has_no_profiles(self):
+        platform = mpeg_platform()
+        assert not platform.has_execution_profiles
+        assert platform.execution_profiles() == []
+
+    def test_set_and_query(self):
+        platform = mpeg_platform()
+        dist = ExecutionTimeDistribution((0.5, 1.0), (1.0, 1.0))
+        platform.set_execution_profile("idct", dist)
+        assert platform.has_execution_profiles
+        assert platform.execution_profile("idct") is dist
+        assert platform.execution_profile("nope") is None
+
+    def test_generator_knob_attaches_distributions(self):
+        ctg = figure1_ctg()
+        platform = generate_platform(
+            ctg.tasks(), PlatformConfig(pes=2, seed=3, et_levels=3)
+        )
+        profiles = dict(platform.execution_profiles())
+        assert set(profiles) == set(ctg.tasks())
+        for dist in profiles.values():
+            assert len(dist.ratios) == 3
+            assert dist.ratios[-1] == 1.0
+            assert dist.ratios == tuple(sorted(dist.ratios))
+
+    def test_generator_knob_leaves_wcet_stream_untouched(self):
+        ctg = figure1_ctg()
+        plain = generate_platform(ctg.tasks(), PlatformConfig(pes=2, seed=3))
+        with_et = generate_platform(
+            ctg.tasks(), PlatformConfig(pes=2, seed=3, et_levels=3)
+        )
+        for task in ctg.tasks():
+            for pe in plain.pe_names:
+                assert plain.wcet(task, pe) == with_et.wcet(task, pe)
+                assert plain.energy(task, pe) == with_et.energy(task, pe)
+
+
+def mpeg_with_profiles():
+    ctg = mpeg_ctg()
+    platform = mpeg_platform()
+    set_deadline_from_makespan(ctg, platform, 1.4)
+    dist = ExecutionTimeDistribution((0.5, 0.8, 1.0), (4.0, 4.0, 2.0))
+    for task in sorted(ctg.tasks()):
+        platform.set_execution_profile(task, dist)
+    return ctg, platform
+
+
+class TestRunnerSampling:
+    def test_et_seed_is_deterministic(self):
+        ctg, platform = mpeg_with_profiles()
+        trace = movie_trace(ctg, "Airwolf", length=80)
+        probs = empirical_distribution(ctg, trace[:30])
+        a = run_non_adaptive(ctg, platform, trace[30:], probs, et_seed=5)
+        b = run_non_adaptive(ctg, platform, trace[30:], probs, et_seed=5)
+        assert a.total_energy == b.total_energy
+        assert a.deadline_misses == b.deadline_misses
+
+    def test_sampled_runs_spend_less_energy_than_wcet(self):
+        ctg, platform = mpeg_with_profiles()
+        trace = movie_trace(ctg, "Airwolf", length=80)
+        probs = empirical_distribution(ctg, trace[:30])
+        wcet = run_non_adaptive(ctg, platform, trace[30:], probs)
+        sampled = run_non_adaptive(ctg, platform, trace[30:], probs, et_seed=5)
+        assert sampled.total_energy < wcet.total_energy
+
+    def test_et_seed_without_profiles_is_byte_identical(self):
+        ctg = mpeg_ctg()
+        platform = mpeg_platform()
+        set_deadline_from_makespan(ctg, platform, 1.4)
+        trace = movie_trace(ctg, "Airwolf", length=80)
+        probs = empirical_distribution(ctg, trace[:30])
+        plain = run_non_adaptive(ctg, platform, trace[30:], probs)
+        seeded = run_non_adaptive(ctg, platform, trace[30:], probs, et_seed=5)
+        assert plain.total_energy == seeded.total_energy
+
+
+class TestMonteCarloSampling:
+    def test_profiles_shift_the_distributions_down(self):
+        ctg, platform = mpeg_with_profiles()
+        base = monte_carlo(ctg, platform, 500, seed=2)
+        sampled = monte_carlo(
+            ctg, platform, 500, seed=2, use_execution_profiles=True
+        )
+        assert sampled.mean_finish < base.mean_finish
+        assert sampled.mean_energy < base.mean_energy
+
+    def test_flag_off_preserves_draw_order(self):
+        ctg, platform = mpeg_with_profiles()
+        base = monte_carlo(ctg, platform, 300, seed=2)
+        off = monte_carlo(
+            ctg, platform, 300, seed=2, use_execution_profiles=False
+        )
+        assert np.array_equal(base.label_samples, off.label_samples)
+        assert np.array_equal(base.finish_times, off.finish_times)
+        assert np.array_equal(base.energies, off.energies)
+
+    def test_profiles_compose_with_wcet_range(self):
+        ctg, platform = mpeg_with_profiles()
+        ranged = monte_carlo(ctg, platform, 300, seed=2, wcet_range=(0.9, 1.0))
+        both = monte_carlo(
+            ctg, platform, 300, seed=2, wcet_range=(0.9, 1.0),
+            use_execution_profiles=True,
+        )
+        # branch + wcet_range draws come first, so the sampled scenarios
+        # agree; the extra ratio factors only shrink times further
+        assert np.array_equal(ranged.label_samples, both.label_samples)
+        assert float(both.finish_times.mean()) < float(ranged.finish_times.mean())

@@ -39,8 +39,9 @@ from repro.profiling import StageProfiler
 from repro.scheduling import SchedulingError, dls_schedule, stretch_schedule
 from repro.scheduling.modal import build_modal_table
 from repro.scheduling.online import schedule_online, set_deadline_from_makespan
+from repro.scheduling.policies import DiscreteSpeedPolicy
 from repro.sim import empirical_distribution
-from repro.sim.runner import run_faulted
+from repro.sim.runner import run_faulted, run_non_adaptive
 from repro.workloads import movie_trace, mpeg_ctg, mpeg_platform
 
 from .test_stretching_edge_cases import uniform_platform
@@ -79,6 +80,24 @@ def runtime_names():
         if plan_name == "overrun":
             names |= set(derive_run_metrics(result, tracer=tracer).snapshot())
 
+    # -- speed-policy families: quantisation + refinement counters on
+    #    a discrete run, EAPS configuration enumeration, run-time slack
+    #    reclamation, and a capped table whose escalation ceiling turns
+    #    misses into quantisation losses
+    capped = DiscreteSpeedPolicy(levels=(0.25, 0.5))
+    result = run_faulted(
+        ctg, platform, trace[50:], probabilities, catalogue["overrun"],
+        config=AdaptiveConfig(window_size=20, threshold=0.1),
+        speed_policy=capped,
+    )
+    assert result.fault_log.quantization_losses > 0
+    names |= _names_of(result.profile)
+    reclaiming = run_non_adaptive(
+        ctg, platform, trace[50:80], probabilities=probabilities,
+        speed_policy="preemptive",
+    )
+    names |= _names_of(reclaiming.profile)
+
     # -- check=True: the verification stage and its pass counter
     small = figure1_ctg()
     small_platform = generate_platform(small.tasks(), PlatformConfig(pes=2, seed=5))
@@ -88,6 +107,10 @@ def runtime_names():
         small, small_platform, check=True, profiler=TracingProfiler(tracer)
     )
     names |= _names_of(checked.profile, tracer)
+    for family in ("discrete", "eaps"):
+        profiler = StageProfiler()
+        schedule_online(small, small_platform, profiler=profiler, speed_policy=family)
+        names |= _names_of(profiler)
 
     # -- batched Monte-Carlo sweep + pre-stretched re-schedule fast path
     profiler = StageProfiler()

@@ -1,0 +1,119 @@
+"""Platform checker tests: discrete-frequency-table diagnostics.
+
+``DiscreteDvfs`` is constructed leniently (defective tables must not
+crash platform loading), so the ``PLAT005``–``PLAT007`` findings are
+the *only* place defects surface — these tests pin each defect class
+to its code.
+"""
+
+import pytest
+
+from repro.check import check_frequency_tables, check_platform
+from repro.ctg.minterms import CtgAnalysis
+from repro.platform import DiscreteDvfs, Platform, ProcessingElement
+from repro.workloads import cruise_ctg, cruise_platform
+
+
+def platform_with(frequency, min_speed=0.25):
+    pe = ProcessingElement("pe0", min_speed=min_speed, frequency=frequency)
+    return Platform([pe, ProcessingElement("pe1")])
+
+
+class TestCheckFrequencyTables:
+    def test_continuous_pes_are_silent(self):
+        platform = Platform([ProcessingElement("pe0"), ProcessingElement("pe1")])
+        assert check_frequency_tables(platform) == []
+
+    def test_well_formed_table_is_silent(self):
+        platform = platform_with(DiscreteDvfs((0.25, 0.5, 0.75, 1.0)))
+        assert check_frequency_tables(platform) == []
+
+    def test_speed_levels_path_is_silent(self):
+        # the strict constructor path cannot produce a defective table
+        pe = ProcessingElement("pe0", speed_levels=(0.25, 0.5, 1.0))
+        assert check_frequency_tables(Platform([pe])) == []
+
+    def test_empty_table_plat005(self):
+        findings = check_frequency_tables(platform_with(DiscreteDvfs(())))
+        assert [d.code for d in findings] == ["PLAT005"]
+        assert findings[0].subject == "pe0"
+
+    def test_unsorted_table_plat006(self):
+        findings = check_frequency_tables(
+            platform_with(DiscreteDvfs((0.5, 0.25, 1.0)))
+        )
+        assert "PLAT006" in [d.code for d in findings]
+
+    def test_duplicate_level_plat006(self):
+        findings = check_frequency_tables(
+            platform_with(DiscreteDvfs((0.25, 0.5, 0.5, 1.0)))
+        )
+        codes = [d.code for d in findings]
+        assert codes == ["PLAT006"]
+
+    def test_level_below_min_speed_plat007(self):
+        findings = check_frequency_tables(
+            platform_with(DiscreteDvfs((0.25, 1.0)), min_speed=0.5)
+        )
+        assert [d.code for d in findings] == ["PLAT007"]
+
+    def test_level_above_nominal_plat007(self):
+        findings = check_frequency_tables(
+            platform_with(DiscreteDvfs((0.5, 1.0, 1.25)))
+        )
+        assert [d.code for d in findings] == ["PLAT007"]
+        assert "1.25" in findings[0].message
+
+    def test_combined_defects_report_each_code(self):
+        findings = check_frequency_tables(
+            platform_with(DiscreteDvfs((1.5, 0.5, 1.0)))
+        )
+        codes = sorted(d.code for d in findings)
+        assert codes == ["PLAT006", "PLAT007"]
+
+    def test_capped_top_level_is_legal(self):
+        # a top level below 1.0 models escalation quantisation loss —
+        # deliberately NOT a defect
+        findings = check_frequency_tables(
+            platform_with(DiscreteDvfs((0.25, 0.5, 0.75)))
+        )
+        assert findings == []
+
+
+class TestCheckPlatformIntegration:
+    def test_defective_table_surfaces_through_check_platform(self):
+        ctg, platform = cruise_ctg(), cruise_platform()
+        names = platform.pe_names
+        bad = ProcessingElement(
+            names[0],
+            min_speed=platform.pe(names[0]).min_speed,
+            frequency=DiscreteDvfs(()),
+        )
+        rebuilt = Platform(
+            [bad] + [platform.pe(n) for n in names[1:]], dvfs=platform.dvfs
+        )
+        findings = check_platform(rebuilt, ctg)
+        assert any(d.code == "PLAT005" for d in findings)
+
+    def test_clean_platform_stays_clean(self):
+        ctg, platform = cruise_ctg(), cruise_platform()
+        CtgAnalysis.of(ctg)  # smoke: analysis does not disturb the checker
+        findings = check_platform(platform, ctg)
+        assert [d for d in findings if d.code.startswith("PLAT00")] == []
+
+
+def test_validate_mirrors_diagnostics():
+    """DiscreteDvfs.validate and the checker agree on defect presence."""
+    tables = [
+        (),
+        (0.25, 0.5, 1.0),
+        (0.5, 0.25, 1.0),
+        (0.25, 0.25, 1.0),
+        (0.1, 1.0),
+        (0.5, 1.2),
+    ]
+    for levels in tables:
+        model = DiscreteDvfs(levels)
+        via_validate = bool(model.validate(0.25))
+        via_checker = bool(check_frequency_tables(platform_with(model)))
+        assert via_validate == via_checker, levels

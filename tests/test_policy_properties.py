@@ -1,0 +1,140 @@
+"""Property-based invariants of the speed-policy families.
+
+Three contracts from ``docs/algorithms.md`` §6.6, on randomly
+generated instances:
+
+* **discrete safety** — a discrete-policy schedule only ever assigns
+  speeds that sit on the PE's usable level table, and quantising *up*
+  plus energy refinement never loses the deadline;
+* **preemptive dominance** — Leung–Tsui run-time slack reclamation
+  never consumes more energy than the static replay of the same
+  instance with the same actual execution times, and never finishes
+  later than its WCET budget allows;
+* **scalar/batch quantisation agreement** — ``quantize_speed`` (the
+  scalar rule the policy applies) and ``_clamp_speeds`` (the
+  vectorised kernel rule) are bit-identical on arbitrary inputs.
+"""
+
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch.kernels import _clamp_speeds
+from repro.check.tolerances import EXACT_EPS, TIME_EPS
+from repro.ctg import GeneratorConfig, enumerate_scenarios, generate_ctg
+from repro.platform import PlatformConfig, generate_platform
+from repro.scheduling import schedule_online, set_deadline_from_makespan
+from repro.scheduling.policies import (
+    DiscreteSpeedPolicy,
+    PreemptiveSpeedPolicy,
+    quantize_speed,
+)
+from repro.sim import InstanceExecutor
+
+
+def build_instance(nodes, branches, category, pes, seed, factor):
+    cfg = GeneratorConfig(
+        nodes=nodes, branch_nodes=branches, category=category, seed=seed
+    )
+    ctg = generate_ctg(cfg)
+    platform = generate_platform(ctg.tasks(), PlatformConfig(pes=pes, seed=seed))
+    set_deadline_from_makespan(ctg, platform, factor)
+    return ctg, platform
+
+
+def decisions_of(scenario, ctg):
+    vector = {}
+    for branch in ctg.branch_nodes():
+        chosen = scenario.product.label_for(branch)
+        vector[branch] = chosen if chosen is not None else ctg.outcomes_of(branch)[0]
+    return vector
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nodes=st.integers(12, 24),
+    branches=st.integers(1, 3),
+    category=st.sampled_from([1, 2]),
+    pes=st.integers(2, 4),
+    seed=st.integers(0, 300),
+    factor=st.floats(1.1, 2.0),
+)
+def test_discrete_speeds_sit_on_levels_and_keep_the_deadline(
+    nodes, branches, category, pes, seed, factor
+):
+    try:
+        ctg, platform = build_instance(nodes, branches, category, pes, seed, factor)
+    except ValueError:
+        return
+    policy = DiscreteSpeedPolicy()
+    result = schedule_online(ctg, platform, speed_policy=policy)
+    schedule = result.schedule
+    for task in schedule.placement_order():
+        placement = schedule.placement(task)
+        pe = platform.pe(placement.pe)
+        levels = policy.levels_for(pe)
+        assert any(
+            abs(placement.speed - level) <= EXACT_EPS for level in levels
+        ), (task, placement.speed, levels)
+    assert schedule.makespan() <= ctg.deadline + TIME_EPS
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    nodes=st.integers(12, 24),
+    branches=st.integers(1, 3),
+    category=st.sampled_from([1, 2]),
+    pes=st.integers(2, 4),
+    seed=st.integers(0, 300),
+    factor=st.floats(1.1, 2.0),
+)
+def test_preemptive_reclamation_never_increases_energy(
+    nodes, branches, category, pes, seed, factor
+):
+    try:
+        ctg, platform = build_instance(nodes, branches, category, pes, seed, factor)
+    except ValueError:
+        return
+    schedule = schedule_online(ctg, platform).schedule
+    rng = random.Random(seed)
+    ratios = {task: rng.uniform(0.2, 1.0) for task in ctg.tasks()}
+    static = InstanceExecutor(schedule)
+    reclaiming = InstanceExecutor(schedule, speed_policy=PreemptiveSpeedPolicy())
+    for scenario in enumerate_scenarios(ctg):
+        decisions = decisions_of(scenario, ctg)
+        base = static.run(decisions, work_ratios=ratios)
+        dyn = reclaiming.run(decisions, work_ratios=ratios)
+        assert dyn.energy <= base.energy * (1.0 + 1e-9) + 1e-9, scenario
+        # reclamation spends slack, never the deadline
+        if base.deadline_met:
+            assert dyn.deadline_met, scenario
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    speed=st.floats(0.0, 1.5, allow_nan=False),
+    min_speed=st.floats(0.05, 0.6),
+    table=st.lists(
+        st.floats(0.05, 1.0), min_size=1, max_size=6, unique=True
+    ),
+)
+def test_scalar_and_batch_quantisation_agree(speed, min_speed, table):
+    levels = tuple(sorted(table))
+    scalar = quantize_speed(speed, min_speed, levels)
+    batch = _clamp_speeds(
+        np.asarray([speed], dtype=float), min_speed, np.asarray(levels)
+    )
+    assert scalar == batch[0], (speed, min_speed, levels)
+
+
+def test_quantisation_examples_round_up():
+    levels = (0.25, 0.5, 0.75, 1.0)
+    assert quantize_speed(0.3, 0.25, levels) == 0.5
+    assert quantize_speed(0.5, 0.25, levels) == 0.5
+    assert quantize_speed(0.9, 0.25, levels) == 1.0
+    # above the table: capped at the top level
+    assert quantize_speed(1.2, 0.25, (0.25, 0.5)) == 0.5
+    # below the floor: the envelope clamp applies first
+    assert quantize_speed(0.1, 0.4, levels) == 0.5
