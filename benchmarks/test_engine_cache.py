@@ -68,3 +68,26 @@ def test_warm_cache_is_at_least_5x_faster(tmp_path, benchmark):
         f"warm cache only {cold_seconds / warm_seconds:.1f}x faster "
         f"(cold {cold_seconds:.2f}s, warm {warm_seconds:.2f}s)"
     )
+
+
+def test_streaming_peak_resident_is_bounded_by_the_window(tmp_path):
+    """The streaming engine's memory contract: however many cells the
+    sweep has and however the pool reorders completions, the reorder
+    buffer's high-water mark (the ``engine.stream.peak_resident``
+    counter) never exceeds the configured window."""
+    spec = sweep_spec(windows=(20,), thresholds=(0.5, 0.3, 0.2, 0.1), length=60)
+    assert len(spec.cells) >= 4
+    for window in (1, 2, 4):
+        report = run_spec(
+            spec,
+            jobs=4,
+            cache=CellCache(tmp_path / f"w{window}"),
+            reorder_window=window,
+        )
+        counters = report.engine_profile.counters
+        assert counters["engine.stream.peak_resident"] <= window, (
+            f"window {window}: peak resident "
+            f"{counters['engine.stream.peak_resident']} exceeds the bound"
+        )
+        assert counters["engine.stream.flushed"] == len(spec.cells)
+        assert report.stats.window == window

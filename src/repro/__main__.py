@@ -4,12 +4,18 @@ Usage
 -----
     python -m repro list
     python -m repro run table1 [table3 figure4 ...] | all
-        [--jobs N] [--cache-dir DIR] [--format text|json]
+        [--jobs N] [--cache-dir DIR | --cache URI] [--resume]
+        [--workers local|fleet] [--reorder-window N] [--format text|json]
         [--artifacts-dir DIR] [--smoke] [--policy continuous|discrete|...]
     python -m repro chaos [--smoke] [--gate] [--workloads mpeg ...]
         [--plans overrun ...] [--policies default none] [--length N]
-        [--jobs N] [--cache-dir DIR] [--format text|json]
-        [--artifacts-dir DIR] [--policy continuous|discrete|...]
+        [--jobs N] [--cache-dir DIR | --cache URI] [--resume]
+        [--workers local|fleet] [--format text|json]
+        [--artifacts-dir DIR] [--no-canonical]
+        [--policy continuous|discrete|...]
+    python -m repro cache stats|verify|prune|gc CACHE
+        [--older-than DAYS] [--keep-artifact FILE ...]
+    python -m repro worker
     python -m repro schedule INSTANCE.json [--deadline-factor 1.3] [--check]
         [--profile]
     python -m repro check INSTANCE.json|mpeg|cruise|wlan ... [--json]
@@ -21,8 +27,13 @@ Usage
 
 ``run`` regenerates the requested tables/figures through the
 experiment engine (:mod:`repro.experiments.engine`): cells fan out
-over ``--jobs`` worker processes, ``--cache-dir`` memoizes cell
-results on disk (a warm cache replays instantly), ``--format json``
+over ``--jobs`` worker processes on the ``--workers`` substrate
+(``local`` process pool, or a ``fleet`` of spawned ``repro worker``
+protocol subprocesses), ``--cache-dir DIR`` / ``--cache URI``
+memoizes cell results in a pluggable backend (``sqlite:results.db``
+selects the single-file SQLite store; a plain path the directory
+tree), ``--resume`` continues an interrupted sweep from whatever the
+cache already holds, ``--format json``
 prints the structured artifact instead of the rendered table,
 ``--artifacts-dir`` additionally writes one ``<experiment>.json``
 artifact per run, and ``--smoke`` shrinks every experiment to a
@@ -48,7 +59,13 @@ snapshot (see ``docs/observability.md``); ``run``/``chaos`` accept
 ``--trace-dir DIR`` to trace the engine run itself (one span per
 cell), and ``run``/``schedule`` accept ``--profile`` to print the
 stage-timing/counter table that previously was silently discarded;
-``demo`` schedules the paper's Figure-1 example.
+``cache`` inspects and maintains a cell cache under either backend
+(``stats``, ``verify``, age-based ``prune`` that never touches
+fingerprints referenced by ``--keep-artifact`` files, ``gc`` of
+corrupt entries and stray temp files); ``worker`` runs the fleet
+worker loop (cells in, payloads out over the length-prefixed
+stdin/stdout frame protocol — spawned by ``--workers fleet``, rarely
+by hand); ``demo`` schedules the paper's Figure-1 example.
 """
 
 from __future__ import annotations
@@ -226,6 +243,23 @@ POLICY_EXPERIMENTS: Dict[str, Callable[[bool, str], ExperimentSpec]] = {
 }
 
 
+def _cli_cache(args: argparse.Namespace):
+    """The cache selected by ``--cache``/``--cache-dir`` (or ``None``).
+
+    Raises
+    ------
+    repro.experiments.BackendError
+        When both flags are given, or the URI is malformed.
+    """
+    uri = getattr(args, "cache", None)
+    directory = getattr(args, "cache_dir", None)
+    if uri and directory:
+        raise experiments.BackendError(
+            "--cache and --cache-dir are mutually exclusive"
+        )
+    return experiments.resolve_cache(uri or directory)
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("available experiments:")
     for name in EXPERIMENTS:
@@ -269,7 +303,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-    cache = experiments.resolve_cache(args.cache_dir)
+    try:
+        cache = _cli_cache(args)
+    except experiments.BackendError as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        return 2
+    if args.resume and cache is None:
+        print("run: --resume requires --cache or --cache-dir", file=sys.stderr)
+        return 2
     artifacts_dir = Path(args.artifacts_dir) if args.artifacts_dir else None
     for name in names:
         if args.policy != "continuous":
@@ -281,7 +322,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             from .obs import Tracer
 
             tracer = Tracer()
-        report = experiments.run_spec(spec, jobs=args.jobs, cache=cache, tracer=tracer)
+        report = experiments.run_spec(
+            spec,
+            jobs=args.jobs,
+            cache=cache,
+            tracer=tracer,
+            workers=args.workers,
+            resume=args.resume,
+            reorder_window=args.reorder_window,
+        )
         if artifacts_dir is not None:
             write_artifact_path = experiments.write_artifact(
                 artifacts_dir, report, canonical=args.canonical
@@ -339,22 +388,44 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"chaos: {exc}", file=sys.stderr)
         return 2
-    cache = experiments.resolve_cache(args.cache_dir)
+    try:
+        cache = _cli_cache(args)
+    except experiments.BackendError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+    if args.resume and cache is None:
+        print("chaos: --resume requires --cache or --cache-dir", file=sys.stderr)
+        return 2
     tracer = None
     if args.trace_dir is not None:
         from .obs import Tracer
 
         tracer = Tracer()
-    report = experiments.run_spec(spec, jobs=args.jobs, cache=cache, tracer=tracer)
+    report = experiments.run_spec(
+        spec,
+        jobs=args.jobs,
+        cache=cache,
+        tracer=tracer,
+        workers=args.workers,
+        resume=args.resume,
+        reorder_window=args.reorder_window,
+    )
     if args.artifacts_dir is not None:
+        canonical = not args.no_canonical
         path = experiments.write_artifact(
-            args.artifacts_dir, report, canonical=True
+            args.artifacts_dir, report, canonical=canonical
         )
-        print(f"[canonical artifact written: {path}]", file=sys.stderr)
+        kind = "canonical artifact" if canonical else "artifact"
+        print(f"[{kind} written: {path}]", file=sys.stderr)
     if tracer is not None:
         _write_engine_trace(args.trace_dir, "chaos", report, tracer)
     if args.format == "json":
-        print(json.dumps(experiments.canonical_artifact_payload(report), indent=2))
+        build = (
+            experiments.artifact_payload
+            if args.no_canonical
+            else experiments.canonical_artifact_payload
+        )
+        print(json.dumps(build(report), indent=2))
     else:
         print(report.result.format())
     if args.gate:
@@ -376,6 +447,72 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+#: Seconds per day, for ``repro cache prune --older-than DAYS``.
+_DAY_SECONDS = 86400.0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """``repro cache stats|verify|prune|gc`` against either backend."""
+    try:
+        store = experiments.resolve_cache(args.store)
+    except experiments.BackendError as exc:
+        print(f"cache: {exc}", file=sys.stderr)
+        return 2
+    keep = set()
+    for artifact_path in args.keep_artifact or ():
+        try:
+            artifact = experiments.load_artifact(artifact_path)
+        except (OSError, ValueError) as exc:
+            print(f"cache: cannot read {artifact_path}: {exc}", file=sys.stderr)
+            return 2
+        keep |= {cell["fingerprint"] for cell in artifact["cells"]}
+    try:
+        if args.action == "stats":
+            fingerprints = store.fingerprints()
+            print(f"backend:  {store.describe()}")
+            print(f"entries:  {len(fingerprints)}")
+            print(f"size:     {store.backend.size_bytes()} bytes")
+            return 0
+        if args.action == "verify":
+            checked, corrupt = store.verify()
+            print(f"checked {checked} entr{'y' if checked == 1 else 'ies'}: "
+                  f"{len(corrupt)} corrupt")
+            for fp in corrupt:
+                print(f"corrupt: {fp}")
+            return 1 if corrupt else 0
+        if args.action == "prune":
+            if args.older_than is None:
+                print(
+                    "cache: prune requires --older-than DAYS "
+                    "(0 evicts every unprotected entry)",
+                    file=sys.stderr,
+                )
+                return 2
+            removed = store.prune(
+                older_than_seconds=args.older_than * _DAY_SECONDS, keep=keep
+            )
+            protected = f", {len(keep)} protected" if keep else ""
+            print(f"pruned {len(removed)} entr{'y' if len(removed) == 1 else 'ies'}"
+                  f"{protected}")
+            return 0
+        counts = store.gc()
+        print(
+            f"gc: removed {counts['corrupt_removed']} corrupt entr"
+            f"{'y' if counts['corrupt_removed'] == 1 else 'ies'}, "
+            f"{counts['tmp_removed']} stray temp file(s)"
+        )
+        return 0
+    finally:
+        store.close()
+
+
+def _cmd_worker(_args: argparse.Namespace) -> int:
+    """``repro worker``: the fleet-subprocess frame-protocol loop."""
+    from .experiments.workers import worker_main
+
+    return worker_main(sys.stdin.buffer, sys.stdout.buffer)
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
@@ -650,6 +787,35 @@ def main(argv=None) -> int:
         "omit to disable caching",
     )
     run.add_argument(
+        "--cache",
+        default=None,
+        metavar="URI",
+        help="cache backend URI: a plain directory path, dir:PATH, or "
+        "sqlite:PATH (single-file store); mutually exclusive with "
+        "--cache-dir",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted sweep: cells already in the cache "
+        "are skipped (requires --cache or --cache-dir)",
+    )
+    run.add_argument(
+        "--workers",
+        choices=("local", "fleet", "subprocess-fleet"),
+        default="local",
+        help="dispatch substrate for cache-missing cells: a local process "
+        "pool, or a fleet of spawned 'repro worker' subprocesses",
+    )
+    run.add_argument(
+        "--reorder-window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound on in-flight cells / resident out-of-order results "
+        "(default: 1 serial, max(8, 2*jobs) parallel)",
+    )
+    run.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
@@ -731,6 +897,33 @@ def main(argv=None) -> int:
     chaos.add_argument("--jobs", type=int, default=None, metavar="N")
     chaos.add_argument("--cache-dir", default=None, metavar="DIR")
     chaos.add_argument(
+        "--cache",
+        default=None,
+        metavar="URI",
+        help="cache backend URI (dir:PATH or sqlite:PATH); mutually "
+        "exclusive with --cache-dir",
+    )
+    chaos.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted matrix from the cache "
+        "(requires --cache or --cache-dir)",
+    )
+    chaos.add_argument(
+        "--workers",
+        choices=("local", "fleet", "subprocess-fleet"),
+        default="local",
+        help="dispatch substrate for cache-missing cells",
+    )
+    chaos.add_argument(
+        "--reorder-window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound on in-flight cells (default: 1 serial, "
+        "max(8, 2*jobs) parallel)",
+    )
+    chaos.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
@@ -742,6 +935,12 @@ def main(argv=None) -> int:
         default=None,
         metavar="DIR",
         help="write the byte-stable canonical chaos.json artifact",
+    )
+    chaos.add_argument(
+        "--no-canonical",
+        action="store_true",
+        help="write/print the raw artifact instead of the canonical form "
+        "(keeps real cache statistics — used by the resume-smoke CI job)",
     )
     chaos.add_argument(
         "--smoke",
@@ -906,6 +1105,46 @@ def main(argv=None) -> int:
         help="emit the structured summary as JSON instead of text",
     )
     report.set_defaults(func=_cmd_report)
+
+    cache_verb = sub.add_parser(
+        "cache", help="inspect and maintain a cell cache (either backend)"
+    )
+    cache_verb.add_argument(
+        "action",
+        choices=("stats", "verify", "prune", "gc"),
+        help="stats: entry count + size; verify: scan for corrupt entries "
+        "(exit 1 on any); prune: age-based eviction; gc: drop corrupt "
+        "entries and stray temp files",
+    )
+    cache_verb.add_argument(
+        "store",
+        metavar="CACHE",
+        help="cache directory, dir:PATH, or sqlite:PATH",
+    )
+    cache_verb.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="prune: evict entries last written more than DAYS days ago "
+        "(0 evicts every unprotected entry)",
+    )
+    cache_verb.add_argument(
+        "--keep-artifact",
+        action="append",
+        default=None,
+        metavar="FILE",
+        help="never prune fingerprints referenced by this experiment "
+        "artifact (repeatable; protects live sweeps' entries)",
+    )
+    cache_verb.set_defaults(func=_cmd_cache)
+
+    worker = sub.add_parser(
+        "worker",
+        help="fleet worker loop: cells in, payloads out (frame protocol "
+        "on stdin/stdout; spawned by --workers fleet)",
+    )
+    worker.set_defaults(func=_cmd_worker)
 
     sub.add_parser("demo", help="schedule the paper's Figure-1 example").set_defaults(
         func=_cmd_demo

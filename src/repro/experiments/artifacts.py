@@ -7,13 +7,15 @@ instead.  One artifact = one experiment run:
 .. code-block:: text
 
     {
-      "schema": "repro.experiment/1",
+      "schema": "repro.experiment/3",
       "experiment": "table3",
       "package_version": "1.0.0",
       "jobs": 8,
       "seconds": 1.93,
-      "cache": {"enabled": true, "hits": 3, "misses": 0,
-                "corrupt": 0, "hit_rate": 1.0},
+      "cache": {"enabled": true, "backend": "dir:.repro-cache",
+                "hits": 3, "misses": 0, "corrupt": 0, "hit_rate": 1.0},
+      "engine": {"window": 16,
+                 "counters": {"engine.stream.flushed": 3, ...}},
       "cells": [
         {"key": "seq1", "params": {...}, "fingerprint": "ab12...",
          "cached": true, "seconds": 0.61, "values": {...},
@@ -27,8 +29,10 @@ instead.  One artifact = one experiment run:
 counts); ``cells[*].timing`` is the cell's wall-clock measurements —
 an explicitly non-canonical section (a cached cell replays the timings
 from when it actually computed, flagged by ``cached``, and the
-canonical form zeroes them); ``result`` is the reduced experiment
-dataclass with
+canonical form zeroes them); ``engine`` is the engine's own accounting
+(reorder window, ``cache.backend.*`` / ``engine.stream.*`` counters) —
+also non-canonical, since it varies with cache temperature and worker
+fan-out; ``result`` is the reduced experiment dataclass with
 tuples rendered as lists and non-string mapping keys stringified
 (thresholds ``0.5`` → ``"0.5"``).  The schema string is bumped on any
 incompatible change.
@@ -46,7 +50,10 @@ from .engine import ExperimentReport
 
 #: Artifact schema identifier; rev on incompatible layout changes.
 #: /2: cells gained the required non-canonical ``timing`` section.
-ARTIFACT_SCHEMA = "repro.experiment/2"
+#: /3: ``cache`` gained the required ``backend`` description and the
+#: required non-canonical ``engine`` section (reorder window + the
+#: engine's own counters) was added at top level.
+ARTIFACT_SCHEMA = "repro.experiment/3"
 
 #: Top-level keys every artifact must carry.
 _REQUIRED_KEYS = (
@@ -56,6 +63,7 @@ _REQUIRED_KEYS = (
     "jobs",
     "seconds",
     "cache",
+    "engine",
     "cells",
     "profile",
     "result",
@@ -71,7 +79,16 @@ _REQUIRED_CELL_KEYS = (
     "timing",
 )
 
-_REQUIRED_CACHE_KEYS = ("enabled", "hits", "misses", "corrupt", "hit_rate")
+_REQUIRED_CACHE_KEYS = (
+    "enabled",
+    "backend",
+    "hits",
+    "misses",
+    "corrupt",
+    "hit_rate",
+)
+
+_REQUIRED_ENGINE_KEYS = ("window", "counters")
 
 
 class ArtifactError(ValueError):
@@ -110,10 +127,15 @@ def artifact_payload(report: ExperimentReport) -> Dict[str, Any]:
         "seconds": stats.seconds,
         "cache": {
             "enabled": stats.cache_enabled,
+            "backend": stats.backend,
             "hits": stats.hits,
             "misses": stats.misses,
             "corrupt": stats.corrupt,
             "hit_rate": stats.hit_rate,
+        },
+        "engine": {
+            "window": stats.window,
+            "counters": dict(report.engine_profile.counters),
         },
         "cells": [
             {
@@ -142,20 +164,24 @@ def canonical_artifact_payload(report: ExperimentReport) -> Dict[str, Any]:
     ``jobs``, every profile timing (call/counter totals are
     deterministic and kept), every per-cell ``timing`` measurement, the
     spec's declared ``timing_keys`` wherever they appear inside
-    ``result``, and the cache statistics, and marks every cell
-    uncached.  Everything the experiment actually computed is
-    untouched.
+    ``result``, the cache statistics (backend description included —
+    dir and sqlite stores must yield identical canonical bytes), and
+    the whole ``engine`` section (its counters track cache temperature
+    and stream behaviour), and marks every cell uncached.  Everything
+    the experiment actually computed is untouched.
     """
     payload = artifact_payload(report)
     payload["jobs"] = 0
     payload["seconds"] = 0.0
     payload["cache"] = {
         "enabled": payload["cache"]["enabled"],
+        "backend": "",
         "hits": 0,
         "misses": 0,
         "corrupt": 0,
         "hit_rate": 0.0,
     }
+    payload["engine"] = {"window": 0, "counters": {}}
     for cell in payload["cells"]:
         cell["seconds"] = 0.0
         cell["cached"] = False
@@ -205,6 +231,13 @@ def validate_artifact(payload: Any) -> Dict[str, Any]:
         for key in _REQUIRED_CACHE_KEYS:
             if key not in cache:
                 problems.append(f"missing cache key {key!r}")
+    engine = payload.get("engine")
+    if not isinstance(engine, dict):
+        problems.append("'engine' must be an object")
+    else:
+        for key in _REQUIRED_ENGINE_KEYS:
+            if key not in engine:
+                problems.append(f"missing engine key {key!r}")
     cells = payload.get("cells")
     if not isinstance(cells, list):
         problems.append("'cells' must be a list")

@@ -1,0 +1,316 @@
+"""Pluggable storage backends for the content-addressed cell cache.
+
+:class:`~repro.experiments.cache.CellCache` owns the *entry*
+discipline — fingerprint addressing, the versioned JSON schema, the
+corrupt-entry-is-a-miss rule — while a :class:`CacheBackend` owns only
+the *bytes*: where one fingerprint's payload text lives and how it is
+replaced atomically.  Two implementations ship:
+
+:class:`DirBackend`
+    The original layout — one JSON file per entry under
+    ``<root>/<fp[:2]>/<fp>.json`` (two-level fan-out keeps directories
+    small), written atomically via a temp file + :func:`os.replace`.
+    Temp names carry the pid *and* a per-process atomic counter, so
+    concurrent threads of one process (worker pools) can never collide
+    on the same temp file.
+
+:class:`SqliteBackend`
+    A single-file SQLite store in WAL mode — one row per fingerprint,
+    upserted atomically.  WAL keeps concurrent readers unblocked while
+    one writer commits, and a killed process never leaves a torn row
+    behind (the journal is rolled back on the next open).
+
+Both backends are interchangeable under the cache: the engine's
+artifacts are byte-identical whichever one serves the entries (CI's
+``engine-smoke`` backend-parity leg asserts exactly that).
+
+Backend selection is URI-style: a plain path (or ``dir:PATH``) selects
+:class:`DirBackend`, ``sqlite:PATH`` selects :class:`SqliteBackend` —
+see :func:`parse_backend_uri` and the ``--cache`` CLI flag.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import sqlite3
+import threading
+import time
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple, Union
+
+
+class BackendError(RuntimeError):
+    """A cache backend cannot perform the requested operation."""
+
+
+class BackendReadError(BackendError):
+    """An entry is present but unreadable (treated as corrupt upstream)."""
+
+
+class CacheBackend(ABC):
+    """Storage interface of the cell cache.
+
+    Implementations store opaque payload *text* keyed by fingerprint;
+    everything about what that text means (schema, validation, stats)
+    lives in :class:`~repro.experiments.cache.CellCache`.
+    """
+
+    #: Short backend family name (``"dir"``, ``"sqlite"``).
+    kind: str = ""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human/URI-style description (``dir:/path``, ``sqlite:/db``)."""
+
+    @abstractmethod
+    def read(self, fp: str) -> Optional[str]:
+        """The stored payload text, or ``None`` when absent.
+
+        Raises
+        ------
+        BackendReadError
+            When an entry exists but cannot be read (upstream treats
+            this exactly like corrupt content: a counted miss).
+        """
+
+    @abstractmethod
+    def write(self, fp: str, text: str) -> Path:
+        """Atomically store ``text`` under ``fp``; returns the location
+        a reader could be pointed at (entry file, or the store file)."""
+
+    @abstractmethod
+    def contains(self, fp: str) -> bool:
+        """Whether an entry exists (no validation, no stats)."""
+
+    @abstractmethod
+    def fingerprints(self) -> Iterator[str]:
+        """Every stored fingerprint, in sorted order (deterministic)."""
+
+    @abstractmethod
+    def mtime(self, fp: str) -> Optional[float]:
+        """Last-write POSIX timestamp of one entry, or ``None``."""
+
+    @abstractmethod
+    def remove(self, fp: str) -> bool:
+        """Delete one entry; returns whether it existed."""
+
+    @abstractmethod
+    def size_bytes(self) -> int:
+        """Approximate on-disk footprint of the store."""
+
+    def tmp_garbage(self) -> List[Path]:
+        """Leftover temp files from killed writers (dir backend only)."""
+        return []
+
+    def close(self) -> None:
+        """Release any held resources (connections, handles)."""
+
+
+#: Per-process atomic counter folded into temp-file names; CPython's
+#: ``itertools.count`` advances under the GIL, so concurrent threads
+#: always draw distinct suffixes.
+_TMP_COUNTER = itertools.count()
+
+
+class DirBackend(CacheBackend):
+    """One JSON file per entry under a two-level fan-out tree."""
+
+    kind = "dir"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def describe(self) -> str:
+        return f"dir:{self.root}"
+
+    def path_for(self, fp: str) -> Path:
+        """On-disk location of one fingerprint's entry."""
+        return self.root / fp[:2] / f"{fp}.json"
+
+    def read(self, fp: str) -> Optional[str]:
+        try:
+            return self.path_for(fp).read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except (OSError, UnicodeDecodeError) as exc:
+            raise BackendReadError(f"unreadable cache entry {fp}: {exc}") from exc
+
+    def write(self, fp: str, text: str) -> Path:
+        path = self.path_for(fp)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(
+            f"{path.name}.tmp{os.getpid()}-{next(_TMP_COUNTER)}"
+        )
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    def contains(self, fp: str) -> bool:
+        return self.path_for(fp).exists()
+
+    def fingerprints(self) -> Iterator[str]:
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                yield entry.stem
+
+    def mtime(self, fp: str) -> Optional[float]:
+        try:
+            return self.path_for(fp).stat().st_mtime
+        except OSError:
+            return None
+
+    def remove(self, fp: str) -> bool:
+        path = self.path_for(fp)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        return True
+
+    def size_bytes(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(
+            p.stat().st_size for p in sorted(self.root.rglob("*")) if p.is_file()
+        )
+
+    def tmp_garbage(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json.tmp*"))
+
+
+class SqliteBackend(CacheBackend):
+    """Single-file WAL-mode SQLite store, one upserted row per entry."""
+
+    kind = "sqlite"
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._conn: Optional[sqlite3.Connection] = None
+        self._lock = threading.RLock()
+
+    def describe(self) -> str:
+        return f"sqlite:{self.path}"
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # autocommit (isolation_level=None): each upsert is one
+            # atomic WAL commit; a kill -9 mid-put rolls back cleanly
+            conn = sqlite3.connect(
+                str(self.path), isolation_level=None, check_same_thread=False
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS entries ("
+                "  fingerprint TEXT PRIMARY KEY,"
+                "  payload TEXT NOT NULL,"
+                "  updated_at REAL NOT NULL"
+                ")"
+            )
+            self._conn = conn
+        return self._conn
+
+    def read(self, fp: str) -> Optional[str]:
+        with self._lock:
+            try:
+                row = self._connection().execute(
+                    "SELECT payload FROM entries WHERE fingerprint = ?", (fp,)
+                ).fetchone()
+            except sqlite3.Error as exc:
+                raise BackendReadError(
+                    f"unreadable sqlite cache entry {fp}: {exc}"
+                ) from exc
+        return None if row is None else row[0]
+
+    def write(self, fp: str, text: str) -> Path:
+        with self._lock:
+            try:
+                self._connection().execute(
+                    "INSERT INTO entries (fingerprint, payload, updated_at)"
+                    " VALUES (?, ?, ?)"
+                    " ON CONFLICT(fingerprint) DO UPDATE SET"
+                    "  payload = excluded.payload,"
+                    "  updated_at = excluded.updated_at",
+                    (fp, text, time.time()),
+                )
+            except sqlite3.Error as exc:
+                raise BackendError(
+                    f"cannot write sqlite cache entry {fp}: {exc}"
+                ) from exc
+        return self.path
+
+    def contains(self, fp: str) -> bool:
+        with self._lock:
+            try:
+                row = self._connection().execute(
+                    "SELECT 1 FROM entries WHERE fingerprint = ?", (fp,)
+                ).fetchone()
+            except sqlite3.Error:
+                return False
+        return row is not None
+
+    def fingerprints(self) -> Iterator[str]:
+        with self._lock:
+            rows = self._connection().execute(
+                "SELECT fingerprint FROM entries ORDER BY fingerprint"
+            ).fetchall()
+        for (fp,) in rows:
+            yield fp
+
+    def mtime(self, fp: str) -> Optional[float]:
+        with self._lock:
+            row = self._connection().execute(
+                "SELECT updated_at FROM entries WHERE fingerprint = ?", (fp,)
+            ).fetchone()
+        return None if row is None else float(row[0])
+
+    def remove(self, fp: str) -> bool:
+        with self._lock:
+            cursor = self._connection().execute(
+                "DELETE FROM entries WHERE fingerprint = ?", (fp,)
+            )
+        return cursor.rowcount > 0
+
+    def size_bytes(self) -> int:
+        total = 0
+        for suffix in ("", "-wal", "-shm"):
+            candidate = Path(str(self.path) + suffix)
+            if candidate.is_file():
+                total += candidate.stat().st_size
+        return total
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
+#: URI schemes :func:`parse_backend_uri` understands.
+BACKEND_SCHEMES: Tuple[str, ...] = ("dir", "sqlite")
+
+
+def parse_backend_uri(uri: Union[str, Path]) -> CacheBackend:
+    """A ready backend from a ``scheme:path`` string or a plain path.
+
+    ``sqlite:PATH`` selects :class:`SqliteBackend`; ``dir:PATH`` and
+    bare paths select :class:`DirBackend`.  Unknown schemes raise
+    :class:`BackendError` (a path containing ``:`` for other reasons
+    can always be spelled ``dir:that:path``).
+    """
+    if isinstance(uri, Path):
+        return DirBackend(uri)
+    scheme, sep, rest = uri.partition(":")
+    if sep and scheme in BACKEND_SCHEMES:
+        if not rest:
+            raise BackendError(f"cache URI {uri!r} has an empty path")
+        return SqliteBackend(rest) if scheme == "sqlite" else DirBackend(rest)
+    return DirBackend(uri)

@@ -1,4 +1,4 @@
-"""Content-addressed on-disk cache of experiment cell results.
+"""Content-addressed cache of experiment cell results.
 
 A cell's fingerprint (see :meth:`repro.experiments.spec.ExperimentSpec.
 fingerprint_of`) covers everything that determines its outcome: the
@@ -7,22 +7,51 @@ and the package version.  The cache therefore needs no invalidation
 protocol — a changed input simply addresses a different entry, and
 stale entries are garbage that never gets read.
 
-Entries are one JSON file each under ``<root>/<fp[:2]>/<fp>.json``
-(two-level fan-out keeps directories small), written atomically
-(temp file + :func:`os.replace`) so a killed run never leaves a
-half-written entry behind.  Reads are defensive: an unreadable,
-unparsable or schema-mismatched entry counts as ``corrupt`` and is
-treated as a miss — the engine recomputes the cell and overwrites the
-entry; corruption can never crash or poison a run.
+Storage is pluggable (:mod:`repro.experiments.backends`): the classic
+two-level-fanout directory tree (:class:`~repro.experiments.backends.
+DirBackend`) or a single-file WAL-mode SQLite store (:class:`~repro.
+experiments.backends.SqliteBackend`).  Writes are atomic under both, so
+a killed run never leaves a half-written entry behind — which is what
+makes interrupted sweeps resumable (``--resume``): completed cells are
+already durable, and the engine simply skips their fingerprints on the
+next run.
+
+Reads are defensive: an unreadable, unparsable or schema-mismatched
+entry counts as ``corrupt`` and is treated as a miss — the engine
+recomputes the cell and overwrites the entry; corruption (including a
+crash mid-``put`` under a non-atomic filesystem) can never crash or
+poison a run.
+
+Beyond ``get``/``put``, the cache exposes maintenance primitives for
+the ``repro cache`` CLI verb: :meth:`CellCache.verify` (scan for
+corrupt entries), :meth:`CellCache.prune` (age-based eviction that
+never touches a protected fingerprint set) and :meth:`CellCache.gc`
+(drop corrupt entries and stray temp files).
 """
 
 from __future__ import annotations
 
 import json
-import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import (
+    Any,
+    Collection,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from .backends import (
+    BackendError,
+    BackendReadError,
+    CacheBackend,
+    DirBackend,
+    parse_backend_uri,
+)
 
 #: Schema version of one cache entry; bumped on incompatible layout
 #: changes so old trees read as corrupt (→ recompute), not as garbage.
@@ -37,44 +66,76 @@ _REQUIRED_KEYS = ("entry_version", "fingerprint", "experiment", "key", "values")
 
 @dataclass
 class CacheStats:
-    """Lookup outcomes accumulated over a cache's lifetime."""
+    """Lookup/write outcomes accumulated over a cache's lifetime."""
 
     hits: int = 0
     misses: int = 0
     corrupt: int = 0
+    puts: int = 0
 
 
 class CellCache:
-    """Filesystem-backed store of :class:`CellResult` payloads.
+    """Backend-backed store of :class:`CellResult` payloads.
 
     Parameters
     ----------
     root:
-        Cache directory (created lazily on first write).
+        Cache directory (created lazily on first write) — the
+        historical constructor form, equivalent to passing
+        ``backend=DirBackend(root)``.
+    backend:
+        An explicit :class:`~repro.experiments.backends.CacheBackend`;
+        mutually exclusive with ``root``.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
-        self.root = Path(root)
+    def __init__(
+        self,
+        root: Union[None, str, Path] = None,
+        backend: Optional[CacheBackend] = None,
+    ) -> None:
+        if (root is None) == (backend is None):
+            raise BackendError("CellCache takes exactly one of root= or backend=")
+        self.backend: CacheBackend = (
+            backend if backend is not None else DirBackend(root)
+        )
         self.stats = CacheStats()
 
+    @property
+    def root(self) -> Path:
+        """The store's location (directory root, or the SQLite file)."""
+        return getattr(self.backend, "root", None) or getattr(self.backend, "path")
+
+    def describe(self) -> str:
+        """URI-style description of the underlying backend."""
+        return self.backend.describe()
+
     def path_for(self, fp: str) -> Path:
-        """On-disk location of one fingerprint's entry."""
-        return self.root / fp[:2] / f"{fp}.json"
+        """On-disk location of one fingerprint's entry (dir backend)."""
+        if isinstance(self.backend, DirBackend):
+            return self.backend.path_for(fp)
+        raise BackendError(
+            f"{self.backend.describe()} stores entries as rows, not files"
+        )
 
     def get(self, fp: str) -> Optional[Dict[str, Any]]:
         """The entry payload for a fingerprint, or ``None`` on miss.
 
-        Corrupted entries (unreadable file, invalid JSON, missing
+        Corrupted entries (unreadable storage, invalid JSON, missing
         schema keys, version or fingerprint mismatch) are counted on
         ``stats.corrupt`` and reported as a miss — never raised.
         """
-        path = self.path_for(fp)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except FileNotFoundError:
+            text = self.backend.read(fp)
+        except BackendReadError:
+            self.stats.corrupt += 1
             self.stats.misses += 1
             return None
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        if text is None:
+            self.stats.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+        except (json.JSONDecodeError, UnicodeDecodeError):
             self.stats.corrupt += 1
             self.stats.misses += 1
             return None
@@ -86,16 +147,86 @@ class CellCache:
         return payload
 
     def put(self, fp: str, payload: Dict[str, Any]) -> Path:
-        """Atomically persist one entry; returns its path."""
+        """Atomically persist one entry; returns its storage location."""
         entry = dict(payload)
         entry["entry_version"] = ENTRY_VERSION
         entry["fingerprint"] = fp
-        path = self.path_for(fp)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
-        os.replace(tmp, path)
+        path = self.backend.write(fp, json.dumps(entry, sort_keys=True))
+        self.stats.puts += 1
         return path
+
+    def contains(self, fp: str) -> bool:
+        """Whether an entry exists (no validation, no stats impact)."""
+        return self.backend.contains(fp)
+
+    def fingerprints(self) -> List[str]:
+        """Every stored fingerprint, sorted."""
+        return list(self.backend.fingerprints())
+
+    def verify(self) -> Tuple[int, List[str]]:
+        """Scan every entry; returns ``(checked, corrupt_fingerprints)``.
+
+        Unlike :meth:`get`, verification leaves ``stats`` untouched —
+        it inspects, it does not consume.
+        """
+        corrupt: List[str] = []
+        checked = 0
+        for fp in self.backend.fingerprints():
+            checked += 1
+            try:
+                text = self.backend.read(fp)
+                payload = None if text is None else json.loads(text)
+            except (BackendReadError, json.JSONDecodeError, UnicodeDecodeError):
+                corrupt.append(fp)
+                continue
+            if not self._well_formed(payload, fp):
+                corrupt.append(fp)
+        return checked, corrupt
+
+    def prune(
+        self,
+        older_than_seconds: Optional[float] = None,
+        keep: Collection[str] = (),
+    ) -> List[str]:
+        """Evict entries by age; returns the removed fingerprints.
+
+        ``older_than_seconds=None`` removes every unprotected entry.
+        Fingerprints in ``keep`` (e.g. a live sweep's fingerprint set,
+        or the cells of a published artifact) are never touched,
+        whatever their age.
+        """
+        cutoff = (
+            None if older_than_seconds is None else time.time() - older_than_seconds
+        )
+        protected = set(keep)
+        removed: List[str] = []
+        for fp in list(self.backend.fingerprints()):
+            if fp in protected:
+                continue
+            if cutoff is not None:
+                mtime = self.backend.mtime(fp)
+                if mtime is not None and mtime >= cutoff:
+                    continue
+            if self.backend.remove(fp):
+                removed.append(fp)
+        return removed
+
+    def gc(self) -> Dict[str, int]:
+        """Drop corrupt entries and stray temp files; returns counts."""
+        _checked, corrupt = self.verify()
+        for fp in corrupt:
+            self.backend.remove(fp)
+        tmp_files = self.backend.tmp_garbage()
+        for tmp in tmp_files:
+            try:
+                tmp.unlink()
+            except FileNotFoundError:
+                pass
+        return {"corrupt_removed": len(corrupt), "tmp_removed": len(tmp_files)}
+
+    def close(self) -> None:
+        """Release backend resources (SQLite connection handles)."""
+        self.backend.close()
 
     @staticmethod
     def _well_formed(payload: Any, fp: str) -> bool:
@@ -111,9 +242,17 @@ class CellCache:
 
 
 def resolve_cache(
-    cache: Union[None, str, Path, CellCache],
+    cache: Union[None, str, Path, CacheBackend, CellCache],
 ) -> Optional[CellCache]:
-    """Normalise the engine's ``cache`` argument (path or instance)."""
+    """Normalise the engine's ``cache`` argument.
+
+    Accepts ``None`` (caching off), a ready :class:`CellCache`, a bare
+    :class:`~repro.experiments.backends.CacheBackend`, a directory
+    path, or a ``scheme:path`` URI (``sqlite:results.db``,
+    ``dir:.repro-cache``).
+    """
     if cache is None or isinstance(cache, CellCache):
         return cache
-    return CellCache(cache)
+    if isinstance(cache, CacheBackend):
+        return CellCache(backend=cache)
+    return CellCache(backend=parse_backend_uri(cache))

@@ -1,41 +1,66 @@
-"""The parallel, cached experiment engine.
+"""The parallel, cached, streaming experiment engine.
 
 :func:`run_spec` executes one :class:`~repro.experiments.spec.
 ExperimentSpec`:
 
 1. every cell is fingerprinted and looked up in the (optional)
-   content-addressed :class:`~repro.experiments.cache.CellCache`;
-2. the missing cells are computed — inline for ``jobs == 1`` (or a
-   single miss), otherwise fanned out over a
-   :class:`concurrent.futures.ProcessPoolExecutor`;
-3. results are reassembled **in declaration order** (regardless of
-   completion order), newly computed cells are written back to the
-   cache, each cell's :class:`~repro.profiling.StageProfiler` snapshot
-   is merged into a run-level aggregate, and the spec's reducer folds
-   the cell results into the experiment's table/figure dataclass.
+   content-addressed :class:`~repro.experiments.cache.CellCache`
+   (dir or SQLite backend — see :mod:`repro.experiments.backends`);
+2. the missing cells are dispatched to a
+   :class:`~repro.experiments.workers.WorkerPool` — inline for
+   ``jobs == 1``, a ``ProcessPoolExecutor`` for ``workers="local"``,
+   or spawned ``python -m repro worker`` frame-protocol processes for
+   ``workers="fleet"``;
+3. completions are **streamed through a bounded reorder buffer** back
+   into declaration order: each result is written to the cache the
+   moment it arrives (so a killed run loses at most the in-flight
+   cells — the basis of ``--resume``), and at most ``reorder_window``
+   out-of-order payloads are ever resident, not the whole cell list;
+4. each cell's :class:`~repro.profiling.StageProfiler` snapshot is
+   merged into a run-level aggregate, and the spec's reducer folds the
+   declaration-ordered cell results into the experiment's table/figure
+   dataclass.
 
 Cells are pure functions of their parameters (see ``spec.py``), so the
-reduced result is bit-identical at any ``jobs`` value and on warm or
-cold caches; only the wall-clock changes.
+reduced result is bit-identical at any ``jobs`` value, on any worker
+substrate, at any reorder-window size, and on warm or cold caches;
+only the wall-clock changes.  The engine's own accounting (cache
+backend traffic, stream behaviour) lands on
+:attr:`ExperimentReport.engine_profile` under the declared
+``cache.backend.*`` / ``engine.stream.*`` counter vocabulary — kept
+separate from the cells' aggregate profile precisely because it *does*
+depend on cache temperature and completion order, which canonical
+artifacts must not.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..obs.trace import Tracer, as_tracer
 from ..profiling import StageProfiler
+from .backends import CacheBackend
 from .cache import CellCache, resolve_cache
-from .spec import CellFunction, CellResult, ExperimentSpec
+from .spec import CellResult, ExperimentSpec
+from .workers import (
+    EngineError,
+    WorkerPool,
+    execute_cell as _execute_cell,
+    require_parallelisable as _require_parallelisable,
+    resolve_pool,
+)
 
-
-class EngineError(RuntimeError):
-    """The engine cannot execute a spec as requested."""
+__all__ = [
+    "EngineError",
+    "EngineStats",
+    "ExperimentReport",
+    "run_spec",
+    "stream_reorder",
+]
 
 
 @dataclass
@@ -49,6 +74,9 @@ class EngineStats:
     jobs: int = 1
     seconds: float = 0.0
     cache_enabled: bool = False
+    backend: str = ""
+    resumed: int = 0
+    window: int = 1
 
     @property
     def hit_rate(self) -> float:
@@ -71,6 +99,12 @@ class ExperimentReport:
     profile:
         Aggregate of every cell's stage timings/counters (cached cells
         contribute their snapshot from compute time).
+    engine_profile:
+        The engine's *own* counters (``cache.backend.*``,
+        ``engine.stream.*``) — deliberately not merged into ``profile``
+        because they vary with cache temperature, worker count and
+        completion order, which the jobs-invariant canonical outputs
+        must never see.
     stats:
         Cache and parallelism accounting for this run.
     spec:
@@ -81,6 +115,7 @@ class ExperimentReport:
     result: Any
     cells: List[CellResult] = field(default_factory=list)
     profile: StageProfiler = field(default_factory=StageProfiler)
+    engine_profile: StageProfiler = field(default_factory=StageProfiler)
     stats: EngineStats = field(default_factory=EngineStats)
     spec: Optional[ExperimentSpec] = None
 
@@ -106,39 +141,62 @@ class ExperimentReport:
         )
 
 
-def _execute_cell(cell_function: CellFunction, params: Dict[str, Any]) -> Dict[str, Any]:
-    """Run one cell function and normalise its payload (worker entry)."""
-    started = time.perf_counter()
-    payload = cell_function(dict(params))
-    elapsed = time.perf_counter() - started
-    if not isinstance(payload, dict) or "values" not in payload:
-        raise EngineError(
-            f"cell function {getattr(cell_function, '__name__', cell_function)!r} "
-            "must return a dict with a 'values' key"
-        )
-    out = dict(payload)
-    out.setdefault("profile", {})
-    out.setdefault("timing", {})
-    out["seconds"] = elapsed
-    return out
+def stream_reorder(
+    pool: WorkerPool,
+    work: Sequence[Tuple[int, Dict[str, Any]]],
+    window: int,
+    stream_stats: Dict[str, int],
+) -> Iterator[Tuple[int, Dict[str, Any]]]:
+    """Stream pool completions back into submission order.
+
+    ``work`` is a sequence of ``(tag, params)`` pairs; payloads are
+    yielded as ``(tag, payload)`` in exactly that order, whatever order
+    the pool completes them in.  At most ``window`` cells are in flight
+    (submitted but not yet yielded), so the reorder buffer — and with
+    it the engine's peak resident payload count — is bounded by the
+    window, not by ``len(work)``.  ``stream_stats`` accumulates
+    ``flushed`` (payloads yielded) and ``peak_resident`` (high-water
+    mark of completed payloads held at once, the yielding one
+    included); ``tests/test_streaming.py`` property-tests both against
+    adversarial completion orders.
+    """
+    if window < 1:
+        raise EngineError(f"reorder window must be >= 1, got {window}")
+    buffer: Dict[int, Dict[str, Any]] = {}
+    submitted = 0
+    next_slot = 0
+    while next_slot < len(work):
+        while submitted < len(work) and submitted - next_slot < window:
+            tag, params = work[submitted]
+            pool.submit(submitted, params)
+            submitted += 1
+        if next_slot not in buffer:
+            slot, payload = pool.ready()
+            buffer[slot] = payload
+            stream_stats["peak_resident"] = max(
+                stream_stats.get("peak_resident", 0), len(buffer)
+            )
+            continue
+        payload = buffer.pop(next_slot)
+        stream_stats["flushed"] = stream_stats.get("flushed", 0) + 1
+        yield work[next_slot][0], payload
+        next_slot += 1
 
 
-def _require_parallelisable(cell_function: CellFunction) -> None:
-    """Fail early (and clearly) on cell functions workers cannot import."""
-    qualname = getattr(cell_function, "__qualname__", "")
-    if getattr(cell_function, "__name__", "") == "<lambda>" or "<locals>" in qualname:
-        raise EngineError(
-            f"cell function {qualname or cell_function!r} must be a "
-            "module-level function to run with jobs > 1 (worker processes "
-            "import it by name)"
-        )
+def _default_window(jobs: int) -> int:
+    """Serial runs flush strictly; fan-out gets 2× jobs of slack so a
+    straggler never idles the pool while staying O(jobs), not O(cells)."""
+    return 1 if jobs <= 1 else max(8, 2 * jobs)
 
 
 def run_spec(
     spec: ExperimentSpec,
     jobs: Optional[int] = None,
-    cache: Union[None, str, Path, CellCache] = None,
+    cache: Union[None, str, Path, CacheBackend, CellCache] = None,
     tracer: Optional[Tracer] = None,
+    workers: str = "local",
+    resume: bool = False,
+    reorder_window: Optional[int] = None,
 ) -> ExperimentReport:
     """Execute a spec; see the module docstring for the pipeline.
 
@@ -151,7 +209,9 @@ def run_spec(
         ``os.cpu_count()``.  ``1`` computes inline (no pool), which is
         also used when at most one cell misses.
     cache:
-        ``None`` (no caching), a directory path, or a ready
+        ``None`` (no caching), a directory path, a ``scheme:path``
+        backend URI (``sqlite:results.db``), a bare
+        :class:`~repro.experiments.backends.CacheBackend`, or a ready
         :class:`CellCache`.
     tracer:
         Optional :class:`~repro.obs.trace.Tracer`: the engine records
@@ -161,16 +221,44 @@ def run_spec(
         rendered timeline and the canonical metrics snapshot are
         identical at every ``jobs`` value, exactly like the reduced
         result.
+    workers:
+        Dispatch substrate for the fan-out: ``"local"`` (process pool)
+        or ``"fleet"`` (spawned ``repro worker`` subprocesses over the
+        frame protocol).  Irrelevant at ``jobs == 1``.
+    resume:
+        Declare this run the continuation of an interrupted sweep:
+        requires a cache, and reports the cells skipped via warm
+        entries on ``stats.resumed`` / ``engine.stream.resumed``.
+        Execution is unchanged — resumability *is* the cache contract
+        (completed cells are durable before the run ends; corrupt
+        mid-``put`` tails recompute).
+    reorder_window:
+        Bound on in-flight cells (and therefore on resident
+        out-of-order payloads); ``None`` picks 1 for serial runs and
+        ``max(8, 2 * jobs)`` otherwise.
     """
     started = time.perf_counter()
     effective_jobs = os.cpu_count() or 1 if jobs is None else int(jobs)
     if effective_jobs < 1:
         raise EngineError(f"jobs must be >= 1, got {effective_jobs}")
     store = resolve_cache(cache)
+    if resume and store is None:
+        raise EngineError("resume needs a cache to resume from")
+    window = (
+        _default_window(effective_jobs)
+        if reorder_window is None
+        else int(reorder_window)
+    )
+    if window < 1:
+        raise EngineError(f"reorder window must be >= 1, got {window}")
 
     fingerprints = [spec.fingerprint_of(cell) for cell in spec.cells]
     results: List[Optional[CellResult]] = [None] * len(spec.cells)
-    corrupt_before = store.stats.corrupt if store else 0
+    stats_before = (
+        (store.stats.hits, store.stats.misses, store.stats.corrupt, store.stats.puts)
+        if store
+        else (0, 0, 0, 0)
+    )
 
     pending: List[int] = []
     for i, (cell, fp) in enumerate(zip(spec.cells, fingerprints)):
@@ -192,33 +280,38 @@ def run_spec(
             cached=True,
         )
 
+    stream_stats: Dict[str, int] = {"flushed": 0, "peak_resident": 0}
     if pending:
-        payloads = _compute_cells(spec, pending, effective_jobs)
-        for i, payload in zip(pending, payloads):
-            cell = spec.cells[i]
-            result = CellResult(
-                key=cell.key,
-                params=dict(cell.params),
-                values=payload["values"],
-                profile=payload.get("profile") or {},
-                timing=payload.get("timing") or {},
-                seconds=payload["seconds"],
-                fingerprint=fingerprints[i],
-                cached=False,
-            )
-            results[i] = result
-            if store is not None:
-                store.put(
-                    fingerprints[i],
-                    {
-                        "experiment": spec.name,
-                        "key": result.key,
-                        "values": result.values,
-                        "profile": result.profile,
-                        "timing": result.timing,
-                        "seconds": result.seconds,
-                    },
+        work = [(i, dict(spec.cells[i].params)) for i in pending]
+        pool_jobs = min(effective_jobs, len(pending)) if len(pending) > 1 else 1
+        with resolve_pool(workers, spec.cell_function, pool_jobs) as pool:
+            for i, payload in stream_reorder(pool, work, window, stream_stats):
+                cell = spec.cells[i]
+                result = CellResult(
+                    key=cell.key,
+                    params=dict(cell.params),
+                    values=payload["values"],
+                    profile=payload.get("profile") or {},
+                    timing=payload.get("timing") or {},
+                    seconds=payload["seconds"],
+                    fingerprint=fingerprints[i],
+                    cached=False,
                 )
+                results[i] = result
+                # durable the moment it exists: an interrupted sweep
+                # keeps every flushed cell, which is what --resume skips
+                if store is not None:
+                    store.put(
+                        fingerprints[i],
+                        {
+                            "experiment": spec.name,
+                            "key": result.key,
+                            "values": result.values,
+                            "profile": result.profile,
+                            "timing": result.timing,
+                            "seconds": result.seconds,
+                        },
+                    )
 
     cell_results = [r for r in results if r is not None]
     aggregate = StageProfiler()
@@ -241,43 +334,41 @@ def run_spec(
             cursor += result.seconds
 
     reduced = spec.reducer(cell_results)
+    hits = len(spec.cells) - len(pending)
     stats = EngineStats(
         cells=len(spec.cells),
-        hits=len(spec.cells) - len(pending),
+        hits=hits,
         misses=len(pending),
-        corrupt=(store.stats.corrupt - corrupt_before) if store else 0,
+        corrupt=(store.stats.corrupt - stats_before[2]) if store else 0,
         jobs=effective_jobs,
         seconds=time.perf_counter() - started,
         cache_enabled=store is not None,
+        backend=store.describe() if store else "",
+        resumed=hits if resume else 0,
+        window=window,
     )
+
+    engine_profile = StageProfiler()
+    engine_profile.count("engine.stream.flushed", stream_stats["flushed"])
+    engine_profile.count("engine.stream.peak_resident", stream_stats["peak_resident"])
+    if resume:
+        engine_profile.count("engine.stream.resumed", stats.resumed)
+    if store is not None:
+        engine_profile.count("cache.backend.hit", store.stats.hits - stats_before[0])
+        engine_profile.count(
+            "cache.backend.miss", store.stats.misses - stats_before[1]
+        )
+        engine_profile.count(
+            "cache.backend.corrupt", store.stats.corrupt - stats_before[2]
+        )
+        engine_profile.count("cache.backend.put", store.stats.puts - stats_before[3])
+
     return ExperimentReport(
         name=spec.name,
         result=reduced,
         cells=cell_results,
         profile=aggregate,
+        engine_profile=engine_profile,
         stats=stats,
         spec=spec,
     )
-
-
-def _compute_cells(
-    spec: ExperimentSpec, pending: List[int], jobs: int
-) -> List[Dict[str, Any]]:
-    """Compute the cache-missing cells, inline or on a process pool.
-
-    Returns payloads in ``pending`` order — submission order, not
-    completion order — so downstream reduction is deterministic.
-    """
-    if jobs <= 1 or len(pending) <= 1:
-        return [
-            _execute_cell(spec.cell_function, dict(spec.cells[i].params))
-            for i in pending
-        ]
-    _require_parallelisable(spec.cell_function)
-    workers = min(jobs, len(pending))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(_execute_cell, spec.cell_function, dict(spec.cells[i].params))
-            for i in pending
-        ]
-        return [future.result() for future in futures]

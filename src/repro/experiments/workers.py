@@ -1,0 +1,352 @@
+"""Worker dispatch for the experiment engine.
+
+The engine used to call :class:`concurrent.futures.ProcessPoolExecutor`
+directly; this module factors that call behind a :class:`WorkerPool`
+interface so cells can be dispatched to different execution substrates
+without the streaming/reduction logic knowing which one it talks to:
+
+:class:`SerialPool`
+    Inline execution in the calling process — ``jobs == 1`` and the
+    single-miss fast path.
+
+:class:`LocalProcessPool`
+    Today's behaviour: a :class:`~concurrent.futures.
+    ProcessPoolExecutor` fan-out over fork/spawn workers.
+
+:class:`SubprocessFleetPool`
+    ``N`` spawned ``python -m repro worker`` processes, each a loop
+    over a length-prefixed JSON frame protocol on stdin/stdout
+    (:func:`write_frame` / :func:`read_frame` / :func:`worker_main`).
+    The parent owns the cache backend and writes entries as results
+    stream back, so fleet workers need no cache access at all.  This
+    protocol seam is what a future scheduler service reuses to talk to
+    remote workers over sockets instead of pipes.
+
+A pool is a small three-call surface: :meth:`WorkerPool.submit` tags a
+cell's parameters, :meth:`WorkerPool.ready` blocks for *any* finished
+cell and returns ``(tag, payload)``, :meth:`WorkerPool.close` tears the
+substrate down.  Completion order is explicitly unspecified — the
+engine's reorder buffer (see :mod:`repro.experiments.engine`) restores
+declaration order, which is also what makes the pools property-testable
+with adversarial completion orders.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import struct
+import subprocess
+import sys
+import time
+from abc import ABC, abstractmethod
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from queue import Queue
+from typing import Any, BinaryIO, Callable, Dict, List, Optional, Tuple
+
+
+class EngineError(RuntimeError):
+    """The engine cannot execute a spec as requested.
+
+    Defined here (the lowest layer that raises it) and re-exported by
+    :mod:`repro.experiments.engine`, its historical home.
+    """
+
+
+def execute_cell(
+    cell_function: Callable[[Dict[str, Any]], Dict[str, Any]],
+    params: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Run one cell function and normalise its payload (worker entry)."""
+    started = time.perf_counter()
+    payload = cell_function(dict(params))
+    elapsed = time.perf_counter() - started
+    if not isinstance(payload, dict) or "values" not in payload:
+        raise EngineError(
+            f"cell function {getattr(cell_function, '__name__', cell_function)!r} "
+            "must return a dict with a 'values' key"
+        )
+    out = dict(payload)
+    out.setdefault("profile", {})
+    out.setdefault("timing", {})
+    out["seconds"] = elapsed
+    return out
+
+
+def require_parallelisable(cell_function: Callable) -> None:
+    """Fail early (and clearly) on cell functions workers cannot import."""
+    qualname = getattr(cell_function, "__qualname__", "")
+    if getattr(cell_function, "__name__", "") == "<lambda>" or "<locals>" in qualname:
+        raise EngineError(
+            f"cell function {qualname or cell_function!r} must be a "
+            "module-level function to run on worker processes (workers "
+            "import it by name)"
+        )
+
+
+def function_reference(cell_function: Callable) -> str:
+    """The ``module:qualname`` reference fleet workers import."""
+    require_parallelisable(cell_function)
+    module = getattr(cell_function, "__module__", None)
+    qualname = getattr(cell_function, "__qualname__", None)
+    if not module or not qualname:
+        raise EngineError(f"cell function {cell_function!r} has no importable name")
+    return f"{module}:{qualname}"
+
+
+def resolve_function(reference: str) -> Callable:
+    """Import a cell function back from its ``module:qualname`` form."""
+    module_name, sep, qualname = reference.partition(":")
+    if not sep or not module_name or not qualname:
+        raise EngineError(f"malformed function reference {reference!r}")
+    try:
+        obj: Any = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise EngineError(f"cannot import {reference!r}: {exc}") from exc
+    for part in qualname.split("."):
+        obj = getattr(obj, part, None)
+        if obj is None:
+            raise EngineError(f"{reference!r} does not name an attribute")
+    if not callable(obj):
+        raise EngineError(f"{reference!r} is not callable")
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Length-prefixed JSON frame protocol (fleet workers)
+# ----------------------------------------------------------------------
+#: Frame size limit — a corrupted length prefix must not make the
+#: parent attempt a multi-gigabyte read.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def write_frame(stream: BinaryIO, payload: Dict[str, Any]) -> None:
+    """Write one ``{4-byte big-endian length}{UTF-8 JSON}`` frame."""
+    data = json.dumps(payload, sort_keys=True).encode("utf-8")
+    stream.write(_LENGTH.pack(len(data)))
+    stream.write(data)
+    stream.flush()
+
+
+def read_frame(stream: BinaryIO) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF, raises on a torn frame."""
+    header = stream.read(_LENGTH.size)
+    if not header:
+        return None
+    if len(header) < _LENGTH.size:
+        raise EngineError("torn frame header (peer died mid-write)")
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise EngineError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    data = b""
+    while len(data) < length:
+        chunk = stream.read(length - len(data))
+        if not chunk:
+            raise EngineError("torn frame body (peer died mid-write)")
+        data += chunk
+    payload = json.loads(data.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise EngineError("frame payload must be a JSON object")
+    return payload
+
+
+def worker_main(stdin: BinaryIO, stdout: BinaryIO) -> int:
+    """The ``python -m repro worker`` loop: cells in, payloads out.
+
+    Each request frame is ``{"function": "module:qualname",
+    "params": {...}}``; the response echoes ``{"payload": {...}}`` or
+    ``{"error": "..."}``.  The loop ends on stdin EOF (the parent
+    closing the pipe is the shutdown signal).  Resolved functions are
+    memoised per reference, so a fleet worker pays the import once.
+    """
+    functions: Dict[str, Callable] = {}
+    while True:
+        request = read_frame(stdin)
+        if request is None:
+            return 0
+        try:
+            reference = request["function"]
+            if reference not in functions:
+                functions[reference] = resolve_function(reference)
+            payload = execute_cell(functions[reference], dict(request["params"]))
+            response = {"payload": payload}
+        except BaseException as exc:  # noqa: BLE001 - report, never die silently
+            response = {"error": f"{type(exc).__name__}: {exc}"}
+        write_frame(stdout, response)
+
+
+# ----------------------------------------------------------------------
+# Worker pools
+# ----------------------------------------------------------------------
+class WorkerPool(ABC):
+    """Execution substrate for cache-missing cells.
+
+    Tags are opaque to the pool; the engine uses submission positions.
+    ``ready`` may return completions in *any* order.
+    """
+
+    @abstractmethod
+    def submit(self, tag: int, params: Dict[str, Any]) -> None:
+        """Dispatch one cell's parameters under ``tag``."""
+
+    @abstractmethod
+    def ready(self) -> Tuple[int, Dict[str, Any]]:
+        """Block until any submitted cell finishes; ``(tag, payload)``."""
+
+    def close(self) -> None:
+        """Tear down the substrate (idempotent)."""
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+class SerialPool(WorkerPool):
+    """Inline execution: ``submit`` computes immediately, FIFO ``ready``."""
+
+    def __init__(self, cell_function: Callable) -> None:
+        self._cell_function = cell_function
+        self._done: deque = deque()
+
+    def submit(self, tag: int, params: Dict[str, Any]) -> None:
+        self._done.append((tag, execute_cell(self._cell_function, params)))
+
+    def ready(self) -> Tuple[int, Dict[str, Any]]:
+        if not self._done:
+            raise EngineError("ready() called on an empty serial pool")
+        return self._done.popleft()
+
+
+class _FuturePool(WorkerPool):
+    """Shared future-tracking logic of the process/fleet pools."""
+
+    def __init__(self) -> None:
+        self._futures: Dict[Future, int] = {}
+
+    @abstractmethod
+    def _dispatch(self, params: Dict[str, Any]) -> Future:
+        """Start one cell; returns its future."""
+
+    def submit(self, tag: int, params: Dict[str, Any]) -> None:
+        self._futures[self._dispatch(params)] = tag
+
+    def ready(self) -> Tuple[int, Dict[str, Any]]:
+        if not self._futures:
+            raise EngineError("ready() called with no outstanding cells")
+        done, _pending = wait(self._futures, return_when=FIRST_COMPLETED)
+        # earliest-submitted finished future first: deterministic under
+        # simultaneous completion (dict preserves submission order)
+        future = next(f for f in self._futures if f in done)
+        tag = self._futures.pop(future)
+        return tag, future.result()
+
+
+class LocalProcessPool(_FuturePool):
+    """The classic ``ProcessPoolExecutor`` fan-out."""
+
+    def __init__(self, cell_function: Callable, workers: int) -> None:
+        super().__init__()
+        require_parallelisable(cell_function)
+        self._cell_function = cell_function
+        self._executor = ProcessPoolExecutor(max_workers=workers)
+
+    def _dispatch(self, params: Dict[str, Any]) -> Future:
+        return self._executor.submit(execute_cell, self._cell_function, params)
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
+class SubprocessFleetPool(_FuturePool):
+    """``N`` spawned ``python -m repro worker`` frame-protocol processes.
+
+    Dispatch threads (one per worker) each borrow an idle worker
+    process from a queue, do one blocking request/response round-trip,
+    and return it — so the synchronous protocol code stays trivial
+    while completions still arrive as futures in any order.
+    """
+
+    def __init__(self, cell_function: Callable, workers: int) -> None:
+        super().__init__()
+        self._reference = function_reference(cell_function)
+        self._processes: List[subprocess.Popen] = []
+        self._idle: "Queue[subprocess.Popen]" = Queue()
+        for _ in range(workers):
+            process = subprocess.Popen(
+                [sys.executable, "-m", "repro", "worker"],
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+            )
+            self._processes.append(process)
+            self._idle.put(process)
+        self._executor = ThreadPoolExecutor(max_workers=workers)
+
+    def _dispatch(self, params: Dict[str, Any]) -> Future:
+        return self._executor.submit(self._roundtrip, params)
+
+    def _roundtrip(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        process = self._idle.get()
+        try:
+            write_frame(
+                process.stdin,
+                {"function": self._reference, "params": params},
+            )
+            response = read_frame(process.stdout)
+        except (OSError, EngineError) as exc:
+            raise EngineError(
+                f"fleet worker pid {process.pid} died: {exc}"
+            ) from exc
+        finally:
+            self._idle.put(process)
+        if response is None:
+            raise EngineError(f"fleet worker pid {process.pid} closed its pipe")
+        if "error" in response:
+            raise EngineError(
+                f"fleet worker pid {process.pid} failed: {response['error']}"
+            )
+        return dict(response["payload"])
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+        for process in self._processes:
+            if process.stdin is not None:
+                process.stdin.close()
+        for process in self._processes:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+        self._processes = []
+
+
+#: Dispatch substrates ``run_spec(workers=...)`` and ``--workers`` accept.
+WORKER_KINDS: Tuple[str, ...] = ("local", "fleet")
+
+
+def resolve_pool(workers: str, cell_function: Callable, jobs: int) -> WorkerPool:
+    """A ready pool for one engine run.
+
+    ``jobs <= 1`` always yields the serial pool — substrate choice only
+    matters once there is fan-out.
+    """
+    if jobs <= 1:
+        return SerialPool(cell_function)
+    if workers == "local":
+        return LocalProcessPool(cell_function, jobs)
+    if workers in ("fleet", "subprocess-fleet"):
+        return SubprocessFleetPool(cell_function, jobs)
+    raise EngineError(
+        f"unknown worker substrate {workers!r} (known: {', '.join(WORKER_KINDS)})"
+    )

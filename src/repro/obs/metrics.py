@@ -116,6 +116,13 @@ VOCABULARY: Tuple[MetricSpec, ...] = (
     _spec("executor.reclaimed", _C, "tasks whose completion slack was reclaimed at a preemption point"),
     _spec("check.passes", _C, "clean ``schedule_online(check=True)`` verifications"),
     _spec("modal.pseudo_edge_skips", _C, "implied-edge injections skipped as cycle-closing"),
+    _spec("cache.backend.hit", _C, "cell-cache entries served by the storage backend"),
+    _spec("cache.backend.miss", _C, "cell-cache lookups the backend could not serve"),
+    _spec("cache.backend.corrupt", _C, "backend entries rejected as corrupt (recomputed)"),
+    _spec("cache.backend.put", _C, "cell results persisted to the storage backend"),
+    _spec("engine.stream.flushed", _C, "cell results streamed through the reorder buffer"),
+    _spec("engine.stream.peak_resident", _C, "reorder-buffer high-water mark (bounded by the window)"),
+    _spec("engine.stream.resumed", _C, "cells skipped via warm entries under ``--resume``"),
     # -- point events ---------------------------------------------------
     _spec("drift.detected", _E, "windowed branch drift crossed the threshold"),
     _spec("reschedule.invoked", _E, "the controller (re)invoked the online algorithm"),

@@ -68,6 +68,13 @@ re-render, never the table text:
 ``executor.reclaimed``            counter    tasks whose completion slack was reclaimed at a preemption point
 ``check.passes``                  counter    clean ``schedule_online(check=True)`` verifications
 ``modal.pseudo_edge_skips``       counter    implied-edge injections skipped as cycle-closing
+``cache.backend.hit``             counter    cell-cache entries served by the storage backend
+``cache.backend.miss``            counter    cell-cache lookups the backend could not serve
+``cache.backend.corrupt``         counter    backend entries rejected as corrupt (recomputed)
+``cache.backend.put``             counter    cell results persisted to the storage backend
+``engine.stream.flushed``         counter    cell results streamed through the reorder buffer
+``engine.stream.peak_resident``   counter    reorder-buffer high-water mark (bounded by the window)
+``engine.stream.resumed``         counter    cells skipped via warm entries under ``--resume``
 ``drift.detected``                event      windowed branch drift crossed the threshold
 ``reschedule.invoked``            event      the controller (re)invoked the online algorithm
 ``sim.fault``                     event      one injected fault, on its instance's sim timeline

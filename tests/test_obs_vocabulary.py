@@ -49,6 +49,19 @@ from .test_stretching_edge_cases import uniform_platform
 REPO = Path(__file__).resolve().parent.parent
 
 
+def _fabric_cell(params):
+    """Module-level cell function for the engine-fabric battery leg."""
+    return {"values": {"y": params["x"] * 2}}
+
+
+class _FabricResult:
+    def __init__(self, total):
+        self.total = total
+
+    def format(self):
+        return f"total={self.total}"
+
+
 def _names_of(profile, tracer=None):
     names = set(profile.calls) | set(profile.counters)
     if tracer is not None:
@@ -156,6 +169,30 @@ def runtime_names():
         prune_zero_probability=True, profiler=profiler,
     )
     names |= _names_of(profiler)
+
+    # -- engine fabric: a cold cached run, one vandalised entry, then a
+    #    warm --resume run — covers every cache.backend.* / engine.stream.*
+    #    counter (corrupt via the garbage entry, resumed via resume=True)
+    import tempfile
+
+    from repro.experiments import CellCache, DirBackend, run_spec
+    from repro.experiments.spec import Cell, ExperimentSpec
+
+    fabric_spec = ExperimentSpec(
+        name="vocabulary-battery",
+        cell_function=_fabric_cell,
+        cells=[Cell(key=f"c{i}", params={"x": i}) for i in range(3)],
+        reducer=lambda cells: _FabricResult(total=sum(c.values["y"] for c in cells)),
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CellCache(backend=DirBackend(tmp))
+        cold = run_spec(fabric_spec, jobs=1, cache=store)
+        names |= set(cold.engine_profile.counters)
+        victim = cold.cells[0].fingerprint
+        store.backend.write(victim, "not json at all")
+        warm = run_spec(fabric_spec, jobs=1, cache=store, resume=True)
+        names |= set(warm.engine_profile.counters)
+        assert warm.engine_profile.counters["cache.backend.corrupt"] == 1
 
     # -- modal table with cycle-closing pseudo-edges: the skip counter
     modal_result = schedule_online(small, small_platform)

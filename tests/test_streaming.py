@@ -1,0 +1,150 @@
+"""Property tests for the streaming declaration-order reduction.
+
+The engine's reorder buffer must deliver results in submission order
+with peak residency bounded by the window, *whatever* order the pool
+completes cells in.  A scripted pool lets hypothesis drive adversarial
+completion orders directly; a ``run_spec``-level check then confirms
+the property holds end to end (canonical artifact bytes identical at
+any jobs count and window size)."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import (
+    Cell,
+    ExperimentSpec,
+    WorkerPool,
+    canonical_artifact_payload,
+    run_spec,
+    stream_reorder,
+)
+
+
+class ScriptedPool(WorkerPool):
+    """In-process pool whose completion order is chosen by a script.
+
+    ``script`` is any sequence of integers; each ``ready()`` call pops
+    the next one and returns the ``script[i] % len(outstanding)``-th
+    outstanding cell — so hypothesis integers map onto every possible
+    completion order, including pathological all-reversed ones.
+    """
+
+    def __init__(self, script):
+        self._script = list(script)
+        self._outstanding = {}
+        self.max_outstanding = 0
+
+    def submit(self, tag, params):
+        self._outstanding[tag] = {
+            "values": {"y": params["x"] * 10},
+            "profile": {},
+            "timing": {},
+            "seconds": 0.0,
+        }
+        self.max_outstanding = max(self.max_outstanding, len(self._outstanding))
+
+    def ready(self):
+        choice = self._script.pop(0) if self._script else 0
+        tags = sorted(self._outstanding)
+        tag = tags[choice % len(tags)]
+        return tag, self._outstanding.pop(tag)
+
+
+class TestStreamReorderProperty:
+    @given(
+        n=st.integers(min_value=0, max_value=12),
+        window=st.integers(min_value=1, max_value=6),
+        script=st.lists(st.integers(min_value=0, max_value=63), max_size=24),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_any_completion_order_flushes_in_submission_order(
+        self, n, window, script
+    ):
+        pool = ScriptedPool(script)
+        work = [(i, {"x": i}) for i in range(n)]
+        stats = {"flushed": 0, "peak_resident": 0}
+        flushed = list(stream_reorder(pool, work, window, stats))
+        # declaration order restored, payloads intact
+        assert [tag for tag, _ in flushed] == list(range(n))
+        assert all(p["values"] == {"y": tag * 10} for tag, p in flushed)
+        # peak resident payloads and in-flight submissions both bounded
+        assert stats["peak_resident"] <= window
+        assert pool.max_outstanding <= window
+        assert stats["flushed"] == n
+
+    @given(window=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_reverse_order_saturates_exactly_the_window(self, window):
+        """All-reversed completion is the worst case: the buffer must
+        fill to exactly ``min(window, n)`` before the first flush."""
+        n = 10
+        work = [(i, {"x": i}) for i in range(n)]
+        stats = {"flushed": 0, "peak_resident": 0}
+
+        class NewestFirst(ScriptedPool):
+            def ready(self):
+                tags = sorted(self._outstanding)
+                return tags[-1], self._outstanding.pop(tags[-1])
+
+        pool = NewestFirst([])
+        flushed = list(stream_reorder(pool, work, window, stats))
+        assert [tag for tag, _ in flushed] == list(range(n))
+        assert stats["peak_resident"] == min(window, n)
+
+
+def stream_cell(params):
+    """Module-level cell for the end-to-end streaming property."""
+    return {"values": {"y": params["x"] * 10}}
+
+
+def _collect(cells):
+    return [(c.key, c.values["y"]) for c in cells]
+
+
+def _spec(n=6):
+    return ExperimentSpec(
+        name="stream",
+        cells=tuple(Cell(key=f"x{i}", params={"x": i}) for i in range(n)),
+        cell_function=stream_cell,
+        reducer=_collect,
+    )
+
+
+class TestEndToEndStreaming:
+    def test_any_window_matches_serial_bit_for_bit(self):
+        serial = run_spec(_spec(), jobs=1)
+        reference = json.dumps(canonical_artifact_payload(serial), sort_keys=True)
+        for jobs, window in ((2, 1), (2, 3), (3, 2), (4, 8)):
+            streamed = run_spec(_spec(), jobs=jobs, reorder_window=window)
+            payload = json.dumps(
+                canonical_artifact_payload(streamed), sort_keys=True
+            )
+            assert payload == reference, (jobs, window)
+            assert streamed.stats.window == window
+            peak = streamed.engine_profile.counters["engine.stream.peak_resident"]
+            assert peak <= window
+
+    def test_default_window_scales_with_jobs(self):
+        assert run_spec(_spec(2), jobs=1).stats.window == 1
+        assert run_spec(_spec(2), jobs=2).stats.window == 8
+
+    def test_stream_counters_account_for_every_miss(self, tmp_path):
+        cold = run_spec(_spec(), jobs=2, cache=str(tmp_path), reorder_window=4)
+        assert cold.engine_profile.counters["engine.stream.flushed"] == 6
+        assert cold.engine_profile.counters["cache.backend.put"] == 6
+        warm = run_spec(_spec(), jobs=2, cache=str(tmp_path), reorder_window=4)
+        assert warm.engine_profile.counters["engine.stream.flushed"] == 0
+        assert warm.engine_profile.counters["cache.backend.hit"] == 6
+
+    def test_resume_skips_the_completed_prefix(self, tmp_path):
+        """An interrupted sweep = a partially-populated cache; resume
+        computes only what is missing."""
+        cache = str(tmp_path)
+        run_spec(_spec(3), jobs=1, cache=cache)  # "interrupted" after 3 cells
+        resumed = run_spec(_spec(6), jobs=1, cache=cache, resume=True)
+        assert resumed.stats.hits == 3
+        assert resumed.stats.misses == 3
+        assert resumed.stats.resumed == 3
+        assert resumed.result == run_spec(_spec(6), jobs=1).result
