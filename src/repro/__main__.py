@@ -7,14 +7,15 @@ Usage
         [--jobs N] [--cache-dir DIR | --cache URI] [--resume]
         [--workers local|fleet] [--reorder-window N] [--format text|json]
         [--artifacts-dir DIR] [--smoke] [--policy continuous|discrete|...]
+        [--live] [--heartbeat SECONDS]
     python -m repro chaos [--smoke] [--gate] [--workloads mpeg ...]
         [--plans overrun ...] [--policies default none] [--length N]
         [--jobs N] [--cache-dir DIR | --cache URI] [--resume]
         [--workers local|fleet] [--format text|json]
         [--artifacts-dir DIR] [--no-canonical]
-        [--policy continuous|discrete|...]
+        [--policy continuous|discrete|...] [--live] [--heartbeat SECONDS]
     python -m repro cache stats|verify|prune|gc CACHE
-        [--older-than DAYS] [--keep-artifact FILE ...]
+        [--older-than DAYS] [--keep-artifact FILE ...] [--json]
     python -m repro worker
     python -m repro schedule INSTANCE.json [--deadline-factor 1.3] [--check]
         [--profile]
@@ -22,7 +23,9 @@ Usage
     python -m repro trace mpeg|cruise|wlan [--out RUN.trace.json]
         [--metrics-out RUN.metrics.json] [--plan overrun|...|none]
         [--length N] [--timeline] [--policy continuous|discrete|...]
-    python -m repro report FILE.json [--json]
+    python -m repro report FILE_OR_DIR [FILE_OR_DIR ...] [--json]
+    python -m repro report --diff A B [--json]
+    python -m repro tail EVENTS.jsonl [--follow] [--canonical]
     python -m repro demo
 
 ``run`` regenerates the requested tables/figures through the
@@ -54,15 +57,28 @@ on any error-severity diagnostic (see ``docs/diagnostics.md``);
 tracer attached (:mod:`repro.obs`) and writes a Perfetto-loadable
 Chrome trace plus a byte-stable canonical metrics snapshot;
 ``report`` renders a human-readable summary of any JSON file the
-package writes — a Chrome trace, an experiment artifact or a metrics
-snapshot (see ``docs/observability.md``); ``run``/``chaos`` accept
+package writes — a Chrome trace, an experiment artifact, a metrics
+snapshot or a ``repro.events/1`` ledger; given *several* files (or
+whole shard directories) it merges them into one fleet report
+(``repro.fleet/1``: cross-shard cell/cache totals, per-worker
+utilisation, merged stages and the recovery table), and
+``--diff A B`` compares two runs (cache hit-rate, counter and timing
+deltas — see ``docs/observability.md``); ``run``/``chaos`` accept
 ``--trace-dir DIR`` to trace the engine run itself (one span per
-cell), and ``run``/``schedule`` accept ``--profile`` to print the
+cell), write an ``<experiment>.events.jsonl`` run-event ledger next
+to each artifact when ``--artifacts-dir`` is given, and render a
+single-line live progress view with ``--live``; ``--heartbeat
+SECONDS`` turns on fleet worker telemetry (heartbeats, per-worker
+profiles, stalled-worker detection); ``tail`` replays a ledger as
+human-readable lines (``--follow`` to stream a live one,
+``--canonical`` to print the canonicalised byte-stable form CI
+``cmp``\\ s); ``run``/``schedule`` accept ``--profile`` to print the
 stage-timing/counter table that previously was silently discarded;
 ``cache`` inspects and maintains a cell cache under either backend
 (``stats``, ``verify``, age-based ``prune`` that never touches
 fingerprints referenced by ``--keep-artifact`` files, ``gc`` of
-corrupt entries and stray temp files); ``worker`` runs the fleet
+corrupt entries and stray temp files — ``stats``/``verify`` take
+``--json`` for machine-readable output); ``worker`` runs the fleet
 worker loop (cells in, payloads out over the length-prefixed
 stdin/stdout frame protocol — spawned by ``--workers fleet``, rarely
 by hand); ``demo`` schedules the paper's Figure-1 example.
@@ -287,6 +303,28 @@ def _write_engine_trace(trace_dir, name: str, report, tracer) -> None:
     )
 
 
+def _make_ledger(args: argparse.Namespace, name: str):
+    """The run-event ledger one engine run writes (or ``None``).
+
+    ``--artifacts-dir`` puts an ``<experiment>.events.jsonl`` file next
+    to the artifact; ``--live`` alone keeps the ledger in memory purely
+    to drive the progress view.  The caller owns ``close()``.
+    """
+    if not getattr(args, "artifacts_dir", None) and not args.live:
+        return None
+    from .obs import EventLedger, LiveProgress
+
+    path = (
+        Path(args.artifacts_dir) / f"{name}.events.jsonl"
+        if args.artifacts_dir
+        else None
+    )
+    ledger = EventLedger(path=path)
+    if args.live:
+        ledger.subscribe(LiveProgress())
+    return ledger
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names = list(EXPERIMENTS) if "all" in args.names else args.names
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -322,15 +360,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
             from .obs import Tracer
 
             tracer = Tracer()
-        report = experiments.run_spec(
-            spec,
-            jobs=args.jobs,
-            cache=cache,
-            tracer=tracer,
-            workers=args.workers,
-            resume=args.resume,
-            reorder_window=args.reorder_window,
-        )
+        ledger = _make_ledger(args, name)
+        try:
+            report = experiments.run_spec(
+                spec,
+                jobs=args.jobs,
+                cache=cache,
+                tracer=tracer,
+                workers=args.workers,
+                resume=args.resume,
+                reorder_window=args.reorder_window,
+                events=ledger,
+                heartbeat=args.heartbeat,
+            )
+        finally:
+            if ledger is not None:
+                ledger.close()
+        if ledger is not None and ledger.path is not None:
+            print(f"[events ledger: {ledger.path}]", file=sys.stderr)
         if artifacts_dir is not None:
             write_artifact_path = experiments.write_artifact(
                 artifacts_dir, report, canonical=args.canonical
@@ -401,15 +448,24 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         from .obs import Tracer
 
         tracer = Tracer()
-    report = experiments.run_spec(
-        spec,
-        jobs=args.jobs,
-        cache=cache,
-        tracer=tracer,
-        workers=args.workers,
-        resume=args.resume,
-        reorder_window=args.reorder_window,
-    )
+    ledger = _make_ledger(args, "chaos")
+    try:
+        report = experiments.run_spec(
+            spec,
+            jobs=args.jobs,
+            cache=cache,
+            tracer=tracer,
+            workers=args.workers,
+            resume=args.resume,
+            reorder_window=args.reorder_window,
+            events=ledger,
+            heartbeat=args.heartbeat,
+        )
+    finally:
+        if ledger is not None:
+            ledger.close()
+    if ledger is not None and ledger.path is not None:
+        print(f"[events ledger: {ledger.path}]", file=sys.stderr)
     if args.artifacts_dir is not None:
         canonical = not args.no_canonical
         path = experiments.write_artifact(
@@ -471,12 +527,34 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     try:
         if args.action == "stats":
             fingerprints = store.fingerprints()
+            if args.json:
+                print(
+                    json.dumps(
+                        {
+                            "backend": store.describe(),
+                            "entries": len(fingerprints),
+                            "size_bytes": store.backend.size_bytes(),
+                        },
+                        indent=2,
+                        sort_keys=True,
+                    )
+                )
+                return 0
             print(f"backend:  {store.describe()}")
             print(f"entries:  {len(fingerprints)}")
             print(f"size:     {store.backend.size_bytes()} bytes")
             return 0
         if args.action == "verify":
             checked, corrupt = store.verify()
+            if args.json:
+                print(
+                    json.dumps(
+                        {"checked": checked, "corrupt": sorted(corrupt)},
+                        indent=2,
+                        sort_keys=True,
+                    )
+                )
+                return 1 if corrupt else 0
             print(f"checked {checked} entr{'y' if checked == 1 else 'ies'}: "
                   f"{len(corrupt)} corrupt")
             for fp in corrupt:
@@ -730,19 +808,101 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from .obs import load_report_payload, render_report
+    from .obs import (
+        classify_file,
+        diff_payloads,
+        merge_fleet,
+        render_diff,
+        render_fleet_report,
+        render_report,
+    )
+    from .obs.events import EventError
     from .obs.report import ReportError
 
     try:
-        kind, payload = load_report_payload(args.file)
+        if args.diff:
+            if len(args.files) != 2:
+                print("report: --diff takes exactly two files", file=sys.stderr)
+                return 2
+            kind_a, a = classify_file(args.files[0])
+            kind_b, b = classify_file(args.files[1])
+            diff = diff_payloads(kind_a, a, kind_b, b)
+            if args.json:
+                print(json.dumps(diff, indent=2, sort_keys=True))
+            else:
+                print(render_diff(diff))
+            return 0
+        if len(args.files) == 1 and not Path(args.files[0]).is_dir():
+            kind, payload = classify_file(args.files[0])
+            if kind != "events":
+                print(render_report(kind, payload, as_json=args.json))
+                return 0
+        # several files, a shard directory, or a lone events ledger:
+        # all render through the merged fleet view
+        merged = merge_fleet(args.files)
+        if args.json:
+            print(json.dumps(merged, indent=2, sort_keys=True))
+        else:
+            print(render_fleet_report(merged))
+        return 0
     except OSError as exc:
-        print(f"report: cannot read {args.file}: {exc}", file=sys.stderr)
+        print(f"report: cannot read input: {exc}", file=sys.stderr)
         return 2
-    except ReportError as exc:
+    except (ReportError, EventError) as exc:
         print(f"report: {exc}", file=sys.stderr)
         return 2
-    print(render_report(kind, payload, as_json=args.json))
-    return 0
+
+
+#: Poll interval of ``repro tail --follow`` (seconds).
+TAIL_POLL_SECONDS = 0.2
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    """``repro tail``: replay or follow a run-event ledger."""
+    import time as time_mod
+
+    from .obs.events import (
+        EventError,
+        canonical_ledger,
+        read_ledger,
+        render_event,
+    )
+
+    path = Path(args.file)
+    try:
+        if args.canonical:
+            sys.stdout.write(canonical_ledger(read_ledger(path)))
+            return 0
+        if not args.follow:
+            for record in read_ledger(path):
+                print(render_event(record))
+            return 0
+    except OSError as exc:
+        print(f"tail: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    except EventError as exc:
+        print(f"tail: {exc}", file=sys.stderr)
+        return 2
+    # --follow: stream records as the writer appends them
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            while True:
+                line = handle.readline()
+                if not line:
+                    time_mod.sleep(TAIL_POLL_SECONDS)
+                    continue
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail of an in-flight write
+                print(render_event(record), flush=True)
+    except OSError as exc:
+        print(f"tail: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_demo(_args: argparse.Namespace) -> int:
@@ -859,6 +1019,22 @@ def main(argv=None) -> int:
         help="speed-selection policy for policy-aware experiments "
         "(default: continuous, the paper's stretching)",
     )
+    run.add_argument(
+        "--live",
+        action="store_true",
+        help="render a single-line live progress view (cells done/total, "
+        "warm-hit %%, cells/s, ETA, active workers) from the run-event "
+        "stream",
+    )
+    run.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fleet worker heartbeat interval: enables worker telemetry "
+        "(per-worker profiles, stalled-worker detection) on "
+        "--workers fleet",
+    )
     run.set_defaults(func=_cmd_run)
 
     chaos = sub.add_parser(
@@ -966,6 +1142,20 @@ def main(argv=None) -> int:
         default="continuous",
         help="speed-selection policy for every cell "
         "(default: continuous, the paper's stretching)",
+    )
+    chaos.add_argument(
+        "--live",
+        action="store_true",
+        help="render a single-line live progress view from the run-event "
+        "stream",
+    )
+    chaos.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fleet worker heartbeat interval: enables worker telemetry "
+        "on --workers fleet",
     )
     chaos.set_defaults(func=_cmd_chaos)
 
@@ -1092,19 +1282,48 @@ def main(argv=None) -> int:
 
     report = sub.add_parser(
         "report",
-        help="summarise a trace, experiment artifact or metrics snapshot",
+        help="summarise report files — several files/directories merge "
+        "into one fleet report",
     )
     report.add_argument(
-        "file",
-        help="JSON file written by repro: a Chrome trace, an "
-        "experiment artifact or a metrics snapshot",
+        "files",
+        nargs="+",
+        metavar="FILE_OR_DIR",
+        help="files written by repro (Chrome trace, experiment artifact, "
+        "metrics snapshot, events.jsonl ledger) or shard directories "
+        "of them; more than one input produces a merged fleet report",
     )
     report.add_argument(
         "--json",
         action="store_true",
         help="emit the structured summary as JSON instead of text",
     )
+    report.add_argument(
+        "--diff",
+        action="store_true",
+        help="compare exactly two files of the same kind: cache "
+        "hit-rate, counter and stage-timing deltas",
+    )
     report.set_defaults(func=_cmd_report)
+
+    tail = sub.add_parser(
+        "tail",
+        help="replay or follow a run-event ledger (events.jsonl)",
+    )
+    tail.add_argument("file", help="events.jsonl ledger written by run/chaos")
+    tail.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep streaming records as the writer appends them "
+        "(Ctrl-C to stop)",
+    )
+    tail.add_argument(
+        "--canonical",
+        action="store_true",
+        help="print the canonicalised ledger (deterministic events and "
+        "fields only, byte-stable across --jobs/backends/resume)",
+    )
+    tail.set_defaults(func=_cmd_tail)
 
     cache_verb = sub.add_parser(
         "cache", help="inspect and maintain a cell cache (either backend)"
@@ -1136,6 +1355,11 @@ def main(argv=None) -> int:
         metavar="FILE",
         help="never prune fingerprints referenced by this experiment "
         "artifact (repeatable; protects live sweeps' entries)",
+    )
+    cache_verb.add_argument(
+        "--json",
+        action="store_true",
+        help="stats/verify: emit machine-readable JSON instead of text",
     )
     cache_verb.set_defaults(func=_cmd_cache)
 

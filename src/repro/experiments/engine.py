@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..obs.events import EventLedger, as_ledger
 from ..obs.trace import Tracer, as_tracer
 from ..profiling import StageProfiler
 from .backends import CacheBackend
@@ -146,6 +147,7 @@ def stream_reorder(
     work: Sequence[Tuple[int, Dict[str, Any]]],
     window: int,
     stream_stats: Dict[str, int],
+    on_submit: Optional[Any] = None,
 ) -> Iterator[Tuple[int, Dict[str, Any]]]:
     """Stream pool completions back into submission order.
 
@@ -158,7 +160,9 @@ def stream_reorder(
     ``flushed`` (payloads yielded) and ``peak_resident`` (high-water
     mark of completed payloads held at once, the yielding one
     included); ``tests/test_streaming.py`` property-tests both against
-    adversarial completion orders.
+    adversarial completion orders.  ``on_submit``, if given, is called
+    with each tag right after its pool submission (the engine's
+    ``cell.submitted`` ledger hook).
     """
     if window < 1:
         raise EngineError(f"reorder window must be >= 1, got {window}")
@@ -169,6 +173,8 @@ def stream_reorder(
         while submitted < len(work) and submitted - next_slot < window:
             tag, params = work[submitted]
             pool.submit(submitted, params)
+            if on_submit is not None:
+                on_submit(tag)
             submitted += 1
         if next_slot not in buffer:
             slot, payload = pool.ready()
@@ -197,6 +203,8 @@ def run_spec(
     workers: str = "local",
     resume: bool = False,
     reorder_window: Optional[int] = None,
+    events: Union[None, str, Path, EventLedger] = None,
+    heartbeat: Optional[float] = None,
 ) -> ExperimentReport:
     """Execute a spec; see the module docstring for the pipeline.
 
@@ -236,7 +244,51 @@ def run_spec(
         Bound on in-flight cells (and therefore on resident
         out-of-order payloads); ``None`` picks 1 for serial runs and
         ``max(8, 2 * jobs)`` otherwise.
+    events:
+        ``None`` (no ledger), a path to an ``events.jsonl`` file (the
+        engine opens and closes it), or a live
+        :class:`~repro.obs.events.EventLedger` (shared by the caller,
+        e.g. across a multi-experiment ``repro run``).  The run's
+        lifecycle, per-cell stream progress and worker telemetry are
+        appended as they happen; canonical events depend only on the
+        spec and the cells' deterministic outputs, so the
+        canonicalised ledger is byte-identical across ``--jobs``,
+        backends and resume (see :mod:`repro.obs.events`).
+    heartbeat:
+        Heartbeat interval in seconds for ``workers="fleet"`` — turns
+        on the telemetry frame protocol (worker heartbeats, per-worker
+        profiles, stalled-worker detection).  ``None`` keeps the plain
+        PR 9 wire protocol.
     """
+    ledger, owned = as_ledger(events)
+    try:
+        return _run_spec(
+            spec,
+            jobs=jobs,
+            cache=cache,
+            tracer=tracer,
+            workers=workers,
+            resume=resume,
+            reorder_window=reorder_window,
+            ledger=ledger,
+            heartbeat=heartbeat,
+        )
+    finally:
+        if owned and ledger is not None:
+            ledger.close()
+
+
+def _run_spec(
+    spec: ExperimentSpec,
+    jobs: Optional[int],
+    cache: Union[None, str, Path, CacheBackend, CellCache],
+    tracer: Optional[Tracer],
+    workers: str,
+    resume: bool,
+    reorder_window: Optional[int],
+    ledger: Optional[EventLedger],
+    heartbeat: Optional[float],
+) -> ExperimentReport:
     started = time.perf_counter()
     effective_jobs = os.cpu_count() or 1 if jobs is None else int(jobs)
     if effective_jobs < 1:
@@ -260,12 +312,24 @@ def run_spec(
         else (0, 0, 0, 0)
     )
 
+    if ledger is not None:
+        ledger.emit(
+            "sweep.started",
+            experiment=spec.name,
+            cells=len(spec.cells),
+            jobs=effective_jobs,
+            workers=workers,
+            backend=store.describe() if store else "",
+        )
+
     pending: List[int] = []
     for i, (cell, fp) in enumerate(zip(spec.cells, fingerprints)):
         entry = store.get(fp) if store else None
         if entry is None:
             pending.append(i)
             continue
+        if ledger is not None:
+            ledger.emit("cell.resumed" if resume else "cell.cached", key=cell.key)
         results[i] = CellResult(
             key=cell.key,
             params=dict(cell.params),
@@ -281,12 +345,24 @@ def run_spec(
         )
 
     stream_stats: Dict[str, int] = {"flushed": 0, "peak_resident": 0}
+    pool_profile: Optional[StageProfiler] = None
     if pending:
         work = [(i, dict(spec.cells[i].params)) for i in pending]
         pool_jobs = min(effective_jobs, len(pending)) if len(pending) > 1 else 1
-        with resolve_pool(workers, spec.cell_function, pool_jobs) as pool:
-            for i, payload in stream_reorder(pool, work, window, stream_stats):
+        on_submit = (
+            (lambda tag: ledger.emit("cell.submitted", key=spec.cells[tag].key))
+            if ledger is not None
+            else None
+        )
+        with resolve_pool(
+            workers, spec.cell_function, pool_jobs, heartbeat=heartbeat, ledger=ledger
+        ) as pool:
+            for i, payload in stream_reorder(
+                pool, work, window, stream_stats, on_submit=on_submit
+            ):
                 cell = spec.cells[i]
+                if ledger is not None:
+                    ledger.emit("cell.flushed", key=cell.key)
                 result = CellResult(
                     key=cell.key,
                     params=dict(cell.params),
@@ -312,6 +388,9 @@ def run_spec(
                             "seconds": result.seconds,
                         },
                     )
+        # final worker telemetry arrives during close(), so read the
+        # pool's accounting only after the with-block tears it down
+        pool_profile = getattr(pool, "profile", None)
 
     cell_results = [r for r in results if r is not None]
     aggregate = StageProfiler()
@@ -334,6 +413,28 @@ def run_spec(
             cursor += result.seconds
 
     reduced = spec.reducer(cell_results)
+    if ledger is not None:
+        # canonical tail: declaration order, deterministic fields only —
+        # this is the part of the ledger CI byte-compares across jobs,
+        # backends and resume
+        for result in cell_results:
+            ledger.emit(
+                "cell.completed", key=result.key, fingerprint=result.fingerprint
+            )
+            counters = (result.profile or {}).get("counters") or {}
+            recovery = {
+                "injected": int(counters.get("fault.injected", 0)),
+                "threatened": int(counters.get("fault.threatened", 0)),
+                "escalations": int(counters.get("fault.escalations", 0)),
+            }
+            if any(recovery.values()):
+                ledger.emit("cell.recovery", key=result.key, **recovery)
+        ledger.emit(
+            "sweep.finished",
+            experiment=spec.name,
+            cells=len(cell_results),
+            seconds=round(time.perf_counter() - started, 6),
+        )
     hits = len(spec.cells) - len(pending)
     stats = EngineStats(
         cells=len(spec.cells),
@@ -362,6 +463,12 @@ def run_spec(
             "cache.backend.corrupt", store.stats.corrupt - stats_before[2]
         )
         engine_profile.count("cache.backend.put", store.stats.puts - stats_before[3])
+    if pool_profile is not None:
+        # fleet accounting (engine.worker.* counters, per-worker stage
+        # totals streamed back as telemetry) — engine-side by nature,
+        # so it lands next to the stream/cache counters, never in the
+        # jobs-invariant cell aggregate
+        engine_profile.merge(pool_profile)
 
     return ExperimentReport(
         name=spec.name,

@@ -12,7 +12,13 @@ Three modules, one contract:
   (:func:`vocabulary_table`, :func:`emitted_names`);
 * :mod:`repro.obs.export` / :mod:`repro.obs.report` — Chrome
   trace-event JSON for Perfetto, byte-stable canonical metrics
-  snapshots for CI ``cmp``, and the ``repro report`` renderers.
+  snapshots for CI ``cmp``, and the ``repro report`` renderers;
+* :mod:`repro.obs.events` — the run-event ledger (``repro.events/1``):
+  a declared, drift-tested event vocabulary, the thread-safe
+  :class:`EventLedger` writer, canonicalisation for CI byte-compares,
+  and the :class:`LiveProgress` TTY view;
+* :mod:`repro.obs.fleet` — merged multi-shard fleet reports
+  (``repro.fleet/1``) and the ``repro report --diff`` comparison.
 
 See ``docs/observability.md`` for the span model and export formats.
 """
@@ -25,6 +31,32 @@ from .export import (
     validate_chrome_trace,
     write_chrome_trace,
     write_metrics_snapshot,
+)
+from .events import (
+    EVENTS,
+    EVENTS_SCHEMA,
+    EventError,
+    EventLedger,
+    EventSpec,
+    LiveProgress,
+    as_ledger,
+    canonical_event_names,
+    canonical_ledger,
+    canonical_records,
+    event_names,
+    events_table,
+    read_ledger,
+    render_event,
+)
+from .fleet import (
+    FLEET_SCHEMA,
+    classify_file,
+    diff_payloads,
+    expand_inputs,
+    merge_fleet,
+    render_diff,
+    render_fleet_report,
+    validate_fleet_report,
 )
 from .metrics import (
     VOCABULARY,
@@ -59,6 +91,28 @@ from .trace import (
 )
 
 __all__ = [
+    "EVENTS",
+    "EVENTS_SCHEMA",
+    "EventError",
+    "EventLedger",
+    "EventSpec",
+    "LiveProgress",
+    "as_ledger",
+    "canonical_event_names",
+    "canonical_ledger",
+    "canonical_records",
+    "event_names",
+    "events_table",
+    "read_ledger",
+    "render_event",
+    "FLEET_SCHEMA",
+    "classify_file",
+    "diff_payloads",
+    "expand_inputs",
+    "merge_fleet",
+    "render_diff",
+    "render_fleet_report",
+    "validate_fleet_report",
     "METRICS_SCHEMA",
     "chrome_trace",
     "metrics_snapshot",

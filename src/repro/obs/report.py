@@ -195,11 +195,25 @@ def summarise_artifact(payload: Mapping[str, Any]) -> Dict[str, Any]:
     profile = payload.get("profile") or {}
     cells = payload.get("cells") or []
     cache = payload.get("cache") or {}
+    engine = payload.get("engine") or {}
     summary: Dict[str, Any] = {
         "experiment": payload.get("experiment", "?"),
         "cells": len(cells),
         "cached": cache.get("hits", 0),
         "jobs": cache.get("jobs", 1),
+        "cache": {
+            "backend": cache.get("backend", ""),
+            "hits": cache.get("hits", 0),
+            "misses": cache.get("misses", 0),
+            "hit_rate": cache.get("hit_rate", 0.0),
+        },
+        # schema /3 artifacts carry the engine's own accounting
+        # (reorder window, stream and cache.backend.* counters);
+        # older revisions simply render an empty section
+        "engine": {
+            "window": engine.get("window", 0),
+            "counters": dict(sorted((engine.get("counters") or {}).items())),
+        },
         "stage_seconds": dict(sorted((profile.get("timings") or {}).items())),
         "stage_calls": dict(sorted((profile.get("calls") or {}).items())),
         "counters": dict(sorted((profile.get("counters") or {}).items())),
@@ -237,6 +251,16 @@ def render_artifact_report(payload: Mapping[str, Any]) -> str:
         lines.append("counters:")
         width = max(len(n) for n in summary["counters"])
         for name, value in summary["counters"].items():
+            lines.append(f"  {name:<{width}}  {value}")
+    engine = summary.get("engine") or {}
+    if engine.get("counters"):
+        lines.append("")
+        lines.append(
+            f"engine (window {engine.get('window', 0)}, "
+            f"backend {summary['cache'].get('backend') or 'off'}):"
+        )
+        width = max(len(n) for n in engine["counters"])
+        for name, value in engine["counters"].items():
             lines.append(f"  {name:<{width}}  {value}")
     if summary["slowest_cells"]:
         lines.append("")

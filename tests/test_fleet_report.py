@@ -1,0 +1,288 @@
+"""The merged fleet view: ``merge_fleet`` over mixed shard files,
+``validate_fleet_report``, ``diff_payloads``/``render_diff``, and the
+CLI surfaces that expose them (multi-input ``repro report``,
+``repro report --diff``, ``repro tail``, ``repro cache stats --json``)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments import run_spec, write_artifact
+from repro.experiments.spec import Cell, ExperimentSpec
+from repro.obs import (
+    FLEET_SCHEMA,
+    ReportError,
+    classify_file,
+    diff_payloads,
+    expand_inputs,
+    merge_fleet,
+    read_ledger,
+    render_diff,
+    render_fleet_report,
+    summarise_artifact,
+    validate_fleet_report,
+)
+
+
+def shard_cell(params):
+    """Module-level cell function for shard runs."""
+    return {
+        "values": {"y": params["x"] * 2},
+        "profile": {
+            "counters": {"shard.cells": 1},
+            "timings": {"shard.work": 0.001},
+            "calls": {"shard.work": 1},
+        },
+    }
+
+
+def _spec(name, xs):
+    return ExperimentSpec(
+        name=name,
+        cells=tuple(Cell(key=f"x{x}", params={"x": x}) for x in xs),
+        cell_function=shard_cell,
+        reducer=lambda cells: sum(c.values["y"] for c in cells),
+    )
+
+
+@pytest.fixture(scope="module")
+def shards(tmp_path_factory):
+    """Two shard directories, each holding an artifact + its ledger."""
+    root = tmp_path_factory.mktemp("fleet")
+    dirs = []
+    for name, xs in (("alpha", (1, 2, 3)), ("beta", (4, 5))):
+        shard_dir = root / name
+        shard_dir.mkdir()
+        report = run_spec(
+            _spec(name, xs),
+            jobs=1,
+            cache=str(root / f"{name}-cache"),
+            events=shard_dir / f"{name}.events.jsonl",
+        )
+        write_artifact(shard_dir, report)
+        dirs.append(shard_dir)
+    return dirs
+
+
+class TestExpandAndClassify:
+    def test_directories_expand_sorted_and_deduped(self, shards):
+        files = expand_inputs([shards[0], shards[0], shards[0] / "alpha.json"])
+        assert [p.name for p in files] == ["alpha.events.jsonl", "alpha.json"]
+
+    def test_classify_artifact_and_ledger(self, shards):
+        kind, payload = classify_file(shards[0] / "alpha.json")
+        assert kind == "artifact" and payload["experiment"] == "alpha"
+        kind, records = classify_file(shards[0] / "alpha.events.jsonl")
+        assert kind == "events"
+        assert records[0]["event"] == "ledger.opened"
+
+    def test_classify_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("not json\n")
+        with pytest.raises(ReportError, match="neither"):
+            classify_file(bad)
+
+
+class TestMergeFleet:
+    def test_totals_are_the_sum_of_the_shards(self, shards):
+        merged = merge_fleet(shards)
+        alpha = summarise_artifact(
+            json.loads((shards[0] / "alpha.json").read_text())
+        )
+        beta = summarise_artifact(
+            json.loads((shards[1] / "beta.json").read_text())
+        )
+        assert merged["schema"] == FLEET_SCHEMA
+        assert merged["cells"]["total"] == alpha["cells"] + beta["cells"] == 5
+        assert merged["counters"]["shard.cells"] == 5
+        assert merged["experiments"] == ["alpha", "beta"]
+        assert merged["cells"]["cached"] + merged["cells"]["computed"] == 5
+
+    def test_ledger_events_are_counted(self, shards):
+        merged = merge_fleet(shards)
+        assert merged["events"]["sweep.started"] == 2
+        assert merged["events"]["cell.completed"] == 5
+
+    def test_engine_counters_summed_separately(self, shards):
+        merged = merge_fleet(shards)
+        assert merged["engine"]["counters"]["cache.backend.put"] == 5
+        assert "cache.backend.put" not in merged["counters"]
+
+    def test_metrics_snapshot_inputs_fold_in(self, shards, tmp_path):
+        snapshot = tmp_path / "extra.metrics.json"
+        snapshot.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.metrics/1",
+                    "canonical": True,
+                    "counters": {"shard.cells": 10},
+                    "stage_seconds": {"shard.work": 0.5},
+                    "stage_calls": {"shard.work": 3},
+                }
+            )
+        )
+        merged = merge_fleet([*shards, snapshot])
+        assert merged["counters"]["shard.cells"] == 15
+
+    def test_empty_input_rejected(self, tmp_path):
+        empty = tmp_path / "void"
+        empty.mkdir()
+        with pytest.raises(ReportError, match="no shard files"):
+            merge_fleet([empty])
+
+    def test_validate_accepts_merged_payload(self, shards):
+        assert validate_fleet_report(merge_fleet(shards)) == []
+
+    def test_validate_flags_problems(self):
+        assert validate_fleet_report([]) == ["fleet report must be a JSON object"]
+        problems = validate_fleet_report(
+            {"schema": FLEET_SCHEMA, "cells": {"total": 3, "cached": 1, "computed": 1}}
+        )
+        assert "cells.cached + cells.computed != cells.total" in problems
+        assert any("missing key" in p for p in problems)
+
+    def test_render_mentions_shards_and_events(self, shards):
+        text = render_fleet_report(merge_fleet(shards))
+        assert "fleet report" in text
+        assert "alpha.json" in text and "beta.json" in text
+        assert "ledger events:" in text
+        assert "cells: 5" in text
+
+
+class TestDiff:
+    def test_artifact_diff_reports_moved_counters(self, shards):
+        kind_a, a = classify_file(shards[0] / "alpha.json")
+        kind_b, b = classify_file(shards[1] / "beta.json")
+        diff = diff_payloads(kind_a, a, kind_b, b)
+        assert diff["schema"] == "repro.fleet-diff/1"
+        assert diff["cells"] == {"a": 3, "b": 2}
+        assert diff["counters"]["shard.cells"]["delta"] == -1
+        text = render_diff(diff)
+        assert "alpha → beta" in text
+        assert "shard.cells" in text
+
+    def test_identical_artifacts_diff_is_quiet(self, shards):
+        kind, payload = classify_file(shards[0] / "alpha.json")
+        diff = diff_payloads(kind, payload, kind, payload)
+        assert diff["counters"] == {}
+        assert diff["cache_hit_rate"]["delta"] == 0.0
+
+    def test_mixed_kinds_rejected(self, shards):
+        kind_a, a = classify_file(shards[0] / "alpha.json")
+        kind_b, b = classify_file(shards[0] / "alpha.events.jsonl")
+        with pytest.raises(ReportError, match="same kind"):
+            diff_payloads(kind_a, a, kind_b, b)
+
+    def test_metrics_diff(self):
+        a = {"counters": {"c": 1}, "stage_seconds": {}}
+        b = {"counters": {"c": 4}, "stage_seconds": {}}
+        diff = diff_payloads("metrics", a, "metrics", b)
+        assert diff["counters"]["c"]["delta"] == 3
+
+
+class TestArtifactEngineSection:
+    """Satellite: ``repro report`` on a ``repro.experiment/3`` artifact
+    surfaces the engine accounting in both renderings."""
+
+    def test_summary_carries_engine_window_and_counters(self, shards):
+        payload = json.loads((shards[0] / "alpha.json").read_text())
+        summary = summarise_artifact(payload)
+        assert summary["engine"]["window"] >= 1
+        assert summary["engine"]["counters"]["engine.stream.flushed"] == 3
+
+    def test_older_artifacts_render_an_empty_section(self):
+        summary = summarise_artifact(
+            {"schema": "repro.experiment/2", "experiment": "old", "cells": []}
+        )
+        assert summary["engine"] == {"window": 0, "counters": {}}
+
+    def test_cli_text_report_shows_engine_block(self, shards, capsys):
+        assert main(["report", str(shards[0] / "alpha.json")]) == 0
+        out = capsys.readouterr().out
+        assert "engine (window" in out
+        assert "engine.stream.flushed" in out
+
+    def test_cli_json_report_shows_engine_block(self, shards, capsys):
+        assert main(["report", str(shards[0] / "alpha.json"), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"]["counters"]["engine.stream.flushed"] == 3
+        assert payload["cache"]["misses"] == 3
+
+
+class TestReportVerbFleet:
+    def test_multi_input_merges(self, shards, capsys):
+        assert main(["report", str(shards[0]), str(shards[1])]) == 0
+        out = capsys.readouterr().out
+        assert "fleet report" in out
+        assert "cells: 5" in out
+
+    def test_multi_input_json_validates(self, shards, capsys):
+        assert main(["report", str(shards[0]), str(shards[1]), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert validate_fleet_report(payload) == []
+        assert payload["cells"]["total"] == 5
+
+    def test_single_ledger_routes_through_fleet_view(self, shards, capsys):
+        assert main(["report", str(shards[0] / "alpha.events.jsonl")]) == 0
+        assert "fleet report" in capsys.readouterr().out
+
+    def test_diff_verb(self, shards, capsys):
+        code = main(
+            [
+                "report",
+                "--diff",
+                str(shards[0] / "alpha.json"),
+                str(shards[1] / "beta.json"),
+            ]
+        )
+        assert code == 0
+        assert "report diff (A → B)" in capsys.readouterr().out
+
+    def test_diff_needs_exactly_two(self, shards, capsys):
+        code = main(["report", "--diff", str(shards[0] / "alpha.json")])
+        assert code == 2
+        assert "exactly two" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["report", "definitely/not/here.json"]) == 2
+        assert capsys.readouterr().err
+
+
+class TestTailVerb:
+    def test_replays_ledger(self, shards, capsys):
+        ledger = shards[0] / "alpha.events.jsonl"
+        assert main(["tail", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep.started" in out
+        assert "cell.completed" in out
+
+    def test_canonical_mode_is_byte_stable_json(self, shards, capsys):
+        ledger = shards[0] / "alpha.events.jsonl"
+        assert main(["tail", str(ledger), "--canonical"]) == 0
+        first = capsys.readouterr().out
+        assert main(["tail", str(ledger), "--canonical"]) == 0
+        assert capsys.readouterr().out == first
+        events = [json.loads(line)["event"] for line in first.splitlines()]
+        assert "cell.submitted" not in events
+        assert "cell.completed" in events
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["tail", "no/such/events.jsonl"]) == 2
+        assert capsys.readouterr().err
+
+
+class TestCacheStatsJson:
+    def test_stats_json(self, tmp_path, capsys):
+        run_spec(_spec("gamma", (7,)), jobs=1, cache=str(tmp_path / "c"))
+        assert main(["cache", "stats", str(tmp_path / "c"), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1
+        assert payload["backend"].startswith("dir:")
+        assert payload["size_bytes"] > 0
+
+    def test_verify_json(self, tmp_path, capsys):
+        run_spec(_spec("delta", (8,)), jobs=1, cache=str(tmp_path / "c"))
+        assert main(["cache", "verify", str(tmp_path / "c"), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"checked": 1, "corrupt": []}

@@ -1,0 +1,164 @@
+"""Fleet worker telemetry: heartbeat frames, per-worker profile
+reports, stalled-worker detection (a killed worker and an
+:class:`EngineError`, never a hung sweep) and structured frame-failure
+handling."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.experiments import (
+    EngineError,
+    SubprocessFleetPool,
+    run_spec,
+)
+from repro.experiments.workers import MAX_FRAME_BYTES
+from repro.experiments.spec import Cell, ExperimentSpec
+from repro.obs import EventLedger
+
+
+def paced_cell(params):
+    """Module-level cell slow enough for heartbeats to interleave."""
+    time.sleep(params.get("sleep", 0.6))
+    return {
+        "values": {"y": params["x"] * 2},
+        "profile": {"counters": {"paced.cells": 1}},
+    }
+
+
+def quick_cell(params):
+    return {"values": {"y": params["x"]}}
+
+
+def _spec(xs=(1, 2), sleep=0.6):
+    return ExperimentSpec(
+        name="paced",
+        cells=tuple(
+            Cell(key=f"x{x}", params={"x": x, "sleep": sleep}) for x in xs
+        ),
+        cell_function=paced_cell,
+        reducer=lambda cells: [c.values["y"] for c in cells],
+    )
+
+
+def _wait_alive(pool, timeout=20.0):
+    """Block until every worker has sent its first frame (boot done)."""
+    deadline = time.monotonic() + timeout
+    channels = list(pool._channels.values())
+    while time.monotonic() < deadline:
+        if all(c.alive for c in channels):
+            return channels
+        time.sleep(0.02)
+    raise AssertionError("fleet workers never came alive")
+
+
+class TestHeartbeats:
+    def test_heartbeated_run_matches_serial(self):
+        ledger = EventLedger()
+        serial = run_spec(_spec(), jobs=1)
+        fleet = run_spec(
+            _spec(), jobs=2, workers="fleet", heartbeat=0.2, events=ledger
+        )
+        assert fleet.result == serial.result
+        counters = fleet.engine_profile.counters
+        assert counters["engine.worker.spawned"] == 2
+        assert counters["engine.worker.heartbeats"] >= 1
+        assert ledger.counts.get("worker.heartbeat", 0) >= 1
+        # one clean exit event per worker, with a real cell count
+        exits = [r for r in ledger.records if r["event"] == "worker.exited"]
+        assert len(exits) == 2
+        assert sum(r["cells"] for r in exits) == 2
+
+    def test_worker_profiles_merge_into_engine_profile(self):
+        fleet = run_spec(_spec(), jobs=2, workers="fleet", heartbeat=0.2)
+        # each worker aggregates its cells' profile counters and ships
+        # them in the final telemetry frame; the pool merges them into
+        # the engine profile (never the jobs-invariant cell aggregate)
+        assert fleet.engine_profile.counters.get("paced.cells") == 2
+
+    def test_legacy_protocol_without_heartbeat_is_untouched(self):
+        ledger = EventLedger()
+        fleet = run_spec(_spec(sleep=0.0), jobs=2, workers="fleet", events=ledger)
+        assert fleet.result == [2, 4]
+        assert "engine.worker.heartbeats" not in fleet.engine_profile.counters
+        # exit events still appear, but the cell count is unknown (-1)
+        exits = [r for r in ledger.records if r["event"] == "worker.exited"]
+        assert {r["cells"] for r in exits} == {-1}
+
+
+class TestStallDetection:
+    def test_stopped_worker_is_detected_not_hung(self):
+        ledger = EventLedger()
+        pool = SubprocessFleetPool(
+            paced_cell, 1, heartbeat=0.2, stall_misses=2, ledger=ledger
+        )
+        try:
+            (channel,) = _wait_alive(pool)
+            os.kill(channel.process.pid, signal.SIGSTOP)
+            started = time.monotonic()
+            pool.submit(0, {"x": 1, "sleep": 0.1})
+            with pytest.raises(EngineError, match="stalled"):
+                pool.ready()
+            elapsed = time.monotonic() - started
+            # detected within the heartbeat budget (0.4s) plus slack,
+            # nowhere near a pipe-read hang
+            assert elapsed < 10.0
+            assert pool.profile.counters["engine.worker.stalled"] == 1
+            assert ledger.counts.get("worker.stalled") == 1
+            stalled = next(
+                r for r in ledger.records if r["event"] == "worker.stalled"
+            )
+            assert stalled["pid"] == channel.process.pid
+            assert stalled["silent_seconds"] > 0
+        finally:
+            pool.close()
+
+    def test_stall_is_not_double_counted_as_frame_error(self):
+        pool = SubprocessFleetPool(paced_cell, 1, heartbeat=0.2, stall_misses=2)
+        try:
+            (channel,) = _wait_alive(pool)
+            os.kill(channel.process.pid, signal.SIGSTOP)
+            pool.submit(0, {"x": 1})
+            with pytest.raises(EngineError, match="stalled"):
+                pool.ready()
+            assert "engine.worker.frame_errors" not in pool.profile.counters
+        finally:
+            pool.close()
+
+
+class TestFrameFailures:
+    def test_dead_worker_surfaces_as_frame_error(self):
+        ledger = EventLedger()
+        pool = SubprocessFleetPool(quick_cell, 1, ledger=ledger)
+        try:
+            process = pool._processes[0]
+            process.kill()
+            process.wait()
+            pool.submit(0, {"x": 1})
+            with pytest.raises(EngineError, match="died|closed its pipe"):
+                pool.ready()
+            assert pool.profile.counters["engine.worker.frame_errors"] == 1
+            assert ledger.counts.get("worker.error") == 1
+        finally:
+            pool.close()
+
+    def test_corrupt_inbound_frame_fails_cleanly(self):
+        # vandalise the worker's stdin with an absurd length prefix: the
+        # worker must answer with a structured fatal frame and exit
+        # nonzero, and the parent must surface it as an EngineError
+        ledger = EventLedger()
+        pool = SubprocessFleetPool(quick_cell, 1, ledger=ledger)
+        try:
+            process = pool._processes[0]
+            process.stdin.write((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+            process.stdin.flush()
+            pool.submit(0, {"x": 1})
+            with pytest.raises(EngineError, match="fatally"):
+                pool.ready()
+            assert pool.profile.counters["engine.worker.frame_errors"] == 1
+            assert ledger.counts.get("worker.error") == 1
+            assert process.wait(timeout=10) == 2
+        finally:
+            pool.close()

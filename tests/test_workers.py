@@ -152,6 +152,32 @@ class TestWorkerMain:
         assert code == 0
         assert "error" in responses[0]
 
+    def test_corrupt_frame_is_fatal_with_structured_error(self):
+        # a torn/garbage inbound frame leaves the stream offset
+        # unknowable: the worker must answer with a fatal error frame
+        # and exit nonzero instead of resynchronising by guesswork
+        stdin = io.BytesIO(b"\x00\x00\x00\x08only4")
+        stdout = io.BytesIO()
+        code = worker_main(stdin, stdout)
+        assert code == 2
+        stdout.seek(0)
+        frame = read_frame(stdout)
+        assert frame["fatal"] is True
+        assert "worker frame error" in frame["error"]
+
+    def test_good_cells_before_the_corrupt_frame_still_answered(self):
+        stdin = io.BytesIO()
+        write_frame(stdin, {"function": function_reference(triple_cell), "params": {"x": 2}})
+        stdin.write(b"\xff\xff\xff\xff")  # absurd length prefix
+        stdin.seek(0)
+        stdout = io.BytesIO()
+        code = worker_main(stdin, stdout)
+        assert code == 2
+        stdout.seek(0)
+        first = read_frame(stdout)
+        assert first["payload"]["values"] == {"triple": 6}
+        assert read_frame(stdout)["fatal"] is True
+
 
 class TestPoolSelection:
     def test_serial_below_fanout(self):
